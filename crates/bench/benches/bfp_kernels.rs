@@ -1,0 +1,78 @@
+//! Criterion microbenchmarks of the numeric substrate: the BFP quantizer,
+//! the integer-MAC dot product, and the software float16 — the kernels on
+//! the simulator's critical path.
+
+use bw_bfp::{BfpBlock, BfpFormat, BfpMatrix, F16};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_quantize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bfp_quantize");
+    for &n in &[128usize, 400, 2816] {
+        let data: Vec<f32> = (0..n)
+            .map(|i| ((i * 37) % 101) as f32 / 50.0 - 1.0)
+            .collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("n{n}"), |b| {
+            b.iter(|| BfpBlock::quantize(black_box(&data), BfpFormat::BFP_1S_5E_2M))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bfp_dot");
+    for &n in &[128usize, 400, 1600] {
+        let a: Vec<f32> = (0..n).map(|i| (i % 17) as f32 / 8.0 - 1.0).collect();
+        let bb: Vec<f32> = (0..n).map(|i| (i % 13) as f32 / 6.0 - 1.0).collect();
+        let qa = BfpBlock::quantize(&a, BfpFormat::BFP_1S_5E_5M);
+        let qb = BfpBlock::quantize(&bb, BfpFormat::BFP_1S_5E_5M);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("n{n}"), |b| {
+            b.iter(|| black_box(&qa).dot(black_box(&qb)).expect("shapes match"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mv_mul(c: &mut Criterion) {
+    // A native 400x400 tile times a native vector: the inner loop of the
+    // functional MVM.
+    let n = 400;
+    let data: Vec<f32> = (0..n * n)
+        .map(|i| ((i * 7) % 23) as f32 / 11.0 - 1.0)
+        .collect();
+    let m = BfpMatrix::quantize(n, n, &data, BfpFormat::BFP_1S_5E_2M).expect("shape");
+    let x: Vec<f32> = (0..n).map(|i| (i % 19) as f32 / 9.0 - 1.0).collect();
+    let qx = BfpBlock::quantize(&x, BfpFormat::BFP_1S_5E_2M);
+    let mut g = c.benchmark_group("bfp_mv_mul");
+    g.throughput(Throughput::Elements((n * n) as u64));
+    g.bench_function("tile_400x400", |b| {
+        b.iter(|| black_box(&m).mv_mul(black_box(&qx)).expect("shapes match"))
+    });
+    g.finish();
+}
+
+fn bench_f16(c: &mut Criterion) {
+    let values: Vec<f32> = (0..1024).map(|i| (i as f32 - 512.0) / 37.0).collect();
+    c.bench_function("f16_round_trip_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for &v in &values {
+                acc += F16::from_f32(black_box(v)).to_f32();
+            }
+            acc
+        })
+    });
+    c.bench_function("f16_tanh_1k", |b| {
+        b.iter(|| {
+            let mut acc = F16::ZERO;
+            for &v in &values {
+                acc = acc + F16::from_f32(black_box(v)).tanh();
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_quantize, bench_dot, bench_mv_mul, bench_f16);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benchmarks of the simulator itself: how fast the cycle model
+//! retires chains, and how fast a functional RNN step executes.
+
+use bw_core::{ExecMode, Npu, NpuConfig};
+use bw_models::{Gru, Lstm, LstmWeights, RnnDims};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn timing_only_lstm(c: &mut Criterion) {
+    // The Table V inner loop: a timing-only LSTM sweep on BW_S10.
+    let base = NpuConfig::bw_s10();
+    let cfg = NpuConfig::builder()
+        .native_dim(base.native_dim())
+        .lanes(base.lanes())
+        .tile_engines(base.tile_engines())
+        .mrf_entries(1024)
+        .vrf_entries(4096)
+        .clock_mhz(250.0)
+        .build()
+        .expect("valid");
+    let lstm = Lstm::new(&cfg, RnnDims::square(2048));
+    let steps = 25;
+    let mut g = c.benchmark_group("sim_timing_only");
+    g.throughput(Throughput::Elements(u64::from(steps) * 10)); // chains retired
+    g.bench_function("lstm2048_t25", |b| {
+        b.iter(|| {
+            let mut npu = Npu::with_mode(cfg.clone(), ExecMode::TimingOnly);
+            lstm.run_timing_only(&mut npu, black_box(steps))
+                .expect("sized")
+        })
+    });
+    let gru = Gru::new(&cfg, RnnDims::square(2816));
+    g.bench_function("gru2816_t25", |b| {
+        b.iter(|| {
+            let mut npu = Npu::with_mode(cfg.clone(), ExecMode::TimingOnly);
+            gru.run_timing_only(&mut npu, black_box(steps))
+                .expect("sized")
+        })
+    });
+    g.finish();
+}
+
+fn functional_lstm(c: &mut Criterion) {
+    // Full functional execution (BFP matrix math + float16 MFUs) at a
+    // moderate dimension.
+    let cfg = NpuConfig::builder()
+        .native_dim(64)
+        .lanes(16)
+        .tile_engines(4)
+        .mrf_entries(256)
+        .vrf_entries(256)
+        .matrix_format(bw_bfp::BfpFormat::BFP_1S_5E_5M)
+        .build()
+        .expect("valid");
+    let dims = RnnDims::square(128);
+    let lstm = Lstm::new(&cfg, dims);
+    let weights = LstmWeights::random(dims, 1);
+    let inputs: Vec<Vec<f32>> = (0..4)
+        .map(|t| {
+            (0..128)
+                .map(|i| ((t * 128 + i) as f32 * 0.01).sin())
+                .collect()
+        })
+        .collect();
+    c.bench_function("sim_functional_lstm128_t4", |b| {
+        b.iter(|| {
+            let mut npu = Npu::new(cfg.clone());
+            lstm.load_weights(&mut npu, &weights).expect("fits");
+            lstm.run(&mut npu, black_box(&inputs)).expect("runs")
+        })
+    });
+}
+
+criterion_group!(benches, timing_only_lstm, functional_lstm);
+criterion_main!(benches);

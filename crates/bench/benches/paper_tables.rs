@@ -1,0 +1,116 @@
+//! Criterion entry points that exercise the generation path of every paper
+//! table and figure (small, representative slices — the full regeneration
+//! binaries live in `src/bin/`; see `EXPERIMENTS.md`).
+
+use bw_baselines::{table5_titan_xp, GpuBatchModel, TITAN_XP};
+use bw_bench::{run_bw_s10, sdm_latency_ms};
+use bw_core::isa::Instruction;
+use bw_core::{ExecMode, HddExpansion, Npu, NpuConfig};
+use bw_dataflow::{ConvCriticalPath, RnnCriticalPath};
+use bw_fpga::{Device, ResourceEstimate};
+use bw_models::{ConvLayer, ConvShape, RnnBenchmark, RnnKind};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn table1_critical_paths(c: &mut Criterion) {
+    c.bench_function("table1_critical_paths", |b| {
+        b.iter(|| {
+            let lstm = RnnCriticalPath::lstm(black_box(2000), 2000);
+            let gru = RnnCriticalPath::gru(black_box(2800), 2800);
+            let cnn = ConvCriticalPath::new(28, 28, 128, 3, 128, 1, 1);
+            (
+                lstm.sdm_cycles(1, 96_000),
+                gru.sdm_cycles(1, 96_000),
+                cnn.sdm_cycles(96_000),
+            )
+        })
+    });
+}
+
+fn table3_resource_estimates(c: &mut Criterion) {
+    c.bench_function("table3_resource_estimates", |b| {
+        b.iter(|| {
+            let s10 = ResourceEstimate::for_config(
+                black_box(&NpuConfig::bw_s10()),
+                &Device::stratix_10_280(),
+            );
+            let a10 = ResourceEstimate::for_config(&NpuConfig::bw_a10(), &Device::arria_10_1150());
+            (s10.alms, a10.dsps)
+        })
+    });
+}
+
+fn table5_one_point(c: &mut Criterion) {
+    // The per-benchmark work behind each Table V / Fig 7 row (modest size).
+    let bench = RnnBenchmark::new(RnnKind::Lstm, 1536, 10);
+    c.bench_function("table5_lstm1536_point", |b| {
+        b.iter(|| {
+            let r = run_bw_s10(black_box(&bench));
+            (r.cycles, sdm_latency_ms(&bench))
+        })
+    });
+}
+
+fn fig6_expansion(c: &mut Criterion) {
+    let cfg = NpuConfig::bw_s10();
+    c.bench_function("fig6_hdd_expansion", |b| {
+        b.iter(|| HddExpansion::expand(&cfg, &Instruction::MvMul { mrf_index: 0 }, 8, 8))
+    });
+}
+
+fn fig8_gpu_model(c: &mut Criterion) {
+    let points = table5_titan_xp();
+    c.bench_function("fig8_gpu_batch_curve", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for p in &points {
+                let m = GpuBatchModel::from_point(p, TITAN_XP.peak_tflops);
+                for batch in [1u32, 2, 4, 32] {
+                    acc += m.utilization(black_box(batch));
+                }
+            }
+            acc
+        })
+    });
+}
+
+fn table6_one_layer(c: &mut Criterion) {
+    // One featurizer layer on the CNN A10 (the Table VI inner loop).
+    let base = NpuConfig::bw_cnn_a10();
+    let cfg = NpuConfig::builder()
+        .native_dim(base.native_dim())
+        .lanes(base.lanes())
+        .tile_engines(base.tile_engines())
+        .mrf_entries(1024)
+        .vrf_entries(4096)
+        .clock_mhz(300.0)
+        .mfu_lanes(base.native_dim())
+        .build()
+        .expect("valid");
+    let shape = ConvShape {
+        h: 14,
+        w: 14,
+        c_in: 256,
+        k: 3,
+        c_out: 256,
+        stride: 1,
+        pad: 1,
+    };
+    let conv = ConvLayer::new(&cfg, shape);
+    c.bench_function("table6_conv4_layer", |b| {
+        b.iter(|| {
+            let mut npu = Npu::with_mode(cfg.clone(), ExecMode::TimingOnly);
+            conv.run_timing_only(&mut npu, 0).expect("fits")
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    table1_critical_paths,
+    table3_resource_estimates,
+    table5_one_point,
+    fig6_expansion,
+    fig8_gpu_model,
+    table6_one_layer
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Calibration probe: per-step cycles on BW_S10 vs. the paper's Table V.
+//!
+//! Prints the simulated steady-state cycles per RNN time step next to the
+//! figure implied by the paper's published latencies, to check the cycle
+//! model's calibration (`DESIGN.md` §4).
+
+use bw_baselines::titan_xp_point;
+use bw_bench::{render_table, run_bw_s10};
+use bw_models::table5_suite;
+
+fn main() {
+    let paper_ms = |name: &str| -> f64 {
+        match name {
+            "GRU h=2816 t=750" => 1.987,
+            "GRU h=2560 t=375" => 0.993,
+            "GRU h=2048 t=375" => 0.954,
+            "GRU h=1536 t=375" => 0.951,
+            "GRU h=1024 t=1500" => 3.792,
+            "GRU h=512 t=1" => 0.013,
+            "LSTM h=2048 t=25" => 0.074,
+            "LSTM h=1536 t=50" => 0.145,
+            "LSTM h=1024 t=25" => 0.074,
+            "LSTM h=512 t=25" => 0.077,
+            "LSTM h=256 t=150" => 0.425,
+            _ => f64::NAN,
+        }
+    };
+    let mut rows = Vec::new();
+    for bench in table5_suite() {
+        let r = run_bw_s10(&bench);
+        let paper = paper_ms(&bench.name());
+        let paper_step = paper * 1e-3 * 250e6 / f64::from(bench.timesteps);
+        rows.push(vec![
+            bench.name(),
+            (r.cycles / u64::from(bench.timesteps)).to_string(),
+            format!("{paper_step:.0}"),
+            format!("{:.3}", r.latency_ms),
+            format!("{paper:.3}"),
+            format!("{:.2}", r.latency_ms / paper),
+        ]);
+        let _ = titan_xp_point(&bench);
+    }
+    println!("Cycle-model calibration against the paper's BW_S10 measurements\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "cyc/step",
+                "paper",
+                "sim ms",
+                "paper ms",
+                "ratio"
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,48 @@
+//! Regenerates Figure 6's narrative: hierarchical decode and dispatch of a
+//! single compound `mv_mul` into millions of primitive operations.
+
+use bw_bench::render_table;
+use bw_core::isa::Instruction;
+use bw_core::{HddExpansion, NpuConfig};
+
+fn main() {
+    let cfg = NpuConfig::bw_s10();
+    println!(
+        "Figure 6: hierarchical decode and dispatch on {}\n",
+        cfg.name()
+    );
+
+    for (label, rows, cols) in [
+        ("one native mv_mul (1x1 tiles)", 1u32, 1u32),
+        ("LSTM-2000 gate mv_mul (5x5 tiles)", 5, 5),
+        ("largest GRU mv_mul (8x8 tiles)", 8, 8),
+    ] {
+        let e = HddExpansion::expand(&cfg, &Instruction::MvMul { mrf_index: 0 }, rows, cols);
+        println!("{label}:");
+        let table: Vec<Vec<String>> = e
+            .levels
+            .iter()
+            .map(|l| {
+                vec![
+                    l.stage.to_owned(),
+                    l.units.to_string(),
+                    l.dispatched.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["stage", "parallel units", "dispatched"], &table)
+        );
+        println!(
+            "  -> {} primitive operations from one compound instruction\n",
+            e.primitive_ops
+        );
+    }
+    println!(
+        "The paper's claims hold by construction: a single compound matrix-vector\n\
+         instruction produces over 10,000 primitive operations (already at 1x1\n\
+         tiles on BW_S10), and the largest GRU's tiled instruction dispatches\n\
+         over 7 million (§IV-C, §V-C)."
+    );
+}

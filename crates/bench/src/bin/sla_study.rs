@@ -1,0 +1,82 @@
+//! SLA study (§I): the fraction of requests missing a latency deadline
+//! under increasing load, for per-request (BW) vs. batched (GPU) serving.
+//!
+//! Grounds the paper's motivating argument — interactive services must
+//! "satisfy service-level agreements (SLAs)" — in queueing behaviour: the
+//! BW discipline holds a tight deadline until the device saturates, while
+//! the batching queue violates it at *every* load level once the deadline
+//! is tighter than the batch-formation timeout.
+
+use bw_bench::{render_table, run_bw_s10};
+use bw_models::{RnnBenchmark, RnnKind};
+use bw_system::{simulate, ArrivalProcess, Microservice, ServiceModel};
+
+fn main() {
+    // Service time from the simulator: GRU-2048, 25 steps.
+    let bench = RnnBenchmark::new(RnnKind::Gru, 2048, 25);
+    let bw_service = run_bw_s10(&bench).latency_ms * 1e-3;
+    let deadline = 10.0 * bw_service; // a 10x-service-time SLA
+    println!(
+        "model: {} ({:.3} ms/request simulated); SLA deadline {:.3} ms\n",
+        bench.name(),
+        bw_service * 1e3,
+        deadline * 1e3
+    );
+
+    let bw = Microservice {
+        service: ServiceModel::PerRequest {
+            seconds: bw_service,
+        },
+        servers: 1,
+        network_hop_s: 10e-6,
+    };
+    let gpu = Microservice {
+        service: ServiceModel::Batched {
+            batch_max: 16,
+            timeout_s: 5e-3,
+            base_s: bw_service * 30.0,
+            per_item_s: bw_service * 3.0,
+        },
+        servers: 1,
+        network_hop_s: 10e-6,
+    };
+
+    let capacity = 1.0 / bw_service;
+    let mut rows = Vec::new();
+    for frac in [0.1, 0.3, 0.5, 0.7, 0.9, 1.1] {
+        let rate = capacity * frac;
+        let arrivals = ArrivalProcess::Poisson { rate_per_s: rate }.generate(6000, 17);
+        let b = simulate(&arrivals, &bw);
+        let g = simulate(&arrivals, &gpu);
+        rows.push(vec![
+            format!("{:.0}", rate),
+            format!("{:.0}%", frac * 100.0),
+            format!("{:.2}", b.p99_latency_s * 1e3),
+            format!("{:.1}%", b.sla_violation_rate(deadline) * 100.0),
+            format!("{:.2}", g.p99_latency_s * 1e3),
+            format!("{:.1}%", g.sla_violation_rate(deadline) * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "load rps",
+                "of capacity",
+                "BW p99 ms",
+                "BW miss",
+                "GPU p99 ms",
+                "GPU miss"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\nThe §VII-B3 conclusion, in SLA terms: \"in practice such large batch\n\
+         sizes cannot be used for DNN serving in the cloud without violating\n\
+         SLA\" — the batching server misses the {:.2} ms deadline at every load\n\
+         (its formation timeout alone exceeds it), while the per-request BW\n\
+         server holds it until the device itself saturates.",
+        deadline * 1e3
+    );
+}

@@ -1,0 +1,506 @@
+//! Shared-exponent quantized vectors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::format::BfpFormat;
+
+/// Rounding discipline for quantization.
+///
+/// Serving uses round-to-nearest; BFP *training and fine-tuning* (the
+/// paper's "few epochs of fine-tuning", §VI) conventionally uses stochastic
+/// rounding so quantization error is unbiased and gradients survive narrow
+/// mantissas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rounding {
+    /// Round to the nearest representable mantissa (ties away from zero).
+    Nearest,
+    /// Round up or down with probability proportional to the remainder,
+    /// deterministically derived from the given seed.
+    Stochastic(
+        /// Seed for the quantizer's internal generator.
+        u64,
+    ),
+}
+
+/// A vector quantized to block floating point.
+///
+/// The vector is split into chunks of [`BfpFormat::block_size`] elements;
+/// each chunk shares one exponent while every element keeps a private sign
+/// and narrow mantissa. This mirrors the MVM datapath (§VI): "a single 5-bit
+/// exponent per 128 independent signs and mantissas". Dot products between
+/// two blocks execute as pure integer multiply-accumulates per chunk, with
+/// exponents recombined once per chunk — exactly the arithmetic a shared-
+/// exponent hardware MAC array performs, which is what makes the FPGA
+/// implementation cheap.
+///
+/// # Example
+///
+/// ```
+/// use bw_bfp::{BfpBlock, BfpFormat};
+///
+/// let fmt = BfpFormat::BFP_1S_5E_5M;
+/// let a = BfpBlock::quantize(&[1.0, 2.0, 3.0], fmt);
+/// let b = BfpBlock::quantize(&[1.0, 1.0, 1.0], fmt);
+/// let dot = a.dot(&b).expect("same length and block size");
+/// assert!((dot - 6.0).abs() < 0.2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BfpBlock {
+    format: BfpFormat,
+    /// Signed mantissas, one per element; magnitude bounded by
+    /// `format.max_mantissa()`.
+    mantissas: Vec<i32>,
+    /// One unbiased shared exponent per chunk of `format.block_size()`.
+    exponents: Vec<i32>,
+}
+
+/// Error produced by [`BfpBlock::dot`] when the operands are incompatible.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DotError {
+    /// Operand lengths differ.
+    LengthMismatch {
+        /// Length of the left operand.
+        lhs: usize,
+        /// Length of the right operand.
+        rhs: usize,
+    },
+    /// Operand chunk sizes differ, so exponent groups do not line up.
+    BlockSizeMismatch {
+        /// Chunk size of the left operand.
+        lhs: u32,
+        /// Chunk size of the right operand.
+        rhs: u32,
+    },
+}
+
+impl std::fmt::Display for DotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DotError::LengthMismatch { lhs, rhs } => {
+                write!(f, "dot product length mismatch: {lhs} vs {rhs}")
+            }
+            DotError::BlockSizeMismatch { lhs, rhs } => {
+                write!(f, "dot product block size mismatch: {lhs} vs {rhs}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DotError {}
+
+impl BfpBlock {
+    /// Quantizes a slice of `f32` values into BFP.
+    ///
+    /// Each chunk's shared exponent is the smallest exponent that represents
+    /// the chunk's largest magnitude without mantissa overflow, clamped to
+    /// the format's exponent range (saturating element mantissas if the
+    /// clamp binds). Non-finite inputs are treated as the format's largest
+    /// magnitude, mirroring the saturating behaviour of the hardware
+    /// quantizer.
+    pub fn quantize(values: &[f32], format: BfpFormat) -> Self {
+        Self::quantize_with_rounding(values, format, Rounding::Nearest)
+    }
+
+    /// Quantizes with an explicit [`Rounding`] discipline.
+    pub fn quantize_with_rounding(values: &[f32], format: BfpFormat, rounding: Rounding) -> Self {
+        // A splitmix64 generator keeps stochastic rounding dependency-free,
+        // deterministic in the seed, and well-distributed even for small,
+        // consecutive seeds.
+        let mut rng_state = match rounding {
+            Rounding::Nearest => 0u64,
+            Rounding::Stochastic(seed) => seed,
+        };
+        let mut next_unit = move || -> f64 {
+            rng_state = rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = rng_state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let chunk = format.block_size() as usize;
+        let max_man = format.max_mantissa();
+        let (exp_min, exp_max) = format.exponent_range();
+        let mut mantissas = Vec::with_capacity(values.len());
+        let mut exponents = Vec::with_capacity(values.len().div_ceil(chunk.max(1)));
+
+        for group in values.chunks(chunk) {
+            let amax = group
+                .iter()
+                .map(|v| if v.is_finite() { v.abs() } else { f32::MAX })
+                .fold(0.0f32, f32::max);
+            let mut e = if amax == 0.0 {
+                exp_min
+            } else {
+                amax.log2().floor() as i32
+            };
+            // Rounding the largest element may overflow the mantissa field
+            // (e.g. 3.9 with 2-bit mantissas); bump the exponent if so.
+            let m = i32::from(format.mantissa_bits());
+            loop {
+                let scale = exp2(e - (m - 1));
+                let q_max = (f64::from(amax) / scale).round() as i64;
+                if q_max <= i64::from(max_man) || e >= exp_max {
+                    break;
+                }
+                e += 1;
+            }
+            let e = e.clamp(exp_min, exp_max);
+            let scale = exp2(e - (m - 1));
+            for &v in group {
+                let v = if v.is_finite() {
+                    v
+                } else if v.is_sign_negative() {
+                    f32::MIN
+                } else {
+                    f32::MAX
+                };
+                let exact = f64::from(v) / scale;
+                let q = match rounding {
+                    Rounding::Nearest => exact.round() as i64,
+                    Rounding::Stochastic(_) => {
+                        let floor = exact.floor();
+                        let frac = exact - floor;
+                        floor as i64 + i64::from(next_unit() < frac)
+                    }
+                };
+                let q = q.clamp(-i64::from(max_man), i64::from(max_man));
+                mantissas.push(q as i32);
+            }
+            exponents.push(e);
+        }
+
+        BfpBlock {
+            format,
+            mantissas,
+            exponents,
+        }
+    }
+
+    /// The format this block was quantized with.
+    #[inline]
+    pub fn format(&self) -> BfpFormat {
+        self.format
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.mantissas.len()
+    }
+
+    /// Returns `true` if the block holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.mantissas.is_empty()
+    }
+
+    /// The raw signed mantissas.
+    #[inline]
+    pub fn mantissas(&self) -> &[i32] {
+        &self.mantissas
+    }
+
+    /// The unbiased shared exponents, one per chunk.
+    #[inline]
+    pub fn exponents(&self) -> &[i32] {
+        &self.exponents
+    }
+
+    /// Reconstructs the approximate `f32` values.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let chunk = self.format.block_size() as usize;
+        let m = i32::from(self.format.mantissa_bits());
+        let mut out = Vec::with_capacity(self.len());
+        for (gi, group) in self.mantissas.chunks(chunk).enumerate() {
+            let scale = exp2(self.exponents[gi] - (m - 1));
+            for &q in group {
+                out.push((f64::from(q) * scale) as f32);
+            }
+        }
+        out
+    }
+
+    /// Dot product of two BFP vectors using integer MACs per chunk.
+    ///
+    /// Within each chunk the products `q_a * q_b` accumulate in a 64-bit
+    /// integer; the chunk sum is then scaled by the combined exponents and
+    /// accumulated across chunks in double precision — the software model of
+    /// a hardware accumulation tree followed by a float accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DotError`] if the operands differ in length or chunk size.
+    pub fn dot(&self, other: &BfpBlock) -> Result<f32, DotError> {
+        if self.len() != other.len() {
+            return Err(DotError::LengthMismatch {
+                lhs: self.len(),
+                rhs: other.len(),
+            });
+        }
+        if self.format.block_size() != other.format.block_size() {
+            return Err(DotError::BlockSizeMismatch {
+                lhs: self.format.block_size(),
+                rhs: other.format.block_size(),
+            });
+        }
+        let chunk = self.format.block_size() as usize;
+        let ma = i32::from(self.format.mantissa_bits());
+        let mb = i32::from(other.format.mantissa_bits());
+        let mut total = 0.0f64;
+        for (gi, (ga, gb)) in self
+            .mantissas
+            .chunks(chunk)
+            .zip(other.mantissas.chunks(chunk))
+            .enumerate()
+        {
+            let mut acc: i64 = 0;
+            for (&a, &b) in ga.iter().zip(gb) {
+                acc += i64::from(a) * i64::from(b);
+            }
+            let scale = exp2(self.exponents[gi] - (ma - 1) + other.exponents[gi] - (mb - 1));
+            total += acc as f64 * scale;
+        }
+        Ok(total as f32)
+    }
+
+    /// Convenience: quantizes `other` with this block's format, then takes
+    /// the dot product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DotError::LengthMismatch`] if the lengths differ.
+    pub fn dot_f32(&self, other: &[f32]) -> Result<f32, DotError> {
+        self.dot(&BfpBlock::quantize(other, self.format))
+    }
+}
+
+/// `2.0^e` as an `f64` without going through `powi` (exact for the exponent
+/// ranges BFP uses).
+#[inline]
+fn exp2(e: i32) -> f64 {
+    f64::from_bits(((1023 + i64::from(e)) as u64) << 52)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const FMT5: BfpFormat = BfpFormat::BFP_1S_5E_5M;
+    const FMT2: BfpFormat = BfpFormat::BFP_1S_5E_2M;
+
+    #[test]
+    fn exp2_matches_powi() {
+        for e in -40..=40 {
+            assert_eq!(exp2(e), 2.0f64.powi(e), "exponent {e}");
+        }
+    }
+
+    #[test]
+    fn zero_vector_quantizes_to_zero() {
+        let b = BfpBlock::quantize(&[0.0; 16], FMT2);
+        assert!(b.dequantize().iter().all(|&v| v == 0.0));
+        assert_eq!(b.len(), 16);
+    }
+
+    #[test]
+    fn empty_vector() {
+        let b = BfpBlock::quantize(&[], FMT2);
+        assert!(b.is_empty());
+        assert!(b.dequantize().is_empty());
+        assert_eq!(b.exponents().len(), 0);
+    }
+
+    #[test]
+    fn largest_element_relative_error_bounded() {
+        // The chunk max must be representable within one quantization step.
+        for amax in [0.37f32, 1.0, 3.9, 100.0, 1e-3] {
+            let b = BfpBlock::quantize(&[amax], FMT5);
+            let back = b.dequantize()[0];
+            let rel = (back - amax).abs() / amax;
+            assert!(rel <= 1.0 / 31.0, "amax={amax} back={back} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn chunked_exponents_are_independent() {
+        let fmt = BfpFormat::new(5, 5, 2).unwrap();
+        // Two chunks with very different magnitudes.
+        let b = BfpBlock::quantize(&[1000.0, 900.0, 0.01, 0.02], fmt);
+        assert_eq!(b.exponents().len(), 2);
+        assert!(b.exponents()[0] > b.exponents()[1]);
+        let back = b.dequantize();
+        assert!((back[0] - 1000.0).abs() / 1000.0 < 0.05);
+        assert!((back[3] - 0.02).abs() / 0.02 < 0.05);
+    }
+
+    #[test]
+    fn small_values_in_large_chunk_are_crushed() {
+        // With a 2-bit mantissa, anything below ~1/8 of the chunk max
+        // quantizes to zero — the documented BFP quantization noise.
+        let b = BfpBlock::quantize(&[8.0, 0.4], FMT2);
+        let back = b.dequantize();
+        assert_eq!(back[1], 0.0);
+        assert!((back[0] - 8.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn exponent_clamps_and_saturates() {
+        // 2^20 exceeds a 5-bit exponent's max of 16; mantissas saturate.
+        let b = BfpBlock::quantize(&[2.0f32.powi(20)], FMT5);
+        assert_eq!(b.exponents()[0], 16);
+        assert_eq!(b.mantissas()[0], 31);
+        // Denormal-small input underflows toward zero.
+        let tiny = BfpBlock::quantize(&[2.0f32.powi(-30)], FMT5);
+        assert_eq!(tiny.exponents()[0], -15);
+        assert_eq!(tiny.dequantize()[0], 0.0);
+    }
+
+    #[test]
+    fn non_finite_inputs_saturate() {
+        let b = BfpBlock::quantize(&[f32::INFINITY, f32::NEG_INFINITY], FMT5);
+        let back = b.dequantize();
+        assert!(back[0] > 0.0);
+        assert!(back[1] < 0.0);
+        assert_eq!(b.mantissas()[0], 31);
+        assert_eq!(b.mantissas()[1], -31);
+    }
+
+    #[test]
+    fn dot_matches_reference_within_quantization_noise() {
+        let a: Vec<f32> = (0..256)
+            .map(|i| ((i * 37) % 19) as f32 / 19.0 - 0.5)
+            .collect();
+        let b: Vec<f32> = (0..256)
+            .map(|i| ((i * 53) % 23) as f32 / 23.0 - 0.5)
+            .collect();
+        let qa = BfpBlock::quantize(&a, FMT5);
+        let qb = BfpBlock::quantize(&b, FMT5);
+        let reference: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let got = qa.dot(&qb).unwrap();
+        assert!(
+            (got - reference).abs() < 0.35,
+            "got {got}, reference {reference}"
+        );
+    }
+
+    #[test]
+    fn dot_error_cases() {
+        let a = BfpBlock::quantize(&[1.0, 2.0], FMT5);
+        let b = BfpBlock::quantize(&[1.0], FMT5);
+        assert_eq!(a.dot(&b), Err(DotError::LengthMismatch { lhs: 2, rhs: 1 }));
+        let fmt_small = BfpFormat::new(5, 5, 64).unwrap();
+        let c = BfpBlock::quantize(&[1.0, 2.0], fmt_small);
+        assert_eq!(
+            a.dot(&c),
+            Err(DotError::BlockSizeMismatch { lhs: 128, rhs: 64 })
+        );
+    }
+
+    #[test]
+    fn dot_f32_equals_quantize_then_dot() {
+        let a = BfpBlock::quantize(&[0.5, -0.25, 1.0], FMT5);
+        let direct = a.dot_f32(&[1.0, 1.0, 1.0]).unwrap();
+        let via = a.dot(&BfpBlock::quantize(&[1.0, 1.0, 1.0], FMT5)).unwrap();
+        assert_eq!(direct, via);
+    }
+
+    #[test]
+    fn stochastic_rounding_is_deterministic_in_seed() {
+        let xs: Vec<f32> = (0..64).map(|i| (i as f32 * 0.37).sin()).collect();
+        let a = BfpBlock::quantize_with_rounding(&xs, FMT5, Rounding::Stochastic(9));
+        let b = BfpBlock::quantize_with_rounding(&xs, FMT5, Rounding::Stochastic(9));
+        assert_eq!(a, b);
+        let c = BfpBlock::quantize_with_rounding(&xs, FMT5, Rounding::Stochastic(10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stochastic_rounding_is_unbiased() {
+        // Quantizing the same mid-step value many times must average back
+        // to the value itself (the property nearest-rounding lacks, and the
+        // reason fine-tuning uses it).
+        let fmt = BfpFormat::new(5, 3, 128).unwrap();
+        // Chunk max 7.0 -> scale 2^(2-2)=1; 3.3 sits between 3 and 4.
+        let xs = [7.0f32, 3.3];
+        let trials = 4000;
+        let mut sum = 0.0f64;
+        for seed in 0..trials {
+            let b = BfpBlock::quantize_with_rounding(&xs, fmt, Rounding::Stochastic(seed));
+            sum += f64::from(b.dequantize()[1]);
+        }
+        let mean = sum / f64::from(trials as u32);
+        assert!((mean - 3.3).abs() < 0.02, "mean {mean}");
+        // Nearest rounding is biased to 3.0 here.
+        let nearest = BfpBlock::quantize(&xs, fmt).dequantize()[1];
+        assert_eq!(nearest, 3.0);
+    }
+
+    #[test]
+    fn stochastic_error_still_bounded_by_one_step() {
+        let xs: Vec<f32> = (0..100).map(|i| (i as f32 * 0.11).cos() * 5.0).collect();
+        let b = BfpBlock::quantize_with_rounding(&xs, FMT5, Rounding::Stochastic(1));
+        let back = b.dequantize();
+        let amax = xs.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let step = amax / 31.0 * 1.01 + 1e-6;
+        for (v, q) in xs.iter().zip(&back) {
+            assert!((v - q).abs() <= step * 1.5, "{v} -> {q}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn quantize_error_bounded_by_chunk_max(values in prop::collection::vec(-100.0f32..100.0, 1..300)) {
+            let b = BfpBlock::quantize(&values, FMT5);
+            let back = b.dequantize();
+            let chunk = FMT5.block_size() as usize;
+            for (ci, group) in values.chunks(chunk).enumerate() {
+                let amax = group.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+                // One quantization step is at most chunk_max / (2^m - 1)
+                // after the overflow bump; allow the half-step rounding.
+                let step = (amax / 31.0).max(f32::EPSILON);
+                for (i, &v) in group.iter().enumerate() {
+                    let err = (back[ci * chunk + i] - v).abs();
+                    prop_assert!(err <= step * 1.01 + 1e-6,
+                        "chunk {ci} elem {i}: v={v} err={err} step={step}");
+                }
+            }
+        }
+
+        #[test]
+        fn mantissas_within_format_bounds(values in prop::collection::vec(-1e6f32..1e6, 0..200)) {
+            for fmt in [FMT2, FMT5, BfpFormat::BFP_1S_5E_3M] {
+                let b = BfpBlock::quantize(&values, fmt);
+                let bound = fmt.max_mantissa();
+                prop_assert!(b.mantissas().iter().all(|&q| q.abs() <= bound));
+                let (lo, hi) = fmt.exponent_range();
+                prop_assert!(b.exponents().iter().all(|&e| e >= lo && e <= hi));
+            }
+        }
+
+        #[test]
+        fn dot_is_symmetric(
+            a in prop::collection::vec(-10.0f32..10.0, 1..200),
+            seed in 0u64..1000,
+        ) {
+            let b: Vec<f32> = a.iter().enumerate()
+                .map(|(i, v)| v * (((i as u64 + seed) % 7) as f32 - 3.0))
+                .collect();
+            let qa = BfpBlock::quantize(&a, FMT5);
+            let qb = BfpBlock::quantize(&b, FMT5);
+            prop_assert_eq!(qa.dot(&qb).unwrap(), qb.dot(&qa).unwrap());
+        }
+
+        #[test]
+        fn quantize_is_idempotent(values in prop::collection::vec(-50.0f32..50.0, 1..100)) {
+            // Quantizing already-quantized values must be exact.
+            let once = BfpBlock::quantize(&values, FMT5).dequantize();
+            let twice = BfpBlock::quantize(&once, FMT5).dequantize();
+            for (a, b) in once.iter().zip(&twice) {
+                prop_assert!((a - b).abs() <= a.abs() * 1e-6 + 1e-9,
+                    "once={a} twice={b}");
+            }
+        }
+    }
+}

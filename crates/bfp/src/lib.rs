@@ -1,0 +1,47 @@
+//! Narrow-precision numerics for the Brainwave NPU reproduction.
+//!
+//! The Brainwave NPU (ISCA 2018, §VI) runs its matrix-vector datapath in a
+//! *block floating point* (BFP) format: a group of values — one native
+//! vector's worth — shares a single 5-bit exponent, while each element keeps
+//! its own sign and a narrow (2–5 bit) mantissa. Secondary operations
+//! (point-wise vector arithmetic and activation functions in the MFUs)
+//! execute as float16.
+//!
+//! This crate implements both numeric systems from scratch:
+//!
+//! * [`F16`] — software IEEE 754 binary16 with correct round-to-nearest-even
+//!   conversions, used by the multifunction units.
+//! * [`BfpFormat`], [`BfpBlock`], [`BfpMatrix`] — shared-exponent block
+//!   quantization, the integer dot-product semantics the MVM datapath uses,
+//!   and dequantization.
+//! * [`ErrorStats`] — quantization-error instrumentation used by the
+//!   narrow-precision accuracy experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use bw_bfp::{BfpFormat, BfpBlock};
+//!
+//! let fmt = BfpFormat::BFP_1S_5E_2M; // the BW_S10 format from the paper
+//! let xs = [0.5_f32, -1.25, 3.0, 0.125];
+//! let block = BfpBlock::quantize(&xs, fmt);
+//! let back = block.dequantize();
+//! assert_eq!(back.len(), xs.len());
+//! // 2-bit mantissas are coarse, but the largest element is well preserved.
+//! assert!((back[2] - 3.0).abs() < 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod error;
+mod f16;
+mod format;
+mod matrix;
+
+pub use block::{BfpBlock, DotError, Rounding};
+pub use error::ErrorStats;
+pub use f16::F16;
+pub use format::{BfpFormat, FormatError};
+pub use matrix::{BfpMatrix, MatrixShapeError};

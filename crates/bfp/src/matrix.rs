@@ -1,0 +1,233 @@
+//! Row-quantized BFP matrices, the storage format of the matrix register
+//! file (MRF).
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::{BfpBlock, DotError};
+use crate::format::BfpFormat;
+
+/// A dense matrix quantized to block floating point, row by row.
+///
+/// Model weights pinned in the MRF are stored this way: each row is a BFP
+/// vector (chunked into shared-exponent groups), so a dot-product engine
+/// multiplying the input vector by one row performs only integer MACs plus a
+/// per-chunk exponent recombination.
+///
+/// # Example
+///
+/// ```
+/// use bw_bfp::{BfpFormat, BfpMatrix};
+///
+/// let m = BfpMatrix::quantize(2, 3, &[1.0, 0.0, 0.0, 0.0, 2.0, 0.0], BfpFormat::BFP_1S_5E_5M)?;
+/// let y = m.mv_mul_f32(&[1.0, 1.0, 1.0]).unwrap();
+/// assert!((y[0] - 1.0).abs() < 0.1);
+/// assert!((y[1] - 2.0).abs() < 0.1);
+/// # Ok::<(), bw_bfp::MatrixShapeError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BfpMatrix {
+    rows: usize,
+    cols: usize,
+    format: BfpFormat,
+    row_blocks: Vec<BfpBlock>,
+}
+
+/// Error returned when the data length does not match the requested shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MatrixShapeError {
+    /// Rows requested.
+    pub rows: usize,
+    /// Columns requested.
+    pub cols: usize,
+    /// Elements supplied.
+    pub len: usize,
+}
+
+impl std::fmt::Display for MatrixShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "matrix shape {}x{} requires {} elements, got {}",
+            self.rows,
+            self.cols,
+            self.rows * self.cols,
+            self.len
+        )
+    }
+}
+
+impl std::error::Error for MatrixShapeError {}
+
+impl BfpMatrix {
+    /// Quantizes a row-major `rows × cols` slice of `f32` weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixShapeError`] if `data.len() != rows * cols`.
+    pub fn quantize(
+        rows: usize,
+        cols: usize,
+        data: &[f32],
+        format: BfpFormat,
+    ) -> Result<Self, MatrixShapeError> {
+        if data.len() != rows * cols {
+            return Err(MatrixShapeError {
+                rows,
+                cols,
+                len: data.len(),
+            });
+        }
+        let row_blocks = data
+            .chunks(cols.max(1))
+            .take(rows)
+            .map(|row| BfpBlock::quantize(row, format))
+            .collect();
+        Ok(BfpMatrix {
+            rows,
+            cols,
+            format,
+            row_blocks,
+        })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The quantization format.
+    #[inline]
+    pub fn format(&self) -> BfpFormat {
+        self.format
+    }
+
+    /// Borrows one quantized row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    #[inline]
+    pub fn row(&self, row: usize) -> &BfpBlock {
+        &self.row_blocks[row]
+    }
+
+    /// Matrix-vector product against an already-quantized input vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DotError`] if `x` does not match the column count or chunk
+    /// size.
+    pub fn mv_mul(&self, x: &BfpBlock) -> Result<Vec<f32>, DotError> {
+        self.row_blocks.iter().map(|row| row.dot(x)).collect()
+    }
+
+    /// Matrix-vector product; quantizes `x` with this matrix's format first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DotError::LengthMismatch`] if `x.len() != self.cols()`.
+    pub fn mv_mul_f32(&self, x: &[f32]) -> Result<Vec<f32>, DotError> {
+        let qx = BfpBlock::quantize(x, self.format);
+        self.mv_mul(&qx)
+    }
+
+    /// Reconstructs the approximate row-major `f32` contents.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.rows * self.cols);
+        for row in &self.row_blocks {
+            out.extend(row.dequantize());
+        }
+        out
+    }
+
+    /// On-chip storage footprint in bytes under this BFP format.
+    pub fn storage_bytes(&self) -> u64 {
+        self.format.storage_bytes((self.rows * self.cols) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FMT: BfpFormat = BfpFormat::BFP_1S_5E_5M;
+
+    #[test]
+    fn identity_mv_mul() {
+        let n = 8;
+        let mut data = vec![0.0f32; n * n];
+        for i in 0..n {
+            data[i * n + i] = 1.0;
+        }
+        let m = BfpMatrix::quantize(n, n, &data, FMT).unwrap();
+        let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let y = m.mv_mul_f32(&x).unwrap();
+        for (i, v) in y.iter().enumerate() {
+            assert!((v - x[i]).abs() < 0.3, "row {i}: {v} vs {}", x[i]);
+        }
+    }
+
+    #[test]
+    fn shape_validation() {
+        let err = BfpMatrix::quantize(2, 3, &[0.0; 5], FMT).unwrap_err();
+        assert_eq!(
+            err,
+            MatrixShapeError {
+                rows: 2,
+                cols: 3,
+                len: 5
+            }
+        );
+        assert!(err.to_string().contains("6 elements"));
+    }
+
+    #[test]
+    fn zero_sized_matrix() {
+        let m = BfpMatrix::quantize(0, 0, &[], FMT).unwrap();
+        assert_eq!(m.rows(), 0);
+        assert_eq!(m.mv_mul_f32(&[]).unwrap(), Vec::<f32>::new());
+        assert_eq!(m.storage_bytes(), 0);
+    }
+
+    #[test]
+    fn mv_mul_matches_dense_reference() {
+        let (rows, cols) = (5, 130); // spans a chunk boundary at 128
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i * 31) % 17) as f32 / 17.0 - 0.5)
+            .collect();
+        let x: Vec<f32> = (0..cols)
+            .map(|i| ((i * 7) % 13) as f32 / 13.0 - 0.5)
+            .collect();
+        let m = BfpMatrix::quantize(rows, cols, &data, FMT).unwrap();
+        let y = m.mv_mul_f32(&x).unwrap();
+        for r in 0..rows {
+            let reference: f32 = (0..cols).map(|c| data[r * cols + c] * x[c]).sum();
+            assert!(
+                (y[r] - reference).abs() < 0.3,
+                "row {r}: {} vs {}",
+                y[r],
+                reference
+            );
+        }
+    }
+
+    #[test]
+    fn storage_matches_format_accounting() {
+        let m = BfpMatrix::quantize(4, 128, &[1.0; 512], FMT).unwrap();
+        assert_eq!(m.storage_bytes(), FMT.storage_bytes(512));
+    }
+
+    #[test]
+    fn row_access_and_dequantize_shape() {
+        let m = BfpMatrix::quantize(3, 4, &[2.0; 12], FMT).unwrap();
+        assert_eq!(m.row(1).len(), 4);
+        assert_eq!(m.dequantize().len(), 12);
+    }
+}

@@ -1,0 +1,387 @@
+//! The BW NPU assembler: parses the textual assembly the disassembler
+//! (`Display`) prints, so firmware can be written, inspected, patched, and
+//! round-tripped as text.
+//!
+//! Grammar (one item per line; `;` terminators and blank lines optional):
+//!
+//! ```text
+//! segment 0 (x25):
+//!   s_wr(rows, 4);
+//!   v_rd(InitialVrf, 0);
+//!   mv_mul(0);
+//!   vv_add(4);
+//!   v_sigm();
+//!   v_wr(NetQ);
+//!   end_chain;
+//! ```
+
+use super::chain::Chain;
+use super::instruction::{Instruction, MemId, ScalarReg};
+use super::program::{Item, Program, Segment};
+
+/// Error produced while parsing assembly text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_mem(s: &str, line: usize) -> Result<MemId, AsmError> {
+    let s = s.trim();
+    match s {
+        "InitialVrf" => Ok(MemId::InitialVrf),
+        "MatrixRf" => Ok(MemId::MatrixRf),
+        "NetQ" => Ok(MemId::NetQ),
+        "DRAM" | "Dram" => Ok(MemId::Dram),
+        _ => {
+            if let Some(rest) = s.strip_prefix("AddSubVrf") {
+                rest.parse::<u8>()
+                    .map(MemId::AddSubVrf)
+                    .map_err(|_| err(line, format!("bad AddSubVrf index `{rest}`")))
+            } else if let Some(rest) = s.strip_prefix("MultiplyVrf") {
+                rest.parse::<u8>()
+                    .map(MemId::MultiplyVrf)
+                    .map_err(|_| err(line, format!("bad MultiplyVrf index `{rest}`")))
+            } else {
+                Err(err(line, format!("unknown memory `{s}`")))
+            }
+        }
+    }
+}
+
+fn parse_u32(s: &str, line: usize) -> Result<u32, AsmError> {
+    s.trim()
+        .parse::<u32>()
+        .map_err(|_| err(line, format!("bad integer `{}`", s.trim())))
+}
+
+/// Splits `name(arg, arg)` into the name and its comma-separated args.
+fn split_call(s: &str, line: usize) -> Result<(&str, Vec<&str>), AsmError> {
+    let s = s.trim().trim_end_matches(';').trim();
+    let Some(open) = s.find('(') else {
+        // Bare mnemonics (end_chain) have no parentheses.
+        return Ok((s, Vec::new()));
+    };
+    if !s.ends_with(')') {
+        return Err(err(line, format!("missing `)` in `{s}`")));
+    }
+    let name = s[..open].trim();
+    let inner = &s[open + 1..s.len() - 1];
+    let args = if inner.trim().is_empty() {
+        Vec::new()
+    } else {
+        inner.split(',').map(str::trim).collect()
+    };
+    Ok((name, args))
+}
+
+fn parse_instruction(text: &str, line: usize) -> Result<Instruction, AsmError> {
+    let (name, args) = split_call(text, line)?;
+    let want = |n: usize| -> Result<(), AsmError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(err(
+                line,
+                format!("`{name}` takes {n} operand(s), found {}", args.len()),
+            ))
+        }
+    };
+    let mem_and_index = |line: usize| -> Result<(MemId, u32), AsmError> {
+        match args.len() {
+            1 => Ok((parse_mem(args[0], line)?, 0)), // NetQ form
+            2 => Ok((parse_mem(args[0], line)?, parse_u32(args[1], line)?)),
+            n => Err(err(line, format!("`{name}` takes 1-2 operands, found {n}"))),
+        }
+    };
+    Ok(match name {
+        "v_rd" => {
+            let (mem, index) = mem_and_index(line)?;
+            Instruction::VRd { mem, index }
+        }
+        "v_wr" => {
+            let (mem, index) = mem_and_index(line)?;
+            Instruction::VWr { mem, index }
+        }
+        "m_rd" => {
+            let (mem, index) = mem_and_index(line)?;
+            Instruction::MRd { mem, index }
+        }
+        "m_wr" => {
+            let (mem, index) = mem_and_index(line)?;
+            Instruction::MWr { mem, index }
+        }
+        "mv_mul" => {
+            want(1)?;
+            Instruction::MvMul {
+                mrf_index: parse_u32(args[0], line)?,
+            }
+        }
+        "vv_add" => {
+            want(1)?;
+            Instruction::VvAdd {
+                index: parse_u32(args[0], line)?,
+            }
+        }
+        "vv_a_sub_b" => {
+            want(1)?;
+            Instruction::VvASubB {
+                index: parse_u32(args[0], line)?,
+            }
+        }
+        "vv_b_sub_a" => {
+            want(1)?;
+            Instruction::VvBSubA {
+                index: parse_u32(args[0], line)?,
+            }
+        }
+        "vv_max" => {
+            want(1)?;
+            Instruction::VvMax {
+                index: parse_u32(args[0], line)?,
+            }
+        }
+        "vv_mul" => {
+            want(1)?;
+            Instruction::VvMul {
+                index: parse_u32(args[0], line)?,
+            }
+        }
+        "v_relu" => {
+            want(0)?;
+            Instruction::VRelu
+        }
+        "v_sigm" => {
+            want(0)?;
+            Instruction::VSigm
+        }
+        "v_tanh" => {
+            want(0)?;
+            Instruction::VTanh
+        }
+        "s_wr" => {
+            want(2)?;
+            let reg = match args[0] {
+                "rows" => ScalarReg::Rows,
+                "cols" => ScalarReg::Cols,
+                other => return Err(err(line, format!("unknown register `{other}`"))),
+            };
+            Instruction::SWr {
+                reg,
+                value: parse_u32(args[1], line)?,
+            }
+        }
+        other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+    })
+}
+
+impl Program {
+    /// Parses assembly text in the disassembler's format.
+    ///
+    /// Items before the first `segment` header form an implicit
+    /// single-iteration segment, so short hand-written kernels need no
+    /// header at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] with the offending line on any syntax or chain
+    /// violation.
+    pub fn parse_asm(text: &str) -> Result<Program, AsmError> {
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut items: Vec<Item> = Vec::new();
+        let mut iterations: u32 = 1;
+        let mut started = false;
+        let mut pending: Vec<Instruction> = Vec::new();
+
+        let flush = |segments: &mut Vec<Segment>, items: &mut Vec<Item>, iterations: u32| {
+            if !items.is_empty() {
+                segments.push(Segment {
+                    items: std::mem::take(items),
+                    iterations,
+                });
+            }
+        };
+
+        for (ln, raw) in text.lines().enumerate() {
+            let line = ln + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with("//") || trimmed.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = trimmed.strip_prefix("segment ") {
+                if !pending.is_empty() {
+                    return Err(err(line, "segment header inside an open chain"));
+                }
+                flush(&mut segments, &mut items, iterations);
+                // "segment N (xITER):"
+                let iters = rest
+                    .split('(')
+                    .nth(1)
+                    .and_then(|s| s.split(')').next())
+                    .and_then(|s| s.trim().strip_prefix('x'))
+                    .ok_or_else(|| err(line, "malformed segment header"))?;
+                iterations = iters
+                    .parse::<u32>()
+                    .map_err(|_| err(line, format!("bad iteration count `{iters}`")))?;
+                started = true;
+                continue;
+            }
+            let head = trimmed.trim_end_matches(';').trim();
+            if head == "end_chain" || head == "end_chain()" {
+                let chain = Chain::new(std::mem::take(&mut pending))
+                    .map_err(|e| err(line, e.to_string()))?;
+                items.push(Item::Chain(chain));
+                continue;
+            }
+            let instr = parse_instruction(trimmed, line)?;
+            if let Instruction::SWr { reg, value } = instr {
+                if !pending.is_empty() {
+                    return Err(err(line, "s_wr inside an open chain"));
+                }
+                items.push(Item::SetReg { reg, value });
+            } else {
+                pending.push(instr);
+            }
+        }
+        if !pending.is_empty() {
+            return Err(err(
+                text.lines().count(),
+                "assembly ends with an unterminated chain",
+            ));
+        }
+        flush(&mut segments, &mut items, iterations);
+        let _ = started;
+        Ok(Program { segments })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::builder::ProgramBuilder;
+    use super::*;
+
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.set_rows(4).set_cols(5);
+        b.begin_loop(25).unwrap();
+        b.v_rd(MemId::NetQ, 0)
+            .v_wr(MemId::InitialVrf, 0)
+            .end_chain()
+            .unwrap();
+        b.v_rd(MemId::InitialVrf, 0)
+            .mv_mul(3)
+            .vv_add(1)
+            .v_sigm()
+            .vv_mul(2)
+            .v_wr(MemId::AddSubVrf(1), 5)
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        b.end_loop().unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let p = sample();
+        let text = p.to_string();
+        let q = Program::parse_asm(&text).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn headerless_kernel_parses_as_one_segment() {
+        let p = Program::parse_asm(
+            "s_wr(rows, 1);\n\
+             s_wr(cols, 1);\n\
+             v_rd(NetQ);\n\
+             v_relu();\n\
+             v_wr(NetQ);\n\
+             end_chain;",
+        )
+        .unwrap();
+        assert_eq!(p.segments.len(), 1);
+        assert_eq!(p.segments[0].iterations, 1);
+        assert_eq!(p.chain_count(), 1);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = Program::parse_asm(
+            "// a comment\n\
+             # another\n\
+             \n\
+             v_rd(InitialVrf, 3);\n\
+             v_wr(DRAM, 7);\n\
+             end_chain;",
+        )
+        .unwrap();
+        assert_eq!(p.chain_count(), 1);
+    }
+
+    #[test]
+    fn error_reporting_points_at_the_line() {
+        let e = Program::parse_asm("v_rd(NetQ);\nbogus_op(1);\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus_op"));
+
+        let e = Program::parse_asm("v_rd(Nowhere, 0);").unwrap_err();
+        assert!(e.message.contains("Nowhere"));
+
+        let e = Program::parse_asm("mv_mul(1, 2);").unwrap_err();
+        assert!(e.message.contains("takes 1 operand"));
+
+        let e = Program::parse_asm("v_rd(NetQ);").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn invalid_chains_rejected_with_reason() {
+        let e = Program::parse_asm("v_sigm();\nend_chain;").unwrap_err();
+        assert!(e.message.contains("v_rd or m_rd"), "{}", e.message);
+    }
+
+    #[test]
+    fn segment_iterations_parse() {
+        let p = Program::parse_asm(
+            "segment 0 (x750):\n\
+             v_rd(NetQ);\nv_wr(InitialVrf, 0);\nend_chain;",
+        )
+        .unwrap();
+        assert_eq!(p.segments[0].iterations, 750);
+        assert_eq!(p.chain_count(), 750);
+    }
+
+    #[test]
+    fn addsub_and_multiply_vrf_indices_parse() {
+        let p =
+            Program::parse_asm("v_rd(AddSubVrf1, 2);\nv_wr(MultiplyVrf0, 3);\nend_chain;").unwrap();
+        let Item::Chain(c) = &p.segments[0].items[0] else {
+            panic!("expected a chain");
+        };
+        assert_eq!(
+            c.instructions()[0],
+            Instruction::VRd {
+                mem: MemId::AddSubVrf(1),
+                index: 2
+            }
+        );
+    }
+}

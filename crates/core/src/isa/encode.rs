@@ -1,0 +1,395 @@
+//! Binary encoding of programs — the executable format the toolflow
+//! packages and deploys to NPU instances (§II-B).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use super::chain::Chain;
+use super::instruction::{Instruction, MemId, ScalarReg};
+use super::program::{Item, Program, Segment};
+
+/// Error produced when decoding a malformed program binary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The magic header was missing or the version unsupported.
+    BadHeader,
+    /// The buffer ended mid-structure.
+    Truncated,
+    /// An unknown tag byte was encountered.
+    BadTag(u8),
+    /// A decoded chain failed ISA validation.
+    InvalidChain(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadHeader => write!(f, "missing or unsupported program header"),
+            DecodeError::Truncated => write!(f, "program binary is truncated"),
+            DecodeError::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
+            DecodeError::InvalidChain(e) => write!(f, "decoded chain failed validation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const MAGIC: &[u8; 4] = b"BWNP";
+const VERSION: u8 = 1;
+
+const TAG_SET_REG: u8 = 0;
+const TAG_CHAIN: u8 = 1;
+
+fn put_mem(buf: &mut BytesMut, mem: MemId) {
+    match mem {
+        MemId::InitialVrf => buf.put_u8(0),
+        MemId::AddSubVrf(i) => {
+            buf.put_u8(1);
+            buf.put_u8(i);
+            return;
+        }
+        MemId::MultiplyVrf(i) => {
+            buf.put_u8(2);
+            buf.put_u8(i);
+            return;
+        }
+        MemId::MatrixRf => buf.put_u8(3),
+        MemId::NetQ => buf.put_u8(4),
+        MemId::Dram => buf.put_u8(5),
+    }
+    buf.put_u8(0); // sub-index placeholder for fixed-width decoding
+}
+
+fn get_mem(buf: &mut Bytes) -> Result<MemId, DecodeError> {
+    if buf.remaining() < 2 {
+        return Err(DecodeError::Truncated);
+    }
+    let tag = buf.get_u8();
+    let sub = buf.get_u8();
+    match tag {
+        0 => Ok(MemId::InitialVrf),
+        1 => Ok(MemId::AddSubVrf(sub)),
+        2 => Ok(MemId::MultiplyVrf(sub)),
+        3 => Ok(MemId::MatrixRf),
+        4 => Ok(MemId::NetQ),
+        5 => Ok(MemId::Dram),
+        t => Err(DecodeError::BadTag(t)),
+    }
+}
+
+fn put_instruction(buf: &mut BytesMut, instr: &Instruction) {
+    match *instr {
+        Instruction::VRd { mem, index } => {
+            buf.put_u8(0);
+            put_mem(buf, mem);
+            buf.put_u32(index);
+        }
+        Instruction::VWr { mem, index } => {
+            buf.put_u8(1);
+            put_mem(buf, mem);
+            buf.put_u32(index);
+        }
+        Instruction::MRd { mem, index } => {
+            buf.put_u8(2);
+            put_mem(buf, mem);
+            buf.put_u32(index);
+        }
+        Instruction::MWr { mem, index } => {
+            buf.put_u8(3);
+            put_mem(buf, mem);
+            buf.put_u32(index);
+        }
+        Instruction::MvMul { mrf_index } => {
+            buf.put_u8(4);
+            buf.put_u32(mrf_index);
+        }
+        Instruction::VvAdd { index } => {
+            buf.put_u8(5);
+            buf.put_u32(index);
+        }
+        Instruction::VvASubB { index } => {
+            buf.put_u8(6);
+            buf.put_u32(index);
+        }
+        Instruction::VvBSubA { index } => {
+            buf.put_u8(7);
+            buf.put_u32(index);
+        }
+        Instruction::VvMax { index } => {
+            buf.put_u8(8);
+            buf.put_u32(index);
+        }
+        Instruction::VvMul { index } => {
+            buf.put_u8(9);
+            buf.put_u32(index);
+        }
+        Instruction::VRelu => buf.put_u8(10),
+        Instruction::VSigm => buf.put_u8(11),
+        Instruction::VTanh => buf.put_u8(12),
+        Instruction::SWr { reg, value } => {
+            buf.put_u8(13);
+            buf.put_u8(match reg {
+                ScalarReg::Rows => 0,
+                ScalarReg::Cols => 1,
+            });
+            buf.put_u32(value);
+        }
+        Instruction::EndChain => buf.put_u8(14),
+    }
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_u32())
+}
+
+fn get_u8(buf: &mut Bytes) -> Result<u8, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_instruction(buf: &mut Bytes) -> Result<Instruction, DecodeError> {
+    let op = get_u8(buf)?;
+    Ok(match op {
+        0 => Instruction::VRd {
+            mem: get_mem(buf)?,
+            index: get_u32(buf)?,
+        },
+        1 => Instruction::VWr {
+            mem: get_mem(buf)?,
+            index: get_u32(buf)?,
+        },
+        2 => Instruction::MRd {
+            mem: get_mem(buf)?,
+            index: get_u32(buf)?,
+        },
+        3 => Instruction::MWr {
+            mem: get_mem(buf)?,
+            index: get_u32(buf)?,
+        },
+        4 => Instruction::MvMul {
+            mrf_index: get_u32(buf)?,
+        },
+        5 => Instruction::VvAdd {
+            index: get_u32(buf)?,
+        },
+        6 => Instruction::VvASubB {
+            index: get_u32(buf)?,
+        },
+        7 => Instruction::VvBSubA {
+            index: get_u32(buf)?,
+        },
+        8 => Instruction::VvMax {
+            index: get_u32(buf)?,
+        },
+        9 => Instruction::VvMul {
+            index: get_u32(buf)?,
+        },
+        10 => Instruction::VRelu,
+        11 => Instruction::VSigm,
+        12 => Instruction::VTanh,
+        13 => {
+            let reg = match get_u8(buf)? {
+                0 => ScalarReg::Rows,
+                1 => ScalarReg::Cols,
+                t => return Err(DecodeError::BadTag(t)),
+            };
+            Instruction::SWr {
+                reg,
+                value: get_u32(buf)?,
+            }
+        }
+        14 => Instruction::EndChain,
+        t => return Err(DecodeError::BadTag(t)),
+    })
+}
+
+impl Program {
+    /// Serializes the program to its executable binary format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u32(self.segments.len() as u32);
+        for seg in &self.segments {
+            buf.put_u32(seg.iterations);
+            buf.put_u32(seg.items.len() as u32);
+            for item in &seg.items {
+                match item {
+                    Item::SetReg { reg, value } => {
+                        buf.put_u8(TAG_SET_REG);
+                        buf.put_u8(match reg {
+                            ScalarReg::Rows => 0,
+                            ScalarReg::Cols => 1,
+                        });
+                        buf.put_u32(*value);
+                    }
+                    Item::Chain(chain) => {
+                        buf.put_u8(TAG_CHAIN);
+                        buf.put_u16(chain.len() as u16);
+                        for instr in chain.instructions() {
+                            put_instruction(&mut buf, instr);
+                        }
+                    }
+                }
+            }
+        }
+        buf.to_vec()
+    }
+
+    /// Deserializes a program binary, re-validating every chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the header is unrecognized, the buffer
+    /// is truncated, a tag byte is unknown, or a decoded chain violates the
+    /// ISA rules.
+    pub fn decode(data: &[u8]) -> Result<Program, DecodeError> {
+        let mut buf = Bytes::copy_from_slice(data);
+        if buf.remaining() < 5 || &buf.copy_to_bytes(4)[..] != MAGIC {
+            return Err(DecodeError::BadHeader);
+        }
+        if buf.get_u8() != VERSION {
+            return Err(DecodeError::BadHeader);
+        }
+        let n_segments = get_u32(&mut buf)?;
+        let mut segments = Vec::with_capacity(n_segments.min(4096) as usize);
+        for _ in 0..n_segments {
+            let iterations = get_u32(&mut buf)?;
+            let n_items = get_u32(&mut buf)?;
+            let mut items = Vec::with_capacity(n_items.min(65536) as usize);
+            for _ in 0..n_items {
+                match get_u8(&mut buf)? {
+                    TAG_SET_REG => {
+                        let reg = match get_u8(&mut buf)? {
+                            0 => ScalarReg::Rows,
+                            1 => ScalarReg::Cols,
+                            t => return Err(DecodeError::BadTag(t)),
+                        };
+                        items.push(Item::SetReg {
+                            reg,
+                            value: get_u32(&mut buf)?,
+                        });
+                    }
+                    TAG_CHAIN => {
+                        if buf.remaining() < 2 {
+                            return Err(DecodeError::Truncated);
+                        }
+                        let n = buf.get_u16();
+                        let mut instrs = Vec::with_capacity(usize::from(n));
+                        for _ in 0..n {
+                            instrs.push(get_instruction(&mut buf)?);
+                        }
+                        let chain = Chain::new(instrs)
+                            .map_err(|e| DecodeError::InvalidChain(e.to_string()))?;
+                        items.push(Item::Chain(chain));
+                    }
+                    t => return Err(DecodeError::BadTag(t)),
+                }
+            }
+            segments.push(Segment { items, iterations });
+        }
+        Ok(Program { segments })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::builder::ProgramBuilder;
+    use super::*;
+
+    fn sample_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.set_rows(4).set_cols(5);
+        b.m_rd(MemId::Dram, 7)
+            .m_wr(MemId::MatrixRf, 3)
+            .end_chain()
+            .unwrap();
+        b.begin_loop(25).unwrap();
+        b.v_rd(MemId::NetQ, 0)
+            .v_wr(MemId::InitialVrf, 0)
+            .end_chain()
+            .unwrap();
+        b.v_rd(MemId::InitialVrf, 0)
+            .mv_mul(3)
+            .vv_add(1)
+            .v_sigm()
+            .vv_mul(2)
+            .v_tanh()
+            .vv_max(9)
+            .vv_a_sub_b(11)
+            .vv_b_sub_a(12)
+            .v_relu()
+            .v_wr(MemId::AddSubVrf(1), 5)
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        b.end_loop().unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn round_trip_preserves_program() {
+        let p = sample_program();
+        let bytes = p.encode();
+        let q = Program::decode(&bytes).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn header_validation() {
+        assert_eq!(Program::decode(b""), Err(DecodeError::BadHeader));
+        assert_eq!(Program::decode(b"NOPE\x01"), Err(DecodeError::BadHeader));
+        assert_eq!(Program::decode(b"BWNP\x63"), Err(DecodeError::BadHeader));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = sample_program().encode();
+        for cut in [6, 10, 20, bytes.len() - 1] {
+            let result = Program::decode(&bytes[..cut]);
+            assert!(
+                matches!(
+                    result,
+                    Err(DecodeError::Truncated) | Err(DecodeError::BadTag(_))
+                ),
+                "cut at {cut}: {result:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_tag_detected() {
+        let mut bytes = sample_program().encode();
+        // Corrupt the first item tag (offset: 4 magic + 1 ver + 4 segs +
+        // 4 iters + 4 items = 17).
+        bytes[17] = 0xEE;
+        assert_eq!(Program::decode(&bytes), Err(DecodeError::BadTag(0xEE)));
+    }
+
+    #[test]
+    fn decoded_chains_are_revalidated() {
+        // Hand-craft a binary whose chain is structurally invalid
+        // (v_sigm with no read head).
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u32(1); // one segment
+        buf.put_u32(1); // one iteration
+        buf.put_u32(1); // one item
+        buf.put_u8(TAG_CHAIN);
+        buf.put_u16(1);
+        buf.put_u8(11); // v_sigm
+        let err = Program::decode(&buf).unwrap_err();
+        assert!(matches!(err, DecodeError::InvalidChain(_)));
+    }
+
+    #[test]
+    fn empty_program_round_trips() {
+        let p = Program::new();
+        assert_eq!(Program::decode(&p.encode()).unwrap(), p);
+    }
+}

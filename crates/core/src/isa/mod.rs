@@ -1,0 +1,36 @@
+//! The Brainwave NPU instruction set architecture (§IV).
+//!
+//! The ISA is single-threaded SIMD: every instruction operates on `N`-length
+//! native vectors or `N × N` native matrices, where `N` is fixed per NPU
+//! instance. Programs are sequences of *instruction chains* — dependent
+//! instructions that pass values directly from one operation to the next
+//! without named intermediate storage (§IV-C, "Instruction Chaining") — plus
+//! scalar control register writes that scale subsequent chains to tiled
+//! multiples of the native dimension ("Mega-SIMD execution").
+//!
+//! The module provides:
+//!
+//! * [`Opcode`] / [`Instruction`] — the operations of Table II;
+//! * [`Chain`] — a validated instruction chain;
+//! * [`Program`] / [`Segment`] — the unit of execution the control processor
+//!   streams to the top-level scheduler, with iteration counts modelling the
+//!   Nios streaming "T iterations of N static instructions" (§V-C);
+//! * [`ProgramBuilder`] — a firmware-authoring API mirroring the C macro
+//!   style of the paper's LSTM kernel listing;
+//! * binary encoding/decoding ([`Program::encode`], [`Program::decode`]),
+//!   a disassembler (`Display` impls), and an assembler
+//!   ([`Program::parse_asm`]) that round-trips the textual form.
+
+mod asm;
+mod builder;
+mod chain;
+mod encode;
+mod instruction;
+mod program;
+
+pub use asm::AsmError;
+pub use builder::{BuilderError, ProgramBuilder};
+pub use chain::{Chain, ChainError};
+pub use encode::DecodeError;
+pub use instruction::{Instruction, MemId, Opcode, ScalarReg};
+pub use program::{Item, Program, Segment};

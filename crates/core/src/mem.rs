@@ -1,0 +1,351 @@
+//! On-chip and off-chip storage components: vector register files, the
+//! matrix register file, DRAM, and the network I/O queues.
+//!
+//! Functional contents are stored at full `f32` precision; quantization
+//! happens at the datapath boundaries (BFP at the MVM input, float16 inside
+//! the MFUs), mirroring where precision is lost in the hardware.
+
+use std::collections::VecDeque;
+
+use bw_bfp::BfpMatrix;
+
+use crate::npu::SimError;
+
+/// A vector register file: fixed capacity, one native vector per entry.
+///
+/// Uninitialized entries read as zero vectors, matching SRAM power-on state
+/// and the firmware convention that initial RNN state is zero.
+#[derive(Clone, Debug)]
+pub(crate) struct VectorFile {
+    name: &'static str,
+    native_dim: usize,
+    entries: Vec<Option<Vec<f32>>>,
+}
+
+impl VectorFile {
+    pub(crate) fn new(name: &'static str, capacity: usize, native_dim: usize) -> Self {
+        VectorFile {
+            name,
+            native_dim,
+            entries: vec![None; capacity],
+        }
+    }
+
+    fn check(&self, index: u32, width: u32) -> Result<(), SimError> {
+        let end = index as u64 + u64::from(width);
+        if end > self.entries.len() as u64 {
+            return Err(SimError::VrfIndexOutOfRange {
+                file: self.name,
+                index,
+                width,
+                capacity: self.entries.len() as u32,
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads `width` consecutive native vectors starting at `index`.
+    pub(crate) fn read(&self, index: u32, width: u32) -> Result<Vec<Vec<f32>>, SimError> {
+        self.check(index, width)?;
+        Ok((0..width)
+            .map(|i| {
+                self.entries[(index + i) as usize]
+                    .clone()
+                    .unwrap_or_else(|| vec![0.0; self.native_dim])
+            })
+            .collect())
+    }
+
+    /// Writes consecutive native vectors starting at `index`.
+    pub(crate) fn write(&mut self, index: u32, vectors: &[Vec<f32>]) -> Result<(), SimError> {
+        self.check(index, vectors.len() as u32)?;
+        for (i, v) in vectors.iter().enumerate() {
+            debug_assert_eq!(v.len(), self.native_dim);
+            self.entries[index as usize + i] = Some(v.clone());
+        }
+        Ok(())
+    }
+}
+
+/// The matrix register file: banked across tile engines, one native
+/// `N × N` tile per entry, read one row per dot-product engine per cycle.
+#[derive(Clone, Debug)]
+pub(crate) struct MatrixFile {
+    entries: Vec<Option<BfpMatrix>>,
+}
+
+impl MatrixFile {
+    pub(crate) fn new(capacity: usize) -> Self {
+        MatrixFile {
+            entries: vec![None; capacity],
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> u32 {
+        self.entries.len() as u32
+    }
+
+    pub(crate) fn tile(&self, index: u32) -> Result<&BfpMatrix, SimError> {
+        self.entries
+            .get(index as usize)
+            .ok_or(SimError::MrfIndexOutOfRange {
+                index,
+                capacity: self.capacity(),
+            })?
+            .as_ref()
+            .ok_or(SimError::MrfEntryUninitialized { index })
+    }
+
+    pub(crate) fn store(&mut self, index: u32, tile: BfpMatrix) -> Result<(), SimError> {
+        let capacity = self.capacity();
+        let slot = self
+            .entries
+            .get_mut(index as usize)
+            .ok_or(SimError::MrfIndexOutOfRange { index, capacity })?;
+        *slot = Some(tile);
+        Ok(())
+    }
+}
+
+/// Off-chip DRAM with separate vector and matrix address spaces, growing on
+/// write. Used to stage CNN weights that do not fit the MRF (§V-A) and as a
+/// spill target.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Dram {
+    vectors: Vec<Option<Vec<f32>>>,
+    matrices: Vec<Option<BfpMatrix>>,
+}
+
+impl Dram {
+    pub(crate) fn read_vectors(
+        &self,
+        index: u32,
+        width: u32,
+        native_dim: usize,
+    ) -> Result<Vec<Vec<f32>>, SimError> {
+        Ok((0..width)
+            .map(|i| {
+                self.vectors
+                    .get((index + i) as usize)
+                    .and_then(|v| v.clone())
+                    .unwrap_or_else(|| vec![0.0; native_dim])
+            })
+            .collect())
+    }
+
+    pub(crate) fn write_vectors(&mut self, index: u32, vectors: &[Vec<f32>]) {
+        let end = index as usize + vectors.len();
+        if end > self.vectors.len() {
+            self.vectors.resize(end, None);
+        }
+        for (i, v) in vectors.iter().enumerate() {
+            self.vectors[index as usize + i] = Some(v.clone());
+        }
+    }
+
+    pub(crate) fn read_matrix(&self, index: u32) -> Result<BfpMatrix, SimError> {
+        self.matrices
+            .get(index as usize)
+            .and_then(|m| m.clone())
+            .ok_or(SimError::DramMatrixUninitialized { index })
+    }
+
+    pub(crate) fn write_matrix(&mut self, index: u32, tile: BfpMatrix) {
+        let end = index as usize + 1;
+        if end > self.matrices.len() {
+            self.matrices.resize(end, None);
+        }
+        self.matrices[index as usize] = Some(tile);
+    }
+}
+
+/// The network input/output queues connecting the NPU to the datacenter
+/// network (Figure 3). Vectors arrive with a timestamp so the cycle model
+/// can represent request arrival.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct NetQueues {
+    input: VecDeque<(Vec<f32>, u64)>,
+    output: VecDeque<Vec<f32>>,
+    input_matrices: VecDeque<BfpMatrix>,
+}
+
+impl NetQueues {
+    /// Enqueues one native input vector arriving at `at_cycle`.
+    pub(crate) fn push_input(&mut self, vector: Vec<f32>, at_cycle: u64) {
+        self.input.push_back((vector, at_cycle));
+    }
+
+    pub(crate) fn push_input_matrix(&mut self, tile: BfpMatrix) {
+        self.input_matrices.push_back(tile);
+    }
+
+    /// Pops `width` native vectors; returns them and the latest arrival
+    /// cycle among them (the time the read could begin).
+    pub(crate) fn pop_input(&mut self, width: u32) -> Result<(Vec<Vec<f32>>, u64), SimError> {
+        if (self.input.len() as u64) < u64::from(width) {
+            return Err(SimError::NetQueueEmpty {
+                requested: width,
+                available: self.input.len() as u32,
+            });
+        }
+        let mut vectors = Vec::with_capacity(width as usize);
+        let mut ready = 0;
+        for _ in 0..width {
+            let (v, t) = self.input.pop_front().expect("length checked");
+            ready = ready.max(t);
+            vectors.push(v);
+        }
+        Ok((vectors, ready))
+    }
+
+    pub(crate) fn pop_input_matrix(&mut self) -> Result<BfpMatrix, SimError> {
+        self.input_matrices
+            .pop_front()
+            .ok_or(SimError::NetQueueEmpty {
+                requested: 1,
+                available: 0,
+            })
+    }
+
+    pub(crate) fn push_output(&mut self, vectors: &[Vec<f32>]) {
+        for v in vectors {
+            self.output.push_back(v.clone());
+        }
+    }
+
+    pub(crate) fn pop_output(&mut self) -> Option<Vec<f32>> {
+        self.output.pop_front()
+    }
+
+    pub(crate) fn output_len(&self) -> usize {
+        self.output.len()
+    }
+
+    pub(crate) fn input_len(&self) -> usize {
+        self.input.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bw_bfp::BfpFormat;
+
+    fn tile(v: f32) -> BfpMatrix {
+        BfpMatrix::quantize(2, 2, &[v; 4], BfpFormat::BFP_1S_5E_5M).expect("shape")
+    }
+
+    #[test]
+    fn vector_file_reads_zeros_before_first_write() {
+        let f = VectorFile::new("test", 4, 3);
+        let v = f.read(0, 2).unwrap();
+        assert_eq!(v, vec![vec![0.0; 3], vec![0.0; 3]]);
+    }
+
+    #[test]
+    fn vector_file_round_trips_multi_entry_writes() {
+        let mut f = VectorFile::new("test", 8, 2);
+        f.write(3, &[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let v = f.read(3, 2).unwrap();
+        assert_eq!(v[0], vec![1.0, 2.0]);
+        assert_eq!(v[1], vec![3.0, 4.0]);
+        // Neighbours untouched.
+        assert_eq!(f.read(2, 1).unwrap()[0], vec![0.0, 0.0]);
+        assert_eq!(f.read(5, 1).unwrap()[0], vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn vector_file_bounds_include_width() {
+        let mut f = VectorFile::new("test", 4, 2);
+        assert!(f.read(3, 1).is_ok());
+        assert!(f.read(3, 2).is_err());
+        assert!(f.write(4, &[vec![0.0, 0.0]]).is_err());
+        // Error carries the file name and capacity.
+        let err = f.read(2, 3).unwrap_err();
+        match err {
+            SimError::VrfIndexOutOfRange { file, capacity, .. } => {
+                assert_eq!(file, "test");
+                assert_eq!(capacity, 4);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn matrix_file_distinguishes_oob_and_uninitialized() {
+        let mut m = MatrixFile::new(2);
+        assert!(matches!(
+            m.tile(5),
+            Err(SimError::MrfIndexOutOfRange {
+                index: 5,
+                capacity: 2
+            })
+        ));
+        assert!(matches!(
+            m.tile(1),
+            Err(SimError::MrfEntryUninitialized { index: 1 })
+        ));
+        m.store(1, tile(1.0)).unwrap();
+        assert!(m.tile(1).is_ok());
+        assert!(matches!(
+            m.store(2, tile(0.0)),
+            Err(SimError::MrfIndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn dram_grows_on_write_and_reads_zeros_for_vectors() {
+        let mut d = Dram::default();
+        // Unwritten vector entries read as zeros at the requested width.
+        assert_eq!(d.read_vectors(100, 1, 4).unwrap()[0], vec![0.0; 4]);
+        d.write_vectors(7, &[vec![1.0, 2.0]]);
+        assert_eq!(d.read_vectors(7, 1, 2).unwrap()[0], vec![1.0, 2.0]);
+        // Matrices are strict: uninitialized reads are errors.
+        assert!(matches!(
+            d.read_matrix(0),
+            Err(SimError::DramMatrixUninitialized { index: 0 })
+        ));
+        d.write_matrix(3, tile(2.0));
+        assert!(d.read_matrix(3).is_ok());
+    }
+
+    #[test]
+    fn net_queue_fifo_and_arrival_times() {
+        let mut q = NetQueues::default();
+        q.push_input(vec![1.0], 5);
+        q.push_input(vec![2.0], 9);
+        q.push_input(vec![3.0], 2);
+        assert_eq!(q.input_len(), 3);
+        // Popping two returns the later of their arrival times.
+        let (vs, ready) = q.pop_input(2).unwrap();
+        assert_eq!(vs, vec![vec![1.0], vec![2.0]]);
+        assert_eq!(ready, 9);
+        // Underflow reports counts.
+        assert!(matches!(
+            q.pop_input(2),
+            Err(SimError::NetQueueEmpty {
+                requested: 2,
+                available: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn net_queue_output_side() {
+        let mut q = NetQueues::default();
+        q.push_output(&[vec![1.0], vec![2.0]]);
+        assert_eq!(q.output_len(), 2);
+        assert_eq!(q.pop_output().unwrap(), vec![1.0]);
+        assert_eq!(q.pop_output().unwrap(), vec![2.0]);
+        assert!(q.pop_output().is_none());
+    }
+
+    #[test]
+    fn net_queue_matrices() {
+        let mut q = NetQueues::default();
+        assert!(q.pop_input_matrix().is_err());
+        q.push_input_matrix(tile(1.5));
+        assert!(q.pop_input_matrix().is_ok());
+        assert!(q.pop_input_matrix().is_err());
+    }
+}

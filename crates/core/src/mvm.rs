@@ -1,0 +1,274 @@
+//! The matrix-vector multiplier (§V-A): tile engines, dot-product engines,
+//! and lanes.
+//!
+//! The MVM is the workhorse of the NPU. Functionally it multiplies a tiled
+//! `rows·N × cols·N` matrix (a grid of native tiles resident in the MRF) by
+//! `cols` native input vectors, producing `rows` native output vectors; the
+//! arithmetic is shared-exponent block floating point with exact integer
+//! accumulation inside each exponent block (see [`bw_bfp`]).
+//!
+//! The timing model follows the physical organization: each tile engine
+//! computes one native `N × N` matrix-vector product every
+//! `N / lanes` cycles (each of its `N` dot-product engines streams `lanes`
+//! elements per cycle), so a `rows × cols` tile grid scheduled across `E`
+//! tile engines occupies the MVM for `ceil(rows·cols / E) · N / lanes`
+//! cycles.
+
+use bw_bfp::{BfpBlock, BfpMatrix};
+
+use crate::config::NpuConfig;
+use crate::mem::MatrixFile;
+use crate::npu::SimError;
+
+/// Cycles the MVM is occupied by one `mv_mul` of a `rows × cols` tile grid.
+///
+/// Each native tile costs `native_dim / lanes` engine-cycles; the grid's
+/// total engine-cycles spread across the tile engines. Charging
+/// `ceil(tiles · stream / engines)` (rather than whole waves) models the
+/// spatially distributed per-engine scheduling of §V-A: when a grid
+/// underfills the engine array, the idle engines start the next chain's
+/// tiles — essential for CNN lowerings whose per-position grids are small.
+pub(crate) fn occupancy(config: &NpuConfig, rows: u32, cols: u32) -> u64 {
+    let tiles = u64::from(rows) * u64::from(cols);
+    (tiles * u64::from(config.tile_stream_cycles())).div_ceil(u64::from(config.tile_engines()))
+}
+
+/// Multiply-accumulate operations dispatched by one `mv_mul` (counting
+/// padding): `rows · cols · N²`.
+pub(crate) fn macs(config: &NpuConfig, rows: u32, cols: u32) -> u64 {
+    u64::from(rows)
+        * u64::from(cols)
+        * u64::from(config.native_dim())
+        * u64::from(config.native_dim())
+}
+
+/// Functionally computes the tiled matrix-vector product.
+///
+/// `base` is the first MRF entry; tile `(r, c)` lives at `base + r·cols + c`
+/// (row-major grid order, matching the ISA's "20 consecutive MRF entries as
+/// a tiled 4N × 5N matrix" semantics). Accumulation across the `cols` tiles
+/// of a row happens in `f32`, modelling the wide add-reduction unit that
+/// follows the tile engines (Figure 6).
+pub(crate) fn compute(
+    config: &NpuConfig,
+    mrf: &MatrixFile,
+    base: u32,
+    rows: u32,
+    cols: u32,
+    inputs: &[Vec<f32>],
+) -> Result<Vec<Vec<f32>>, SimError> {
+    debug_assert_eq!(inputs.len(), cols as usize);
+    let nd = config.native_dim() as usize;
+    let fmt = config.matrix_format();
+
+    // Quantize each native input vector once; every tile in a column reuses
+    // the same quantized vector, as the hardware broadcasts it.
+    let qinputs: Vec<BfpBlock> = inputs
+        .iter()
+        .map(|v| {
+            if v.len() != nd {
+                return Err(SimError::VectorLengthMismatch {
+                    expected: nd,
+                    actual: v.len(),
+                });
+            }
+            Ok(BfpBlock::quantize(v, fmt))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut outputs = Vec::with_capacity(rows as usize);
+    for r in 0..rows {
+        let mut acc = vec![0.0f32; nd];
+        for c in 0..cols {
+            let tile = mrf.tile(base + r * cols + c)?;
+            let partial = tile
+                .mv_mul(&qinputs[c as usize])
+                .map_err(|e| SimError::Numeric(e.to_string()))?;
+            for (a, p) in acc.iter_mut().zip(partial) {
+                *a += p;
+            }
+        }
+        outputs.push(acc);
+    }
+    Ok(outputs)
+}
+
+/// Quantizes an `rows·N × cols·N` (or smaller, zero-padded) row-major `f32`
+/// matrix into the native tile grid layout and returns the tiles in
+/// `(r, c)` row-major order, ready to be stored at consecutive MRF indices.
+pub(crate) fn tile_matrix(
+    config: &NpuConfig,
+    mat_rows: usize,
+    mat_cols: usize,
+    data: &[f32],
+    grid_rows: u32,
+    grid_cols: u32,
+) -> Result<Vec<BfpMatrix>, SimError> {
+    if data.len() != mat_rows * mat_cols {
+        return Err(SimError::VectorLengthMismatch {
+            expected: mat_rows * mat_cols,
+            actual: data.len(),
+        });
+    }
+    let nd = config.native_dim() as usize;
+    if mat_rows > grid_rows as usize * nd || mat_cols > grid_cols as usize * nd {
+        return Err(SimError::MatrixDoesNotFitGrid {
+            mat_rows,
+            mat_cols,
+            grid_rows,
+            grid_cols,
+            native_dim: config.native_dim(),
+        });
+    }
+    let fmt = config.matrix_format();
+    let mut tiles = Vec::with_capacity((grid_rows * grid_cols) as usize);
+    let mut scratch = vec![0.0f32; nd * nd];
+    for tr in 0..grid_rows as usize {
+        for tc in 0..grid_cols as usize {
+            scratch.iter_mut().for_each(|v| *v = 0.0);
+            for local_r in 0..nd {
+                let src_r = tr * nd + local_r;
+                if src_r >= mat_rows {
+                    break;
+                }
+                let src_c0 = tc * nd;
+                if src_c0 >= mat_cols {
+                    continue;
+                }
+                let n = nd.min(mat_cols - src_c0);
+                let src = &data[src_r * mat_cols + src_c0..src_r * mat_cols + src_c0 + n];
+                scratch[local_r * nd..local_r * nd + n].copy_from_slice(src);
+            }
+            let tile = BfpMatrix::quantize(nd, nd, &scratch, fmt)
+                .map_err(|e| SimError::Numeric(e.to_string()))?;
+            tiles.push(tile);
+        }
+    }
+    Ok(tiles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> NpuConfig {
+        NpuConfig::builder()
+            .native_dim(4)
+            .lanes(2)
+            .tile_engines(2)
+            .mrf_entries(64)
+            // Functional tests use the 5-bit-mantissa format; the default
+            // 2-bit format is intentionally coarse (§VI).
+            .matrix_format(bw_bfp::BfpFormat::BFP_1S_5E_5M)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn occupancy_matches_formula() {
+        let cfg = tiny_config();
+        // 1 tile of 2 engine-cycles on 2 engines: 1 cycle.
+        assert_eq!(occupancy(&cfg, 1, 1), 1);
+        // 4 tiles x 2 cycles / 2 engines = 4 cycles.
+        assert_eq!(occupancy(&cfg, 2, 2), 4);
+        // 5 tiles x 2 / 2 = 5 cycles.
+        assert_eq!(occupancy(&cfg, 5, 1), 5);
+
+        let s10 = NpuConfig::bw_s10();
+        // GRU-2816: 8x8 tiles x 10 cycles on 6 engines = ceil(640/6).
+        assert_eq!(occupancy(&s10, 8, 8), 107);
+        // LSTM-2000: 5x5 tiles: ceil(250/6).
+        assert_eq!(occupancy(&s10, 5, 5), 42);
+    }
+
+    #[test]
+    fn macs_count_padding() {
+        let s10 = NpuConfig::bw_s10();
+        assert_eq!(macs(&s10, 5, 5), 25 * 400 * 400);
+    }
+
+    #[test]
+    fn tile_matrix_round_trips_identity() {
+        let cfg = tiny_config();
+        // An 8x8 identity becomes a 2x2 grid of 4x4 tiles.
+        let n = 8;
+        let mut data = vec![0.0f32; n * n];
+        for i in 0..n {
+            data[i * n + i] = 1.0;
+        }
+        let tiles = tile_matrix(&cfg, n, n, &data, 2, 2).unwrap();
+        assert_eq!(tiles.len(), 4);
+        // Diagonal tiles are identities; off-diagonal are zero.
+        let d0 = tiles[0].dequantize();
+        assert_eq!(d0[0], 1.0);
+        assert_eq!(d0[1], 0.0);
+        let off = tiles[1].dequantize();
+        assert!(off.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn tile_matrix_pads_partial_tiles_with_zeros() {
+        let cfg = tiny_config();
+        // A 3x5 matrix in a 1x2 grid of 4x4 tiles.
+        let data: Vec<f32> = (0..15).map(|i| i as f32).collect();
+        let tiles = tile_matrix(&cfg, 3, 5, &data, 1, 2).unwrap();
+        assert_eq!(tiles.len(), 2);
+        let t1 = tiles[1].dequantize();
+        // Second tile holds column 4 only; the rest is padding.
+        assert_eq!(t1[0], 4.0);
+        assert_eq!(t1[1], 0.0);
+        let t0 = tiles[0].dequantize();
+        // Row 3 of tile 0 is padding.
+        assert!(t0[12..16].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn tile_matrix_rejects_oversized_input() {
+        let cfg = tiny_config();
+        let err = tile_matrix(&cfg, 9, 4, &[0.0; 36], 2, 1).unwrap_err();
+        assert!(matches!(err, SimError::MatrixDoesNotFitGrid { .. }));
+    }
+
+    #[test]
+    fn compute_tiled_product_matches_reference() {
+        let cfg = tiny_config();
+        let mut mrf = MatrixFile::new(64);
+        // 8x8 matrix = 2x2 grid; input 8 = 2 native vectors.
+        let n = 8;
+        let data: Vec<f32> = (0..n * n).map(|i| ((i % 5) as f32 - 2.0) / 4.0).collect();
+        let tiles = tile_matrix(&cfg, n, n, &data, 2, 2).unwrap();
+        for (i, t) in tiles.into_iter().enumerate() {
+            mrf.store(i as u32, t).unwrap();
+        }
+        let x: Vec<f32> = (0..n).map(|i| (i as f32 - 3.0) / 3.0).collect();
+        let inputs = vec![x[0..4].to_vec(), x[4..8].to_vec()];
+        let out = compute(&cfg, &mrf, 0, 2, 2, &inputs).unwrap();
+        for r in 0..n {
+            let reference: f32 = (0..n).map(|c| data[r * n + c] * x[c]).sum();
+            let got = out[r / 4][r % 4];
+            assert!(
+                (got - reference).abs() < 0.1,
+                "row {r}: {got} vs {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn compute_errors_on_missing_tile() {
+        let cfg = tiny_config();
+        let mrf = MatrixFile::new(4);
+        let inputs = vec![vec![0.0; 4]];
+        let err = compute(&cfg, &mrf, 0, 1, 1, &inputs).unwrap_err();
+        assert!(matches!(err, SimError::MrfEntryUninitialized { index: 0 }));
+    }
+
+    #[test]
+    fn compute_errors_on_bad_vector_length() {
+        let cfg = tiny_config();
+        let mut mrf = MatrixFile::new(4);
+        let tiles = tile_matrix(&cfg, 4, 4, &[1.0; 16], 1, 1).unwrap();
+        mrf.store(0, tiles.into_iter().next().unwrap()).unwrap();
+        let err = compute(&cfg, &mrf, 0, 1, 1, &[vec![0.0; 3]]).unwrap_err();
+        assert!(matches!(err, SimError::VectorLengthMismatch { .. }));
+    }
+}

@@ -1,0 +1,1515 @@
+//! The assembled NPU: functional execution plus the calibrated cycle model.
+//!
+//! # Timing model
+//!
+//! The microarchitecture (Figure 3) is a single linear vector pipeline —
+//! matrix-vector multiplier at the head, multifunction units in series —
+//! fed by the vector arbitration network. The cycle model follows that
+//! structure:
+//!
+//! * The control processor streams compound instructions at a fixed
+//!   dispatch interval (§V-C: one per four cycles); a chain cannot begin
+//!   before its instructions have been streamed.
+//! * A chain containing an `mv_mul` occupies the matrix-vector multiplier
+//!   for its streaming time (`ceil(rows·cols / engines) · N / lanes`
+//!   cycles); its MFU tail drains in later pipeline stages and overlaps the
+//!   next chain's MVM work. Chains without an `mv_mul` bypass the MVM and
+//!   occupy the MFU stream for their vector streaming time. This keeps the
+//!   pipeline a "continuous, uninterrupted stream of vector elements" (§V).
+//! * A chain's results appear after its occupancy plus the pipeline *depth*
+//!   it traverses (register file access, MVM accumulation tree, one depth
+//!   per MFU operation, network queues). Dependent chains wait for the
+//!   producer's completion — the exposed latency that limits small models
+//!   (§VII-B1: "the deep pipelines ... delay dependent data from being
+//!   written back quickly"). An operand consumed *mid-chain* (e.g. the
+//!   `vv_mul` operand after an `mv_mul`) need only be ready when the stream
+//!   reaches that stage, so its readiness requirement is credited by the
+//!   pipeline depth already traversed — the dataflow forwarding that lets
+//!   an RNN's recurrent chains overlap.
+//! * Matrix moves (`m_rd`→`m_wr`) ride the memory path concurrently with
+//!   the vector pipeline.
+//!
+//! Chains with an `mv_mul` read `cols` native vectors and emit `rows`;
+//! chains without one operate at `rows` width throughout. Binary MFU
+//! operations read their operand from the register file of the MFU they
+//! execute on: the k-th add/sub operation of a chain reads `AddSubVrf(k)`,
+//! the k-th multiply reads `MultiplyVrf(k)`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use bw_bfp::BfpMatrix;
+
+use crate::config::NpuConfig;
+use crate::isa::{Chain, Instruction, Item, MemId, Program, ScalarReg};
+use crate::mem::{Dram, MatrixFile, NetQueues, VectorFile};
+use crate::mfu;
+use crate::mvm;
+use crate::stats::RunStats;
+
+/// Whether a run computes real values or only models time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// Execute arithmetic functionally (BFP matrix math, float16 MFU ops)
+    /// and model cycles. The default.
+    #[default]
+    Full,
+    /// Model cycles only; data paths move placeholder zeros. Used for large
+    /// performance sweeps where computing tens of gigaMACs in software
+    /// would dominate run time without changing any timing result.
+    TimingOnly,
+}
+
+/// The resource class a traced chain executed on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ChainKind {
+    /// A chain containing an `mv_mul` (occupies the MVM).
+    Mvm,
+    /// A compute chain without an `mv_mul` (occupies the MFU stream).
+    Mfu,
+    /// A pure data move (rides the vector arbitration network).
+    Move,
+    /// A matrix move (`m_rd` → `m_wr`, on the memory path).
+    MatrixMove,
+}
+
+/// One chain's timing record, collected when tracing is enabled with
+/// [`Npu::set_trace`]. All times are cycles.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChainTrace {
+    /// Which resource the chain used.
+    pub kind: ChainKind,
+    /// When the control processor finished streaming the chain.
+    pub dispatched_at: u64,
+    /// The earliest start its data dependencies allowed.
+    pub dep_ready_at: u64,
+    /// When it actually started (max of dispatch, dependencies, resource).
+    pub start: u64,
+    /// Cycles it occupied its resource.
+    pub occupancy: u64,
+    /// When its results became architecturally visible.
+    pub completion: u64,
+}
+
+/// Error produced while loading state or executing a program.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// A VRF access fell outside the file's capacity.
+    VrfIndexOutOfRange {
+        /// Name of the register file.
+        file: &'static str,
+        /// First entry accessed.
+        index: u32,
+        /// Number of entries accessed.
+        width: u32,
+        /// File capacity in entries.
+        capacity: u32,
+    },
+    /// An MRF access fell outside its capacity.
+    MrfIndexOutOfRange {
+        /// Entry accessed.
+        index: u32,
+        /// MRF capacity in entries.
+        capacity: u32,
+    },
+    /// An `mv_mul` referenced an MRF entry never written.
+    MrfEntryUninitialized {
+        /// The uninitialized entry.
+        index: u32,
+    },
+    /// An `m_rd` referenced a DRAM matrix never written.
+    DramMatrixUninitialized {
+        /// The uninitialized entry.
+        index: u32,
+    },
+    /// The network input queue had fewer vectors than a read required.
+    NetQueueEmpty {
+        /// Vectors requested.
+        requested: u32,
+        /// Vectors available.
+        available: u32,
+    },
+    /// A vector or buffer had the wrong length.
+    VectorLengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A matrix exceeds the `rows × cols` native tile grid it was loaded
+    /// into.
+    MatrixDoesNotFitGrid {
+        /// Source matrix rows.
+        mat_rows: usize,
+        /// Source matrix columns.
+        mat_cols: usize,
+        /// Grid rows (native tiles).
+        grid_rows: u32,
+        /// Grid columns (native tiles).
+        grid_cols: u32,
+        /// The configuration's native dimension.
+        native_dim: u32,
+    },
+    /// A chain required more function units of one kind than the
+    /// configuration provides.
+    MfuCapacityExceeded {
+        /// Unit kind (`"add/sub"`, `"multiply"`, `"activation"`).
+        kind: &'static str,
+        /// Units the chain requires.
+        used: usize,
+        /// Units available (one per MFU).
+        available: u32,
+    },
+    /// An `AddSubVrf(i)`/`MultiplyVrf(i)` index exceeded the MFU count.
+    BadVrfFileIndex {
+        /// The offending memory identifier.
+        mem: MemId,
+        /// Number of MFUs in the configuration.
+        mfus: u32,
+    },
+    /// A tiling register was set to zero.
+    BadRegValue {
+        /// The register written.
+        reg: ScalarReg,
+    },
+    /// A numeric-layer failure (shape mismatch inside the BFP kernels).
+    Numeric(
+        /// Description of the underlying numeric error.
+        String,
+    ),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::VrfIndexOutOfRange {
+                file,
+                index,
+                width,
+                capacity,
+            } => write!(
+                f,
+                "{file} access [{index}, {index}+{width}) exceeds capacity {capacity}"
+            ),
+            SimError::MrfIndexOutOfRange { index, capacity } => {
+                write!(f, "MRF entry {index} exceeds capacity {capacity}")
+            }
+            SimError::MrfEntryUninitialized { index } => {
+                write!(f, "MRF entry {index} read before initialization")
+            }
+            SimError::DramMatrixUninitialized { index } => {
+                write!(f, "DRAM matrix {index} read before initialization")
+            }
+            SimError::NetQueueEmpty {
+                requested,
+                available,
+            } => write!(
+                f,
+                "network input queue has {available} vectors, read needs {requested}"
+            ),
+            SimError::VectorLengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "vector length {actual} does not match expected {expected}"
+                )
+            }
+            SimError::MatrixDoesNotFitGrid {
+                mat_rows,
+                mat_cols,
+                grid_rows,
+                grid_cols,
+                native_dim,
+            } => write!(
+                f,
+                "matrix {mat_rows}x{mat_cols} exceeds {grid_rows}x{grid_cols} grid of \
+                 {native_dim}x{native_dim} native tiles"
+            ),
+            SimError::MfuCapacityExceeded {
+                kind,
+                used,
+                available,
+            } => write!(
+                f,
+                "chain uses {used} {kind} operations but only {available} MFUs exist"
+            ),
+            SimError::BadVrfFileIndex { mem, mfus } => {
+                write!(f, "{mem} does not exist in a {mfus}-MFU configuration")
+            }
+            SimError::BadRegValue { reg } => {
+                write!(f, "control register {reg} must be non-zero")
+            }
+            SimError::Numeric(e) => write!(f, "numeric error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// One addressable native-vector or native-tile slot, for dependency
+/// tracking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Slot {
+    Vrf(MemId, u32),
+    Mrf(u32),
+    DramVector(u32),
+    DramMatrix(u32),
+}
+
+/// The Brainwave NPU simulator. See the [crate-level docs](crate) for an
+/// end-to-end example.
+#[derive(Clone, Debug)]
+pub struct Npu {
+    config: NpuConfig,
+    mode: ExecMode,
+    mrf: MatrixFile,
+    initial_vrf: VectorFile,
+    addsub_vrfs: Vec<VectorFile>,
+    multiply_vrfs: Vec<VectorFile>,
+    dram: Dram,
+    net: NetQueues,
+    rows: u32,
+    cols: u32,
+    // --- timing state ---
+    nios_cursor: u64,
+    /// Per-instruction dispatch cost for the current segment iteration:
+    /// the full Nios dispatch interval on an iteration's first pass, one
+    /// cycle of scheduler replay afterwards (§V-C: the Nios streams "T
+    /// iterations of N static instructions" into the buffered top-level
+    /// scheduler, which sustains the pipeline beyond the Nios's own rate).
+    dispatch_cost: u64,
+    mvm_free_at: u64,
+    mfu_free_at: u64,
+    mem_free_at: u64,
+    ready: HashMap<Slot, u64>,
+    /// Write-after-read tracking for MRF tiles: the last cycle at which an
+    /// in-flight `mv_mul` is still streaming a tile. A matrix write into a
+    /// tile must wait for this (double-buffering's correctness condition).
+    mrf_read_until: HashMap<u32, u64>,
+    stats: RunStats,
+    trace: Option<Vec<ChainTrace>>,
+}
+
+impl Npu {
+    /// Creates an NPU in [`ExecMode::Full`].
+    pub fn new(config: NpuConfig) -> Self {
+        Npu::with_mode(config, ExecMode::Full)
+    }
+
+    /// Creates an NPU with an explicit execution mode.
+    pub fn with_mode(config: NpuConfig, mode: ExecMode) -> Self {
+        let nd = config.native_dim() as usize;
+        let vrf_cap = config.vrf_entries() as usize;
+        let mfus = config.mfus() as usize;
+        Npu {
+            mrf: MatrixFile::new(config.mrf_entries() as usize),
+            initial_vrf: VectorFile::new("InitialVrf", vrf_cap, nd),
+            addsub_vrfs: (0..mfus)
+                .map(|_| VectorFile::new("AddSubVrf", vrf_cap, nd))
+                .collect(),
+            multiply_vrfs: (0..mfus)
+                .map(|_| VectorFile::new("MultiplyVrf", vrf_cap, nd))
+                .collect(),
+            dram: Dram::default(),
+            net: NetQueues::default(),
+            rows: 1,
+            cols: 1,
+            nios_cursor: 0,
+            dispatch_cost: 0,
+            mvm_free_at: 0,
+            mfu_free_at: 0,
+            mem_free_at: 0,
+            ready: HashMap::new(),
+            mrf_read_until: HashMap::new(),
+            stats: RunStats::default(),
+            trace: None,
+            config,
+            mode,
+        }
+    }
+
+    /// The configuration this NPU was instantiated with.
+    pub fn config(&self) -> &NpuConfig {
+        &self.config
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Enables or disables per-chain trace collection. Enabling clears any
+    /// previously collected trace.
+    pub fn set_trace(&mut self, enabled: bool) {
+        self.trace = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    /// Takes the collected trace (empty if tracing was never enabled).
+    /// Tracing stays enabled.
+    pub fn take_trace(&mut self) -> Vec<ChainTrace> {
+        match &mut self.trace {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Host-side loading (the role of the toolflow / runtime, §II-B)
+    // ------------------------------------------------------------------
+
+    /// Enqueues one native input vector on the network queue, arriving at
+    /// cycle 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::VectorLengthMismatch`] unless the vector is
+    /// exactly `native_dim` long.
+    pub fn push_input(&mut self, vector: Vec<f32>) -> Result<(), SimError> {
+        self.push_input_at(vector, 0)
+    }
+
+    /// Enqueues one native input vector arriving at the given cycle — used
+    /// by the serving simulator to model request arrival.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::VectorLengthMismatch`] unless the vector is
+    /// exactly `native_dim` long.
+    pub fn push_input_at(&mut self, vector: Vec<f32>, at_cycle: u64) -> Result<(), SimError> {
+        let nd = self.config.native_dim() as usize;
+        if vector.len() != nd {
+            return Err(SimError::VectorLengthMismatch {
+                expected: nd,
+                actual: vector.len(),
+            });
+        }
+        self.net.push_input(vector, at_cycle);
+        Ok(())
+    }
+
+    /// Splits an arbitrary-length vector into zero-padded native vectors and
+    /// enqueues them all; returns how many native vectors were pushed.
+    pub fn push_input_padded(&mut self, data: &[f32]) -> usize {
+        let nd = self.config.native_dim() as usize;
+        let count = data.len().div_ceil(nd).max(1);
+        for i in 0..count {
+            let mut v = vec![0.0f32; nd];
+            let start = i * nd;
+            if start < data.len() {
+                let n = nd.min(data.len() - start);
+                v[..n].copy_from_slice(&data[start..start + n]);
+            }
+            self.net.push_input(v, 0);
+        }
+        count
+    }
+
+    /// Enqueues `count` zero native vectors (cheap placeholder inputs for
+    /// [`ExecMode::TimingOnly`] sweeps).
+    pub fn push_input_zeros(&mut self, count: usize) {
+        let nd = self.config.native_dim() as usize;
+        for _ in 0..count {
+            self.net.push_input(vec![0.0; nd], 0);
+        }
+    }
+
+    /// Enqueues a native matrix tile on the network queue for a program to
+    /// move into the MRF with `m_rd(NetQ)` → `m_wr(MatrixRf)`.
+    pub fn push_input_matrix(&mut self, tile: BfpMatrix) {
+        self.net.push_input_matrix(tile);
+    }
+
+    /// Quantizes and pins an `mat_rows × mat_cols` row-major `f32` matrix
+    /// into the MRF as a `grid_rows × grid_cols` native tile grid starting
+    /// at `base` — the host runtime's model-pinning step. Returns the number
+    /// of MRF entries consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the matrix exceeds the grid, the grid
+    /// exceeds MRF capacity, or the data length mismatches the shape.
+    pub fn load_tiled_matrix(
+        &mut self,
+        base: u32,
+        grid_rows: u32,
+        grid_cols: u32,
+        mat_rows: usize,
+        mat_cols: usize,
+        data: &[f32],
+    ) -> Result<u32, SimError> {
+        let tiles = mvm::tile_matrix(&self.config, mat_rows, mat_cols, data, grid_rows, grid_cols)?;
+        for (i, tile) in tiles.into_iter().enumerate() {
+            self.mrf.store(base + i as u32, tile)?;
+        }
+        Ok(grid_rows * grid_cols)
+    }
+
+    /// Reserves the MRF entries of a `grid_rows × grid_cols` grid with
+    /// zero-valued tiles without computing a quantization — the
+    /// [`ExecMode::TimingOnly`] counterpart of [`Npu::load_tiled_matrix`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MrfIndexOutOfRange`] if the grid exceeds MRF
+    /// capacity.
+    pub fn reserve_matrix_grid(
+        &mut self,
+        base: u32,
+        grid_rows: u32,
+        grid_cols: u32,
+    ) -> Result<u32, SimError> {
+        let nd = self.config.native_dim() as usize;
+        let zero = BfpMatrix::quantize(nd, nd, &vec![0.0; nd * nd], self.config.matrix_format())
+            .map_err(|e| SimError::Numeric(e.to_string()))?;
+        for i in 0..grid_rows * grid_cols {
+            self.mrf.store(base + i, zero.clone())?;
+        }
+        Ok(grid_rows * grid_cols)
+    }
+
+    /// Writes an arbitrary-length vector into consecutive entries of a
+    /// vector register file, zero-padded to native vectors (used to stage
+    /// biases and initial state). Returns the number of entries written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on capacity overflow or a non-VRF target.
+    pub fn load_vector(&mut self, mem: MemId, index: u32, data: &[f32]) -> Result<u32, SimError> {
+        let nd = self.config.native_dim() as usize;
+        let count = data.len().div_ceil(nd).max(1);
+        let mut vectors = Vec::with_capacity(count);
+        for i in 0..count {
+            let mut v = vec![0.0f32; nd];
+            let start = i * nd;
+            if start < data.len() {
+                let n = nd.min(data.len() - start);
+                v[..n].copy_from_slice(&data[start..start + n]);
+            }
+            vectors.push(v);
+        }
+        self.vrf_mut(mem)?.write(index, &vectors)?;
+        Ok(count as u32)
+    }
+
+    /// Stages a DRAM matrix tile (for `m_rd(DRAM)` initialization paths).
+    pub fn load_dram_matrix(&mut self, index: u32, tile: BfpMatrix) {
+        self.dram.write_matrix(index, tile);
+    }
+
+    /// Pops one native vector from the network output queue.
+    pub fn pop_output(&mut self) -> Option<Vec<f32>> {
+        self.net.pop_output()
+    }
+
+    /// Pops and concatenates `count` native output vectors, truncated to
+    /// `len` elements. Returns `None` if fewer than `count` are available.
+    pub fn pop_output_concat(&mut self, count: usize, len: usize) -> Option<Vec<f32>> {
+        if self.net.output_len() < count {
+            return None;
+        }
+        let mut out = Vec::with_capacity(count * self.config.native_dim() as usize);
+        for _ in 0..count {
+            out.extend(self.net.pop_output().expect("length checked"));
+        }
+        out.truncate(len);
+        Some(out)
+    }
+
+    /// Native vectors currently waiting in the output queue.
+    pub fn output_len(&self) -> usize {
+        self.net.output_len()
+    }
+
+    /// Native vectors currently waiting in the input queue.
+    pub fn input_len(&self) -> usize {
+        self.net.input_len()
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /// Runs a program to completion and returns its cycle statistics.
+    ///
+    /// Register file and queue contents persist across runs (models stay
+    /// pinned); the cycle clock restarts at zero for each run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] raised by validation or execution.
+    pub fn run(&mut self, program: &Program) -> Result<RunStats, SimError> {
+        self.nios_cursor = 0;
+        self.mvm_free_at = 0;
+        self.mfu_free_at = 0;
+        self.mem_free_at = 0;
+        self.ready.clear();
+        self.mrf_read_until.clear();
+        self.stats = RunStats {
+            peak_flops_per_cycle: self.config.peak_flops_per_cycle(),
+            clock_hz: self.config.clock_hz(),
+            ..RunStats::default()
+        };
+
+        let interval = u64::from(self.config.timing().dispatch_interval);
+        for segment in &program.segments {
+            for iteration in 0..segment.iterations {
+                // First pass streams from the Nios at the dispatch
+                // interval; replays come from the scheduler's instruction
+                // buffer at one cycle per instruction.
+                self.dispatch_cost = if iteration == 0 { interval } else { 1 };
+                for item in &segment.items {
+                    match item {
+                        Item::SetReg { reg, value } => self.exec_set_reg(*reg, *value)?,
+                        Item::Chain(chain) => self.exec_chain(chain)?,
+                    }
+                }
+            }
+        }
+        // The run ends when the last effect lands.
+        let end = self.ready.values().copied().fold(
+            self.mvm_free_at.max(self.mfu_free_at).max(self.mem_free_at),
+            u64::max,
+        );
+        self.stats.cycles = self.stats.cycles.max(end);
+        Ok(self.stats.clone())
+    }
+
+    fn exec_set_reg(&mut self, reg: ScalarReg, value: u32) -> Result<(), SimError> {
+        if value == 0 {
+            return Err(SimError::BadRegValue { reg });
+        }
+        self.nios_cursor += self.dispatch_cost;
+        self.stats.instructions += 1;
+        match reg {
+            ScalarReg::Rows => self.rows = value,
+            ScalarReg::Cols => self.cols = value,
+        }
+        Ok(())
+    }
+
+    fn vrf(&self, mem: MemId) -> Result<&VectorFile, SimError> {
+        let mfus = self.config.mfus();
+        match mem {
+            MemId::InitialVrf => Ok(&self.initial_vrf),
+            MemId::AddSubVrf(i) => self
+                .addsub_vrfs
+                .get(i as usize)
+                .ok_or(SimError::BadVrfFileIndex { mem, mfus }),
+            MemId::MultiplyVrf(i) => self
+                .multiply_vrfs
+                .get(i as usize)
+                .ok_or(SimError::BadVrfFileIndex { mem, mfus }),
+            _ => unreachable!("vrf() called on non-VRF target"),
+        }
+    }
+
+    fn vrf_mut(&mut self, mem: MemId) -> Result<&mut VectorFile, SimError> {
+        let mfus = self.config.mfus();
+        match mem {
+            MemId::InitialVrf => Ok(&mut self.initial_vrf),
+            MemId::AddSubVrf(i) => self
+                .addsub_vrfs
+                .get_mut(i as usize)
+                .ok_or(SimError::BadVrfFileIndex { mem, mfus }),
+            MemId::MultiplyVrf(i) => self
+                .multiply_vrfs
+                .get_mut(i as usize)
+                .ok_or(SimError::BadVrfFileIndex { mem, mfus }),
+            _ => unreachable!("vrf_mut() called on non-VRF target"),
+        }
+    }
+
+    fn slot_ready(&self, slot: Slot) -> u64 {
+        self.ready.get(&slot).copied().unwrap_or(0)
+    }
+
+    fn mark_ready(&mut self, slot: Slot, at: u64) {
+        self.ready.insert(slot, at);
+    }
+
+    fn validate_chain(&self, chain: &Chain) -> Result<(), SimError> {
+        let mfus = self.config.mfus();
+        let checks = [
+            ("add/sub", chain.addsub_ops()),
+            ("multiply", chain.multiply_ops()),
+            ("activation", chain.activation_ops()),
+        ];
+        for (kind, used) in checks {
+            if used > mfus as usize {
+                return Err(SimError::MfuCapacityExceeded {
+                    kind,
+                    used,
+                    available: mfus,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_chain(&mut self, chain: &Chain) -> Result<(), SimError> {
+        // Dispatch cost: every chain instruction plus its end_chain on the
+        // first streaming of a segment; a single replay cycle afterwards
+        // (the scheduler re-issues the already-buffered chain as a unit).
+        let n_instr = chain.len() as u64 + 1;
+        let interval = u64::from(self.config.timing().dispatch_interval);
+        self.nios_cursor += if self.dispatch_cost == interval {
+            n_instr * interval
+        } else {
+            self.dispatch_cost
+        };
+        self.stats.instructions += n_instr;
+        self.stats.chains += 1;
+
+        if chain.is_matrix_chain() {
+            return self.exec_matrix_chain(chain);
+        }
+        self.validate_chain(chain)?;
+        self.exec_vector_chain(chain)
+    }
+
+    fn exec_matrix_chain(&mut self, chain: &Chain) -> Result<(), SimError> {
+        let count = self.rows * self.cols;
+        let (src_mem, src_index) = match chain.instructions()[0] {
+            Instruction::MRd { mem, index } => (mem, index),
+            _ => unreachable!("matrix chain head validated"),
+        };
+        let (dst_mem, dst_index) = match chain.instructions()[1] {
+            Instruction::MWr { mem, index } => (mem, index),
+            _ => unreachable!("matrix chain tail validated"),
+        };
+
+        let mut dep_ready = 0u64;
+        if dst_mem == MemId::MatrixRf {
+            // Write-after-read: do not overwrite tiles an earlier mv_mul is
+            // still streaming.
+            for i in 0..count {
+                if let Some(&t) = self.mrf_read_until.get(&(dst_index + i)) {
+                    dep_ready = dep_ready.max(t);
+                }
+            }
+        }
+        let mut tiles = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            let tile = match src_mem {
+                MemId::NetQ => self.net.pop_input_matrix()?,
+                MemId::Dram => {
+                    dep_ready = dep_ready.max(self.slot_ready(Slot::DramMatrix(src_index + i)));
+                    self.dram.read_matrix(src_index + i)?
+                }
+                _ => unreachable!("matrix source validated"),
+            };
+            tiles.push(tile);
+        }
+
+        let occupancy = u64::from(count) * u64::from(self.config.timing().dram_tile_cycles);
+        let start = self.nios_cursor.max(dep_ready).max(self.mem_free_at);
+        self.mem_free_at = start + occupancy;
+        let completion = start + occupancy;
+        self.stats.cycles = self.stats.cycles.max(completion);
+        if let Some(trace) = &mut self.trace {
+            trace.push(ChainTrace {
+                kind: ChainKind::MatrixMove,
+                dispatched_at: self.nios_cursor,
+                dep_ready_at: dep_ready,
+                start,
+                occupancy,
+                completion,
+            });
+        }
+
+        for (i, tile) in tiles.into_iter().enumerate() {
+            let i = i as u32;
+            match dst_mem {
+                MemId::MatrixRf => {
+                    self.mrf.store(dst_index + i, tile)?;
+                    self.mark_ready(Slot::Mrf(dst_index + i), completion);
+                }
+                MemId::Dram => {
+                    self.dram.write_matrix(dst_index + i, tile);
+                    self.mark_ready(Slot::DramMatrix(dst_index + i), completion);
+                }
+                _ => unreachable!("matrix destination validated"),
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_vector_chain(&mut self, chain: &Chain) -> Result<(), SimError> {
+        let timing = *self.config.timing();
+        let has_mvm = chain.has_mv_mul();
+        let rows = self.rows;
+        let cols = self.cols;
+        let w_in = if has_mvm { cols } else { rows };
+        let w_out = rows;
+        let nd = self.config.native_dim() as usize;
+        let stream = u64::from(self.config.tile_stream_cycles());
+        let functional = self.mode == ExecMode::Full;
+
+        // `dep_ready` accumulates the earliest legal chain start implied by
+        // each operand: an operand consumed at pipeline offset `depth` may
+        // arrive `depth` cycles after the chain starts streaming.
+        let mut dep_ready = 0u64;
+        let mut depth = 0u64;
+        let mut mvm_occ = 0u64;
+        let mut cur: Vec<Vec<f32>> = Vec::new();
+        let mut addsub_seen = 0u8;
+        let mut multiply_seen = 0u8;
+        let mut writes: Vec<(MemId, u32, u32)> = Vec::new();
+        let mut mvm_tiles: Option<(u32, u32)> = None; // (base, count)
+
+        for instr in chain.instructions() {
+            match *instr {
+                Instruction::VRd { mem, index } => {
+                    match mem {
+                        MemId::NetQ => {
+                            let (vectors, arrival) = self.net.pop_input(w_in)?;
+                            dep_ready = dep_ready.max(arrival.saturating_sub(depth));
+                            self.stats.net_vectors_in += u64::from(w_in);
+                            if functional {
+                                cur = vectors;
+                            }
+                            depth += u64::from(timing.net_depth);
+                        }
+                        MemId::Dram => {
+                            for i in 0..w_in {
+                                let t = self.slot_ready(Slot::DramVector(index + i));
+                                dep_ready = dep_ready.max(t.saturating_sub(depth));
+                            }
+                            if functional {
+                                cur = self.dram.read_vectors(index, w_in, nd)?;
+                            }
+                        }
+                        vrf => {
+                            // Bounds are validated even in timing-only mode.
+                            let file = self.vrf(vrf)?;
+                            let vectors = file.read(index, w_in)?;
+                            for i in 0..w_in {
+                                let t = self.slot_ready(Slot::Vrf(vrf, index + i));
+                                dep_ready = dep_ready.max(t.saturating_sub(depth));
+                            }
+                            if functional {
+                                cur = vectors;
+                            }
+                        }
+                    }
+                    depth += u64::from(timing.vrf_access_depth);
+                }
+                Instruction::MvMul { mrf_index } => {
+                    mvm_occ = mvm::occupancy(&self.config, rows, cols);
+                    mvm_tiles = Some((mrf_index, rows * cols));
+                    for i in 0..rows * cols {
+                        let t = self.slot_ready(Slot::Mrf(mrf_index + i));
+                        dep_ready = dep_ready.max(t.saturating_sub(depth));
+                    }
+                    self.stats.mvm_macs += mvm::macs(&self.config, rows, cols);
+                    if functional {
+                        cur = mvm::compute(&self.config, &self.mrf, mrf_index, rows, cols, &cur)?;
+                    }
+                    depth += u64::from(timing.mvm_depth);
+                }
+                Instruction::VWr { mem, index } => {
+                    depth += u64::from(timing.vrf_access_depth);
+                    if mem == MemId::NetQ {
+                        depth += u64::from(timing.net_depth);
+                    }
+                    writes.push((mem, index, w_out));
+                }
+                ref op if op.opcode().is_mfu_op() => {
+                    self.stats.mfu_element_ops += u64::from(w_out) * nd as u64;
+                    let opcode = op.opcode();
+                    match *instr {
+                        Instruction::VvAdd { index }
+                        | Instruction::VvASubB { index }
+                        | Instruction::VvBSubA { index }
+                        | Instruction::VvMax { index } => {
+                            let mem = MemId::AddSubVrf(addsub_seen);
+                            addsub_seen += 1;
+                            let operand = self.vrf(mem)?.read(index, w_out)?;
+                            for i in 0..w_out {
+                                let t = self.slot_ready(Slot::Vrf(mem, index + i));
+                                dep_ready = dep_ready.max(t.saturating_sub(depth));
+                            }
+                            if functional {
+                                mfu::apply_binary(opcode, &mut cur, &operand)?;
+                            }
+                        }
+                        Instruction::VvMul { index } => {
+                            let mem = MemId::MultiplyVrf(multiply_seen);
+                            multiply_seen += 1;
+                            let operand = self.vrf(mem)?.read(index, w_out)?;
+                            for i in 0..w_out {
+                                let t = self.slot_ready(Slot::Vrf(mem, index + i));
+                                dep_ready = dep_ready.max(t.saturating_sub(depth));
+                            }
+                            if functional {
+                                mfu::apply_binary(opcode, &mut cur, &operand)?;
+                            }
+                        }
+                        _ => {
+                            if functional {
+                                mfu::apply_activation(opcode, &mut cur);
+                            }
+                        }
+                    }
+                    depth += u64::from(timing.mfu_op_depth);
+                }
+                _ => unreachable!("chain contents validated at construction"),
+            }
+        }
+
+        // Chains with an mv_mul are throughput-bound by the MVM (input
+        // vectors stream into the tile engines as part of the tile
+        // occupancy) unless their output side outruns the MFU stream;
+        // compute chains without one stream through the MFU pipeline; pure
+        // data moves (v_rd → v_wr with no arithmetic) ride the vector
+        // arbitration network and leave both compute resources free.
+        let _ = stream;
+        let mfu_stream = u64::from(self.config.mfu_stream_cycles());
+        enum Res {
+            Mvm,
+            Mfu,
+            Move,
+        }
+        let (res, resource_free, occupancy) = if mvm_occ > 0 {
+            let out_occ = u64::from(w_out) * mfu_stream;
+            (Res::Mvm, self.mvm_free_at, mvm_occ.max(out_occ))
+        } else {
+            let stream_occ = u64::from(w_in.max(w_out)) * mfu_stream;
+            if chain.mfu_ops() > 0 {
+                (Res::Mfu, self.mfu_free_at, stream_occ)
+            } else {
+                (Res::Move, self.mem_free_at, stream_occ)
+            }
+        };
+
+        let start = self.nios_cursor.max(dep_ready).max(resource_free);
+        let other = self.nios_cursor.max(resource_free);
+        if dep_ready > other {
+            self.stats.dep_stall_cycles += dep_ready - other;
+        } else if resource_free > self.nios_cursor.max(dep_ready) {
+            self.stats.resource_stall_cycles += resource_free - self.nios_cursor.max(dep_ready);
+        }
+
+        match res {
+            Res::Mvm => {
+                self.mvm_free_at = start + occupancy;
+                self.stats.mvm_busy_cycles += mvm_occ;
+            }
+            Res::Mfu => self.mfu_free_at = start + occupancy,
+            Res::Move => self.mem_free_at = start + occupancy,
+        }
+        self.stats.pipeline_busy_cycles += occupancy;
+        let completion = start + occupancy + depth;
+        self.stats.cycles = self.stats.cycles.max(completion);
+        if let Some((base, count)) = mvm_tiles {
+            for i in 0..count {
+                let until = self.mrf_read_until.entry(base + i).or_insert(0);
+                *until = (*until).max(start + occupancy);
+            }
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.push(ChainTrace {
+                kind: match res {
+                    Res::Mvm => ChainKind::Mvm,
+                    Res::Mfu => ChainKind::Mfu,
+                    Res::Move => ChainKind::Move,
+                },
+                dispatched_at: self.nios_cursor,
+                dep_ready_at: dep_ready,
+                start,
+                occupancy,
+                completion,
+            });
+        }
+
+        // Apply writes and publish ready times.
+        if functional && cur.len() != w_out as usize {
+            return Err(SimError::VectorLengthMismatch {
+                expected: w_out as usize,
+                actual: cur.len(),
+            });
+        }
+        let placeholder: Vec<Vec<f32>>;
+        let values: &[Vec<f32>] = if functional {
+            &cur
+        } else {
+            placeholder = vec![vec![0.0; nd]; w_out as usize];
+            &placeholder
+        };
+        for (mem, index, width) in writes {
+            match mem {
+                MemId::NetQ => {
+                    self.net.push_output(values);
+                    self.stats.net_vectors_out += u64::from(width);
+                }
+                MemId::Dram => {
+                    self.dram.write_vectors(index, values);
+                    for i in 0..width {
+                        self.mark_ready(Slot::DramVector(index + i), completion);
+                    }
+                }
+                vrf => {
+                    self.vrf_mut(vrf)?.write(index, values)?;
+                    for i in 0..width {
+                        self.mark_ready(Slot::Vrf(vrf, index + i), completion);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::ProgramBuilder;
+
+    fn tiny_config() -> NpuConfig {
+        NpuConfig::builder()
+            .native_dim(4)
+            .lanes(2)
+            .tile_engines(2)
+            .mfus(2)
+            .mrf_entries(64)
+            .vrf_entries(64)
+            // Functional tests use the 5-bit-mantissa format; the default
+            // 2-bit format is intentionally coarse (§VI).
+            .matrix_format(bw_bfp::BfpFormat::BFP_1S_5E_5M)
+            .build()
+            .unwrap()
+    }
+
+    fn identity_grid(npu: &mut Npu, base: u32, grid: u32) {
+        let nd = npu.config().native_dim() as usize;
+        let n = grid as usize * nd;
+        let mut data = vec![0.0f32; n * n];
+        for i in 0..n {
+            data[i * n + i] = 1.0;
+        }
+        npu.load_tiled_matrix(base, grid, grid, n, n, &data)
+            .unwrap();
+    }
+
+    #[test]
+    fn relu_pass_through_netq() {
+        let mut npu = Npu::new(tiny_config());
+        npu.push_input(vec![1.0, -2.0, 3.0, -4.0]).unwrap();
+        let mut b = ProgramBuilder::new();
+        b.set_rows(1).set_cols(1);
+        b.v_rd(MemId::NetQ, 0)
+            .v_relu()
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        let stats = npu.run(&b.build()).unwrap();
+        assert_eq!(npu.pop_output().unwrap(), vec![1.0, 0.0, 3.0, 0.0]);
+        assert!(stats.cycles > 0);
+        assert_eq!(stats.chains, 1);
+        assert_eq!(stats.net_vectors_in, 1);
+        assert_eq!(stats.net_vectors_out, 1);
+    }
+
+    #[test]
+    fn identity_mv_mul_through_vrfs() {
+        let mut npu = Npu::new(tiny_config());
+        identity_grid(&mut npu, 0, 1);
+        npu.push_input(vec![0.5, 1.5, -2.0, 3.0]).unwrap();
+        let mut b = ProgramBuilder::new();
+        b.set_rows(1).set_cols(1);
+        b.v_rd(MemId::NetQ, 0)
+            .v_wr(MemId::InitialVrf, 0)
+            .end_chain()
+            .unwrap();
+        b.v_rd(MemId::InitialVrf, 0)
+            .mv_mul(0)
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        npu.run(&b.build()).unwrap();
+        let out = npu.pop_output().unwrap();
+        for (got, want) in out.iter().zip([0.5, 1.5, -2.0, 3.0]) {
+            assert!((got - want).abs() < 0.2, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn tiled_mv_mul_widths() {
+        // rows=2, cols=2 with an identity over an 8-dim space.
+        let mut npu = Npu::new(tiny_config());
+        identity_grid(&mut npu, 0, 2);
+        let x: Vec<f32> = (0..8).map(|i| i as f32 / 2.0).collect();
+        npu.push_input_padded(&x);
+        let mut b = ProgramBuilder::new();
+        b.set_rows(2).set_cols(2);
+        b.v_rd(MemId::NetQ, 0)
+            .mv_mul(0)
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        let stats = npu.run(&b.build()).unwrap();
+        let out = npu.pop_output_concat(2, 8).unwrap();
+        for (got, want) in out.iter().zip(&x) {
+            assert!((got - want).abs() < 0.3, "{got} vs {want}");
+        }
+        // 2x2 grid of 4x4 tiles = 64 MACs.
+        assert_eq!(stats.mvm_macs, 64);
+    }
+
+    #[test]
+    fn bias_add_uses_addsub_vrf() {
+        let mut npu = Npu::new(tiny_config());
+        identity_grid(&mut npu, 0, 1);
+        npu.load_vector(MemId::AddSubVrf(0), 3, &[10.0, 20.0, 30.0, 40.0])
+            .unwrap();
+        npu.push_input(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut b = ProgramBuilder::new();
+        b.set_rows(1).set_cols(1);
+        b.v_rd(MemId::NetQ, 0)
+            .mv_mul(0)
+            .vv_add(3)
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        npu.run(&b.build()).unwrap();
+        let out = npu.pop_output().unwrap();
+        for (got, want) in out.iter().zip([11.0, 22.0, 33.0, 44.0]) {
+            assert!((got - want).abs() < 0.5, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn second_addsub_op_reads_mfu1_file() {
+        let mut npu = Npu::new(tiny_config());
+        identity_grid(&mut npu, 0, 1);
+        npu.load_vector(MemId::AddSubVrf(0), 0, &[1.0; 4]).unwrap();
+        npu.load_vector(MemId::AddSubVrf(1), 0, &[100.0; 4])
+            .unwrap();
+        npu.push_input(vec![0.0; 4]).unwrap();
+        let mut b = ProgramBuilder::new();
+        b.set_rows(1).set_cols(1);
+        b.v_rd(MemId::NetQ, 0)
+            .vv_add(0) // reads AddSubVrf(0)
+            .vv_add(0) // reads AddSubVrf(1)
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        npu.run(&b.build()).unwrap();
+        assert_eq!(npu.pop_output().unwrap(), vec![101.0; 4]);
+    }
+
+    #[test]
+    fn mfu_capacity_enforced() {
+        let mut npu = Npu::new(tiny_config()); // 2 MFUs
+        npu.push_input(vec![0.0; 4]).unwrap();
+        let mut b = ProgramBuilder::new();
+        b.set_rows(1).set_cols(1);
+        b.v_rd(MemId::NetQ, 0)
+            .vv_add(0)
+            .vv_add(1)
+            .vv_add(2)
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        let err = npu.run(&b.build()).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::MfuCapacityExceeded {
+                kind: "add/sub",
+                used: 3,
+                available: 2
+            }
+        );
+    }
+
+    #[test]
+    fn net_queue_underflow_detected() {
+        let mut npu = Npu::new(tiny_config());
+        let mut b = ProgramBuilder::new();
+        b.set_rows(1).set_cols(1);
+        b.v_rd(MemId::NetQ, 0)
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        assert_eq!(
+            npu.run(&b.build()).unwrap_err(),
+            SimError::NetQueueEmpty {
+                requested: 1,
+                available: 0
+            }
+        );
+    }
+
+    #[test]
+    fn zero_reg_rejected() {
+        let mut npu = Npu::new(tiny_config());
+        let mut b = ProgramBuilder::new();
+        b.set_rows(0);
+        assert_eq!(
+            npu.run(&b.build()).unwrap_err(),
+            SimError::BadRegValue {
+                reg: ScalarReg::Rows
+            }
+        );
+    }
+
+    #[test]
+    fn dependent_chains_serialize_independent_chains_overlap() {
+        let cfg = tiny_config();
+        // Dependent: chain 2 reads what chain 1 writes.
+        let mut npu = Npu::new(cfg.clone());
+        npu.push_input(vec![1.0; 4]).unwrap();
+        let mut b = ProgramBuilder::new();
+        b.set_rows(1).set_cols(1);
+        b.v_rd(MemId::NetQ, 0)
+            .v_wr(MemId::InitialVrf, 0)
+            .end_chain()
+            .unwrap();
+        b.v_rd(MemId::InitialVrf, 0)
+            .v_relu()
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        let dependent = npu.run(&b.build()).unwrap();
+
+        // Independent: chain 2 reads a different, preloaded slot.
+        let mut npu2 = Npu::new(cfg);
+        npu2.push_input(vec![1.0; 4]).unwrap();
+        npu2.load_vector(MemId::InitialVrf, 8, &[1.0; 4]).unwrap();
+        let mut b2 = ProgramBuilder::new();
+        b2.set_rows(1).set_cols(1);
+        b2.v_rd(MemId::NetQ, 0)
+            .v_wr(MemId::InitialVrf, 0)
+            .end_chain()
+            .unwrap();
+        b2.v_rd(MemId::InitialVrf, 8)
+            .v_relu()
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        let independent = npu2.run(&b2.build()).unwrap();
+
+        assert!(
+            dependent.cycles > independent.cycles,
+            "dependent {} vs independent {}",
+            dependent.cycles,
+            independent.cycles
+        );
+        assert!(dependent.dep_stall_cycles > 0);
+        assert_eq!(independent.dep_stall_cycles, 0);
+    }
+
+    #[test]
+    fn input_arrival_time_delays_start() {
+        let cfg = tiny_config();
+        let mut npu = Npu::new(cfg);
+        npu.push_input_at(vec![1.0; 4], 10_000).unwrap();
+        let mut b = ProgramBuilder::new();
+        b.set_rows(1).set_cols(1);
+        b.v_rd(MemId::NetQ, 0)
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        let stats = npu.run(&b.build()).unwrap();
+        assert!(stats.cycles > 10_000);
+    }
+
+    #[test]
+    fn timing_only_matches_full_cycle_count() {
+        let build = || {
+            let mut b = ProgramBuilder::new();
+            b.set_rows(2).set_cols(2);
+            b.v_rd(MemId::NetQ, 0)
+                .mv_mul(0)
+                .vv_add(0)
+                .v_tanh()
+                .v_wr(MemId::InitialVrf, 0)
+                .v_wr(MemId::NetQ, 0)
+                .end_chain()
+                .unwrap();
+            b.build()
+        };
+        let mut full = Npu::new(tiny_config());
+        identity_grid(&mut full, 0, 2);
+        full.push_input_padded(&[1.0; 8]);
+        let fs = full.run(&build()).unwrap();
+
+        let mut timing = Npu::with_mode(tiny_config(), ExecMode::TimingOnly);
+        timing.reserve_matrix_grid(0, 2, 2).unwrap();
+        timing.push_input_zeros(2);
+        let ts = timing.run(&build()).unwrap();
+
+        assert_eq!(fs.cycles, ts.cycles);
+        assert_eq!(fs.mvm_macs, ts.mvm_macs);
+    }
+
+    #[test]
+    fn matrix_chain_moves_tile_from_dram() {
+        let mut npu = Npu::new(tiny_config());
+        let nd = 4;
+        let data: Vec<f32> = (0..16).map(|i| i as f32 / 8.0).collect();
+        let tile = BfpMatrix::quantize(nd, nd, &data, npu.config().matrix_format()).unwrap();
+        npu.load_dram_matrix(5, tile);
+        npu.push_input(vec![1.0, 0.0, 0.0, 0.0]).unwrap();
+        let mut b = ProgramBuilder::new();
+        b.set_rows(1).set_cols(1);
+        b.m_rd(MemId::Dram, 5)
+            .m_wr(MemId::MatrixRf, 2)
+            .end_chain()
+            .unwrap();
+        b.v_rd(MemId::NetQ, 0)
+            .mv_mul(2)
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        let stats = npu.run(&b.build()).unwrap();
+        let out = npu.pop_output().unwrap();
+        // First column of the tile.
+        for (r, got) in out.iter().enumerate() {
+            let want = data[r * nd];
+            assert!((got - want).abs() < 0.1, "{got} vs {want}");
+        }
+        // The mv_mul waited on the DRAM move.
+        assert!(stats.dep_stall_cycles > 0 || stats.cycles >= 400);
+    }
+
+    #[test]
+    fn matrix_chain_initializes_weights_from_the_network() {
+        // §IV-C: "Matrices can be read only from the network (for
+        // initialization) or from DRAM" — the program-driven model
+        // deployment path.
+        let mut npu = Npu::new(tiny_config());
+        let nd = 4;
+        let data: Vec<f32> = (0..16).map(|i| ((i % 5) as f32 - 2.0) / 4.0).collect();
+        let tile = BfpMatrix::quantize(nd, nd, &data, npu.config().matrix_format()).unwrap();
+        npu.push_input_matrix(tile);
+        npu.push_input(vec![0.0, 1.0, 0.0, 0.0]).unwrap();
+        let mut b = ProgramBuilder::new();
+        b.set_rows(1).set_cols(1);
+        b.m_rd(MemId::NetQ, 0)
+            .m_wr(MemId::MatrixRf, 5)
+            .end_chain()
+            .unwrap();
+        b.v_rd(MemId::NetQ, 0)
+            .mv_mul(5)
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        npu.run(&b.build()).unwrap();
+        let out = npu.pop_output().unwrap();
+        // Second column of the tile.
+        for (r, got) in out.iter().enumerate() {
+            let want = data[r * nd + 1];
+            assert!((got - want).abs() < 0.1, "{got} vs {want}");
+        }
+        // Underflow of the matrix queue is detected.
+        let mut b = ProgramBuilder::new();
+        b.set_rows(1).set_cols(1);
+        b.m_rd(MemId::NetQ, 0)
+            .m_wr(MemId::MatrixRf, 6)
+            .end_chain()
+            .unwrap();
+        assert!(matches!(
+            npu.run(&b.build()).unwrap_err(),
+            SimError::NetQueueEmpty { .. }
+        ));
+    }
+
+    #[test]
+    fn matrix_chain_spills_mrf_to_dram_and_back() {
+        // m_wr(DRAM) is the spill direction of Table II's matrix moves.
+        let mut npu = Npu::new(tiny_config());
+        let nd = 4;
+        let data: Vec<f32> = (0..16).map(|i| i as f32 / 8.0).collect();
+        let tile = BfpMatrix::quantize(nd, nd, &data, npu.config().matrix_format()).unwrap();
+        npu.load_dram_matrix(0, tile);
+        let mut b = ProgramBuilder::new();
+        b.set_rows(1).set_cols(1);
+        // DRAM -> DRAM round trip through the matrix path.
+        b.m_rd(MemId::Dram, 0)
+            .m_wr(MemId::Dram, 9)
+            .end_chain()
+            .unwrap();
+        b.m_rd(MemId::Dram, 9)
+            .m_wr(MemId::MatrixRf, 0)
+            .end_chain()
+            .unwrap();
+        npu.push_input(vec![1.0, 0.0, 0.0, 0.0]).unwrap();
+        b.v_rd(MemId::NetQ, 0)
+            .mv_mul(0)
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        npu.run(&b.build()).unwrap();
+        let out = npu.pop_output().unwrap();
+        for (r, got) in out.iter().enumerate() {
+            let want = data[r * nd];
+            assert!((got - want).abs() < 0.1, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn uninitialized_mrf_entry_errors() {
+        let mut npu = Npu::new(tiny_config());
+        npu.push_input(vec![0.0; 4]).unwrap();
+        let mut b = ProgramBuilder::new();
+        b.set_rows(1).set_cols(1);
+        b.v_rd(MemId::NetQ, 0)
+            .mv_mul(7)
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        assert_eq!(
+            npu.run(&b.build()).unwrap_err(),
+            SimError::MrfEntryUninitialized { index: 7 }
+        );
+    }
+
+    #[test]
+    fn vrf_bounds_checked() {
+        let mut npu = Npu::new(tiny_config()); // 64 vrf entries
+        npu.push_input(vec![0.0; 4]).unwrap();
+        let mut b = ProgramBuilder::new();
+        b.set_rows(1).set_cols(1);
+        b.v_rd(MemId::NetQ, 0)
+            .v_wr(MemId::InitialVrf, 63)
+            .end_chain()
+            .unwrap();
+        npu.run(&b.build()).unwrap(); // index 63 is the last valid entry
+
+        let mut npu = Npu::new(tiny_config());
+        npu.push_input(vec![0.0; 4]).unwrap();
+        let mut b = ProgramBuilder::new();
+        b.set_rows(1).set_cols(1);
+        b.v_rd(MemId::NetQ, 0)
+            .v_wr(MemId::InitialVrf, 64)
+            .end_chain()
+            .unwrap();
+        assert!(matches!(
+            npu.run(&b.build()).unwrap_err(),
+            SimError::VrfIndexOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn multicast_write_lands_everywhere() {
+        let mut npu = Npu::new(tiny_config());
+        npu.push_input(vec![2.0; 4]).unwrap();
+        let mut b = ProgramBuilder::new();
+        b.set_rows(1).set_cols(1);
+        b.v_rd(MemId::NetQ, 0)
+            .v_wr(MemId::InitialVrf, 1)
+            .v_wr(MemId::MultiplyVrf(0), 2)
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        b.v_rd(MemId::InitialVrf, 1)
+            .vv_mul(2)
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        npu.run(&b.build()).unwrap();
+        assert_eq!(npu.pop_output().unwrap(), vec![2.0; 4]);
+        assert_eq!(npu.pop_output().unwrap(), vec![4.0; 4]);
+    }
+
+    #[test]
+    fn stats_expose_busy_and_peak() {
+        let mut npu = Npu::new(tiny_config());
+        identity_grid(&mut npu, 0, 1);
+        npu.push_input(vec![1.0; 4]).unwrap();
+        let mut b = ProgramBuilder::new();
+        b.set_rows(1).set_cols(1);
+        b.v_rd(MemId::NetQ, 0)
+            .mv_mul(0)
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        let stats = npu.run(&b.build()).unwrap();
+        assert!(stats.mvm_busy_cycles > 0);
+        assert!(stats.pipeline_busy_cycles >= stats.mvm_busy_cycles);
+        assert_eq!(
+            stats.peak_flops_per_cycle,
+            npu.config().peak_flops_per_cycle()
+        );
+        assert!(stats.latency_seconds() > 0.0);
+    }
+
+    #[test]
+    fn trace_records_every_chain_with_consistent_times() {
+        let mut npu = Npu::new(tiny_config());
+        identity_grid(&mut npu, 0, 1);
+        npu.set_trace(true);
+        npu.push_input(vec![1.0; 4]).unwrap();
+        let mut b = ProgramBuilder::new();
+        b.set_rows(1).set_cols(1);
+        b.v_rd(MemId::NetQ, 0)
+            .v_wr(MemId::InitialVrf, 0)
+            .end_chain()
+            .unwrap();
+        b.v_rd(MemId::InitialVrf, 0)
+            .mv_mul(0)
+            .v_wr(MemId::InitialVrf, 1)
+            .end_chain()
+            .unwrap();
+        b.v_rd(MemId::InitialVrf, 1)
+            .v_relu()
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        npu.run(&b.build()).unwrap();
+        let trace = npu.take_trace();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0].kind, ChainKind::Move);
+        assert_eq!(trace[1].kind, ChainKind::Mvm);
+        assert_eq!(trace[2].kind, ChainKind::Mfu);
+        for t in &trace {
+            assert!(t.start >= t.dep_ready_at.min(t.dispatched_at));
+            assert!(t.completion >= t.start + t.occupancy);
+        }
+        // The dependent chains start only after their producers complete.
+        assert!(trace[1].start >= trace[0].completion);
+        assert!(trace[2].start >= trace[1].completion);
+        // take_trace drains but keeps tracing enabled.
+        assert!(npu.take_trace().is_empty());
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let mut npu = Npu::new(tiny_config());
+        npu.push_input(vec![0.0; 4]).unwrap();
+        let mut b = ProgramBuilder::new();
+        b.set_rows(1).set_cols(1);
+        b.v_rd(MemId::NetQ, 0)
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        npu.run(&b.build()).unwrap();
+        assert!(npu.take_trace().is_empty());
+    }
+
+    #[test]
+    fn run_resets_clock_but_keeps_state() {
+        let mut npu = Npu::new(tiny_config());
+        npu.push_input(vec![5.0; 4]).unwrap();
+        let mut b = ProgramBuilder::new();
+        b.set_rows(1).set_cols(1);
+        b.v_rd(MemId::NetQ, 0)
+            .v_wr(MemId::InitialVrf, 9)
+            .end_chain()
+            .unwrap();
+        let s1 = npu.run(&b.build()).unwrap();
+
+        // Second run reads the value the first run pinned.
+        let mut b2 = ProgramBuilder::new();
+        b2.set_rows(1).set_cols(1);
+        b2.v_rd(MemId::InitialVrf, 9)
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        let s2 = npu.run(&b2.build()).unwrap();
+        assert_eq!(npu.pop_output().unwrap(), vec![5.0; 4]);
+        // Clock restarted: second run is not longer than first plus slack.
+        assert!(s2.cycles <= s1.cycles + 100);
+    }
+}

@@ -1,0 +1,432 @@
+//! Static program validation: the toolflow's pre-deployment check.
+//!
+//! A program that passes [`Program::validate`] against a configuration
+//! will not hit capacity or structural faults at run time (network queue
+//! underflow is inherently dynamic and is checked during execution). This
+//! is the §II-B toolflow's final gate before an executable is "packaged
+//! and deployed".
+
+use crate::config::NpuConfig;
+use crate::isa::{Chain, Instruction, Item, MemId, Program, ScalarReg};
+
+/// A static validation failure, with the segment and item it occurred at.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ValidateError {
+    /// Segment index within the program.
+    pub segment: usize,
+    /// Item index within the segment.
+    pub item: usize,
+    /// What is wrong.
+    pub kind: ValidateErrorKind,
+}
+
+/// The kinds of static validation failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ValidateErrorKind {
+    /// A tiling register write of zero.
+    ZeroRegister(
+        /// The register.
+        ScalarReg,
+    ),
+    /// A VRF access `[index, index+width)` exceeds the file's capacity.
+    VrfOverflow {
+        /// The accessed memory.
+        mem: MemId,
+        /// First entry.
+        index: u32,
+        /// Entries accessed.
+        width: u32,
+        /// Capacity in entries.
+        capacity: u32,
+    },
+    /// An MRF access exceeds capacity.
+    MrfOverflow {
+        /// First entry.
+        index: u32,
+        /// Entries accessed (`rows × cols`).
+        tiles: u32,
+        /// Capacity in entries.
+        capacity: u32,
+    },
+    /// An `AddSubVrf(i)`/`MultiplyVrf(i)` references a missing MFU.
+    MissingMfu {
+        /// The referenced memory.
+        mem: MemId,
+        /// MFUs available.
+        mfus: u32,
+    },
+    /// A chain needs more function units of one kind than exist.
+    MfuCapacity {
+        /// `"add/sub"`, `"multiply"`, or `"activation"`.
+        kind: &'static str,
+        /// Units used by the chain.
+        used: usize,
+        /// Units available.
+        available: u32,
+    },
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "segment {} item {}: ", self.segment, self.item)?;
+        match &self.kind {
+            ValidateErrorKind::ZeroRegister(reg) => write!(f, "register {reg} set to zero"),
+            ValidateErrorKind::VrfOverflow {
+                mem,
+                index,
+                width,
+                capacity,
+            } => write!(
+                f,
+                "{mem} access [{index}, {index}+{width}) exceeds capacity {capacity}"
+            ),
+            ValidateErrorKind::MrfOverflow {
+                index,
+                tiles,
+                capacity,
+            } => write!(
+                f,
+                "MRF access [{index}, {index}+{tiles}) exceeds capacity {capacity}"
+            ),
+            ValidateErrorKind::MissingMfu { mem, mfus } => {
+                write!(f, "{mem} does not exist with {mfus} MFUs")
+            }
+            ValidateErrorKind::MfuCapacity {
+                kind,
+                used,
+                available,
+            } => write!(f, "chain uses {used} {kind} units, only {available} exist"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Tracks `rows`/`cols` through the instruction stream and checks every
+/// static access.
+struct Validator<'a> {
+    config: &'a NpuConfig,
+    rows: u32,
+    cols: u32,
+    errors: Vec<ValidateError>,
+}
+
+impl Validator<'_> {
+    fn vrf_capacity(&self, mem: MemId) -> Option<u32> {
+        match mem {
+            MemId::InitialVrf => Some(self.config.vrf_entries()),
+            MemId::AddSubVrf(i) | MemId::MultiplyVrf(i) => {
+                if u32::from(i) < self.config.mfus() {
+                    Some(self.config.vrf_entries())
+                } else {
+                    None
+                }
+            }
+            _ => Some(u32::MAX),
+        }
+    }
+
+    fn check_vrf(&mut self, at: (usize, usize), mem: MemId, index: u32, width: u32) {
+        if !mem.is_vrf() {
+            return;
+        }
+        let Some(capacity) = self.vrf_capacity(mem) else {
+            self.errors.push(ValidateError {
+                segment: at.0,
+                item: at.1,
+                kind: ValidateErrorKind::MissingMfu {
+                    mem,
+                    mfus: self.config.mfus(),
+                },
+            });
+            return;
+        };
+        if u64::from(index) + u64::from(width) > u64::from(capacity) {
+            self.errors.push(ValidateError {
+                segment: at.0,
+                item: at.1,
+                kind: ValidateErrorKind::VrfOverflow {
+                    mem,
+                    index,
+                    width,
+                    capacity,
+                },
+            });
+        }
+    }
+
+    fn check_chain(&mut self, at: (usize, usize), chain: &Chain) {
+        // MFU unit capacity.
+        let mfus = self.config.mfus();
+        for (kind, used) in [
+            ("add/sub", chain.addsub_ops()),
+            ("multiply", chain.multiply_ops()),
+            ("activation", chain.activation_ops()),
+        ] {
+            if used > mfus as usize {
+                self.errors.push(ValidateError {
+                    segment: at.0,
+                    item: at.1,
+                    kind: ValidateErrorKind::MfuCapacity {
+                        kind,
+                        used,
+                        available: mfus,
+                    },
+                });
+            }
+        }
+
+        let has_mvm = chain.has_mv_mul();
+        let w_in = if has_mvm { self.cols } else { self.rows };
+        let w_out = self.rows;
+        let mut addsub_seen = 0u8;
+        let mut multiply_seen = 0u8;
+        for instr in chain.instructions() {
+            match *instr {
+                Instruction::VRd { mem, index } => self.check_vrf(at, mem, index, w_in),
+                Instruction::VWr { mem, index } => self.check_vrf(at, mem, index, w_out),
+                Instruction::MvMul { mrf_index } => {
+                    let tiles = self.rows * self.cols;
+                    let capacity = self.config.mrf_entries();
+                    if u64::from(mrf_index) + u64::from(tiles) > u64::from(capacity) {
+                        self.errors.push(ValidateError {
+                            segment: at.0,
+                            item: at.1,
+                            kind: ValidateErrorKind::MrfOverflow {
+                                index: mrf_index,
+                                tiles,
+                                capacity,
+                            },
+                        });
+                    }
+                }
+                Instruction::MWr {
+                    mem: MemId::MatrixRf,
+                    index,
+                } => {
+                    let tiles = self.rows * self.cols;
+                    let capacity = self.config.mrf_entries();
+                    if u64::from(index) + u64::from(tiles) > u64::from(capacity) {
+                        self.errors.push(ValidateError {
+                            segment: at.0,
+                            item: at.1,
+                            kind: ValidateErrorKind::MrfOverflow {
+                                index,
+                                tiles,
+                                capacity,
+                            },
+                        });
+                    }
+                }
+                Instruction::VvAdd { index }
+                | Instruction::VvASubB { index }
+                | Instruction::VvBSubA { index }
+                | Instruction::VvMax { index } => {
+                    self.check_vrf(at, MemId::AddSubVrf(addsub_seen), index, w_out);
+                    addsub_seen += 1;
+                }
+                Instruction::VvMul { index } => {
+                    self.check_vrf(at, MemId::MultiplyVrf(multiply_seen), index, w_out);
+                    multiply_seen += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl Program {
+    /// Statically validates every access of this program against a
+    /// configuration, returning all violations (empty = clean). Register
+    /// state is tracked through the stream exactly as the scheduler would.
+    pub fn validate(&self, config: &NpuConfig) -> Vec<ValidateError> {
+        let mut v = Validator {
+            config,
+            rows: 1,
+            cols: 1,
+            errors: Vec::new(),
+        };
+        for (si, segment) in self.segments.iter().enumerate() {
+            // One iteration suffices: accesses are static across
+            // iterations.
+            for (ii, item) in segment.items.iter().enumerate() {
+                match item {
+                    Item::SetReg { reg, value } => {
+                        if *value == 0 {
+                            v.errors.push(ValidateError {
+                                segment: si,
+                                item: ii,
+                                kind: ValidateErrorKind::ZeroRegister(*reg),
+                            });
+                        } else {
+                            match reg {
+                                ScalarReg::Rows => v.rows = *value,
+                                ScalarReg::Cols => v.cols = *value,
+                            }
+                        }
+                    }
+                    Item::Chain(chain) => v.check_chain((si, ii), chain),
+                }
+            }
+        }
+        v.errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::ProgramBuilder;
+
+    fn cfg() -> NpuConfig {
+        NpuConfig::builder()
+            .native_dim(8)
+            .lanes(4)
+            .tile_engines(2)
+            .mfus(2)
+            .mrf_entries(16)
+            .vrf_entries(32)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn clean_program_validates() {
+        let mut b = ProgramBuilder::new();
+        b.set_rows(2).set_cols(2);
+        b.v_rd(MemId::NetQ, 0)
+            .mv_mul(0)
+            .vv_add(4)
+            .v_sigm()
+            .v_wr(MemId::InitialVrf, 8)
+            .end_chain()
+            .unwrap();
+        assert!(b.build().validate(&cfg()).is_empty());
+    }
+
+    #[test]
+    fn vrf_overflow_detected_with_width() {
+        let mut b = ProgramBuilder::new();
+        b.set_rows(4); // width-4 writes
+        b.v_rd(MemId::NetQ, 0)
+            .v_wr(MemId::InitialVrf, 30) // 30..34 > 32
+            .end_chain()
+            .unwrap();
+        let errors = b.build().validate(&cfg());
+        assert_eq!(errors.len(), 1);
+        assert!(matches!(
+            errors[0].kind,
+            ValidateErrorKind::VrfOverflow {
+                index: 30,
+                width: 4,
+                capacity: 32,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn mrf_overflow_accounts_for_tiling() {
+        let mut b = ProgramBuilder::new();
+        b.set_rows(4).set_cols(4); // 16 tiles
+        b.v_rd(MemId::InitialVrf, 0)
+            .mv_mul(1) // 1..17 > 16
+            .v_wr(MemId::InitialVrf, 0)
+            .end_chain()
+            .unwrap();
+        let errors = b.build().validate(&cfg());
+        assert!(errors.iter().any(|e| matches!(
+            e.kind,
+            ValidateErrorKind::MrfOverflow {
+                index: 1,
+                tiles: 16,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn missing_mfu_file_detected() {
+        let mut b = ProgramBuilder::new();
+        b.set_rows(1);
+        b.v_rd(MemId::NetQ, 0)
+            .v_wr(MemId::AddSubVrf(5), 0)
+            .end_chain()
+            .unwrap();
+        let errors = b.build().validate(&cfg());
+        assert!(matches!(
+            errors[0].kind,
+            ValidateErrorKind::MissingMfu {
+                mem: MemId::AddSubVrf(5),
+                mfus: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn mfu_capacity_detected_statically() {
+        let mut b = ProgramBuilder::new();
+        b.set_rows(1);
+        b.v_rd(MemId::NetQ, 0)
+            .v_tanh()
+            .v_tanh()
+            .v_tanh()
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        let errors = b.build().validate(&cfg());
+        assert!(errors.iter().any(|e| matches!(
+            e.kind,
+            ValidateErrorKind::MfuCapacity {
+                kind: "activation",
+                used: 3,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn zero_register_detected() {
+        let mut b = ProgramBuilder::new();
+        b.set_rows(0);
+        let errors = b.build().validate(&cfg());
+        assert_eq!(
+            errors[0].kind,
+            ValidateErrorKind::ZeroRegister(ScalarReg::Rows)
+        );
+    }
+
+    #[test]
+    fn model_firmware_validates_against_sized_configs() {
+        // The LSTM generator's own firmware must validate against a
+        // configuration sized by its reported requirements.
+        let base = cfg();
+        let mut b = ProgramBuilder::new();
+        b.set_rows(2).set_cols(2);
+        b.begin_loop(5).unwrap();
+        b.v_rd(MemId::NetQ, 0)
+            .mv_mul(0)
+            .vv_add(0)
+            .vv_mul(0)
+            .v_wr(MemId::MultiplyVrf(1), 4)
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        b.end_loop().unwrap();
+        let p = b.build();
+        assert!(p.validate(&base).is_empty());
+        // Location metadata points at the right item.
+        let mut b = ProgramBuilder::new();
+        b.set_rows(1);
+        b.v_rd(MemId::NetQ, 0)
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        b.v_rd(MemId::InitialVrf, 99)
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        let errors = b.build().validate(&base);
+        assert_eq!((errors[0].segment, errors[0].item), (0, 2));
+    }
+}

@@ -1,0 +1,41 @@
+//! Critical-path methodology for latency-aware NPU design (paper §III).
+//!
+//! Real-time NPUs must be judged against what the dataflow itself permits,
+//! not against throughput-oriented metrics that batching can inflate. This
+//! crate provides the paper's two reference machines:
+//!
+//! * **UDM** — the Unconstrained Dataflow Machine, with infinite
+//!   unit-latency functional units: a model's UDM latency is the critical
+//!   path of its dataflow graph, the lower bound on single-request latency.
+//! * **SDM** — the Structurally-constrained Dataflow Machine, with the same
+//!   number of MACs as a target accelerator: the lowest latency any
+//!   implementation with those resources could reach.
+//!
+//! Two levels of machinery are provided: closed-form characterizations for
+//! LSTM/GRU/CNN ([`RnnCriticalPath`], [`ConvCriticalPath`]) that regenerate
+//! Table I, Figure 2, and the SDM rows of Table V at full scale, and an
+//! explicit operation-level [`Graph`] engine that validates the closed
+//! forms at small sizes and supports arbitrary dataflow.
+//!
+//! # Example
+//!
+//! ```
+//! use bw_dataflow::RnnCriticalPath;
+//!
+//! // Table I: a 2000-dim LSTM needs 19 cycles on the UDM and ~352 on a
+//! // 96,000-MAC SDM.
+//! let cp = RnnCriticalPath::lstm(2000, 2000);
+//! assert_eq!(cp.udm_step_cycles, 19);
+//! assert_eq!(cp.sdm_cycles(1, 96_000), 353);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+pub mod cells;
+pub mod graph;
+
+pub use analysis::{dot_depth, ConvCriticalPath, RnnCriticalPath};
+pub use cells::{gru_step_graph, lstm_step_graph, LstmStepNodes};
+pub use graph::{dot_product_graph, matvec_graph, Graph, NodeId};

@@ -1,0 +1,60 @@
+//! The Brainwave compiler toolflow (paper §II-B).
+//!
+//! Pre-trained models enter as a graph intermediate representation, are
+//! fused and partitioned under accelerator memory constraints, and lower to
+//! BW NPU ISA binaries plus CPU sub-graphs executed by a federated runtime:
+//!
+//! * [`GirGraph`] / [`GirOp`] — the IR, with eager shape validation and a
+//!   host golden-model evaluator;
+//! * [`fuse`] — absorbs `BiasAdd`/`Activation` nodes into their producing
+//!   `MatMul`, mirroring the NPU's fused instruction chains;
+//! * [`partition`] — splits the pipeline across accelerators under a
+//!   per-device on-chip weight budget, grouping unsupported operations into
+//!   CPU segments;
+//! * [`split_oversized_stages`] — intra-layer row sharding for single
+//!   layers that exceed one device (§II-A's spatial distribution);
+//! * [`Deployment`] — compiles accelerator segments to ISA programs, pins
+//!   weights, and executes the federated pipeline end to end.
+//!
+//! # Example
+//!
+//! ```
+//! use bw_gir::{fuse, partition, Deployment, GirGraph, GirOp, ActFn};
+//! use bw_core::{Npu, NpuConfig};
+//!
+//! let mut g = GirGraph::new();
+//! let x = g.add(GirOp::Input { dim: 4 }, &[])?;
+//! let m = g.add(GirOp::MatMul { rows: 4, cols: 4, weights: vec![0.1; 16] }, &[x])?;
+//! let a = g.add(GirOp::Activation(ActFn::Relu), &[m])?;
+//! g.add(GirOp::Output, &[a])?;
+//!
+//! let pipeline = fuse(&g)?;
+//! let plan = partition(&pipeline, 1 << 20)?;
+//! let cfg = NpuConfig::builder()
+//!     .native_dim(4).lanes(2).tile_engines(1)
+//!     .matrix_format(bw_bfp::BfpFormat::BFP_1S_5E_5M)
+//!     .build()?;
+//! let deployment = Deployment::compile(&pipeline, &plan, &cfg)?;
+//! let mut npus = vec![Npu::new(cfg)];
+//! deployment.deploy(&mut npus)?;
+//! let (y, _) = deployment.execute(&mut npus, &[1.0, 1.0, 1.0, 1.0])?;
+//! assert_eq!(y.len(), 4);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ir;
+mod lower;
+mod model_text;
+mod pipeline;
+mod split;
+
+pub use ir::{cpu_op_apply, ActFn, GirError, GirGraph, GirNode, GirNodeId, GirOp};
+pub use lower::{AcceleratorBinary, DeployError, Deployment};
+pub use model_text::{parse_model, ModelParseError};
+pub use pipeline::{
+    fuse, partition, partition_sharded, PartitionError, PartitionPlan, Pipeline, Placement, Stage,
+};
+pub use split::{shard_outputs_concat, split_oversized_stages, SplitError, SplitReport};

@@ -1,0 +1,555 @@
+//! Lowering partitioned pipelines to BW ISA programs and executing the
+//! federated deployment (§II-B).
+//!
+//! Each accelerator segment becomes one ISA program: a network read, then
+//! one chain per dense stage (`mv_mul` + fused `vv_add` + fused
+//! activation), ping-ponging intermediate activations between two
+//! `InitialVrf` regions, and a final network write. CPU segments execute on
+//! the host, mirroring the paper's federated runtime that "executes both
+//! the CPU sub-graphs and accelerator sub-graphs".
+
+use bw_core::isa::{MemId, Program, ProgramBuilder};
+use bw_core::{Npu, NpuConfig, RunStats, SimError};
+use serde::{Deserialize, Serialize};
+
+use crate::ir::{cpu_op_apply, ActFn};
+use crate::pipeline::{PartitionPlan, Pipeline, Placement, Stage};
+
+/// The compiled binary for one accelerator of the deployment.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorBinary {
+    /// Device index within the deployment's NPU pool.
+    pub device: usize,
+    /// The stage indices this binary executes.
+    pub stages: Vec<usize>,
+    /// The lowered ISA program.
+    pub program: Program,
+    /// Input dimension of the first stage.
+    pub input_dim: usize,
+    /// Output dimension of the last stage.
+    pub output_dim: usize,
+    /// Native-vector width of the output.
+    pub output_grid: u32,
+    /// MRF entries the binary's weights occupy.
+    pub mrf_entries: u32,
+}
+
+/// Error produced during lowering or federated execution.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeployError {
+    /// A segment referenced a stage the pipeline does not have.
+    BadPlan,
+    /// An unknown CPU op name.
+    UnknownCpuOp(
+        /// The op name.
+        String,
+    ),
+    /// Fewer NPUs were supplied than the plan requires.
+    NotEnoughDevices {
+        /// Devices the plan needs.
+        required: usize,
+        /// Devices supplied.
+        supplied: usize,
+    },
+    /// A simulator error during weight loading or execution.
+    Sim(SimError),
+}
+
+impl From<SimError> for DeployError {
+    fn from(e: SimError) -> Self {
+        DeployError::Sim(e)
+    }
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::BadPlan => write!(f, "partition plan does not match the pipeline"),
+            DeployError::UnknownCpuOp(name) => write!(f, "unknown CPU op `{name}`"),
+            DeployError::NotEnoughDevices { required, supplied } => {
+                write!(f, "plan needs {required} NPUs, {supplied} supplied")
+            }
+            DeployError::Sim(e) => write!(f, "simulator error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// A compiled, partitioned model ready for federated execution.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Deployment {
+    pipeline: Pipeline,
+    plan: PartitionPlan,
+    binaries: Vec<AcceleratorBinary>,
+    native_dim: u32,
+}
+
+impl Deployment {
+    /// Compiles every accelerator segment of `plan` for NPUs of
+    /// configuration `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::BadPlan`] if the plan references stages the
+    /// pipeline lacks.
+    pub fn compile(
+        pipeline: &Pipeline,
+        plan: &PartitionPlan,
+        config: &NpuConfig,
+    ) -> Result<Deployment, DeployError> {
+        let nd = config.native_dim();
+        let grid = |d: usize| (d as u32).div_ceil(nd);
+        let mut binaries = Vec::new();
+
+        for segment in &plan.segments {
+            let Placement::Accelerator { device, stages } = segment else {
+                continue;
+            };
+            let denses: Vec<&Stage> = stages
+                .iter()
+                .map(|&i| pipeline.stages.get(i).ok_or(DeployError::BadPlan))
+                .collect::<Result<_, _>>()?;
+
+            // Dimensions through the segment.
+            let input_dim = match denses.first().ok_or(DeployError::BadPlan)? {
+                Stage::Dense { cols, .. } => *cols,
+                Stage::Pointwise { dim, .. } => *dim,
+                Stage::Cpu { .. } => return Err(DeployError::BadPlan),
+            };
+            let output_dim = denses.last().expect("non-empty").out_dim();
+
+            let widest = denses
+                .iter()
+                .map(|s| grid(s.out_dim()))
+                .chain(std::iter::once(grid(input_dim)))
+                .max()
+                .expect("non-empty");
+
+            let mut b = ProgramBuilder::new();
+            let ok = "statically valid lowered program";
+            let slot = |k: usize| (k as u32 % 2) * widest;
+
+            b.set_rows(grid(input_dim));
+            b.v_rd(MemId::NetQ, 0)
+                .v_wr(MemId::InitialVrf, slot(0))
+                .end_chain()
+                .expect(ok);
+
+            let mut mrf_base = 0u32;
+            let mut bias_base = 0u32;
+            let mut in_dim = input_dim;
+            for (k, stage) in denses.iter().enumerate() {
+                let last = k + 1 == denses.len();
+                match stage {
+                    Stage::Dense {
+                        rows,
+                        cols,
+                        bias,
+                        act,
+                        ..
+                    } => {
+                        debug_assert_eq!(*cols, in_dim);
+                        b.set_rows(grid(*rows)).set_cols(grid(*cols));
+                        b.v_rd(MemId::InitialVrf, slot(k)).mv_mul(mrf_base);
+                        if bias.is_some() {
+                            b.vv_add(bias_base);
+                        }
+                        if let Some(act) = act {
+                            match act {
+                                ActFn::Relu => b.v_relu(),
+                                ActFn::Sigmoid => b.v_sigm(),
+                                ActFn::Tanh => b.v_tanh(),
+                            };
+                        }
+                        if last {
+                            b.v_wr(MemId::NetQ, 0);
+                        } else {
+                            b.v_wr(MemId::InitialVrf, slot(k + 1));
+                        }
+                        b.end_chain().expect(ok);
+                        mrf_base += grid(*rows) * grid(*cols);
+                        if bias.is_some() {
+                            bias_base += grid(*rows);
+                        }
+                        in_dim = *rows;
+                    }
+                    Stage::Pointwise { act, dim } => {
+                        b.set_rows(grid(*dim));
+                        b.v_rd(MemId::InitialVrf, slot(k));
+                        match act {
+                            ActFn::Relu => b.v_relu(),
+                            ActFn::Sigmoid => b.v_sigm(),
+                            ActFn::Tanh => b.v_tanh(),
+                        };
+                        if last {
+                            b.v_wr(MemId::NetQ, 0);
+                        } else {
+                            b.v_wr(MemId::InitialVrf, slot(k + 1));
+                        }
+                        b.end_chain().expect(ok);
+                        in_dim = *dim;
+                    }
+                    Stage::Cpu { .. } => return Err(DeployError::BadPlan),
+                }
+            }
+
+            binaries.push(AcceleratorBinary {
+                device: *device,
+                stages: stages.clone(),
+                program: b.build(),
+                input_dim,
+                output_dim,
+                output_grid: grid(output_dim),
+                mrf_entries: mrf_base,
+            });
+        }
+
+        Ok(Deployment {
+            pipeline: pipeline.clone(),
+            plan: plan.clone(),
+            binaries,
+            native_dim: nd,
+        })
+    }
+
+    /// The compiled accelerator binaries.
+    pub fn binaries(&self) -> &[AcceleratorBinary] {
+        &self.binaries
+    }
+
+    /// Number of NPUs the deployment requires.
+    pub fn devices_required(&self) -> usize {
+        self.plan.devices_used
+    }
+
+    /// Pins every accelerator segment's weights into its NPU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] if too few NPUs are supplied or a load
+    /// overflows capacity.
+    pub fn deploy(&self, npus: &mut [Npu]) -> Result<(), DeployError> {
+        if npus.len() < self.plan.devices_used {
+            return Err(DeployError::NotEnoughDevices {
+                required: self.plan.devices_used,
+                supplied: npus.len(),
+            });
+        }
+        for bin in &self.binaries {
+            let npu = &mut npus[bin.device];
+            let nd = npu.config().native_dim();
+            let grid = |d: usize| (d as u32).div_ceil(nd);
+            let mut mrf_base = 0u32;
+            let mut bias_base = 0u32;
+            for &si in &bin.stages {
+                if let Stage::Dense {
+                    rows,
+                    cols,
+                    weights,
+                    bias,
+                    ..
+                } = &self.pipeline.stages[si]
+                {
+                    npu.load_tiled_matrix(
+                        mrf_base,
+                        grid(*rows),
+                        grid(*cols),
+                        *rows,
+                        *cols,
+                        weights,
+                    )?;
+                    mrf_base += grid(*rows) * grid(*cols);
+                    if let Some(bias) = bias {
+                        npu.load_vector(MemId::AddSubVrf(0), bias_base, bias)?;
+                        bias_base += grid(*rows);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes one inference across the federated deployment: accelerator
+    /// segments run on their NPUs, CPU segments on the host. Returns the
+    /// output and the accumulated accelerator statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] on device shortfall, unknown CPU ops, or
+    /// simulator failures.
+    pub fn execute(
+        &self,
+        npus: &mut [Npu],
+        input: &[f32],
+    ) -> Result<(Vec<f32>, RunStats), DeployError> {
+        if npus.len() < self.plan.devices_used {
+            return Err(DeployError::NotEnoughDevices {
+                required: self.plan.devices_used,
+                supplied: npus.len(),
+            });
+        }
+        // Map each shard stage to its group, so consecutive shard segments
+        // scatter one input and gather (concatenate) their outputs.
+        let mut group_of: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        for (gi, group) in self.plan.shard_groups.iter().enumerate() {
+            for &si in group {
+                group_of.insert(si, gi);
+            }
+        }
+        let segment_group = |segment: &Placement| -> Option<usize> {
+            match segment {
+                Placement::Accelerator { stages, .. } => {
+                    stages.first().and_then(|s| group_of.get(s)).copied()
+                }
+                Placement::Cpu { .. } => None,
+            }
+        };
+
+        let mut value = input.to_vec();
+        let mut stats = RunStats::default();
+        let mut bin_iter = self.binaries.iter();
+        let mut seg_idx = 0usize;
+        while seg_idx < self.plan.segments.len() {
+            let segment = &self.plan.segments[seg_idx];
+            match segment {
+                Placement::Accelerator { .. } => {
+                    if let Some(group) = segment_group(segment) {
+                        // Scatter/gather across every consecutive segment of
+                        // this shard group.
+                        let scatter = value.clone();
+                        let mut gathered = Vec::new();
+                        while seg_idx < self.plan.segments.len()
+                            && segment_group(&self.plan.segments[seg_idx]) == Some(group)
+                        {
+                            let bin = bin_iter.next().ok_or(DeployError::BadPlan)?;
+                            let npu = &mut npus[bin.device];
+                            npu.push_input_padded(&scatter);
+                            let run = npu.run(&bin.program)?;
+                            stats.accumulate(&run);
+                            let shard_out = npu
+                                .pop_output_concat(bin.output_grid as usize, bin.output_dim)
+                                .ok_or(DeployError::Sim(SimError::NetQueueEmpty {
+                                    requested: bin.output_grid,
+                                    available: 0,
+                                }))?;
+                            gathered.extend(shard_out);
+                            seg_idx += 1;
+                        }
+                        value = gathered;
+                        continue;
+                    }
+                    let bin = bin_iter.next().ok_or(DeployError::BadPlan)?;
+                    let npu = &mut npus[bin.device];
+                    npu.push_input_padded(&value);
+                    let run = npu.run(&bin.program)?;
+                    stats.accumulate(&run);
+                    value = npu
+                        .pop_output_concat(bin.output_grid as usize, bin.output_dim)
+                        .ok_or(DeployError::Sim(SimError::NetQueueEmpty {
+                            requested: bin.output_grid,
+                            available: 0,
+                        }))?;
+                }
+                Placement::Cpu { stages } => {
+                    for &si in stages {
+                        let Stage::Cpu { name, .. } = &self.pipeline.stages[si] else {
+                            return Err(DeployError::BadPlan);
+                        };
+                        value = cpu_op_apply(name, &value)
+                            .ok_or_else(|| DeployError::UnknownCpuOp(name.clone()))?;
+                    }
+                }
+            }
+            seg_idx += 1;
+        }
+        Ok((value, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{GirGraph, GirOp};
+    use crate::pipeline::{fuse, partition};
+    use bw_bfp::BfpFormat;
+
+    fn config() -> NpuConfig {
+        NpuConfig::builder()
+            .native_dim(8)
+            .lanes(4)
+            .tile_engines(2)
+            .mrf_entries(256)
+            .vrf_entries(128)
+            .matrix_format(BfpFormat::BFP_1S_5E_5M)
+            .build()
+            .unwrap()
+    }
+
+    fn mlp_graph(widths: &[usize], softmax: bool) -> GirGraph {
+        let mut g = GirGraph::new();
+        let mut prev = g.add(GirOp::Input { dim: widths[0] }, &[]).unwrap();
+        for (li, w) in widths.windows(2).enumerate() {
+            let weights: Vec<f32> = (0..w[0] * w[1])
+                .map(|i| (((i + li * 7) % 11) as f32 - 5.0) / 20.0)
+                .collect();
+            let m = g
+                .add(
+                    GirOp::MatMul {
+                        rows: w[1],
+                        cols: w[0],
+                        weights,
+                    },
+                    &[prev],
+                )
+                .unwrap();
+            let b = g
+                .add(
+                    GirOp::BiasAdd {
+                        bias: vec![0.05; w[1]],
+                    },
+                    &[m],
+                )
+                .unwrap();
+            prev = g
+                .add(GirOp::Activation(crate::ir::ActFn::Tanh), &[b])
+                .unwrap();
+        }
+        if softmax {
+            prev = g
+                .add(
+                    GirOp::CpuOp {
+                        name: "softmax".into(),
+                    },
+                    &[prev],
+                )
+                .unwrap();
+        }
+        g.add(GirOp::Output, &[prev]).unwrap();
+        g
+    }
+
+    #[test]
+    fn single_device_deployment_matches_reference() {
+        let g = mlp_graph(&[8, 12, 4], false);
+        let p = fuse(&g).unwrap();
+        let plan = partition(&p, 1 << 20).unwrap();
+        let cfg = config();
+        let dep = Deployment::compile(&p, &plan, &cfg).unwrap();
+        assert_eq!(dep.devices_required(), 1);
+
+        let mut npus = vec![Npu::new(cfg)];
+        dep.deploy(&mut npus).unwrap();
+        let x: Vec<f32> = (0..8).map(|i| (i as f32 - 4.0) / 8.0).collect();
+        let (y, stats) = dep.execute(&mut npus, &x).unwrap();
+        let want = g.evaluate(&x).unwrap();
+        for (a, b) in y.iter().zip(&want) {
+            assert!((a - b).abs() < 0.1, "{a} vs {b}");
+        }
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn multi_device_partition_round_trips() {
+        // 4 layers of 16x16 = 256 params each; budget 512 -> 2 devices.
+        let g = mlp_graph(&[16, 16, 16, 16, 16], false);
+        let p = fuse(&g).unwrap();
+        let plan = partition(&p, 512).unwrap();
+        assert_eq!(plan.devices_used, 2);
+        let cfg = config();
+        let dep = Deployment::compile(&p, &plan, &cfg).unwrap();
+
+        let mut npus = vec![Npu::new(cfg.clone()), Npu::new(cfg)];
+        dep.deploy(&mut npus).unwrap();
+        let x = vec![0.2f32; 16];
+        let (y, _) = dep.execute(&mut npus, &x).unwrap();
+        let want = g.evaluate(&x).unwrap();
+        for (a, b) in y.iter().zip(&want) {
+            assert!((a - b).abs() < 0.15, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn cpu_tail_executes_on_host() {
+        let g = mlp_graph(&[8, 8], true);
+        let p = fuse(&g).unwrap();
+        let plan = partition(&p, 1 << 20).unwrap();
+        let cfg = config();
+        let dep = Deployment::compile(&p, &plan, &cfg).unwrap();
+        let mut npus = vec![Npu::new(cfg)];
+        dep.deploy(&mut npus).unwrap();
+        let (y, _) = dep.execute(&mut npus, &[0.3; 8]).unwrap();
+        let sum: f32 = y.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "softmax sums to 1, got {sum}");
+    }
+
+    #[test]
+    fn sharded_layer_scatters_and_gathers_across_devices() {
+        use crate::pipeline::partition_sharded;
+        use crate::split::split_oversized_stages;
+        // One 32x16 layer (512 params) under a 200-param budget: splits
+        // into ceil(32/12)=3 row shards, each its own device.
+        let g = mlp_graph(&[16, 32], false);
+        let p = fuse(&g).unwrap();
+        let (sharded, report) = split_oversized_stages(&p, 200).unwrap();
+        assert_eq!(report.groups.len(), 1);
+        let plan = partition_sharded(&sharded, 200, &report).unwrap();
+        assert_eq!(plan.devices_used, report.groups[0].len());
+
+        let cfg = config();
+        let dep = Deployment::compile(&sharded, &plan, &cfg).unwrap();
+        let mut npus: Vec<Npu> = (0..dep.devices_required())
+            .map(|_| Npu::new(cfg.clone()))
+            .collect();
+        dep.deploy(&mut npus).unwrap();
+        let x: Vec<f32> = (0..16).map(|i| ((i as f32) * 0.27).sin() * 0.5).collect();
+        let (y, _) = dep.execute(&mut npus, &x).unwrap();
+        let want = g.evaluate(&x).unwrap();
+        assert_eq!(y.len(), want.len());
+        for (a, b) in y.iter().zip(&want) {
+            assert!((a - b).abs() < 0.1, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sharded_layer_feeding_downstream_stage() {
+        use crate::pipeline::partition_sharded;
+        use crate::split::split_oversized_stages;
+        // Sharded wide layer followed by a small head: the gather result
+        // feeds the next device.
+        let g = mlp_graph(&[16, 32, 8], false);
+        let p = fuse(&g).unwrap();
+        let (sharded, report) = split_oversized_stages(&p, 200).unwrap();
+        let plan = partition_sharded(&sharded, 200, &report).unwrap();
+        let cfg = config();
+        let dep = Deployment::compile(&sharded, &plan, &cfg).unwrap();
+        let mut npus: Vec<Npu> = (0..dep.devices_required())
+            .map(|_| Npu::new(cfg.clone()))
+            .collect();
+        dep.deploy(&mut npus).unwrap();
+        let x = vec![0.3f32; 16];
+        let (y, _) = dep.execute(&mut npus, &x).unwrap();
+        let want = g.evaluate(&x).unwrap();
+        for (a, b) in y.iter().zip(&want) {
+            assert!((a - b).abs() < 0.1, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn device_shortfall_is_reported() {
+        let g = mlp_graph(&[16, 16, 16, 16, 16], false);
+        let p = fuse(&g).unwrap();
+        let plan = partition(&p, 512).unwrap();
+        let cfg = config();
+        let dep = Deployment::compile(&p, &plan, &cfg).unwrap();
+        let mut npus = vec![Npu::new(cfg)];
+        assert_eq!(
+            dep.deploy(&mut npus).unwrap_err(),
+            DeployError::NotEnoughDevices {
+                required: 2,
+                supplied: 1
+            }
+        );
+    }
+}

@@ -1,0 +1,268 @@
+//! Intra-layer splitting: partitioning a single oversized dense layer
+//! across devices.
+//!
+//! §II-A: "Large, partitionable problems can be spatially distributed
+//! across multiple accelerators." When one dense stage's weights exceed a
+//! device's on-chip budget, the whole-layer partitioner cannot help; this
+//! pass rewrites the stage as `k` *row shards* — each device holds a
+//! horizontal slice `W[i·r/k .. (i+1)·r/k, :]` and produces the matching
+//! slice of the output, which the host (or downstream device) concatenates.
+//! Row sharding needs no reduction step (unlike column sharding) and each
+//! shard's bias/activation fuse locally, so the shards remain ordinary
+//! pipeline stages.
+
+use serde::{Deserialize, Serialize};
+
+use crate::pipeline::{Pipeline, Stage};
+
+/// How a pipeline was rewritten by [`split_oversized_stages`].
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitReport {
+    /// `(original_stage_index, shards)` for every stage that was split.
+    pub splits: Vec<(usize, usize)>,
+    /// For each split, the indices of its shard stages in the *rewritten*
+    /// pipeline. Shards of one group scatter the same input and gather
+    /// (concatenate) their outputs; [`crate::partition_sharded`] and
+    /// [`crate::Deployment::execute`] honour this.
+    pub groups: Vec<Vec<usize>>,
+}
+
+/// Error produced when a stage cannot be split under the budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SplitError {
+    /// Even a single output row's weights exceed the budget.
+    RowTooLarge {
+        /// The offending stage index.
+        stage: usize,
+        /// Parameters in one output row (= the stage's input dimension).
+        row_params: u64,
+        /// The per-device parameter budget.
+        budget: u64,
+    },
+}
+
+impl std::fmt::Display for SplitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SplitError::RowTooLarge {
+                stage,
+                row_params,
+                budget,
+            } => write!(
+                f,
+                "stage {stage}: one output row needs {row_params} parameters, over the budget {budget}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SplitError {}
+
+/// Rewrites every dense stage whose weights exceed `device_param_budget`
+/// into row shards that each fit. Returns the rewritten pipeline and a
+/// report of what was split.
+///
+/// The rewritten pipeline computes the same function: a sharded stage's
+/// shards appear consecutively, and the downstream consumer sees the
+/// concatenation of their outputs. Note that the *whole-layer* partitioner
+/// ([`crate::partition`]) will then naturally place consecutive shards on
+/// consecutive devices; executing such a plan requires the federated
+/// runtime to scatter the shard input and gather the outputs, which
+/// [`shard_outputs_concat`] performs for host-side validation.
+///
+/// # Errors
+///
+/// Returns [`SplitError::RowTooLarge`] if a single output row exceeds the
+/// budget (the row is the atomic unit of a matrix-vector product).
+pub fn split_oversized_stages(
+    pipeline: &Pipeline,
+    device_param_budget: u64,
+) -> Result<(Pipeline, SplitReport), SplitError> {
+    let mut out = Pipeline {
+        input_dim: pipeline.input_dim,
+        stages: Vec::with_capacity(pipeline.stages.len()),
+    };
+    let mut report = SplitReport::default();
+
+    for (i, stage) in pipeline.stages.iter().enumerate() {
+        match stage {
+            Stage::Dense {
+                rows,
+                cols,
+                weights,
+                bias,
+                act,
+            } if stage.weight_params() > device_param_budget => {
+                let row_params = *cols as u64;
+                if row_params > device_param_budget {
+                    return Err(SplitError::RowTooLarge {
+                        stage: i,
+                        row_params,
+                        budget: device_param_budget,
+                    });
+                }
+                let rows_per_shard = (device_param_budget / row_params) as usize;
+                let shards = rows.div_ceil(rows_per_shard);
+                let first_new = out.stages.len();
+                for s in 0..shards {
+                    let r0 = s * rows_per_shard;
+                    let r1 = (r0 + rows_per_shard).min(*rows);
+                    out.stages.push(Stage::Dense {
+                        rows: r1 - r0,
+                        cols: *cols,
+                        weights: weights[r0 * cols..r1 * cols].to_vec(),
+                        bias: bias.as_ref().map(|b| b[r0..r1].to_vec()),
+                        act: *act,
+                    });
+                }
+                report.splits.push((i, shards));
+                report
+                    .groups
+                    .push((first_new..first_new + shards).collect());
+            }
+            other => out.stages.push(other.clone()),
+        }
+    }
+    Ok((out, report))
+}
+
+/// Host-side gather for a sharded stage: evaluates each shard on the same
+/// input and concatenates the outputs (used to validate sharded plans; the
+/// production runtime does this across microservice responses).
+pub fn shard_outputs_concat(shards: &[&Stage], input: &[f32]) -> Vec<f32> {
+    let mut out = Vec::new();
+    for stage in shards {
+        if let Stage::Dense {
+            rows,
+            cols,
+            weights,
+            bias,
+            act,
+        } = stage
+        {
+            for r in 0..*rows {
+                let mut acc: f32 = weights[r * cols..(r + 1) * cols]
+                    .iter()
+                    .zip(input)
+                    .map(|(w, x)| w * x)
+                    .sum();
+                if let Some(b) = bias {
+                    acc += b[r];
+                }
+                if let Some(act) = act {
+                    acc = match act {
+                        crate::ir::ActFn::Relu => acc.max(0.0),
+                        crate::ir::ActFn::Sigmoid => 1.0 / (1.0 + (-acc).exp()),
+                        crate::ir::ActFn::Tanh => acc.tanh(),
+                    };
+                }
+                out.push(acc);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ActFn;
+
+    fn dense(rows: usize, cols: usize) -> Stage {
+        Stage::Dense {
+            rows,
+            cols,
+            weights: (0..rows * cols)
+                .map(|i| ((i % 13) as f32 - 6.0) / 10.0)
+                .collect(),
+            bias: Some((0..rows).map(|i| i as f32 / 100.0).collect()),
+            act: Some(ActFn::Tanh),
+        }
+    }
+
+    #[test]
+    fn small_stages_pass_through_unchanged() {
+        let p = Pipeline {
+            input_dim: 8,
+            stages: vec![dense(8, 8)],
+        };
+        let (q, report) = split_oversized_stages(&p, 1000).unwrap();
+        assert_eq!(q, p);
+        assert!(report.splits.is_empty());
+    }
+
+    #[test]
+    fn oversized_stage_splits_into_fitting_shards() {
+        // 64x16 = 1024 params; budget 300 -> 18 rows per shard -> 4 shards.
+        let p = Pipeline {
+            input_dim: 16,
+            stages: vec![dense(64, 16)],
+        };
+        let (q, report) = split_oversized_stages(&p, 300).unwrap();
+        assert_eq!(report.splits, vec![(0, 4)]);
+        assert_eq!(q.stages.len(), 4);
+        let total_rows: usize = q
+            .stages
+            .iter()
+            .map(|s| match s {
+                Stage::Dense { rows, .. } => *rows,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total_rows, 64);
+        for s in &q.stages {
+            assert!(s.weight_params() <= 300, "{}", s.weight_params());
+        }
+    }
+
+    #[test]
+    fn sharded_computation_equals_unsharded() {
+        let p = Pipeline {
+            input_dim: 16,
+            stages: vec![dense(40, 16)],
+        };
+        let (q, _) = split_oversized_stages(&p, 200).unwrap();
+        let x: Vec<f32> = (0..16).map(|i| (i as f32 * 0.3).sin()).collect();
+        let whole = shard_outputs_concat(&[&p.stages[0]], &x);
+        let shards: Vec<&Stage> = q.stages.iter().collect();
+        let sharded = shard_outputs_concat(&shards, &x);
+        assert_eq!(whole.len(), sharded.len());
+        for (a, b) in whole.iter().zip(&sharded) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn single_row_too_large_is_an_error() {
+        let p = Pipeline {
+            input_dim: 1000,
+            stages: vec![dense(4, 1000)],
+        };
+        let err = split_oversized_stages(&p, 500).unwrap_err();
+        assert_eq!(
+            err,
+            SplitError::RowTooLarge {
+                stage: 0,
+                row_params: 1000,
+                budget: 500
+            }
+        );
+    }
+
+    #[test]
+    fn split_then_partition_spreads_devices() {
+        use crate::pipeline::partition;
+        // One 64x64 layer (4096 params) under a 1200-param budget: splits
+        // into ceil(64/18)=4 shards, which then occupy 4 devices... or
+        // fewer if shards pack. 18 rows x 64 = 1152 <= 1200, so one shard
+        // per device.
+        let p = Pipeline {
+            input_dim: 64,
+            stages: vec![dense(64, 64)],
+        };
+        let (q, report) = split_oversized_stages(&p, 1200).unwrap();
+        assert_eq!(report.splits.len(), 1);
+        let plan = partition(&q, 1200).unwrap();
+        assert_eq!(plan.devices_used, q.stages.len());
+    }
+}

@@ -1,0 +1,57 @@
+//! Model zoo for the Brainwave NPU reproduction.
+//!
+//! Provides three layers of functionality:
+//!
+//! * [`mod@reference`] — plain `f32` golden models (LSTM/GRU cells, dense
+//!   layers, 2-D convolution) that tests validate the NPU against;
+//! * firmware generators ([`Lstm`], [`Gru`], [`Mlp`], [`ConvLayer`]) that
+//!   emit BW ISA programs, plan MRF/VRF layouts, pin weights, and drive
+//!   end-to-end runs;
+//! * workload definitions: the DeepBench RNN inference suite of Table V
+//!   ([`deepbench`]) and the ResNet-50 featurizer of Table VI ([`resnet`]).
+//!
+//! # Example
+//!
+//! ```
+//! use bw_core::{ExecMode, Npu, NpuConfig};
+//! use bw_models::{Gru, RnnDims};
+//!
+//! // Time the paper's largest GRU on BW_S10 (timing-only: no weights).
+//! let cfg = NpuConfig::builder()
+//!     .native_dim(400).lanes(40).tile_engines(6)
+//!     .mrf_entries(1024).clock_mhz(250.0)
+//!     .build()?;
+//! let gru = Gru::new(&cfg, RnnDims::square(2816));
+//! let mut npu = Npu::with_mode(cfg, ExecMode::TimingOnly);
+//! let stats = gru.run_timing_only(&mut npu, 10)?;
+//! println!("{} cycles/step", stats.cycles / 10);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+mod birnn;
+mod cnn;
+pub mod deepbench;
+mod gru;
+mod lstm;
+mod mlp;
+pub mod reference;
+pub mod resnet;
+mod rnn;
+mod speech;
+mod streamed;
+mod text_cnn;
+
+pub use birnn::{BiLstm, BiRunStats};
+pub use cnn::{ConvLayer, ConvShape};
+pub use deepbench::{table5_suite, RnnBenchmark, RnnKind};
+pub use gru::Gru;
+pub use lstm::Lstm;
+pub use mlp::{DenseWeights, Mlp};
+pub use rnn::{GruWeights, LstmWeights, RnnDims};
+pub use speech::{SpeechModel, SpeechModelShape, SpeechRunStats};
+pub use streamed::StreamedConvNet;
+pub use text_cnn::{Conv1d, Conv1dShape};

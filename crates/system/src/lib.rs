@@ -1,0 +1,46 @@
+//! Datacenter-scale serving simulation for the Brainwave system (paper
+//! §I–§II).
+//!
+//! Stands in for the production datacenter (see `DESIGN.md`): requests
+//! stream over the network to hardware microservices backed by NPUs; the
+//! contrast between per-request service (the BW discipline) and batching
+//! queues (the GPU discipline) is the paper's motivating latency argument.
+//!
+//! * [`ArrivalProcess`] — Poisson or deterministic request streams;
+//! * [`Microservice`] / [`ServiceModel`] — a pool of devices behind a
+//!   network hop, serving per-request or in formed batches;
+//! * [`simulate`] / [`simulate_pipeline`] — event-driven simulation with
+//!   percentile latency and utilization reporting, including linear
+//!   multi-FPGA pipelines for partitioned models;
+//! * [`sweep_load`] — parallel offered-load sweeps;
+//! * [`simulate_pool`] — disaggregated instance pools with client-side
+//!   routing policies (§II-A's hardware-microservice pooling).
+//!
+//! # Example
+//!
+//! ```
+//! use bw_system::{simulate, ArrivalProcess, Microservice, ServiceModel};
+//!
+//! // A BW NPU serving a 2 ms model, one request at a time.
+//! let service = Microservice {
+//!     service: ServiceModel::PerRequest { seconds: 2e-3 },
+//!     servers: 1,
+//!     network_hop_s: 10e-6,
+//! };
+//! let arrivals = ArrivalProcess::Poisson { rate_per_s: 100.0 }.generate(1000, 42);
+//! let report = simulate(&arrivals, &service);
+//! assert!(report.p99_latency_s < 0.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pool;
+mod sim;
+mod sweep;
+
+pub use pool::{simulate_pool, PoolReport, Routing};
+pub use sim::{
+    simulate, simulate_pipeline, ArrivalProcess, Microservice, ServiceModel, ServingReport,
+};
+pub use sweep::{sweep_load, SweepPoint};

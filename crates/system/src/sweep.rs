@@ -1,0 +1,101 @@
+//! Parallel load sweeps over the serving simulator.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::sim::{simulate, ArrivalProcess, Microservice, ServingReport};
+
+/// One point of a load sweep.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Offered Poisson load, requests per second.
+    pub rate_per_s: f64,
+    /// The resulting statistics.
+    pub report: ServingReport,
+}
+
+/// Simulates the microservice at each offered load in parallel (one worker
+/// thread per available core) and returns the points in `rates` order.
+///
+/// # Panics
+///
+/// Panics if `n_requests` is zero.
+pub fn sweep_load(
+    rates: &[f64],
+    service: &Microservice,
+    n_requests: usize,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    assert!(n_requests > 0, "need at least one request per point");
+    let results: Mutex<Vec<Option<SweepPoint>>> = Mutex::new(vec![None; rates.len()]);
+    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(rates.len().max(1));
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= rates.len() {
+                    break;
+                }
+                let arrivals = ArrivalProcess::Poisson {
+                    rate_per_s: rates[i],
+                }
+                .generate(n_requests, seed);
+                let report = simulate(&arrivals, service);
+                results.lock()[i] = Some(SweepPoint {
+                    rate_per_s: rates[i],
+                    report,
+                });
+            });
+        }
+    })
+    .expect("sweep workers do not panic");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|p| p.expect("every index filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::ServiceModel;
+
+    #[test]
+    fn sweep_preserves_order_and_monotonicity() {
+        let service = Microservice {
+            service: ServiceModel::PerRequest { seconds: 1e-3 },
+            servers: 1,
+            network_hop_s: 0.0,
+        };
+        let rates = [50.0, 200.0, 400.0, 600.0, 800.0, 950.0];
+        let points = sweep_load(&rates, &service, 3000, 11);
+        assert_eq!(points.len(), rates.len());
+        for (p, r) in points.iter().zip(rates) {
+            assert_eq!(p.rate_per_s, r);
+        }
+        // Latency rises with offered load.
+        assert!(points[5].report.mean_latency_s > points[0].report.mean_latency_s);
+        // Utilization rises monotonically (within simulation noise).
+        assert!(points[5].report.server_utilization > points[1].report.server_utilization);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_in_seed() {
+        let service = Microservice {
+            service: ServiceModel::PerRequest { seconds: 2e-3 },
+            servers: 2,
+            network_hop_s: 1e-6,
+        };
+        let a = sweep_load(&[100.0, 300.0], &service, 1000, 9);
+        let b = sweep_load(&[100.0, 300.0], &service, 1000, 9);
+        assert_eq!(a, b);
+    }
+}

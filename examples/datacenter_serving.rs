@@ -1,0 +1,117 @@
+//! Cloud-scale serving (§I, §II): the latency cost of batching queues.
+//!
+//! Serves the same GRU model two ways against identical Poisson request
+//! streams — the BW discipline (one request at a time, latency from the
+//! NPU simulator) and a GPU-style batching queue — and sweeps offered
+//! load. Also demonstrates a two-FPGA pipeline for a partitioned model.
+//!
+//! Run with: `cargo run --release --example datacenter_serving`
+
+use brainwave::prelude::*;
+use brainwave::system::{simulate_pipeline, simulate_pool, sweep_load, Routing};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Ground the BW service time in the simulator: GRU h=2048, 25 steps.
+    let bench = RnnBenchmark::new(RnnKind::Gru, 2048, 25);
+    let base = NpuConfig::bw_s10();
+    let gru = Gru::new(&base, bench.dims());
+    let cfg = NpuConfig::builder()
+        .native_dim(base.native_dim())
+        .lanes(base.lanes())
+        .tile_engines(base.tile_engines())
+        .mrf_entries(gru.mrf_entries_required())
+        .vrf_entries(4096)
+        .clock_mhz(250.0)
+        .build()?;
+    let mut npu = Npu::with_mode(cfg, ExecMode::TimingOnly);
+    let stats = Gru::new(npu.config(), bench.dims()).run_timing_only(&mut npu, bench.timesteps)?;
+    let bw_service = stats.latency_seconds();
+    println!(
+        "simulated service time for {}: {:.3} ms per request\n",
+        bench.name(),
+        bw_service * 1e3
+    );
+
+    let bw = Microservice {
+        service: ServiceModel::PerRequest {
+            seconds: bw_service,
+        },
+        servers: 1,
+        network_hop_s: 10e-6,
+    };
+    // A GPU with the same single-stream latency scaled by the Table V gap,
+    // amortizable through batching (batch-16 runs ~2.5x one batch-1 pass).
+    let gpu_single = bw_service * 50.0;
+    let gpu = Microservice {
+        service: ServiceModel::Batched {
+            batch_max: 16,
+            timeout_s: 5e-3,
+            base_s: gpu_single,
+            per_item_s: gpu_single * 0.1,
+        },
+        servers: 1,
+        network_hop_s: 10e-6,
+    };
+
+    println!(
+        "{:>10} {:>14} {:>14} {:>14} {:>14}",
+        "load rps", "BW p50 ms", "BW p99 ms", "GPU p50 ms", "GPU p99 ms"
+    );
+    let rates = [50.0, 200.0, 400.0, 800.0, 1200.0];
+    let bw_points = sweep_load(&rates, &bw, 4000, 7);
+    let gpu_points = sweep_load(&rates, &gpu, 4000, 7);
+    for (b, g) in bw_points.iter().zip(&gpu_points) {
+        println!(
+            "{:>10.0} {:>14.2} {:>14.2} {:>14.2} {:>14.2}",
+            b.rate_per_s,
+            b.report.p50_latency_s * 1e3,
+            b.report.p99_latency_s * 1e3,
+            g.report.p50_latency_s * 1e3,
+            g.report.p99_latency_s * 1e3,
+        );
+    }
+
+    // A bidirectional-RNN-style two-FPGA pipeline (§II-A).
+    let stage = Microservice {
+        service: ServiceModel::PerRequest {
+            seconds: bw_service / 2.0,
+        },
+        servers: 1,
+        network_hop_s: 10e-6,
+    };
+    let arrivals = ArrivalProcess::Poisson { rate_per_s: 400.0 }.generate(4000, 11);
+    let reports = simulate_pipeline(&arrivals, &[stage, stage]);
+    println!(
+        "\ntwo-FPGA pipeline at 400 rps: end-to-end p50 {:.2} ms, p99 {:.2} ms \
+         (per-stage service {:.2} ms)",
+        reports[1].p50_latency_s * 1e3,
+        reports[1].p99_latency_s * 1e3,
+        bw_service / 2.0 * 1e3
+    );
+
+    // Disaggregated pooling (§II-A): four NPU instances behind one
+    // microservice address, compared across routing policies.
+    let pool = vec![bw; 4];
+    let arrivals = ArrivalProcess::Poisson { rate_per_s: 3000.0 }.generate(8000, 23);
+    println!("\npooled serving at 3000 rps across 4 instances:");
+    for routing in [
+        Routing::RoundRobin,
+        Routing::Random,
+        Routing::LeastOutstanding,
+    ] {
+        let report = simulate_pool(&arrivals, &pool, routing, 1);
+        println!(
+            "  {routing:?}: p50 {:.3} ms, p99 {:.3} ms, {:.0} rps",
+            report.instances[0].p50_latency_s * 1e3,
+            report.p99_latency_s * 1e3,
+            report.throughput_rps
+        );
+    }
+
+    println!(
+        "\nThe paper's systems argument in numbers: per-request serving holds p99\n\
+         near the raw model latency until saturation, while the batching queue\n\
+         pays the formation timeout at every load level."
+    );
+    Ok(())
+}

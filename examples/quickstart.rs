@@ -1,0 +1,85 @@
+//! Quickstart: deploy and serve an LSTM on a simulated Brainwave NPU.
+//!
+//! Builds a functionally executing NPU, pins random LSTM weights in its
+//! matrix register file, streams a few time steps through the network
+//! queue, and checks the result against the plain-`f32` reference model.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use brainwave::models::reference;
+use brainwave::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small NPU so functional execution is instant: 16-wide native
+    // vectors, 2 tile engines, 5-bit-mantissa block floating point.
+    let cfg = NpuConfig::builder()
+        .name("demo")
+        .native_dim(16)
+        .lanes(8)
+        .tile_engines(2)
+        .mrf_entries(256)
+        .vrf_entries(256)
+        .matrix_format(BfpFormat::BFP_1S_5E_5M)
+        .build()?;
+    println!(
+        "NPU: {} ({} MACs, {:.3} peak TFLOPS at {:.0} MHz)",
+        cfg.name(),
+        cfg.mac_count(),
+        cfg.peak_tflops(),
+        cfg.clock_hz() / 1e6
+    );
+
+    // A 32-dimensional LSTM: the toolflow plans the MRF/VRF layout and
+    // generates the paper-style firmware.
+    let dims = RnnDims::square(32);
+    let lstm = Lstm::new(&cfg, dims);
+    println!(
+        "LSTM h={}: {} MRF tiles, {} chains per time step, {} ops/step",
+        dims.hidden,
+        lstm.mrf_entries_required(),
+        lstm.program(1).chain_count(),
+        lstm.ops_per_step()
+    );
+
+    // Pin weights (the host runtime's model deployment step).
+    let weights = LstmWeights::random(dims, 2024);
+    let mut npu = Npu::new(cfg);
+    lstm.load_weights(&mut npu, &weights)?;
+
+    // Serve 8 time steps of a synthetic input sequence.
+    let inputs: Vec<Vec<f32>> = (0..8)
+        .map(|t| {
+            (0..32)
+                .map(|i| ((t * 32 + i) as f32 * 0.13).sin() * 0.5)
+                .collect()
+        })
+        .collect();
+    let (outputs, stats) = lstm.run(&mut npu, &inputs)?;
+
+    println!(
+        "\nserved {} steps in {} cycles ({:.2} us): {} compound instructions, {} MACs dispatched",
+        inputs.len(),
+        stats.cycles,
+        stats.latency_seconds() * 1e6,
+        stats.instructions,
+        stats.mvm_macs
+    );
+
+    // Validate against the f32 golden model.
+    let mut h = vec![0.0f32; 32];
+    let mut c = vec![0.0f32; 32];
+    let mut worst = 0.0f32;
+    for (t, x) in inputs.iter().enumerate() {
+        let (h2, c2) =
+            reference::lstm_cell(&weights.w_x, &weights.w_h, &weights.bias, 32, 32, x, &h, &c);
+        h = h2;
+        c = c2;
+        for (got, want) in outputs[t].iter().zip(&h) {
+            worst = worst.max((got - want).abs());
+        }
+    }
+    println!("max |NPU - f32 reference| across all steps: {worst:.4}");
+    assert!(worst < 0.1, "quantization error should be small");
+    println!("OK: block floating point + float16 pipeline tracks the reference.");
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Synthesis specialization (§VI): tailor the soft NPU's datapath to a
+//! model instead of serving every model on one hardened design.
+//!
+//! For a range of model sizes, searches native dimension / lanes / tile
+//! engines / precision on a Stratix 10 280 and compares the specialized
+//! design's effective peak against running the same model on the generic
+//! BW_S10.
+//!
+//! Run with: `cargo run --release --example synthesis_specialization`
+
+use brainwave::fpga::{padding_efficiency, specialize};
+use brainwave::prelude::*;
+
+fn main() {
+    let device = Device::stratix_10_280();
+    println!(
+        "synthesis specialization on {} ({} ALMs, {} M20Ks, {} DSPs)\n",
+        device.name, device.alms, device.m20ks, device.dsps
+    );
+    println!(
+        "{:<12} {:>6} {:>6} {:>6} {:>4} {:>9} {:>10} {:>12} {:>10}",
+        "model", "nd", "lanes", "tiles", "m", "pad eff", "peak TF", "effective", "vs BW_S10"
+    );
+
+    for hidden in [256u64, 512, 1024, 1536, 2048, 2816] {
+        let model = ModelRequirements {
+            dims: vec![hidden],
+            weight_params: 6 * hidden * hidden, // a GRU's six matrices
+            min_mantissa_bits: 2,
+        };
+        let Some(design) = specialize(&device, &model) else {
+            println!("{hidden:<12} does not fit");
+            continue;
+        };
+        // The generic instance's effective peak on this model.
+        let generic = NpuConfig::bw_s10();
+        let generic_eff = generic.peak_tflops() * padding_efficiency(hidden, 400);
+        println!(
+            "{:<12} {:>6} {:>6} {:>6} {:>4} {:>8.0}% {:>10.1} {:>12.1} {:>9.2}x",
+            format!("GRU {hidden}"),
+            design.config.native_dim(),
+            design.config.lanes(),
+            design.config.tile_engines(),
+            design.config.matrix_format().mantissa_bits(),
+            design.padding_efficiency * 100.0,
+            design.estimate.peak_tflops,
+            design.effective_peak_tflops,
+            design.effective_peak_tflops / generic_eff,
+        );
+    }
+
+    println!(
+        "\nThe §VI claim, quantified: a leaner per-model microarchitecture beats a\n\
+         general instance most where tile padding hurts most (small and odd-sized\n\
+         models), which is exactly where Table V shows BW_S10's utilization dip."
+    );
+}

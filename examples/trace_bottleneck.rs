@@ -1,0 +1,75 @@
+//! Performance debugging with the execution trace: where do a GRU's cycles
+//! go on BW_S10, and which chains expose recurrent-dependence latency?
+//!
+//! This is the §VII-B2 analysis workflow — "microarchitectural
+//! inefficiencies such as data and structural hazards, pipeline stalls …
+//! conspire to prevent NPU implementations from approaching ideal SDM
+//! latencies" — run against the simulator's own per-chain records.
+//!
+//! Run with: `cargo run --release --example trace_bottleneck`
+
+use brainwave::core::TraceSummary;
+use brainwave::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A mid-size GRU where dependence latency is visible next to compute.
+    let bench_hidden = 1024usize;
+    let steps = 25u32;
+    let base = NpuConfig::bw_s10();
+    let gru = Gru::new(&base, RnnDims::square(bench_hidden));
+    let cfg = NpuConfig::builder()
+        .name("BW_S10")
+        .native_dim(base.native_dim())
+        .lanes(base.lanes())
+        .tile_engines(base.tile_engines())
+        .mrf_entries(gru.mrf_entries_required())
+        .vrf_entries(4096)
+        .clock_mhz(250.0)
+        .build()?;
+    let gru = Gru::new(&cfg, RnnDims::square(bench_hidden));
+
+    let mut npu = Npu::with_mode(cfg, ExecMode::TimingOnly);
+    npu.set_trace(true);
+    let stats = gru.run_timing_only(&mut npu, steps)?;
+    let trace = npu.take_trace();
+    let summary = TraceSummary::from_trace(&trace);
+
+    println!(
+        "GRU h={bench_hidden}, {steps} steps on BW_S10: {} cycles, {} chains traced\n",
+        stats.cycles,
+        trace.len()
+    );
+    println!(
+        "{:<14} {:>8} {:>12} {:>12} {:>12} {:>10}",
+        "chain kind", "chains", "busy cyc", "dep wait", "res wait", "occupancy"
+    );
+    for (kind, k) in &summary.kinds {
+        println!(
+            "{:<14} {:>8} {:>12} {:>12} {:>12} {:>9.1}%",
+            kind,
+            k.chains,
+            k.busy_cycles,
+            k.dep_wait_cycles,
+            k.resource_wait_cycles,
+            summary.occupancy(kind) * 100.0
+        );
+    }
+
+    if let Some((idx, stall)) = summary.worst_dep_stall {
+        let t = &trace[idx];
+        println!(
+            "\nworst dependence stall: chain #{idx} ({:?}) waited {stall} cycles on data\n\
+             (dispatched at {}, data ready at {}, started at {})",
+            t.kind, t.dispatched_at, t.dep_ready_at, t.start
+        );
+    }
+
+    println!(
+        "\nreading: the MVM keeps ~{:.0}% occupancy; the dependence waits on the\n\
+         recurrent chains are exactly the 'deep pipelines delay dependent data'\n\
+         effect of §VII-B1 — compare against the batch-interleaved firmware\n\
+         (fig8) which fills those waits with other sequences' work.",
+        summary.occupancy("mvm") * 100.0
+    );
+    Ok(())
+}

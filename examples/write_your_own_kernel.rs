@@ -1,0 +1,99 @@
+//! Programming the BW NPU by hand: write an instruction-chain kernel with
+//! the firmware builder, inspect its disassembly and binary encoding, and
+//! watch the hierarchical decoder expand one compound instruction.
+//!
+//! The kernel computes a gated residual update — the kind of fused
+//! DNN-subgraph the chain ISA was designed for:
+//!
+//! ```text
+//! g = sigmoid(W·x + b)          (one chain: read, mv_mul, add, sigmoid)
+//! y = g ∘ x + x                 (one chain: read, mul, add, multicast out)
+//! ```
+//!
+//! Run with: `cargo run --release --example write_your_own_kernel`
+
+use brainwave::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = NpuConfig::builder()
+        .name("kernel-demo")
+        .native_dim(8)
+        .lanes(4)
+        .tile_engines(2)
+        .mrf_entries(64)
+        .vrf_entries(64)
+        .matrix_format(BfpFormat::BFP_1S_5E_5M)
+        .build()?;
+
+    // --- VRF/MRF layout, by hand this time. ---
+    const IVRF_X: u32 = 0;
+    const MRF_W: u32 = 0;
+    const ASVRF0_B: u32 = 0; // bias, AddSubVrf(0)
+    const ASVRF0_X: u32 = 1; // x again as an add operand (the residual)
+    const MULVRF0_G: u32 = 0; // the gate, MultiplyVrf(0)
+
+    // --- The kernel. ---
+    let mut b = ProgramBuilder::new();
+    b.set_rows(1).set_cols(1);
+    // Stage x from the network, multicast to every file that needs it.
+    b.v_rd(MemId::NetQ, 0)
+        .v_wr(MemId::InitialVrf, IVRF_X)
+        .v_wr(MemId::AddSubVrf(0), ASVRF0_X)
+        .end_chain()?;
+    // g = sigmoid(W x + b)
+    b.v_rd(MemId::InitialVrf, IVRF_X)
+        .mv_mul(MRF_W)
+        .vv_add(ASVRF0_B)
+        .v_sigm()
+        .v_wr(MemId::MultiplyVrf(0), MULVRF0_G)
+        .end_chain()?;
+    // y = g ∘ x + x, straight out to the network.
+    b.v_rd(MemId::InitialVrf, IVRF_X)
+        .vv_mul(MULVRF0_G)
+        .vv_add(ASVRF0_X)
+        .v_wr(MemId::NetQ, 0)
+        .end_chain()?;
+    let program = b.build();
+
+    println!("disassembly:\n{program}");
+
+    let binary = program.encode();
+    println!("binary: {} bytes; round-trips: {}", binary.len(), {
+        Program::decode(&binary)? == program
+    });
+
+    // --- Run it. ---
+    let mut npu = Npu::new(cfg.clone());
+    let w: Vec<f32> = (0..64)
+        .map(|i| if i % 9 == 0 { 1.0 } else { 0.0 })
+        .collect(); // identity
+    npu.load_tiled_matrix(MRF_W, 1, 1, 8, 8, &w)?;
+    npu.load_vector(MemId::AddSubVrf(0), ASVRF0_B, &[0.0; 8])?;
+    let x: Vec<f32> = vec![0.5, -0.5, 1.0, -1.0, 2.0, -2.0, 0.0, 0.25];
+    npu.push_input(x.clone())?;
+    let stats = npu.run(&program)?;
+    let y = npu.pop_output().expect("kernel writes one vector");
+
+    println!("\nx = {x:?}");
+    println!("y = {y:?}");
+    for (xi, yi) in x.iter().zip(&y) {
+        let want = (1.0 / (1.0 + (-xi).exp())) * xi + xi; // sigmoid(x)∘x + x
+        assert!((yi - want).abs() < 0.05, "{yi} vs {want}");
+    }
+    println!(
+        "\n{} chains, {} instructions, {} cycles end to end",
+        stats.chains, stats.instructions, stats.cycles
+    );
+
+    // --- What one instruction becomes underneath (Figure 6). ---
+    let expansion = HddExpansion::expand(&cfg, &Instruction::MvMul { mrf_index: 0 }, 1, 1);
+    println!("\nhierarchical decode of the mv_mul:");
+    for level in &expansion.levels {
+        println!(
+            "  {:<45} {:>6} units -> {:>6} dispatched",
+            level.stage, level.units, level.dispatched
+        );
+    }
+    println!("  = {} primitive operations", expansion.primitive_ops);
+    Ok(())
+}

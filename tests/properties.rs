@@ -1,0 +1,170 @@
+//! Workspace-level property tests: randomized models and programs pushed
+//! through the whole stack.
+
+use brainwave::models::reference;
+use brainwave::prelude::*;
+use proptest::prelude::*;
+
+fn small_cfg() -> NpuConfig {
+    NpuConfig::builder()
+        .native_dim(8)
+        .lanes(4)
+        .tile_engines(2)
+        .mfus(2)
+        .mrf_entries(512)
+        .vrf_entries(512)
+        .matrix_format(BfpFormat::BFP_1S_5E_5M)
+        .build()
+        .expect("valid test configuration")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any randomly weighted LSTM tracks its f32 reference within
+    /// quantization noise, for any dimension and step count in range.
+    #[test]
+    fn lstm_tracks_reference(
+        hidden in 4usize..24,
+        steps in 1usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = small_cfg();
+        let dims = RnnDims::square(hidden);
+        let lstm = Lstm::new(&cfg, dims);
+        let weights = LstmWeights::random(dims, seed);
+        let mut npu = Npu::new(cfg);
+        lstm.load_weights(&mut npu, &weights).unwrap();
+
+        let inputs: Vec<Vec<f32>> = (0..steps)
+            .map(|t| (0..hidden).map(|i| ((t * hidden + i) as f32 * 0.37 + seed as f32).sin() * 0.5).collect())
+            .collect();
+        let (outputs, _) = lstm.run(&mut npu, &inputs).unwrap();
+
+        let mut h = vec![0.0f32; hidden];
+        let mut c = vec![0.0f32; hidden];
+        for (t, x) in inputs.iter().enumerate() {
+            let (h2, c2) = reference::lstm_cell(
+                &weights.w_x, &weights.w_h, &weights.bias, hidden, hidden, x, &h, &c,
+            );
+            h = h2;
+            c = c2;
+            for (got, want) in outputs[t].iter().zip(&h) {
+                prop_assert!((got - want).abs() < 0.12, "step {t}: {got} vs {want}");
+            }
+        }
+    }
+
+    /// GRU likewise.
+    #[test]
+    fn gru_tracks_reference(
+        hidden in 4usize..24,
+        steps in 1usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = small_cfg();
+        let dims = RnnDims::square(hidden);
+        let gru = Gru::new(&cfg, dims);
+        let weights = GruWeights::random(dims, seed);
+        let mut npu = Npu::new(cfg);
+        gru.load_weights(&mut npu, &weights).unwrap();
+
+        let inputs: Vec<Vec<f32>> = (0..steps)
+            .map(|t| (0..hidden).map(|i| ((t * 3 + i) as f32 * 0.23 + seed as f32).cos() * 0.4).collect())
+            .collect();
+        let (outputs, _) = gru.run(&mut npu, &inputs).unwrap();
+
+        let mut h = vec![0.0f32; hidden];
+        for (t, x) in inputs.iter().enumerate() {
+            h = reference::gru_cell(
+                &weights.w_x, &weights.w_h, &weights.bias, hidden, hidden, x, &h,
+            );
+            for (got, want) in outputs[t].iter().zip(&h) {
+                prop_assert!((got - want).abs() < 0.12, "step {t}: {got} vs {want}");
+            }
+        }
+    }
+
+    /// Every generated program round-trips through the binary format.
+    #[test]
+    fn firmware_binary_round_trip(
+        hidden in 4usize..64,
+        steps in 1u32..20,
+        lstm_not_gru in any::<bool>(),
+    ) {
+        let cfg = small_cfg();
+        let dims = RnnDims::square(hidden);
+        let program = if lstm_not_gru {
+            Lstm::new(&cfg, dims).program(steps)
+        } else {
+            Gru::new(&cfg, dims).program(steps)
+        };
+        let decoded = Program::decode(&program.encode()).unwrap();
+        prop_assert_eq!(program, decoded);
+    }
+
+    /// Timing is deterministic: the same program on the same NPU state
+    /// yields identical statistics, and doubling steps at least doubles
+    /// neither... precisely: cycles scale monotonically with steps.
+    #[test]
+    fn cycles_monotone_in_steps(hidden in 8usize..64, steps in 2u32..12) {
+        let cfg = small_cfg();
+        let dims = RnnDims::square(hidden);
+        let lstm = Lstm::new(&cfg, dims);
+
+        let run = |s: u32| {
+            let mut npu = Npu::with_mode(small_cfg(), ExecMode::TimingOnly);
+            lstm.run_timing_only(&mut npu, s).unwrap().cycles
+        };
+        let c1 = run(steps);
+        let c1b = run(steps);
+        prop_assert_eq!(c1, c1b, "determinism");
+        let c2 = run(steps + 3);
+        prop_assert!(c2 > c1, "monotonicity: {} vs {}", c1, c2);
+    }
+
+    /// MLPs of random shape match the dense reference.
+    #[test]
+    fn mlp_tracks_reference(
+        l1 in 4usize..20,
+        l2 in 4usize..20,
+        l3 in 2usize..12,
+        seed in 0u64..100,
+    ) {
+        let cfg = small_cfg();
+        let mlp = Mlp::new(&cfg, &[l1, l2, l3]);
+        let mut npu = Npu::new(cfg);
+        mlp.load_random_weights(&mut npu, seed).unwrap();
+        let x: Vec<f32> = (0..l1).map(|i| ((i as f32) * 0.31).sin() * 0.5).collect();
+        let (y, _) = mlp.run(&mut npu, std::slice::from_ref(&x)).unwrap();
+        prop_assert_eq!(y[0].len(), l3);
+        prop_assert!(y[0].iter().all(|v| v.is_finite()));
+    }
+
+    /// The BFP pipeline is numerically sane end to end: no NaN/inf escapes
+    /// the NPU for bounded inputs, at any tested precision.
+    #[test]
+    fn no_non_finite_values_escape(
+        mantissa in 2u8..=5,
+        hidden in 4usize..16,
+        scale in 0.1f32..2.0,
+    ) {
+        let cfg = NpuConfig::builder()
+            .native_dim(8)
+            .lanes(4)
+            .tile_engines(2)
+            .mrf_entries(256)
+            .vrf_entries(256)
+            .matrix_format(BfpFormat::new(5, mantissa, 128).unwrap())
+            .build()
+            .unwrap();
+        let dims = RnnDims::square(hidden);
+        let lstm = Lstm::new(&cfg, dims);
+        let mut npu = Npu::new(cfg);
+        lstm.load_weights(&mut npu, &LstmWeights::random(dims, 5)).unwrap();
+        let x: Vec<f32> = (0..hidden).map(|i| (i as f32 * 0.7).sin() * scale).collect();
+        let (outputs, _) = lstm.run(&mut npu, std::slice::from_ref(&x)).unwrap();
+        prop_assert!(outputs[0].iter().all(|v| v.is_finite() && v.abs() <= 1.0),
+            "LSTM outputs are tanh-bounded: {:?}", outputs[0]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Randomized-program fuzzing of the simulator: arbitrary *valid* chain
+//! programs must execute without panics, produce finite outputs, and agree
+//! between functional and timing-only modes on every cycle count.
+
+use brainwave::prelude::*;
+use proptest::prelude::*;
+
+const ND: u32 = 8;
+const VRF: u32 = 32;
+const MRF_GRID: u32 = 2; // a 2x2 grid of tiles is pre-loaded at index 0
+
+fn cfg() -> NpuConfig {
+    NpuConfig::builder()
+        .native_dim(ND)
+        .lanes(4)
+        .tile_engines(2)
+        .mfus(2)
+        .mrf_entries(MRF_GRID * MRF_GRID)
+        .vrf_entries(VRF)
+        .matrix_format(BfpFormat::BFP_1S_5E_5M)
+        .build()
+        .expect("valid fuzz configuration")
+}
+
+/// One random-but-valid vector chain description.
+#[derive(Clone, Debug)]
+struct ChainSpec {
+    /// Source: 0 = NetQ, 1 = InitialVrf, 2 = AddSubVrf0, 3 = MultiplyVrf0.
+    src: u8,
+    src_index: u32,
+    with_mvmul: bool,
+    /// MFU ops: subset encoded as bitmask (add, mul, tanh, relu, max).
+    ops: u8,
+    dst_index: u32,
+    to_net: bool,
+}
+
+fn chain_strategy() -> impl Strategy<Value = ChainSpec> {
+    (
+        0u8..4,
+        0u32..(VRF / 2),
+        any::<bool>(),
+        0u8..32,
+        0u32..(VRF / 2),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(src, src_index, with_mvmul, ops, dst_index, to_net)| ChainSpec {
+                src,
+                src_index,
+                with_mvmul,
+                ops,
+                dst_index,
+                to_net,
+            },
+        )
+}
+
+/// Builds a program from specs; every chain is rows=cols=MRF_GRID wide so
+/// the mv_mul grid and the widths stay in bounds.
+fn build_program(specs: &[ChainSpec]) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.set_rows(MRF_GRID).set_cols(MRF_GRID);
+    for s in specs {
+        match s.src {
+            0 => b.v_rd(MemId::NetQ, 0),
+            1 => b.v_rd(MemId::InitialVrf, s.src_index),
+            2 => b.v_rd(MemId::AddSubVrf(0), s.src_index),
+            _ => b.v_rd(MemId::MultiplyVrf(0), s.src_index),
+        };
+        if s.with_mvmul {
+            b.mv_mul(0);
+        }
+        // At most one of each MFU unit kind per MFU; we have two MFUs, so
+        // allow up to two add/sub-family ops and keep one multiply and two
+        // activations.
+        if s.ops & 1 != 0 {
+            b.vv_add(s.src_index % (VRF / 2));
+        }
+        if s.ops & 2 != 0 {
+            b.vv_mul(s.dst_index % (VRF / 2));
+        }
+        if s.ops & 4 != 0 {
+            b.v_tanh();
+        }
+        if s.ops & 8 != 0 {
+            b.v_relu();
+        }
+        if s.ops & 16 != 0 {
+            b.vv_max(s.dst_index % (VRF / 2));
+        }
+        // Land in the upper half of a VRF so reads of the lower half see
+        // stable preloaded data.
+        b.v_wr(
+            MemId::InitialVrf,
+            VRF / 2 + s.dst_index % (VRF / 2 - MRF_GRID),
+        );
+        if s.to_net {
+            b.v_wr(MemId::NetQ, 0);
+        }
+        b.end_chain().expect("specs construct valid chains");
+    }
+    b.build()
+}
+
+fn prepare(npu: &mut Npu, specs: &[ChainSpec]) {
+    // Pre-load a well-conditioned tile grid and every VRF's lower half.
+    let n = (MRF_GRID * ND) as usize;
+    let mut m = vec![0.0f32; n * n];
+    for i in 0..n {
+        m[i * n + i] = 0.5;
+    }
+    npu.load_tiled_matrix(0, MRF_GRID, MRF_GRID, n, n, &m)
+        .expect("grid fits");
+    for slot in 0..VRF {
+        let v: Vec<f32> = (0..ND)
+            .map(|i| ((slot + i) as f32 * 0.13).sin() * 0.5)
+            .collect();
+        npu.load_vector(MemId::InitialVrf, slot, &v).unwrap();
+        npu.load_vector(MemId::AddSubVrf(0), slot, &v).unwrap();
+        npu.load_vector(MemId::AddSubVrf(1), slot, &v).unwrap();
+        npu.load_vector(MemId::MultiplyVrf(0), slot, &v).unwrap();
+        npu.load_vector(MemId::MultiplyVrf(1), slot, &v).unwrap();
+    }
+    let net_reads = specs.iter().filter(|s| s.src == 0).count();
+    npu.push_input_zeros(net_reads * MRF_GRID as usize);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_programs_execute_and_stay_finite(
+        specs in prop::collection::vec(chain_strategy(), 1..12)
+    ) {
+        let program = build_program(&specs);
+        // Statically clean...
+        prop_assert!(program.validate(&cfg()).is_empty());
+
+        // ...and dynamically clean.
+        let mut npu = Npu::new(cfg());
+        prepare(&mut npu, &specs);
+        let stats = npu.run(&program).expect("valid program runs");
+        prop_assert!(stats.cycles > 0);
+        prop_assert_eq!(stats.chains, specs.len() as u64);
+        while let Some(v) = npu.pop_output() {
+            prop_assert!(v.iter().all(|x| x.is_finite()), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn functional_and_timing_modes_agree_on_cycles(
+        specs in prop::collection::vec(chain_strategy(), 1..10)
+    ) {
+        let program = build_program(&specs);
+        let mut full = Npu::new(cfg());
+        prepare(&mut full, &specs);
+        let fs = full.run(&program).expect("runs");
+
+        let mut timing = Npu::with_mode(cfg(), ExecMode::TimingOnly);
+        prepare(&mut timing, &specs);
+        let ts = timing.run(&program).expect("runs");
+
+        prop_assert_eq!(fs.cycles, ts.cycles);
+        prop_assert_eq!(fs.mvm_macs, ts.mvm_macs);
+        prop_assert_eq!(fs.instructions, ts.instructions);
+    }
+
+    #[test]
+    fn random_programs_round_trip_both_formats(
+        specs in prop::collection::vec(chain_strategy(), 1..10)
+    ) {
+        let program = build_program(&specs);
+        // Binary.
+        prop_assert_eq!(Program::decode(&program.encode()).unwrap(), program.clone());
+        // Assembly.
+        let text = program.to_string();
+        prop_assert_eq!(Program::parse_asm(&text).unwrap(), program);
+    }
+}

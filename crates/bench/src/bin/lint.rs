@@ -1,0 +1,157 @@
+//! `lint` — run the bw-core firmware linter over generated firmware.
+//!
+//! Lints the production LSTM kernel (the paper's §IV-C listing) on a
+//! BW_S10-shaped instance and prints the analysis report, exercising the
+//! same deployment gate `bw-gir` applies when compiling pipelines.
+//!
+//! ```text
+//! cargo run -p bw-bench --bin lint               # lint LSTM firmware
+//! cargo run -p bw-bench --bin lint -- --hidden 2000 --steps 50
+//! cargo run -p bw-bench --bin lint -- --deny-warnings
+//! cargo run -p bw-bench --bin lint -- --json     # machine-readable report
+//! cargo run -p bw-bench --bin lint -- --demo     # seeded-bug showcase
+//! ```
+//!
+//! Exits nonzero if the report blocks deployment (errors; warnings too
+//! under `--deny-warnings`), so it slots into CI and toolflow scripts.
+//! `--demo` always exits zero: its diagnostics are the expected output,
+//! not a gate failure.
+
+use std::process::ExitCode;
+
+use bw_bench::bw_s10_sized;
+use bw_core::isa::{MemId, ProgramBuilder};
+use bw_core::{analyze_with, AnalysisOptions, AnalysisReport, Analyzer};
+use bw_models::{Lstm, RnnDims};
+
+struct Args {
+    hidden: usize,
+    steps: u32,
+    batch: u32,
+    deny_warnings: bool,
+    json: bool,
+    demo: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        hidden: 2000,
+        steps: 10,
+        batch: 1,
+        deny_warnings: false,
+        json: false,
+        demo: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| it.next().ok_or_else(|| format!("{what} requires a value"));
+        match flag.as_str() {
+            "--hidden" => args.hidden = value("--hidden")?.parse().map_err(|e| format!("{e}"))?,
+            "--steps" => args.steps = value("--steps")?.parse().map_err(|e| format!("{e}"))?,
+            "--batch" => args.batch = value("--batch")?.parse().map_err(|e| format!("{e}"))?,
+            "--deny-warnings" => args.deny_warnings = true,
+            "--json" => args.json = true,
+            "--demo" => args.demo = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: lint [--hidden N] [--steps N] [--batch N] \
+                     [--deny-warnings] [--json] [--demo]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.hidden == 0 || args.steps == 0 || args.batch == 0 {
+        return Err("--hidden, --steps and --batch must be positive".into());
+    }
+    Ok(args)
+}
+
+fn print_report(report: &AnalysisReport, json: bool) {
+    if json {
+        println!("{}", report.to_json());
+    } else if report.diagnostics.is_empty() {
+        println!("clean: no diagnostics");
+    } else {
+        println!("{report}");
+    }
+}
+
+/// A deliberately broken program showcasing one diagnostic from each
+/// pass family: an uninitialized VRF read, a dead store, an unloaded MRF
+/// multiply, a network-queue underflow, and a default-tiling multiply.
+fn demo_report() -> AnalysisReport {
+    let mut b = ProgramBuilder::new();
+    b.v_rd(MemId::NetQ, 0)
+        .mv_mul(0)
+        .v_wr(MemId::NetQ, 0)
+        .end_chain()
+        .unwrap();
+    b.set_rows(2).set_cols(2);
+    b.v_rd(MemId::InitialVrf, 8)
+        .mv_mul(0)
+        .v_wr(MemId::InitialVrf, 16)
+        .end_chain()
+        .unwrap();
+    b.v_rd(MemId::NetQ, 0)
+        .v_wr(MemId::InitialVrf, 16)
+        .end_chain()
+        .unwrap();
+    b.v_rd(MemId::InitialVrf, 16)
+        .v_wr(MemId::NetQ, 0)
+        .end_chain()
+        .unwrap();
+    let program = b.build();
+    let cfg = bw_s10_sized(64);
+    analyze_with(
+        &program,
+        &cfg,
+        AnalysisOptions::default().with_input_vectors(2),
+    )
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.demo {
+        println!("== seeded-bug showcase ==");
+        let report = demo_report();
+        print_report(&report, args.json);
+        return ExitCode::SUCCESS;
+    }
+
+    let dims = RnnDims::square(args.hidden);
+    let cfg_probe = bw_s10_sized(64);
+    let sized = Lstm::new(&cfg_probe, dims);
+    let cfg = bw_s10_sized(sized.mrf_entries_required());
+    let lstm = Lstm::new(&cfg, dims);
+    let program = lstm.program_batched(args.steps, args.batch);
+    let options = lstm.analysis_options_batched(args.steps, args.batch);
+
+    if !args.json {
+        println!(
+            "linting LSTM h={} steps={} batch={} on {} ({} chains, passes: {})",
+            args.hidden,
+            args.steps,
+            args.batch,
+            cfg.name(),
+            program.chain_count(),
+            Analyzer::new(options.clone()).pass_names().join(", ")
+        );
+    }
+    let report = analyze_with(&program, &cfg, options);
+    print_report(&report, args.json);
+
+    if report.blocks_deployment(args.deny_warnings) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,299 @@
+//! Capacity and structural checks — the original `Program::validate`
+//! logic, shared between that API and the diagnostic pipeline.
+
+use crate::config::NpuConfig;
+use crate::isa::{Chain, Instruction, Item, MemId, Program};
+use crate::validate::{ValidateError, ValidateErrorKind};
+
+use super::{walk, AnalysisPass, DiagCode, Diagnostic, PassContext, WalkMode};
+
+/// Capacity of the vector register file `mem`, or `None` when the config
+/// lacks the MFU hosting it.
+///
+/// Only meaningful for VRF memories: callers gate on [`MemId::is_vrf`]
+/// first (the single source of truth for VRF-ness), which keeps the
+/// non-VRF arm unreachable — there is no sentinel capacity for NetQ, DRAM,
+/// or the MRF.
+fn vrf_capacity(config: &NpuConfig, mem: MemId) -> Option<u32> {
+    debug_assert!(mem.is_vrf(), "vrf_capacity is only defined for VRFs");
+    match mem {
+        MemId::InitialVrf => Some(config.vrf_entries()),
+        MemId::AddSubVrf(i) | MemId::MultiplyVrf(i) => {
+            (u32::from(i) < config.mfus()).then(|| config.vrf_entries())
+        }
+        MemId::MatrixRf | MemId::NetQ | MemId::Dram => None,
+    }
+}
+
+/// MFU operand files are addressed by an 8-bit index; chains with more
+/// seen operands than that saturate (the per-kind capacity check has
+/// already errored long before 256 MFUs could exist).
+fn operand_file(seen: usize) -> u8 {
+    u8::try_from(seen).unwrap_or(u8::MAX)
+}
+
+fn check_vrf(
+    config: &NpuConfig,
+    at: (usize, usize),
+    mem: MemId,
+    index: u32,
+    width: u32,
+    errors: &mut Vec<ValidateError>,
+) {
+    if !mem.is_vrf() {
+        return;
+    }
+    let Some(capacity) = vrf_capacity(config, mem) else {
+        errors.push(ValidateError {
+            segment: at.0,
+            item: at.1,
+            kind: ValidateErrorKind::MissingMfu {
+                mem,
+                mfus: config.mfus(),
+            },
+        });
+        return;
+    };
+    if u64::from(index) + u64::from(width) > u64::from(capacity) {
+        errors.push(ValidateError {
+            segment: at.0,
+            item: at.1,
+            kind: ValidateErrorKind::VrfOverflow {
+                mem,
+                index,
+                width,
+                capacity,
+            },
+        });
+    }
+}
+
+fn check_mrf(
+    config: &NpuConfig,
+    at: (usize, usize),
+    index: u32,
+    tiles: u32,
+    errors: &mut Vec<ValidateError>,
+) {
+    let capacity = config.mrf_entries();
+    if u64::from(index) + u64::from(tiles) > u64::from(capacity) {
+        errors.push(ValidateError {
+            segment: at.0,
+            item: at.1,
+            kind: ValidateErrorKind::MrfOverflow {
+                index,
+                tiles,
+                capacity,
+            },
+        });
+    }
+}
+
+fn check_chain(
+    config: &NpuConfig,
+    at: (usize, usize),
+    rows: u32,
+    cols: u32,
+    chain: &Chain,
+    errors: &mut Vec<ValidateError>,
+) {
+    // MFU unit capacity.
+    let mfus = config.mfus();
+    for (kind, used) in [
+        ("add/sub", chain.addsub_ops()),
+        ("multiply", chain.multiply_ops()),
+        ("activation", chain.activation_ops()),
+    ] {
+        if used > mfus as usize {
+            errors.push(ValidateError {
+                segment: at.0,
+                item: at.1,
+                kind: ValidateErrorKind::MfuCapacity {
+                    kind,
+                    used,
+                    available: mfus,
+                },
+            });
+        }
+    }
+
+    let has_mvm = chain.has_mv_mul();
+    let w_in = if has_mvm { cols } else { rows };
+    let w_out = rows;
+    let mut addsub_seen: usize = 0;
+    let mut multiply_seen: usize = 0;
+    for instr in chain.instructions() {
+        match *instr {
+            Instruction::VRd { mem, index } => check_vrf(config, at, mem, index, w_in, errors),
+            Instruction::VWr { mem, index } => check_vrf(config, at, mem, index, w_out, errors),
+            Instruction::MvMul { mrf_index } => {
+                check_mrf(config, at, mrf_index, rows.saturating_mul(cols), errors);
+            }
+            Instruction::MWr {
+                mem: MemId::MatrixRf,
+                index,
+            } => check_mrf(config, at, index, rows.saturating_mul(cols), errors),
+            Instruction::VvAdd { index }
+            | Instruction::VvASubB { index }
+            | Instruction::VvBSubA { index }
+            | Instruction::VvMax { index } => {
+                let mem = MemId::AddSubVrf(operand_file(addsub_seen));
+                check_vrf(config, at, mem, index, w_out, errors);
+                addsub_seen += 1;
+            }
+            Instruction::VvMul { index } => {
+                let mem = MemId::MultiplyVrf(operand_file(multiply_seen));
+                check_vrf(config, at, mem, index, w_out, errors);
+                multiply_seen += 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Collects every capacity/structural violation of `program` against
+/// `config`. Backs both [`Program::validate`] and [`CapacityPass`]; one
+/// static iteration per segment suffices because accesses do not change
+/// across iterations.
+pub(crate) fn collect(program: &Program, config: &NpuConfig) -> Vec<ValidateError> {
+    let mut errors = Vec::new();
+    walk(program, WalkMode::Static, |step| {
+        let at = (step.segment, step.item);
+        match step.item_ref {
+            Item::SetReg { reg, value } => {
+                if *value == 0 {
+                    errors.push(ValidateError {
+                        segment: at.0,
+                        item: at.1,
+                        kind: ValidateErrorKind::ZeroRegister(*reg),
+                    });
+                }
+            }
+            Item::Chain(chain) => {
+                check_chain(config, at, step.rows, step.cols, chain, &mut errors);
+            }
+        }
+    });
+    errors
+}
+
+/// BW001–BW006: capacity and structural checks as a diagnostic pass.
+///
+/// Wraps the same implementation as [`Program::validate`] so the two
+/// frontends can never disagree; each structured [`ValidateError`] becomes
+/// a diagnostic, and every rejected zero register write additionally gets
+/// a BW006 info note recording the analyzer/scheduler divergence.
+pub struct CapacityPass;
+
+impl AnalysisPass for CapacityPass {
+    fn name(&self) -> &'static str {
+        "capacity"
+    }
+
+    fn run(&self, cx: &PassContext<'_>, out: &mut Vec<Diagnostic>) {
+        for err in collect(cx.program, cx.config) {
+            let code = match err.kind {
+                ValidateErrorKind::ZeroRegister(_) => DiagCode::ZeroRegister,
+                ValidateErrorKind::VrfOverflow { .. } => DiagCode::VrfOverflow,
+                ValidateErrorKind::MrfOverflow { .. } => DiagCode::MrfOverflow,
+                ValidateErrorKind::MissingMfu { .. } => DiagCode::MissingMfu,
+                ValidateErrorKind::MfuCapacity { .. } => DiagCode::MfuCapacity,
+            };
+            let stale = match &err.kind {
+                ValidateErrorKind::ZeroRegister(reg) => Some(format!(
+                    "analysis continues with the previous {reg} value after the \
+                     rejected zero write; the scheduler faults at dispatch instead, \
+                     so later diagnostics in this report assume the stale value"
+                )),
+                _ => None,
+            };
+            let (segment, item) = (err.segment, err.item);
+            out.push(Diagnostic::new(code, segment, item, err.kind.to_string()));
+            if let Some(message) = stale {
+                out.push(Diagnostic::new(
+                    DiagCode::StaleRegister,
+                    segment,
+                    item,
+                    message,
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze, Severity};
+    use crate::isa::ProgramBuilder;
+
+    fn cfg() -> NpuConfig {
+        NpuConfig::builder()
+            .native_dim(8)
+            .lanes(4)
+            .tile_engines(2)
+            .mfus(2)
+            .mrf_entries(16)
+            .vrf_entries(32)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn pass_mirrors_validate_errors() {
+        let mut b = ProgramBuilder::new();
+        b.set_rows(4);
+        b.v_rd(MemId::NetQ, 0)
+            .v_wr(MemId::InitialVrf, 30) // 30..34 > 32
+            .end_chain()
+            .unwrap();
+        let p = b.build();
+        let errors = p.validate(&cfg());
+        let report = analyze(&p, &cfg());
+        let caps: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == DiagCode::VrfOverflow)
+            .collect();
+        assert_eq!(errors.len(), 1);
+        assert_eq!(caps.len(), 1);
+        assert_eq!(
+            (caps[0].segment, caps[0].item),
+            (errors[0].segment, errors[0].item)
+        );
+        assert_eq!(caps[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn zero_register_emits_error_and_stale_info() {
+        let mut b = ProgramBuilder::new();
+        b.set_rows(2).set_cols(2);
+        b.set_rows(0);
+        b.v_rd(MemId::NetQ, 0)
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        let report = analyze(&b.build(), &cfg());
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::ZeroRegister && d.item == 2));
+        let stale: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == DiagCode::StaleRegister)
+            .collect();
+        assert_eq!(stale.len(), 1);
+        assert_eq!((stale[0].segment, stale[0].item), (0, 2));
+        assert_eq!(stale[0].severity, Severity::Info);
+    }
+
+    #[test]
+    fn non_vrf_memories_have_no_capacity() {
+        let cfg = cfg();
+        assert_eq!(vrf_capacity(&cfg, MemId::InitialVrf), Some(32));
+        assert_eq!(vrf_capacity(&cfg, MemId::AddSubVrf(1)), Some(32));
+        assert_eq!(vrf_capacity(&cfg, MemId::AddSubVrf(2)), None);
+        assert_eq!(vrf_capacity(&cfg, MemId::MultiplyVrf(200)), None);
+    }
+}

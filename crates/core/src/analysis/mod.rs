@@ -1,0 +1,757 @@
+//! Static dataflow analysis of NPU firmware — a linter over [`Program`]s.
+//!
+//! The analyzer runs a pipeline of [`AnalysisPass`]es over a program. Each
+//! pass walks the segments and items of the program with the scheduler's
+//! `rows`/`cols` tiling state tracked alongside, and emits [`Diagnostic`]s
+//! identified by a stable `BW0xx` code with a fixed [`Severity`]:
+//!
+//! | code  | severity | meaning |
+//! |-------|----------|---------|
+//! | BW001 | error    | tiling register written with zero |
+//! | BW002 | error    | VRF access out of range |
+//! | BW003 | error    | MRF access out of range |
+//! | BW004 | error    | VRF attached to an MFU the config lacks |
+//! | BW005 | error    | chain exceeds per-kind MFU capacity |
+//! | BW006 | info     | analysis keeps the stale register value after BW001 |
+//! | BW010 | error    | read of a VRF range never written nor preloaded |
+//! | BW011 | warning  | dead store: VRF write never read |
+//! | BW012 | info     | VRF range read before its first write |
+//! | BW020 | info     | MRF write-after-read (double-buffer serialization) |
+//! | BW021 | warning  | MRF tiles loaded but never read by an `mv_mul` |
+//! | BW022 | error    | `mv_mul` reads MRF tiles never loaded nor preloaded |
+//! | BW030 | error    | NetQ input vector pops can underflow the queue |
+//! | BW031 | error    | NetQ input matrix pops can underflow the queue |
+//! | BW032 | info     | NetQ output count differs from the declared count |
+//! | BW040 | warning  | `mv_mul` runs with the power-on 1×1 tiling |
+//! | BW041 | warning  | redundant identity operation in a chain |
+//! | BW042 | warning  | multicast writes to overlapping destinations |
+//! | BW043 | warning  | `mv_mul` chain reads and writes overlapping ranges |
+//!
+//! Severities gate deployment: the toolflow refuses to lower a model onto a
+//! device when the report contains errors (and, optionally, warnings — see
+//! `AnalysisReport::is_clean`). Because VRFs and the MRF are host-visible,
+//! a purely static pass cannot see host preloads (weights, biases, initial
+//! recurrent state); [`AnalysisOptions`] lets the firmware generator declare
+//! those ranges so that legitimate reads do not trip BW010/BW022.
+
+use std::fmt;
+
+use serde::Serialize;
+
+use crate::config::NpuConfig;
+use crate::isa::{Chain, Item, Program, ScalarReg};
+
+pub(crate) mod capacity;
+mod hazards;
+mod liveness;
+mod netq;
+mod shape;
+
+pub use capacity::CapacityPass;
+pub use hazards::HazardPass;
+pub use liveness::LivenessPass;
+pub use netq::NetQueuePass;
+pub use shape::ChainShapePass;
+
+/// How serious a diagnostic is. Ordered: `Info < Warning < Error`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum Severity {
+    /// Advisory only; never gates deployment.
+    Info,
+    /// Suspicious but possibly intentional; gates deployment only when
+    /// warnings are denied.
+    Warning,
+    /// A firmware bug that would fault or corrupt results at run time;
+    /// always gates deployment.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable identifier for each diagnostic the analyzer can emit.
+///
+/// The `BW0xx` string form (see [`DiagCode::as_str`]) is the public name
+/// used in reports, documentation, and suppression lists; the enum keeps
+/// matching in code typo-proof.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum DiagCode {
+    /// BW001: a `s_wr` wrote zero to `rows`/`cols`.
+    ZeroRegister,
+    /// BW002: a vector access runs past the end of a VRF.
+    VrfOverflow,
+    /// BW003: a matrix access runs past the end of the MRF.
+    MrfOverflow,
+    /// BW004: the addressed VRF belongs to an MFU the config lacks.
+    MissingMfu,
+    /// BW005: a chain uses more ops of one kind than there are MFUs.
+    MfuCapacity,
+    /// BW006: follow-on to BW001 — analysis continues with the stale
+    /// register value, while the scheduler would fault at dispatch.
+    StaleRegister,
+    /// BW010: a VRF range is read but never written nor declared preloaded.
+    UninitializedRead,
+    /// BW011: a VRF write is never read before being overwritten or the
+    /// program ending.
+    DeadStore,
+    /// BW012: a VRF range is read before its first write; the first
+    /// iteration observes reset (zero) contents.
+    ReadBeforeWrite,
+    /// BW020: an `m_wr` overwrites MRF tiles a previous `mv_mul` read —
+    /// the double-buffered DRAM stream serializes here.
+    MrfWriteAfterRead,
+    /// BW021: MRF tiles are loaded but never read by any `mv_mul`.
+    MrfDeadLoad,
+    /// BW022: an `mv_mul` reads MRF tiles never loaded nor preloaded.
+    MrfUninitializedRead,
+    /// BW030: cumulative NetQ vector pops can exceed the declared input
+    /// budget.
+    NetUnderflow,
+    /// BW031: cumulative NetQ matrix pops can exceed the declared input
+    /// budget.
+    NetMatrixUnderflow,
+    /// BW032: the program's NetQ output count differs from the declared
+    /// expected count.
+    NetOutputMismatch,
+    /// BW040: an `mv_mul` executes while `rows`/`cols` still hold the
+    /// power-on 1×1 default.
+    DefaultTiling,
+    /// BW041: an operation in a chain is an identity on its input.
+    RedundantOp,
+    /// BW042: two multicast writes in one chain cover overlapping
+    /// destination ranges.
+    OverlappingMulticast,
+    /// BW043: a chain with an `mv_mul` reads and writes overlapping ranges
+    /// of the same VRF at different widths (`cols` in, `rows` out).
+    AliasedChainIo,
+}
+
+impl DiagCode {
+    /// Every code the analyzer can emit, in numeric order.
+    pub const ALL: [DiagCode; 19] = [
+        DiagCode::ZeroRegister,
+        DiagCode::VrfOverflow,
+        DiagCode::MrfOverflow,
+        DiagCode::MissingMfu,
+        DiagCode::MfuCapacity,
+        DiagCode::StaleRegister,
+        DiagCode::UninitializedRead,
+        DiagCode::DeadStore,
+        DiagCode::ReadBeforeWrite,
+        DiagCode::MrfWriteAfterRead,
+        DiagCode::MrfDeadLoad,
+        DiagCode::MrfUninitializedRead,
+        DiagCode::NetUnderflow,
+        DiagCode::NetMatrixUnderflow,
+        DiagCode::NetOutputMismatch,
+        DiagCode::DefaultTiling,
+        DiagCode::RedundantOp,
+        DiagCode::OverlappingMulticast,
+        DiagCode::AliasedChainIo,
+    ];
+
+    /// The stable `BW0xx` name of this code.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::ZeroRegister => "BW001",
+            DiagCode::VrfOverflow => "BW002",
+            DiagCode::MrfOverflow => "BW003",
+            DiagCode::MissingMfu => "BW004",
+            DiagCode::MfuCapacity => "BW005",
+            DiagCode::StaleRegister => "BW006",
+            DiagCode::UninitializedRead => "BW010",
+            DiagCode::DeadStore => "BW011",
+            DiagCode::ReadBeforeWrite => "BW012",
+            DiagCode::MrfWriteAfterRead => "BW020",
+            DiagCode::MrfDeadLoad => "BW021",
+            DiagCode::MrfUninitializedRead => "BW022",
+            DiagCode::NetUnderflow => "BW030",
+            DiagCode::NetMatrixUnderflow => "BW031",
+            DiagCode::NetOutputMismatch => "BW032",
+            DiagCode::DefaultTiling => "BW040",
+            DiagCode::RedundantOp => "BW041",
+            DiagCode::OverlappingMulticast => "BW042",
+            DiagCode::AliasedChainIo => "BW043",
+        }
+    }
+
+    /// The fixed severity of this code.
+    pub const fn severity(self) -> Severity {
+        match self {
+            DiagCode::ZeroRegister
+            | DiagCode::VrfOverflow
+            | DiagCode::MrfOverflow
+            | DiagCode::MissingMfu
+            | DiagCode::MfuCapacity
+            | DiagCode::UninitializedRead
+            | DiagCode::MrfUninitializedRead
+            | DiagCode::NetUnderflow
+            | DiagCode::NetMatrixUnderflow => Severity::Error,
+            DiagCode::DeadStore
+            | DiagCode::MrfDeadLoad
+            | DiagCode::DefaultTiling
+            | DiagCode::RedundantOp
+            | DiagCode::OverlappingMulticast
+            | DiagCode::AliasedChainIo => Severity::Warning,
+            DiagCode::StaleRegister
+            | DiagCode::ReadBeforeWrite
+            | DiagCode::MrfWriteAfterRead
+            | DiagCode::NetOutputMismatch => Severity::Info,
+        }
+    }
+
+    /// A short human title for documentation and report headers.
+    pub const fn title(self) -> &'static str {
+        match self {
+            DiagCode::ZeroRegister => "zero tiling register",
+            DiagCode::VrfOverflow => "VRF access out of range",
+            DiagCode::MrfOverflow => "MRF access out of range",
+            DiagCode::MissingMfu => "missing MFU register file",
+            DiagCode::MfuCapacity => "MFU capacity exceeded",
+            DiagCode::StaleRegister => "stale register after rejected write",
+            DiagCode::UninitializedRead => "uninitialized VRF read",
+            DiagCode::DeadStore => "dead store",
+            DiagCode::ReadBeforeWrite => "read before first write",
+            DiagCode::MrfWriteAfterRead => "MRF write-after-read",
+            DiagCode::MrfDeadLoad => "dead matrix load",
+            DiagCode::MrfUninitializedRead => "uninitialized MRF read",
+            DiagCode::NetUnderflow => "input queue underflow",
+            DiagCode::NetMatrixUnderflow => "input matrix queue underflow",
+            DiagCode::NetOutputMismatch => "output count mismatch",
+            DiagCode::DefaultTiling => "mv_mul with default tiling",
+            DiagCode::RedundantOp => "redundant operation",
+            DiagCode::OverlappingMulticast => "overlapping multicast",
+            DiagCode::AliasedChainIo => "aliased chain read/write",
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding, anchored to the segment and item that produced it.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct Diagnostic {
+    /// Stable code identifying the kind of finding.
+    pub code: DiagCode,
+    /// Severity (always `code.severity()`; duplicated for serialization).
+    pub severity: Severity,
+    /// Index of the segment containing the offending item.
+    pub segment: usize,
+    /// Index of the item within the segment.
+    pub item: usize,
+    /// Human-readable description of the finding.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic at `(segment, item)` with the code's severity.
+    pub fn new(code: DiagCode, segment: usize, item: usize, message: String) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            segment,
+            item,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] segment {}, item {}: {}",
+            self.severity, self.code, self.segment, self.item, self.message
+        )
+    }
+}
+
+/// A host-initialized region of on-chip memory.
+///
+/// `MemId::MatrixRf` ranges are in MRF tile entries; VRF ranges are in
+/// native-vector entries of the named file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct PreloadedRange {
+    /// The memory the host initializes.
+    pub mem: crate::isa::MemId,
+    /// First entry of the initialized range.
+    pub start: u32,
+    /// Number of entries initialized.
+    pub len: u32,
+}
+
+/// Facts about the deployment environment that static analysis cannot
+/// recover from the program alone.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct AnalysisOptions {
+    /// Memory ranges the host initializes before the program runs
+    /// (weights, biases, initial recurrent state). Reads from these ranges
+    /// are not uninitialized.
+    pub preloaded: Vec<PreloadedRange>,
+    /// Number of input vectors the host pushes on the network queue per
+    /// run, if known. `None` disables BW030.
+    pub netq_input_vectors: Option<u64>,
+    /// Number of input matrix tiles the host pushes per run, if known.
+    /// `None` disables BW031.
+    pub netq_input_matrices: Option<u64>,
+    /// Number of output vectors the host expects per run, if known.
+    /// `None` disables BW032.
+    pub netq_expected_outputs: Option<u64>,
+}
+
+impl AnalysisOptions {
+    /// Declares `[start, start + len)` of `mem` as host-preloaded.
+    #[must_use]
+    pub fn preload(mut self, mem: crate::isa::MemId, start: u32, len: u32) -> Self {
+        self.preloaded.push(PreloadedRange { mem, start, len });
+        self
+    }
+
+    /// Declares the per-run input vector budget on the network queue.
+    #[must_use]
+    pub fn with_input_vectors(mut self, count: u64) -> Self {
+        self.netq_input_vectors = Some(count);
+        self
+    }
+
+    /// Declares the per-run input matrix-tile budget on the network queue.
+    #[must_use]
+    pub fn with_input_matrices(mut self, count: u64) -> Self {
+        self.netq_input_matrices = Some(count);
+        self
+    }
+
+    /// Declares the per-run output vector count the host expects.
+    #[must_use]
+    pub fn with_expected_outputs(mut self, count: u64) -> Self {
+        self.netq_expected_outputs = Some(count);
+        self
+    }
+}
+
+/// Everything a pass needs: the program, the hardware shape, and the
+/// deployment facts.
+pub struct PassContext<'a> {
+    /// The firmware under analysis.
+    pub program: &'a Program,
+    /// The device configuration it targets.
+    pub config: &'a NpuConfig,
+    /// Deployment facts (preloads, queue budgets).
+    pub options: &'a AnalysisOptions,
+}
+
+/// One analysis over a whole program.
+pub trait AnalysisPass {
+    /// Stable name of the pass (for logs and pass selection).
+    fn name(&self) -> &'static str;
+    /// Runs the pass, appending findings to `out`.
+    fn run(&self, cx: &PassContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// The collected findings of an analyzer run.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct AnalysisReport {
+    /// All findings, ordered by program location then code.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AnalysisReport {
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.by_severity(Severity::Error).count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.by_severity(Severity::Warning).count()
+    }
+
+    /// Number of info-severity findings.
+    pub fn info_count(&self) -> usize {
+        self.by_severity(Severity::Info).count()
+    }
+
+    /// Findings of exactly `severity`.
+    pub fn by_severity(&self, severity: Severity) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(move |d| d.severity == severity)
+    }
+
+    /// Whether the report contains any error.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Whether the report is free of errors and warnings (infos allowed).
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0 && self.warning_count() == 0
+    }
+
+    /// Whether the report blocks deployment under the given policy.
+    pub fn blocks_deployment(&self, deny_warnings: bool) -> bool {
+        self.has_errors() || (deny_warnings && self.warning_count() > 0)
+    }
+
+    /// Serializes the report as a JSON object (no external dependencies;
+    /// messages are escaped per RFC 8259).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"segment\":{},\"item\":{},\"message\":\"{}\"}}",
+                d.code,
+                d.severity,
+                d.segment,
+                d.item,
+                json_escape(&d.message)
+            ));
+        }
+        out.push_str(&format!(
+            "],\"errors\":{},\"warnings\":{},\"infos\":{}}}",
+            self.error_count(),
+            self.warning_count(),
+            self.info_count()
+        ));
+        out
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        write!(
+            f,
+            "{} error(s), {} warning(s), {} info(s)",
+            self.error_count(),
+            self.warning_count(),
+            self.info_count()
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A configured pipeline of analysis passes.
+pub struct Analyzer {
+    options: AnalysisOptions,
+    passes: Vec<Box<dyn AnalysisPass>>,
+}
+
+impl Analyzer {
+    /// An analyzer running the default pass pipeline with `options`.
+    pub fn new(options: AnalysisOptions) -> Self {
+        Analyzer {
+            options,
+            passes: vec![
+                Box::new(CapacityPass),
+                Box::new(LivenessPass),
+                Box::new(HazardPass),
+                Box::new(NetQueuePass),
+                Box::new(ChainShapePass),
+            ],
+        }
+    }
+
+    /// An analyzer with an explicit pass list (for tools that subset).
+    pub fn with_passes(options: AnalysisOptions, passes: Vec<Box<dyn AnalysisPass>>) -> Self {
+        Analyzer { options, passes }
+    }
+
+    /// Names of the passes in pipeline order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs every pass over `program` and returns the combined report,
+    /// sorted by program location then code.
+    pub fn analyze(&self, program: &Program, config: &NpuConfig) -> AnalysisReport {
+        let cx = PassContext {
+            program,
+            config,
+            options: &self.options,
+        };
+        let mut diagnostics = Vec::new();
+        for pass in &self.passes {
+            pass.run(&cx, &mut diagnostics);
+        }
+        diagnostics.sort_by_key(|d| (d.segment, d.item, d.code));
+        AnalysisReport { diagnostics }
+    }
+}
+
+/// Analyzes `program` with default options (no preloads, no queue budgets).
+pub fn analyze(program: &Program, config: &NpuConfig) -> AnalysisReport {
+    Analyzer::new(AnalysisOptions::default()).analyze(program, config)
+}
+
+/// Analyzes `program` with explicit deployment facts.
+pub fn analyze_with(
+    program: &Program,
+    config: &NpuConfig,
+    options: AnalysisOptions,
+) -> AnalysisReport {
+    Analyzer::new(options).analyze(program, config)
+}
+
+// ---------------------------------------------------------------------------
+// Shared walking machinery for passes.
+
+/// How to linearize a program for a walk.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WalkMode {
+    /// Every segment body once, ignoring iteration counts. Mirrors
+    /// `Program::validate`: accesses are static across iterations.
+    Static,
+    /// Runtime-faithful order: segments with zero iterations are skipped
+    /// and looped segments are unrolled twice, so loop-carried def-use
+    /// chains (a read at the loop head of a write at the loop tail)
+    /// resolve without unrolling the full trip count.
+    Runtime,
+}
+
+/// One visited item of a linearized walk, with the scheduler's register
+/// state at that point.
+pub(crate) struct Step<'a> {
+    /// Segment index.
+    pub segment: usize,
+    /// Item index within the segment.
+    pub item: usize,
+    /// Which unrolled copy of a looped segment this is (0 or 1).
+    pub unroll: u32,
+    /// `rows` at this item (before the item executes).
+    pub rows: u32,
+    /// `cols` at this item (before the item executes).
+    pub cols: u32,
+    /// Whether any tiling register has been explicitly set so far.
+    pub tiling_set: bool,
+    /// The item itself.
+    pub item_ref: &'a Item,
+}
+
+impl Step<'_> {
+    /// Input width of `chain` under this step's register state: `cols`
+    /// native vectors into an `mv_mul`, `rows` otherwise.
+    pub fn w_in(&self, chain: &Chain) -> u32 {
+        if chain.has_mv_mul() {
+            self.cols
+        } else {
+            self.rows
+        }
+    }
+
+    /// Output width of any chain: `rows` native vectors.
+    pub fn w_out(&self) -> u32 {
+        self.rows
+    }
+}
+
+/// Linearizes `program` per `mode`, tracking `rows`/`cols` exactly as the
+/// scheduler would — with one deliberate divergence: a rejected zero write
+/// keeps the stale value (the scheduler faults instead; BW001/BW006 record
+/// this).
+pub(crate) fn walk<'a>(program: &'a Program, mode: WalkMode, mut visit: impl FnMut(&Step<'a>)) {
+    let mut rows = 1u32;
+    let mut cols = 1u32;
+    let mut tiling_set = false;
+    for (si, segment) in program.segments.iter().enumerate() {
+        let unrolls = match mode {
+            WalkMode::Static => 1,
+            WalkMode::Runtime => segment.iterations.min(2),
+        };
+        for unroll in 0..unrolls {
+            for (ii, item) in segment.items.iter().enumerate() {
+                visit(&Step {
+                    segment: si,
+                    item: ii,
+                    unroll,
+                    rows,
+                    cols,
+                    tiling_set,
+                    item_ref: item,
+                });
+                if let Item::SetReg { reg, value } = *item {
+                    if value != 0 {
+                        tiling_set = true;
+                        match reg {
+                            ScalarReg::Rows => rows = value,
+                            ScalarReg::Cols => cols = value,
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Renders sorted entry indices as compact half-open ranges, e.g.
+/// `[3..5], [9..10]`.
+pub(crate) fn format_ranges(entries: impl IntoIterator<Item = u32>) -> String {
+    let mut sorted: Vec<u32> = entries.into_iter().collect();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut parts: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let start = sorted[i];
+        let mut end = start;
+        while i + 1 < sorted.len() && sorted[i + 1] == end + 1 {
+            i += 1;
+            end = sorted[i];
+        }
+        parts.push(format!("[{}..{}]", start, end + 1));
+        i += 1;
+    }
+    parts.join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{MemId, ProgramBuilder};
+
+    fn cfg() -> NpuConfig {
+        NpuConfig::builder()
+            .native_dim(8)
+            .lanes(4)
+            .tile_engines(2)
+            .mfus(2)
+            .mrf_entries(16)
+            .vrf_entries(32)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let mut names: Vec<&str> = DiagCode::ALL.iter().map(|c| c.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate BW0xx code");
+        assert!(names.iter().all(|n| n.starts_with("BW") && n.len() == 5));
+    }
+
+    #[test]
+    fn walker_tracks_registers_and_keeps_stale_on_zero() {
+        let mut b = ProgramBuilder::new();
+        b.set_rows(3).set_cols(2);
+        b.set_rows(0); // rejected: stale 3 retained
+        b.v_rd(MemId::NetQ, 0)
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        let p = b.build();
+        let mut seen = Vec::new();
+        walk(&p, WalkMode::Static, |s| {
+            seen.push((s.item, s.rows, s.cols, s.tiling_set));
+        });
+        assert_eq!(seen[0], (0, 1, 1, false)); // before set_rows(3)
+        assert_eq!(seen[2], (2, 3, 2, true)); // before set_rows(0)
+        assert_eq!(seen[3], (3, 3, 2, true)); // stale rows after zero write
+    }
+
+    #[test]
+    fn runtime_walk_unrolls_loops_twice() {
+        let mut b = ProgramBuilder::new();
+        b.set_rows(1);
+        b.begin_loop(5).unwrap();
+        b.v_rd(MemId::NetQ, 0)
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        b.end_loop().unwrap();
+        let p = b.build();
+        let mut static_items = 0;
+        walk(&p, WalkMode::Static, |_| static_items += 1);
+        let mut runtime_items = 0;
+        let mut max_unroll = 0;
+        walk(&p, WalkMode::Runtime, |s| {
+            runtime_items += 1;
+            max_unroll = max_unroll.max(s.unroll);
+        });
+        assert_eq!(static_items, 2); // set_rows + chain
+        assert_eq!(runtime_items, 3); // set_rows + chain x2
+        assert_eq!(max_unroll, 1);
+    }
+
+    #[test]
+    fn report_counts_and_json_round_trip_shape() {
+        let report = AnalysisReport {
+            diagnostics: vec![
+                Diagnostic::new(DiagCode::VrfOverflow, 0, 1, "a \"quoted\" msg".into()),
+                Diagnostic::new(DiagCode::DeadStore, 1, 2, "dead".into()),
+                Diagnostic::new(DiagCode::StaleRegister, 0, 0, "stale".into()),
+            ],
+        };
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.warning_count(), 1);
+        assert_eq!(report.info_count(), 1);
+        assert!(!report.is_clean());
+        assert!(report.has_errors());
+        assert!(report.blocks_deployment(false));
+        let json = report.to_json();
+        assert!(json.contains("\"code\":\"BW002\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"errors\":1"));
+        let shown = report.to_string();
+        assert!(shown.contains("error[BW002] segment 0, item 1"));
+        assert!(shown.contains("1 error(s), 1 warning(s), 1 info(s)"));
+    }
+
+    #[test]
+    fn clean_program_analyzes_clean() {
+        let mut b = ProgramBuilder::new();
+        b.set_rows(2).set_cols(2);
+        b.v_rd(MemId::NetQ, 0)
+            .mv_mul(0)
+            .vv_add(4)
+            .v_sigm()
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        let options = AnalysisOptions::default()
+            .preload(MemId::MatrixRf, 0, 4)
+            .preload(MemId::AddSubVrf(0), 4, 2)
+            .with_input_vectors(2);
+        let report = analyze_with(&b.build(), &cfg(), options);
+        assert!(report.is_clean(), "unexpected findings:\n{report}");
+    }
+
+    #[test]
+    fn format_ranges_merges_contiguous_runs() {
+        assert_eq!(format_ranges([3, 4, 9]), "[3..5], [9..10]");
+        assert_eq!(format_ranges([7]), "[7..8]");
+        assert_eq!(format_ranges([2, 1, 1, 0]), "[0..3]");
+    }
+}

@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// unit owns an `AddSubVrf`, and each multiply unit owns a `MultiplyVrf`.
 /// The index selects the owning MFU (0-based); the paper's two-MFU designs
 /// have `AddSubVrf(0)`, `AddSubVrf(1)`, etc.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum MemId {
     /// The vector register file at the pipeline head.
     InitialVrf,

@@ -19,6 +19,9 @@
 //!   execute functionally (block floating point matrix math, float16
 //!   secondary operations) while a calibrated cycle model tracks latency,
 //!   utilization and stalls ([`RunStats`]).
+//! * [`analysis`] — a static dataflow linter over firmware: capacity,
+//!   VRF liveness, MRF hazard, network-queue balance, and chain-shape
+//!   passes emitting `BW0xx` diagnostics that gate deployment.
 //!
 //! # Quickstart
 //!
@@ -48,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 mod config;
 mod hdd;
 pub mod isa;
@@ -59,6 +63,10 @@ mod stats;
 mod trace_report;
 mod validate;
 
+pub use analysis::{
+    analyze, analyze_with, AnalysisOptions, AnalysisPass, AnalysisReport, Analyzer, DiagCode,
+    Diagnostic, PreloadedRange, Severity,
+};
 pub use config::{ConfigError, NpuConfig, NpuConfigBuilder, TimingParams};
 pub use hdd::{DispatchLevel, HddExpansion};
 pub use npu::{ChainKind, ChainTrace, ExecMode, Npu, SimError};

@@ -752,8 +752,10 @@ impl Npu {
         let mut depth = 0u64;
         let mut mvm_occ = 0u64;
         let mut cur: Vec<Vec<f32>> = Vec::new();
-        let mut addsub_seen = 0u8;
-        let mut multiply_seen = 0u8;
+        // Wide counters so chains with pathological op counts reach the
+        // capacity fault instead of wrapping an 8-bit index in debug builds.
+        let mut addsub_seen: usize = 0;
+        let mut multiply_seen: usize = 0;
         let mut writes: Vec<(MemId, u32, u32)> = Vec::new();
         let mut mvm_tiles: Option<(u32, u32)> = None; // (base, count)
 
@@ -822,7 +824,8 @@ impl Npu {
                         | Instruction::VvASubB { index }
                         | Instruction::VvBSubA { index }
                         | Instruction::VvMax { index } => {
-                            let mem = MemId::AddSubVrf(addsub_seen);
+                            let mem =
+                                MemId::AddSubVrf(u8::try_from(addsub_seen).unwrap_or(u8::MAX));
                             addsub_seen += 1;
                             let operand = self.vrf(mem)?.read(index, w_out)?;
                             for i in 0..w_out {
@@ -834,7 +837,8 @@ impl Npu {
                             }
                         }
                         Instruction::VvMul { index } => {
-                            let mem = MemId::MultiplyVrf(multiply_seen);
+                            let mem =
+                                MemId::MultiplyVrf(u8::try_from(multiply_seen).unwrap_or(u8::MAX));
                             multiply_seen += 1;
                             let operand = self.vrf(mem)?.read(index, w_out)?;
                             for i in 0..w_out {

@@ -7,7 +7,7 @@
 //! and deployed".
 
 use crate::config::NpuConfig;
-use crate::isa::{Chain, Instruction, Item, MemId, Program, ScalarReg};
+use crate::isa::{MemId, Program, ScalarReg};
 
 /// A static validation failure, with the segment and item it occurred at.
 #[derive(Clone, Debug, PartialEq)]
@@ -68,8 +68,17 @@ pub enum ValidateErrorKind {
 
 impl std::fmt::Display for ValidateError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "segment {} item {}: ", self.segment, self.item)?;
-        match &self.kind {
+        write!(
+            f,
+            "segment {} item {}: {}",
+            self.segment, self.item, self.kind
+        )
+    }
+}
+
+impl std::fmt::Display for ValidateErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
             ValidateErrorKind::ZeroRegister(reg) => write!(f, "register {reg} set to zero"),
             ValidateErrorKind::VrfOverflow {
                 mem,
@@ -102,174 +111,23 @@ impl std::fmt::Display for ValidateError {
 
 impl std::error::Error for ValidateError {}
 
-/// Tracks `rows`/`cols` through the instruction stream and checks every
-/// static access.
-struct Validator<'a> {
-    config: &'a NpuConfig,
-    rows: u32,
-    cols: u32,
-    errors: Vec<ValidateError>,
-}
-
-impl Validator<'_> {
-    fn vrf_capacity(&self, mem: MemId) -> Option<u32> {
-        match mem {
-            MemId::InitialVrf => Some(self.config.vrf_entries()),
-            MemId::AddSubVrf(i) | MemId::MultiplyVrf(i) => {
-                if u32::from(i) < self.config.mfus() {
-                    Some(self.config.vrf_entries())
-                } else {
-                    None
-                }
-            }
-            _ => Some(u32::MAX),
-        }
-    }
-
-    fn check_vrf(&mut self, at: (usize, usize), mem: MemId, index: u32, width: u32) {
-        if !mem.is_vrf() {
-            return;
-        }
-        let Some(capacity) = self.vrf_capacity(mem) else {
-            self.errors.push(ValidateError {
-                segment: at.0,
-                item: at.1,
-                kind: ValidateErrorKind::MissingMfu {
-                    mem,
-                    mfus: self.config.mfus(),
-                },
-            });
-            return;
-        };
-        if u64::from(index) + u64::from(width) > u64::from(capacity) {
-            self.errors.push(ValidateError {
-                segment: at.0,
-                item: at.1,
-                kind: ValidateErrorKind::VrfOverflow {
-                    mem,
-                    index,
-                    width,
-                    capacity,
-                },
-            });
-        }
-    }
-
-    fn check_chain(&mut self, at: (usize, usize), chain: &Chain) {
-        // MFU unit capacity.
-        let mfus = self.config.mfus();
-        for (kind, used) in [
-            ("add/sub", chain.addsub_ops()),
-            ("multiply", chain.multiply_ops()),
-            ("activation", chain.activation_ops()),
-        ] {
-            if used > mfus as usize {
-                self.errors.push(ValidateError {
-                    segment: at.0,
-                    item: at.1,
-                    kind: ValidateErrorKind::MfuCapacity {
-                        kind,
-                        used,
-                        available: mfus,
-                    },
-                });
-            }
-        }
-
-        let has_mvm = chain.has_mv_mul();
-        let w_in = if has_mvm { self.cols } else { self.rows };
-        let w_out = self.rows;
-        let mut addsub_seen = 0u8;
-        let mut multiply_seen = 0u8;
-        for instr in chain.instructions() {
-            match *instr {
-                Instruction::VRd { mem, index } => self.check_vrf(at, mem, index, w_in),
-                Instruction::VWr { mem, index } => self.check_vrf(at, mem, index, w_out),
-                Instruction::MvMul { mrf_index } => {
-                    let tiles = self.rows * self.cols;
-                    let capacity = self.config.mrf_entries();
-                    if u64::from(mrf_index) + u64::from(tiles) > u64::from(capacity) {
-                        self.errors.push(ValidateError {
-                            segment: at.0,
-                            item: at.1,
-                            kind: ValidateErrorKind::MrfOverflow {
-                                index: mrf_index,
-                                tiles,
-                                capacity,
-                            },
-                        });
-                    }
-                }
-                Instruction::MWr {
-                    mem: MemId::MatrixRf,
-                    index,
-                } => {
-                    let tiles = self.rows * self.cols;
-                    let capacity = self.config.mrf_entries();
-                    if u64::from(index) + u64::from(tiles) > u64::from(capacity) {
-                        self.errors.push(ValidateError {
-                            segment: at.0,
-                            item: at.1,
-                            kind: ValidateErrorKind::MrfOverflow {
-                                index,
-                                tiles,
-                                capacity,
-                            },
-                        });
-                    }
-                }
-                Instruction::VvAdd { index }
-                | Instruction::VvASubB { index }
-                | Instruction::VvBSubA { index }
-                | Instruction::VvMax { index } => {
-                    self.check_vrf(at, MemId::AddSubVrf(addsub_seen), index, w_out);
-                    addsub_seen += 1;
-                }
-                Instruction::VvMul { index } => {
-                    self.check_vrf(at, MemId::MultiplyVrf(multiply_seen), index, w_out);
-                    multiply_seen += 1;
-                }
-                _ => {}
-            }
-        }
-    }
-}
-
 impl Program {
     /// Statically validates every access of this program against a
-    /// configuration, returning all violations (empty = clean). Register
-    /// state is tracked through the stream exactly as the scheduler would.
+    /// configuration, returning all violations (empty = clean).
+    ///
+    /// Register state is tracked through the stream as the scheduler
+    /// would, with one deliberate divergence: a zero register write is
+    /// reported and the *previous* value is retained for the rest of the
+    /// walk, whereas the scheduler faults and stops at the bad `s_wr`.
+    /// Downstream errors computed from the stale value are therefore
+    /// hypothetical; the diagnostic pipeline records the divergence as a
+    /// BW006 info note (see [`crate::analysis`]).
+    ///
+    /// This shares its implementation with
+    /// [`crate::analysis::CapacityPass`], which reports the same findings
+    /// as `BW00x` diagnostics; the two frontends cannot disagree.
     pub fn validate(&self, config: &NpuConfig) -> Vec<ValidateError> {
-        let mut v = Validator {
-            config,
-            rows: 1,
-            cols: 1,
-            errors: Vec::new(),
-        };
-        for (si, segment) in self.segments.iter().enumerate() {
-            // One iteration suffices: accesses are static across
-            // iterations.
-            for (ii, item) in segment.items.iter().enumerate() {
-                match item {
-                    Item::SetReg { reg, value } => {
-                        if *value == 0 {
-                            v.errors.push(ValidateError {
-                                segment: si,
-                                item: ii,
-                                kind: ValidateErrorKind::ZeroRegister(*reg),
-                            });
-                        } else {
-                            match reg {
-                                ScalarReg::Rows => v.rows = *value,
-                                ScalarReg::Cols => v.cols = *value,
-                            }
-                        }
-                    }
-                    Item::Chain(chain) => v.check_chain((si, ii), chain),
-                }
-            }
-        }
-        v.errors
+        crate::analysis::capacity::collect(self, config)
     }
 }
 
@@ -428,5 +286,32 @@ mod tests {
             .unwrap();
         let errors = b.build().validate(&base);
         assert_eq!((errors[0].segment, errors[0].item), (0, 2));
+    }
+
+    #[test]
+    fn mfu_capacity_handles_hundreds_of_ops_without_overflow() {
+        // Regression: the operand-file counters used to be `u8` and would
+        // wrap (panicking in debug builds) on chains with more than 255
+        // vector-vector ops of one kind, before the MfuCapacity error was
+        // ever reported.
+        let mut b = ProgramBuilder::new();
+        b.set_rows(1);
+        b.v_rd(MemId::NetQ, 0);
+        for _ in 0..300 {
+            b.vv_add(0);
+            b.vv_mul(0);
+        }
+        b.v_wr(MemId::NetQ, 0).end_chain().unwrap();
+        let errors = b.build().validate(&cfg());
+        for kind in ["add/sub", "multiply"] {
+            assert!(errors.iter().any(|e| matches!(
+                e.kind,
+                ValidateErrorKind::MfuCapacity {
+                    kind: k,
+                    used: 300,
+                    ..
+                } if k == kind
+            )));
+        }
     }
 }

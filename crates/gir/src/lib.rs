@@ -52,7 +52,7 @@ mod pipeline;
 mod split;
 
 pub use ir::{cpu_op_apply, ActFn, GirError, GirGraph, GirNode, GirNodeId, GirOp};
-pub use lower::{AcceleratorBinary, DeployError, Deployment};
+pub use lower::{AcceleratorBinary, DeployError, Deployment, LowerOptions};
 pub use model_text::{parse_model, ModelParseError};
 pub use pipeline::{
     fuse, partition, partition_sharded, PartitionError, PartitionPlan, Pipeline, Placement, Stage,

@@ -9,7 +9,7 @@
 //! the CPU sub-graphs and accelerator sub-graphs".
 
 use bw_core::isa::{MemId, Program, ProgramBuilder};
-use bw_core::{Npu, NpuConfig, RunStats, SimError};
+use bw_core::{analyze_with, AnalysisOptions, AnalysisReport, Npu, NpuConfig, RunStats, SimError};
 use serde::{Deserialize, Serialize};
 
 use crate::ir::{cpu_op_apply, ActFn};
@@ -30,8 +30,47 @@ pub struct AcceleratorBinary {
     pub output_dim: usize,
     /// Native-vector width of the output.
     pub output_grid: u32,
+    /// Native-vector width of the input.
+    pub input_grid: u32,
     /// MRF entries the binary's weights occupy.
     pub mrf_entries: u32,
+    /// `AddSubVrf(0)` entries the binary's biases occupy.
+    pub bias_entries: u32,
+}
+
+impl AcceleratorBinary {
+    /// The deployment facts [`Deployment::deploy`] and
+    /// [`Deployment::execute`] establish for this binary, in the form the
+    /// static analyzer consumes: pinned weights and biases are preloaded,
+    /// and the host pushes one padded input (`input_grid` vectors) and
+    /// expects `output_grid` output vectors per inference.
+    pub fn analysis_options(&self) -> AnalysisOptions {
+        let mut opts = AnalysisOptions::default()
+            .with_input_vectors(u64::from(self.input_grid))
+            .with_expected_outputs(u64::from(self.output_grid));
+        if self.mrf_entries > 0 {
+            opts = opts.preload(MemId::MatrixRf, 0, self.mrf_entries);
+        }
+        if self.bias_entries > 0 {
+            opts = opts.preload(MemId::AddSubVrf(0), 0, self.bias_entries);
+        }
+        opts
+    }
+
+    /// Runs the firmware linter on this binary's program under its
+    /// deployment facts.
+    pub fn lint(&self, config: &NpuConfig) -> AnalysisReport {
+        analyze_with(&self.program, config, self.analysis_options())
+    }
+}
+
+/// Options controlling how strictly [`Deployment::compile_with`] gates
+/// lowered binaries on the firmware linter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LowerOptions {
+    /// Reject binaries whose analysis reports contain warnings, not just
+    /// errors.
+    pub deny_warnings: bool,
 }
 
 /// Error produced during lowering or federated execution.
@@ -53,6 +92,13 @@ pub enum DeployError {
     },
     /// A simulator error during weight loading or execution.
     Sim(SimError),
+    /// The firmware linter rejected a lowered binary.
+    Rejected {
+        /// Device index of the rejected binary.
+        device: usize,
+        /// The analysis report that blocked deployment.
+        report: AnalysisReport,
+    },
 }
 
 impl From<SimError> for DeployError {
@@ -70,6 +116,13 @@ impl std::fmt::Display for DeployError {
                 write!(f, "plan needs {required} NPUs, {supplied} supplied")
             }
             DeployError::Sim(e) => write!(f, "simulator error: {e}"),
+            DeployError::Rejected { device, report } => write!(
+                f,
+                "firmware linter rejected the binary for device {device} \
+                 ({} errors, {} warnings)",
+                report.error_count(),
+                report.warning_count()
+            ),
         }
     }
 }
@@ -87,16 +140,36 @@ pub struct Deployment {
 
 impl Deployment {
     /// Compiles every accelerator segment of `plan` for NPUs of
-    /// configuration `config`.
+    /// configuration `config`, gating each lowered binary on the firmware
+    /// linter with default [`LowerOptions`] (errors block, warnings pass).
     ///
     /// # Errors
     ///
     /// Returns [`DeployError::BadPlan`] if the plan references stages the
-    /// pipeline lacks.
+    /// pipeline lacks, or [`DeployError::Rejected`] if a lowered binary
+    /// fails static analysis.
     pub fn compile(
         pipeline: &Pipeline,
         plan: &PartitionPlan,
         config: &NpuConfig,
+    ) -> Result<Deployment, DeployError> {
+        Self::compile_with(pipeline, plan, config, &LowerOptions::default())
+    }
+
+    /// [`Deployment::compile`] with explicit linter strictness: every
+    /// lowered binary is analyzed under its deployment facts
+    /// ([`AcceleratorBinary::analysis_options`]) and rejected if the
+    /// report blocks deployment.
+    ///
+    /// # Errors
+    ///
+    /// As [`Deployment::compile`]; with `deny_warnings` set, warnings also
+    /// reject.
+    pub fn compile_with(
+        pipeline: &Pipeline,
+        plan: &PartitionPlan,
+        config: &NpuConfig,
+        opts: &LowerOptions,
     ) -> Result<Deployment, DeployError> {
         let nd = config.native_dim();
         let grid = |d: usize| (d as u32).div_ceil(nd);
@@ -194,15 +267,25 @@ impl Deployment {
                 }
             }
 
-            binaries.push(AcceleratorBinary {
+            let binary = AcceleratorBinary {
                 device: *device,
                 stages: stages.clone(),
                 program: b.build(),
                 input_dim,
                 output_dim,
                 output_grid: grid(output_dim),
+                input_grid: grid(input_dim),
                 mrf_entries: mrf_base,
-            });
+                bias_entries: bias_base,
+            };
+            let report = binary.lint(config);
+            if report.blocks_deployment(opts.deny_warnings) {
+                return Err(DeployError::Rejected {
+                    device: *device,
+                    report,
+                });
+            }
+            binaries.push(binary);
         }
 
         Ok(Deployment {
@@ -534,6 +617,49 @@ mod tests {
         for (a, b) in y.iter().zip(&want) {
             assert!((a - b).abs() < 0.1, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn lowered_binaries_lint_clean_even_under_deny_warnings() {
+        let g = mlp_graph(&[16, 16, 16, 16, 16], false);
+        let p = fuse(&g).unwrap();
+        let plan = partition(&p, 512).unwrap();
+        let cfg = config();
+        let strict = LowerOptions {
+            deny_warnings: true,
+        };
+        let dep = Deployment::compile_with(&p, &plan, &cfg, &strict).unwrap();
+        for bin in dep.binaries() {
+            let report = bin.lint(&cfg);
+            assert!(report.is_clean(), "device {}: {report}", bin.device);
+        }
+    }
+
+    #[test]
+    fn linter_rejects_a_corrupt_binary() {
+        // A binary whose program reads VRF entries nothing initializes:
+        // the deployment gate must refuse it.
+        let cfg = config();
+        let mut b = ProgramBuilder::new();
+        b.set_rows(1);
+        b.v_rd(MemId::InitialVrf, 7)
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .unwrap();
+        let bin = AcceleratorBinary {
+            device: 0,
+            stages: vec![0],
+            program: b.build(),
+            input_dim: 8,
+            output_dim: 8,
+            output_grid: 1,
+            input_grid: 1,
+            mrf_entries: 0,
+            bias_entries: 0,
+        };
+        let report = bin.lint(&cfg);
+        assert!(report.has_errors(), "{report}");
+        assert!(report.blocks_deployment(false));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! GRU firmware in the cuDNN formulation DeepBench benchmarks.
 
 use bw_core::isa::{MemId, Program, ProgramBuilder};
-use bw_core::{Npu, SimError};
+use bw_core::{AnalysisOptions, Npu, SimError};
 use serde::{Deserialize, Serialize};
 
 use crate::rnn::{GruWeights, RnnDims};
@@ -286,6 +286,30 @@ impl Gru {
         Ok(())
     }
 
+    /// The deployment facts the host establishes before running
+    /// [`Gru::program`]`(steps)`: pinned weights and biases
+    /// ([`Gru::load_weights`]), zeroed recurrent state
+    /// ([`Gru::reset_state`]), `grid_x` input vectors per step, and
+    /// `grid_h` emitted hidden vectors per step. Feed the result to
+    /// [`bw_core::analyze_with`] to lint the generated firmware.
+    pub fn analysis_options(&self, steps: u32) -> AnalysisOptions {
+        self.analysis_options_batched(steps, 1)
+    }
+
+    /// [`Gru::analysis_options`] for the batch-interleaved firmware,
+    /// assuming the host resets every sequence's recurrent state.
+    pub fn analysis_options_batched(&self, steps: u32, batch: u32) -> AnalysisOptions {
+        let mut opts = AnalysisOptions::default()
+            .preload(MemId::MatrixRf, 0, self.mrf_entries_required())
+            .preload(MemId::AddSubVrf(0), 0, GATES as u32 * self.grid_h)
+            .with_input_vectors(u64::from(self.grid_x) * u64::from(steps) * u64::from(batch))
+            .with_expected_outputs(u64::from(self.grid_h) * u64::from(steps) * u64::from(batch));
+        for b in 0..batch {
+            opts = opts.preload(MemId::InitialVrf, self.ivrf_h_prev_b(b), self.grid_h);
+        }
+        opts
+    }
+
     /// Clears the recurrent state to zero.
     ///
     /// # Errors
@@ -383,6 +407,32 @@ mod tests {
             .matrix_format(BfpFormat::BFP_1S_5E_5M)
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn generated_firmware_lints_clean() {
+        let cfg = small_config();
+        for dims in [
+            RnnDims::square(16),
+            RnnDims {
+                hidden: 16,
+                input: 8,
+            },
+        ] {
+            let gru = Gru::new(&cfg, dims);
+            let steps = 5;
+            let report =
+                bw_core::analyze_with(&gru.program(steps), &cfg, gru.analysis_options(steps));
+            assert!(report.is_clean(), "{dims:?}: {report}");
+        }
+        let gru = Gru::new(&cfg, RnnDims::square(8));
+        let (steps, batch) = (4, 3);
+        let report = bw_core::analyze_with(
+            &gru.program_batched(steps, batch),
+            &cfg,
+            gru.analysis_options_batched(steps, batch),
+        );
+        assert!(report.is_clean(), "{report}");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! generated for any dimension and NPU configuration.
 
 use bw_core::isa::{MemId, Program, ProgramBuilder};
-use bw_core::{Npu, SimError};
+use bw_core::{AnalysisOptions, Npu, SimError};
 use serde::{Deserialize, Serialize};
 
 use crate::rnn::{LstmWeights, RnnDims};
@@ -261,6 +261,33 @@ impl Lstm {
         b.build()
     }
 
+    /// The deployment facts the host establishes before running
+    /// [`Lstm::program`]`(steps)`: pinned weights and biases
+    /// ([`Lstm::load_weights`]), zeroed recurrent state
+    /// ([`Lstm::reset_state`]), `grid_x` input vectors per step, and
+    /// `grid_h` emitted hidden vectors per step. Feed the result to
+    /// [`bw_core::analyze_with`] to lint the generated firmware.
+    pub fn analysis_options(&self, steps: u32) -> AnalysisOptions {
+        self.analysis_options_batched(steps, 1)
+    }
+
+    /// [`Lstm::analysis_options`] for the batch-interleaved firmware,
+    /// assuming the host resets every sequence's recurrent state.
+    pub fn analysis_options_batched(&self, steps: u32, batch: u32) -> AnalysisOptions {
+        let mut opts = AnalysisOptions::default()
+            .preload(MemId::MatrixRf, 0, self.mrf_entries_required())
+            .preload(MemId::AddSubVrf(0), 0, GATES as u32 * self.grid_h)
+            .with_input_vectors(u64::from(self.grid_x) * u64::from(steps) * u64::from(batch))
+            .with_expected_outputs(u64::from(self.grid_h) * u64::from(steps) * u64::from(batch));
+        for b in 0..batch {
+            // `c_t` and `h_prev` are contiguous in the instance's IVRF slice.
+            opts = opts
+                .preload(MemId::InitialVrf, self.ivrf_ct_b(b), 2 * self.grid_h)
+                .preload(MemId::MultiplyVrf(0), self.mulvrf0_c_prev_b(b), self.grid_h);
+        }
+        opts
+    }
+
     /// Pins weights into the NPU's MRF and stages biases in the MFU
     /// register files — the host runtime's model deployment step.
     ///
@@ -417,6 +444,37 @@ mod tests {
             .matrix_format(BfpFormat::BFP_1S_5E_5M)
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn generated_firmware_lints_clean() {
+        let cfg = small_config();
+        for dims in [
+            RnnDims::square(16),
+            RnnDims {
+                hidden: 16,
+                input: 8,
+            },
+        ] {
+            let lstm = Lstm::new(&cfg, dims);
+            let steps = 5;
+            let report =
+                bw_core::analyze_with(&lstm.program(steps), &cfg, lstm.analysis_options(steps));
+            assert!(report.is_clean(), "{dims:?}: {report}");
+        }
+    }
+
+    #[test]
+    fn batched_firmware_lints_clean() {
+        let cfg = small_config();
+        let lstm = Lstm::new(&cfg, RnnDims::square(8));
+        let (steps, batch) = (4, 3);
+        let report = bw_core::analyze_with(
+            &lstm.program_batched(steps, batch),
+            &cfg,
+            lstm.analysis_options_batched(steps, batch),
+        );
+        assert!(report.is_clean(), "{report}");
     }
 
     #[test]

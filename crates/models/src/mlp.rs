@@ -1,7 +1,7 @@
 //! Dense multilayer perceptron firmware.
 
 use bw_core::isa::{MemId, Program, ProgramBuilder};
-use bw_core::{Npu, SimError};
+use bw_core::{AnalysisOptions, Npu, SimError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -154,6 +154,26 @@ impl Mlp {
         b.build()
     }
 
+    /// The deployment facts the host establishes before running
+    /// [`Mlp::program`]`(batch)`: pinned weights and biases for every
+    /// layer, one `grids[0]`-vector input per inference, and one
+    /// `grids[last]`-vector output per inference. Feed the result to
+    /// [`bw_core::analyze_with`] to lint the generated firmware.
+    pub fn analysis_options(&self, batch: u32) -> AnalysisOptions {
+        self.analysis_options_at(batch, 0)
+    }
+
+    /// [`Mlp::analysis_options`] for firmware generated by
+    /// [`Mlp::program_at`] with an MRF offset.
+    pub fn analysis_options_at(&self, batch: u32, mrf_base: u32) -> AnalysisOptions {
+        let last = *self.grids.last().expect("non-empty dims");
+        AnalysisOptions::default()
+            .preload(MemId::MatrixRf, mrf_base, self.mrf_entries_required())
+            .preload(MemId::AddSubVrf(0), 0, self.asvrf0_bias(self.layers()))
+            .with_input_vectors(u64::from(self.grids[0]) * u64::from(batch))
+            .with_expected_outputs(u64::from(last) * u64::from(batch))
+    }
+
     /// Pins one layer's weights.
     ///
     /// # Errors
@@ -281,6 +301,21 @@ mod tests {
             .matrix_format(BfpFormat::BFP_1S_5E_5M)
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn generated_firmware_lints_clean() {
+        let cfg = small_config();
+        let mlp = Mlp::new(&cfg, &[10, 20, 5]);
+        for batch in [1, 4] {
+            let report =
+                bw_core::analyze_with(&mlp.program(batch), &cfg, mlp.analysis_options(batch));
+            assert!(report.is_clean(), "batch {batch}: {report}");
+        }
+        // Offset firmware carries its preloads at the same offset.
+        let report =
+            bw_core::analyze_with(&mlp.program_at(2, 32), &cfg, mlp.analysis_options_at(2, 32));
+        assert!(report.is_clean(), "{report}");
     }
 
     #[test]

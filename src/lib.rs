@@ -61,6 +61,10 @@ pub use bw_system as system;
 pub mod prelude {
     pub use bw_bfp::{BfpBlock, BfpFormat, BfpMatrix, ErrorStats, F16};
     pub use bw_core::isa::{Chain, Instruction, MemId, Opcode, Program, ProgramBuilder};
+    pub use bw_core::{
+        analyze, analyze_with, AnalysisOptions, AnalysisReport, Analyzer, DiagCode, Diagnostic,
+        Severity,
+    };
     pub use bw_core::{ExecMode, HddExpansion, Npu, NpuConfig, RunStats, SimError};
     pub use bw_dataflow::{ConvCriticalPath, RnnCriticalPath};
     pub use bw_fpga::{Device, ModelRequirements, ResourceEstimate};

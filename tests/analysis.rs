@@ -1,0 +1,181 @@
+//! End-to-end tests of the firmware linter: production firmware lints
+//! clean, and seeded bugs surface as the documented `BW0xx` diagnostics
+//! anchored to the offending segment and item.
+
+use brainwave::gir;
+use brainwave::prelude::*;
+
+fn cfg() -> NpuConfig {
+    NpuConfig::builder()
+        .native_dim(8)
+        .lanes(4)
+        .tile_engines(2)
+        .mfus(2)
+        .mrf_entries(64)
+        .vrf_entries(32)
+        .matrix_format(BfpFormat::BFP_1S_5E_5M)
+        .build()
+        .unwrap()
+}
+
+fn find(report: &AnalysisReport, code: DiagCode) -> &Diagnostic {
+    report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == code)
+        .unwrap_or_else(|| panic!("expected {code} in:\n{report}"))
+}
+
+#[test]
+fn lstm_firmware_lints_clean() {
+    let cfg = NpuConfig::builder()
+        .native_dim(8)
+        .lanes(4)
+        .tile_engines(2)
+        .mfus(2)
+        .mrf_entries(256)
+        .vrf_entries(256)
+        .matrix_format(BfpFormat::BFP_1S_5E_5M)
+        .build()
+        .unwrap();
+    let lstm = Lstm::new(&cfg, RnnDims::square(24));
+    let steps = 6;
+    let report = analyze_with(&lstm.program(steps), &cfg, lstm.analysis_options(steps));
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.error_count(), 0);
+}
+
+#[test]
+fn seeded_out_of_range_read_yields_bw002() {
+    let mut b = ProgramBuilder::new();
+    b.set_rows(4);
+    // Items 0 (set_rows) then 1: reads InitialVrf[30..34] in a 32-entry
+    // file.
+    b.v_rd(MemId::InitialVrf, 30)
+        .v_wr(MemId::NetQ, 0)
+        .end_chain()
+        .unwrap();
+    let report = analyze_with(
+        &b.build(),
+        &cfg(),
+        AnalysisOptions::default().preload(MemId::InitialVrf, 0, 32),
+    );
+    let d = find(&report, DiagCode::VrfOverflow);
+    assert_eq!((d.segment, d.item), (0, 1), "{report}");
+    assert_eq!(d.severity, Severity::Error);
+}
+
+#[test]
+fn seeded_dead_store_yields_bw011() {
+    let mut b = ProgramBuilder::new();
+    b.set_rows(2);
+    b.v_rd(MemId::NetQ, 0)
+        .v_wr(MemId::InitialVrf, 4)
+        .end_chain()
+        .unwrap();
+    // Item 2 overwrites InitialVrf[4..6] before anything reads it.
+    b.v_rd(MemId::NetQ, 0)
+        .v_wr(MemId::InitialVrf, 4)
+        .end_chain()
+        .unwrap();
+    b.v_rd(MemId::InitialVrf, 4)
+        .v_wr(MemId::NetQ, 0)
+        .end_chain()
+        .unwrap();
+    let report = analyze_with(
+        &b.build(),
+        &cfg(),
+        AnalysisOptions::default().with_input_vectors(4),
+    );
+    let d = find(&report, DiagCode::DeadStore);
+    assert_eq!((d.segment, d.item), (0, 1), "{report}");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(!report.has_errors(), "{report}");
+}
+
+#[test]
+fn seeded_unbalanced_netq_pop_yields_bw030() {
+    let mut b = ProgramBuilder::new();
+    b.set_rows(2);
+    b.begin_loop(20).unwrap();
+    b.v_rd(MemId::NetQ, 0)
+        .v_relu()
+        .v_wr(MemId::NetQ, 0)
+        .end_chain()
+        .unwrap();
+    b.end_loop().unwrap();
+    // 2 pops × 20 iterations against a 30-vector budget: iteration 16
+    // underflows at the loop's first item.
+    let report = analyze_with(
+        &b.build(),
+        &cfg(),
+        AnalysisOptions::default().with_input_vectors(30),
+    );
+    let d = find(&report, DiagCode::NetUnderflow);
+    assert_eq!((d.segment, d.item), (1, 0), "{report}");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("iteration 16"), "{}", d.message);
+}
+
+#[test]
+fn report_serializes_for_toolflow_logs() {
+    let mut b = ProgramBuilder::new();
+    b.set_rows(1);
+    b.v_rd(MemId::InitialVrf, 0)
+        .v_wr(MemId::NetQ, 0)
+        .end_chain()
+        .unwrap();
+    let report = analyze(&b.build(), &cfg());
+    let json = report.to_json();
+    assert!(json.contains("\"BW010\""), "{json}");
+    assert!(json.contains("\"severity\":\"error\""), "{json}");
+}
+
+#[test]
+fn gir_deployment_gate_passes_clean_pipelines_and_blocks_bad_binaries() {
+    let mut g = gir::GirGraph::new();
+    let input = g.add(gir::GirOp::Input { dim: 8 }, &[]).unwrap();
+    let m = g
+        .add(
+            gir::GirOp::MatMul {
+                rows: 8,
+                cols: 8,
+                weights: vec![0.1; 64],
+            },
+            &[input],
+        )
+        .unwrap();
+    g.add(gir::GirOp::Output, &[m]).unwrap();
+    let p = gir::fuse(&g).unwrap();
+    let plan = gir::partition(&p, 1 << 20).unwrap();
+    let dep = gir::Deployment::compile_with(
+        &p,
+        &plan,
+        &cfg(),
+        &gir::LowerOptions {
+            deny_warnings: true,
+        },
+    )
+    .unwrap();
+    assert!(dep.binaries().iter().all(|b| b.lint(&cfg()).is_clean()));
+
+    // A binary whose program reads state nothing initializes is refused.
+    let mut b = ProgramBuilder::new();
+    b.set_rows(1);
+    b.v_rd(MemId::InitialVrf, 3)
+        .v_wr(MemId::NetQ, 0)
+        .end_chain()
+        .unwrap();
+    let bad = gir::AcceleratorBinary {
+        device: 0,
+        stages: vec![0],
+        program: b.build(),
+        input_dim: 8,
+        output_dim: 8,
+        output_grid: 1,
+        input_grid: 1,
+        mrf_entries: 0,
+        bias_entries: 0,
+    };
+    assert!(bad.lint(&cfg()).blocks_deployment(false));
+}

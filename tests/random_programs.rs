@@ -126,6 +126,20 @@ fn prepare(npu: &mut Npu, specs: &[ChainSpec]) {
     npu.push_input_zeros(net_reads * MRF_GRID as usize);
 }
 
+/// The analyzer's view of what [`prepare`] establishes: the tile grid,
+/// every VRF's preloaded slots, and the exact input-vector budget.
+fn fuzz_options(specs: &[ChainSpec]) -> AnalysisOptions {
+    let net_reads = specs.iter().filter(|s| s.src == 0).count();
+    AnalysisOptions::default()
+        .preload(MemId::MatrixRf, 0, MRF_GRID * MRF_GRID)
+        .preload(MemId::InitialVrf, 0, VRF)
+        .preload(MemId::AddSubVrf(0), 0, VRF)
+        .preload(MemId::AddSubVrf(1), 0, VRF)
+        .preload(MemId::MultiplyVrf(0), 0, VRF)
+        .preload(MemId::MultiplyVrf(1), 0, VRF)
+        .with_input_vectors(net_reads as u64 * u64::from(MRF_GRID))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -164,6 +178,41 @@ proptest! {
         prop_assert_eq!(fs.cycles, ts.cycles);
         prop_assert_eq!(fs.mvm_macs, ts.mvm_macs);
         prop_assert_eq!(fs.instructions, ts.instructions);
+    }
+
+    #[test]
+    fn random_valid_programs_lint_without_errors(
+        specs in prop::collection::vec(chain_strategy(), 1..12)
+    ) {
+        let program = build_program(&specs);
+        let report = analyze_with(&program, &cfg(), fuzz_options(&specs));
+        prop_assert_eq!(report.error_count(), 0, "{}", report);
+    }
+
+    #[test]
+    fn corrupted_programs_are_caught_or_fail_safely(
+        specs in prop::collection::vec(chain_strategy(), 1..10),
+        byte in any::<u16>(),
+        bit in 0u8..8,
+    ) {
+        let mut bytes = build_program(&specs).encode();
+        let i = usize::from(byte) % bytes.len();
+        bytes[i] ^= 1 << bit;
+        // Either the decoder rejects the corruption, or the linter flags
+        // it, or the program is still coherent enough to execute — in
+        // which case it must fault through `SimError`, never panic.
+        // (Corruptions that only inflate a loop count are skipped to
+        // bound test time.)
+        if let Ok(program) = Program::decode(&bytes) {
+            let report = analyze_with(&program, &cfg(), fuzz_options(&specs));
+            let caught = report.error_count() > 0;
+            let looping = program.segments.iter().any(|s| s.iterations > 1_000);
+            if !caught && !looping {
+                let mut npu = Npu::new(cfg());
+                prepare(&mut npu, &specs);
+                let _ = npu.run(&program);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! Offline stand-in for `crossbeam`: scoped threads delegating to
+//! `std::thread::scope`, presented through crossbeam's API shape (the
+//! spawn closure receives the scope, and `scope` returns a `Result`).
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    /// Payload of a propagated panic.
+    pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+    /// A scope handle passed to worker closures.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker. The closure receives the scope (so
+        /// workers can spawn further workers), matching crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads are joined before
+    /// `scope` returns. Unlike crossbeam, a panicking worker propagates
+    /// its panic on join (via `std::thread::scope`) instead of surfacing
+    /// it in the returned `Result`; callers that `.expect()` the result
+    /// observe the same failure either way.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_workers_join_and_share_state() {
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("workers do not panic");
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 4);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`: the trait names plus re-exported no-op
+//! derives. See `vendor/README.md` for scope and rationale.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

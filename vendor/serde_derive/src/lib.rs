@@ -1,0 +1,19 @@
+//! No-op derive macros standing in for `serde_derive` in offline builds.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize`; nothing in
+//! it serializes through serde at run time, so expanding to nothing is
+//! sufficient (and keeps this crate free of `syn`/`quote`).
+
+use proc_macro::TokenStream;
+
+/// Accepts (and discards) a `#[derive(Serialize)]` request.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts (and discards) a `#[derive(Deserialize)]` request.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

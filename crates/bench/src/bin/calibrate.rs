@@ -2,10 +2,11 @@
 //!
 //! Prints the simulated steady-state cycles per RNN time step next to the
 //! figure implied by the paper's published latencies, to check the cycle
-//! model's calibration (`DESIGN.md` §4).
+//! model's calibration (`DESIGN.md` §4). The benchmarks run in parallel
+//! across the available cores.
 
 use bw_baselines::titan_xp_point;
-use bw_bench::{render_table, run_bw_s10};
+use bw_bench::{render_table, run_suite};
 use bw_models::table5_suite;
 
 fn main() {
@@ -25,9 +26,10 @@ fn main() {
             _ => f64::NAN,
         }
     };
+    let suite = table5_suite();
+    let results = run_suite(&suite);
     let mut rows = Vec::new();
-    for bench in table5_suite() {
-        let r = run_bw_s10(&bench);
+    for (bench, r) in suite.iter().zip(&results) {
         let paper = paper_ms(&bench.name());
         let paper_step = paper * 1e-3 * 250e6 / f64::from(bench.timesteps);
         rows.push(vec![
@@ -38,7 +40,7 @@ fn main() {
             format!("{paper:.3}"),
             format!("{:.2}", r.latency_ms / paper),
         ]);
-        let _ = titan_xp_point(&bench);
+        let _ = titan_xp_point(bench);
     }
     println!("Cycle-model calibration against the paper's BW_S10 measurements\n");
     println!(

@@ -1,35 +1,10 @@
 //! Regenerates Figure 7: hardware utilization across the DeepBench RNN
 //! inference experiments at batch 1 (BW vs. Titan Xp), as a text bar chart.
-
-use bw_baselines::titan_xp_point;
-use bw_bench::run_bw_s10;
-use bw_models::table5_suite;
-
-fn bar(pct: f64) -> String {
-    let width = (pct / 2.0).round() as usize; // 2% per character
-    "#".repeat(width.min(50))
-}
+//!
+//! The report is built by [`bw_bench::reports::fig7_report`] (shared with
+//! the golden snapshot tests); the benchmarks run in parallel across the
+//! available cores.
 
 fn main() {
-    println!("Figure 7: utilization across DeepBench RNN inference, batch 1");
-    println!("(percentage of peak FLOPS; 1 '#' = 2%)\n");
-    for bench in table5_suite() {
-        let bw = run_bw_s10(&bench);
-        let xp = titan_xp_point(&bench).expect("dataset covers the suite");
-        println!("{:<20}", bench.name());
-        println!(
-            "  BW (sim)  {:>5.1}% |{}",
-            bw.utilization_pct,
-            bar(bw.utilization_pct)
-        );
-        println!(
-            "  Titan Xp  {:>5.1}% |{}",
-            xp.utilization_pct,
-            bar(xp.utilization_pct)
-        );
-    }
-    println!(
-        "\nShape check: BW utilization climbs with hidden dimension (23-75% for\n\
-         dims > 1500 in the paper) while the GPU stays in single digits at batch 1."
-    );
+    print!("{}", bw_bench::reports::fig7_report());
 }

@@ -1,0 +1,133 @@
+//! End-to-end simulator performance benchmark.
+//!
+//! Times the full Table V DeepBench suite on the fast simulator kernels
+//! and on the `KernelMode::Reference` kernels (which replay the
+//! pre-optimization clone-on-read/naive-BFP strategy), plus a serving-load
+//! sweep through `bw-system`, and writes the measurements to
+//! `BENCH_simulator.json` in the working directory.
+//!
+//! Usage: `cargo run --release -p bw-bench --bin perf [-- --quick]`
+//!
+//! `--quick` is the CI smoke mode: one timing repetition and a smaller
+//! serving sweep, so the job finishes in seconds while still exercising
+//! every code path.
+
+use std::time::Instant;
+
+use bw_bench::{run_suite_with_kernel, BwRnnResult};
+use bw_core::KernelMode;
+use bw_models::table5_suite;
+use bw_system::{sweep_load, Microservice, ServiceModel};
+
+struct SuiteTiming {
+    wall_s: f64,
+    sim_cycles: u64,
+}
+
+/// Times the suite under one kernel mode: best wall-clock of `repeats`
+/// runs, plus the total simulated cycles (identical across modes).
+fn time_suite(suite: &[bw_models::RnnBenchmark], kernel: KernelMode, repeats: u32) -> SuiteTiming {
+    let mut best = f64::INFINITY;
+    let mut sim_cycles = 0u64;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let results: Vec<BwRnnResult> = run_suite_with_kernel(suite, kernel);
+        let wall = t0.elapsed().as_secs_f64();
+        best = best.min(wall);
+        sim_cycles = results.iter().map(|r| r.cycles).sum();
+    }
+    SuiteTiming {
+        wall_s: best,
+        sim_cycles,
+    }
+}
+
+fn json_suite(t: &SuiteTiming) -> String {
+    format!(
+        "{{\"wall_s\": {:.6}, \"sim_cycles\": {}, \"sim_cycles_per_s\": {:.1}}}",
+        t.wall_s,
+        t.sim_cycles,
+        t.sim_cycles as f64 / t.wall_s.max(1e-12),
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let repeats = if quick { 1 } else { 3 };
+    let suite = table5_suite();
+
+    eprintln!(
+        "timing Table V suite ({} benchmarks, {} repeat(s))...",
+        suite.len(),
+        repeats
+    );
+    // Warm-up run so page-cache / allocator effects don't skew the first
+    // measurement, then fast and reference timings.
+    let _ = run_suite_with_kernel(&suite, KernelMode::Fast);
+    let fast = time_suite(&suite, KernelMode::Fast, repeats);
+    eprintln!(
+        "  fast:      {:.3} s wall, {:.1}M simulated cycles/s",
+        fast.wall_s,
+        fast.sim_cycles as f64 / fast.wall_s / 1e6
+    );
+    let reference = time_suite(&suite, KernelMode::Reference, repeats);
+    eprintln!(
+        "  reference: {:.3} s wall, {:.1}M simulated cycles/s",
+        reference.wall_s,
+        reference.sim_cycles as f64 / reference.wall_s / 1e6
+    );
+    let speedup = reference.wall_s / fast.wall_s.max(1e-12);
+    eprintln!("  speedup:   {speedup:.2}x");
+    assert_eq!(
+        fast.sim_cycles, reference.sim_cycles,
+        "kernel mode must not change simulated cycles"
+    );
+
+    // Serving sweep: the big-GRU BW microservice under rising Poisson load
+    // (DESIGN.md §6); exercises the parallel sweep machinery end to end.
+    let service = Microservice {
+        service: ServiceModel::PerRequest { seconds: 2.0e-3 },
+        servers: 4,
+        network_hop_s: 50e-6,
+    };
+    let capacity = 4.0 / 2.0e-3; // requests/s at full utilization
+    let rates: Vec<f64> = [0.2, 0.4, 0.6, 0.8, 0.9]
+        .iter()
+        .map(|f| f * capacity)
+        .collect();
+    let n_requests = if quick { 2_000 } else { 20_000 };
+    eprintln!(
+        "serving sweep ({} points, {} requests each)...",
+        rates.len(),
+        n_requests
+    );
+    let t0 = Instant::now();
+    let points = sweep_load(&rates, &service, n_requests, 7);
+    let sweep_wall = t0.elapsed().as_secs_f64();
+    eprintln!("  sweep:     {sweep_wall:.3} s wall");
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"simulator\",\n  \"mode\": \"{}\",\n  \"threads\": {},\n  \
+         \"table5_suite\": {{\n    \"benchmarks\": {},\n    \"repeats\": {},\n    \
+         \"fast\": {},\n    \"reference\": {},\n    \"speedup\": {:.2}\n  }},\n  \
+         \"serving_sweep\": {{\n    \"points\": {},\n    \"requests_per_point\": {},\n    \
+         \"wall_s\": {:.6},\n    \"p99_latency_s_at_90pct_load\": {:.6}\n  }}\n}}\n",
+        if quick { "quick" } else { "full" },
+        threads,
+        suite.len(),
+        repeats,
+        json_suite(&fast),
+        json_suite(&reference),
+        speedup,
+        points.len(),
+        n_requests,
+        sweep_wall,
+        points.last().map_or(f64::NAN, |p| p.report.p99_latency_s),
+    );
+    std::fs::write("BENCH_simulator.json", &json).expect("write BENCH_simulator.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_simulator.json");
+}

@@ -7,132 +7,10 @@
 //! 96,000-MAC instance with a 128 native dimension, which divides both
 //! layers' channel counts exactly (the paper's CNN numbers likewise come
 //! from a CNN-specialized variant, cf. §VII-C).
-
-use bw_bench::{bw_s10_sized, render_table, run_bw_s10};
-use bw_core::{ExecMode, Npu, NpuConfig};
-use bw_dataflow::{ConvCriticalPath, RnnCriticalPath};
-use bw_models::{ConvLayer, ConvShape, RnnBenchmark, RnnKind};
-
-/// A per-layer CNN specialization at the BW_S10 MAC budget (~96,000 MACs
-/// at 250 MHz): the native dimension matches the layer's channel counts
-/// and the MFU stream is widened to one native vector per cycle (§VII-B2's
-/// "increasing MFU resources"). Each output position is one chain, so the
-/// structural floor is one cycle per position — see `EXPERIMENTS.md` for
-/// the resulting deviation on very position-heavy 1×1 layers.
-fn cnn_specialized(native_dim: u32, lanes: u32, engines: u32) -> NpuConfig {
-    NpuConfig::builder()
-        .name("BW_S10_CNN")
-        .native_dim(native_dim)
-        .lanes(lanes)
-        .tile_engines(engines)
-        .mfu_lanes(native_dim)
-        .mrf_entries(256)
-        .vrf_entries(4096)
-        .clock_mhz(250.0)
-        .build()
-        .expect("CNN-specialized configuration is valid")
-}
-
-fn mb(bytes: u64) -> String {
-    if bytes >= 1_000_000 {
-        format!("{:.0}MB", bytes as f64 / 1e6)
-    } else {
-        format!("{}KB", bytes / 1024)
-    }
-}
+//!
+//! The report is built by [`bw_bench::reports::table1_report`] (shared
+//! with the golden snapshot tests).
 
 fn main() {
-    let mut rows = Vec::new();
-
-    // --- RNN rows: per-time-step analysis at the paper's dimensions. ---
-    let steps = 50;
-    for (label, kind, dim, paper_bw) in [
-        ("LSTM 2000x2000", RnnKind::Lstm, 2000usize, 718u64),
-        ("GRU 2800x2800", RnnKind::Gru, 2800, 662),
-    ] {
-        let cp = match kind {
-            RnnKind::Lstm => RnnCriticalPath::lstm(dim as u64, dim as u64),
-            RnnKind::Gru => RnnCriticalPath::gru(dim as u64, dim as u64),
-        };
-        let sim = run_bw_s10(&RnnBenchmark::new(kind, dim, steps));
-        rows.push(vec![
-            label.to_owned(),
-            format!("{}M", cp.ops_per_step / 1_000_000),
-            cp.udm_step_cycles.to_string(),
-            cp.sdm_cycles(1, 96_000).to_string(),
-            (sim.cycles / u64::from(steps)).to_string(),
-            format!("(paper {paper_bw})"),
-            mb(cp.weight_bytes()),
-        ]);
-    }
-
-    // --- CNN rows, each on its own specialization. ---
-    for (label, shape, cfg, paper_bw) in [
-        (
-            "CNN In:28x28x128 K:128x3x3",
-            ConvShape {
-                h: 28,
-                w: 28,
-                c_in: 128,
-                k: 3,
-                c_out: 128,
-                stride: 1,
-                pad: 1,
-            },
-            // 47 x 128 x 16 = 96,256 MACs; 128 divides both channel counts.
-            cnn_specialized(128, 16, 47),
-            1326u64,
-        ),
-        (
-            "CNN In:56x56x64 K:256x1x1",
-            ConvShape {
-                h: 56,
-                w: 56,
-                c_in: 64,
-                k: 1,
-                c_out: 256,
-                stride: 1,
-                pad: 0,
-            },
-            // 12 x 256 x 32 = 98,304 MACs; all 256 output channels form
-            // one native vector per position.
-            cnn_specialized(256, 32, 12),
-            646,
-        ),
-    ] {
-        let cp = ConvCriticalPath::new(
-            shape.h as u64,
-            shape.w as u64,
-            shape.c_in as u64,
-            shape.k as u64,
-            shape.c_out as u64,
-            shape.stride as u64,
-            shape.pad as u64,
-        );
-
-        let conv = ConvLayer::new(&cfg, shape);
-        let mut npu = Npu::with_mode(cfg, ExecMode::TimingOnly);
-        let stats = conv
-            .run_timing_only(&mut npu, 0)
-            .expect("sized config runs");
-        rows.push(vec![
-            label.to_owned(),
-            format!("{}M", cp.ops / 1_000_000),
-            cp.udm_cycles.to_string(),
-            cp.sdm_cycles(96_000).to_string(),
-            stats.cycles.to_string(),
-            format!("(paper {paper_bw})"),
-            mb(cp.data_bytes),
-        ]);
-    }
-
-    println!("Table I: critical-path analysis of LSTM, GRU, and CNN");
-    println!("(UDM/SDM with unit-latency FUs; SDM and BW at 96,000 MACs)\n");
-    println!(
-        "{}",
-        render_table(&["model", "ops", "UDM", "SDM", "BW NPU", "", "data"], &rows)
-    );
-    // Keep the harness honest: the BW column must sit between the SDM
-    // bound and a small multiple of it for the large RNNs.
-    let _ = bw_s10_sized(306);
+    print!("{}", bw_bench::reports::table1_report());
 }

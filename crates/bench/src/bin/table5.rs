@@ -1,60 +1,11 @@
 //! Regenerates Table V: DeepBench RNN inference performance at batch 1 —
 //! SDM bound, simulated BW NPU, and the Titan Xp published baseline for
 //! each of the eleven benchmark layers.
-
-use bw_baselines::titan_xp_point;
-use bw_bench::{render_table, run_bw_s10, sdm_latency_ms};
-use bw_models::table5_suite;
+//!
+//! The report is built by [`bw_bench::reports::table5_report`] (shared
+//! with the golden snapshot tests); the benchmarks run in parallel across
+//! the available cores.
 
 fn main() {
-    let mut rows = Vec::new();
-    for bench in table5_suite() {
-        let sdm = sdm_latency_ms(&bench);
-        let bw = run_bw_s10(&bench);
-        let xp = titan_xp_point(&bench).expect("dataset covers the suite");
-
-        rows.push(vec![
-            bench.name(),
-            "SDM".to_owned(),
-            format!("{sdm:.4}"),
-            "-".to_owned(),
-            "-".to_owned(),
-        ]);
-        rows.push(vec![
-            String::new(),
-            "BW (sim)".to_owned(),
-            format!("{:.4}", bw.latency_ms),
-            format!("{:.2}", bw.tflops),
-            format!("{:.1}", bw.utilization_pct),
-        ]);
-        rows.push(vec![
-            String::new(),
-            "Titan Xp".to_owned(),
-            format!("{:.2}", xp.latency_ms),
-            format!("{:.2}", xp.tflops),
-            format!("{:.1}", xp.utilization_pct),
-        ]);
-    }
-    println!("Table V: DeepBench RNN inference performance, batch size 1");
-    println!("(BW: simulated BW_S10 at 250 MHz; Titan Xp: published DeepBench results)\n");
-    println!(
-        "{}",
-        render_table(
-            &["benchmark", "device", "latency (ms)", "TFLOPS", "% util"],
-            &rows
-        )
-    );
-
-    // Headline ratios the paper calls out.
-    let big = table5_suite()[0];
-    let bw = run_bw_s10(&big);
-    let xp = titan_xp_point(&big).expect("covered");
-    println!(
-        "headline: {} -> BW {:.2} ms vs Titan Xp {:.1} ms ({:.0}x lower latency, {:.0}x TFLOPS)",
-        big.name(),
-        bw.latency_ms,
-        xp.latency_ms,
-        xp.latency_ms / bw.latency_ms,
-        bw.tflops / xp.tflops,
-    );
+    print!("{}", bw_bench::reports::table5_report());
 }

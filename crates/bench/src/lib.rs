@@ -9,10 +9,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use bw_core::{ExecMode, Npu, NpuConfig, RunStats};
+use bw_core::{ExecMode, KernelMode, Npu, NpuConfig, RunStats};
 use bw_dataflow::RnnCriticalPath;
 use bw_models::{Gru, Lstm, RnnBenchmark, RnnKind};
 use serde::{Deserialize, Serialize};
+
+pub mod reports;
 
 /// The simulated BW result for one DeepBench benchmark.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -60,12 +62,28 @@ pub fn bw_s10_sized(mrf_entries: u32) -> NpuConfig {
 /// Panics if the simulation fails — harness configurations are sized to
 /// make that a bug, not a runtime condition.
 pub fn run_bw_s10(bench: &RnnBenchmark) -> BwRnnResult {
+    run_bw_s10_with_kernel(bench, KernelMode::Fast)
+}
+
+/// [`run_bw_s10`] with an explicit simulator kernel selection.
+///
+/// `KernelMode::Reference` replays the pre-optimization allocation and
+/// arithmetic strategy (clone-on-read register files, naive BFP kernels);
+/// the simulated cycle counts are identical in either mode, so this exists
+/// to measure the fast path's wall-clock speedup and to cross-check it.
+///
+/// # Panics
+///
+/// Panics if the simulation fails — harness configurations are sized to
+/// make that a bug, not a runtime condition.
+pub fn run_bw_s10_with_kernel(bench: &RnnBenchmark, kernel: KernelMode) -> BwRnnResult {
     let stats = match bench.kind {
         RnnKind::Gru => {
             let cfg =
                 bw_s10_sized(Gru::new(&NpuConfig::bw_s10(), bench.dims()).mrf_entries_required());
             let gru = Gru::new(&cfg, bench.dims());
             let mut npu = Npu::with_mode(cfg, ExecMode::TimingOnly);
+            npu.set_kernel_mode(kernel);
             gru.run_timing_only(&mut npu, bench.timesteps)
                 .expect("sized configuration runs")
         }
@@ -74,6 +92,7 @@ pub fn run_bw_s10(bench: &RnnBenchmark) -> BwRnnResult {
                 bw_s10_sized(Lstm::new(&NpuConfig::bw_s10(), bench.dims()).mrf_entries_required());
             let lstm = Lstm::new(&cfg, bench.dims());
             let mut npu = Npu::with_mode(cfg, ExecMode::TimingOnly);
+            npu.set_kernel_mode(kernel);
             lstm.run_timing_only(&mut npu, bench.timesteps)
                 .expect("sized configuration runs")
         }
@@ -87,6 +106,48 @@ pub fn run_bw_s10(bench: &RnnBenchmark) -> BwRnnResult {
         utilization_pct: stats.effective_utilization(ops) * 100.0,
         stats,
     }
+}
+
+/// Runs a set of DeepBench benchmarks across worker threads (one per
+/// available core) and returns the results in `benches` order.
+pub fn run_suite(benches: &[RnnBenchmark]) -> Vec<BwRnnResult> {
+    run_suite_with_kernel(benches, KernelMode::Fast)
+}
+
+/// [`run_suite`] with an explicit simulator kernel selection.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (i.e. a benchmark fails to simulate).
+pub fn run_suite_with_kernel(benches: &[RnnBenchmark], kernel: KernelMode) -> Vec<BwRnnResult> {
+    let results: std::sync::Mutex<Vec<Option<BwRnnResult>>> =
+        std::sync::Mutex::new(vec![None; benches.len()]);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(benches.len().max(1));
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= benches.len() {
+                    break;
+                }
+                let result = run_bw_s10_with_kernel(&benches[i], kernel);
+                results.lock().expect("no poisoned lock")[i] = Some(result);
+            });
+        }
+    })
+    .expect("suite workers do not panic");
+
+    results
+        .into_inner()
+        .expect("no poisoned lock")
+        .into_iter()
+        .map(|p| p.expect("every index filled"))
+        .collect()
 }
 
 /// The SDM latency (ms) for a DeepBench benchmark at BW_S10's clock and

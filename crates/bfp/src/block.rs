@@ -103,78 +103,41 @@ impl BfpBlock {
 
     /// Quantizes with an explicit [`Rounding`] discipline.
     pub fn quantize_with_rounding(values: &[f32], format: BfpFormat, rounding: Rounding) -> Self {
-        // A splitmix64 generator keeps stochastic rounding dependency-free,
-        // deterministic in the seed, and well-distributed even for small,
-        // consecutive seeds.
-        let mut rng_state = match rounding {
-            Rounding::Nearest => 0u64,
-            Rounding::Stochastic(seed) => seed,
-        };
-        let mut next_unit = move || -> f64 {
-            rng_state = rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = rng_state;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^= z >> 31;
-            (z >> 11) as f64 / (1u64 << 53) as f64
-        };
-        let chunk = format.block_size() as usize;
-        let max_man = format.max_mantissa();
-        let (exp_min, exp_max) = format.exponent_range();
         let mut mantissas = Vec::with_capacity(values.len());
-        let mut exponents = Vec::with_capacity(values.len().div_ceil(chunk.max(1)));
-
-        for group in values.chunks(chunk) {
-            let amax = group
-                .iter()
-                .map(|v| if v.is_finite() { v.abs() } else { f32::MAX })
-                .fold(0.0f32, f32::max);
-            let mut e = if amax == 0.0 {
-                exp_min
-            } else {
-                amax.log2().floor() as i32
-            };
-            // Rounding the largest element may overflow the mantissa field
-            // (e.g. 3.9 with 2-bit mantissas); bump the exponent if so.
-            let m = i32::from(format.mantissa_bits());
-            loop {
-                let scale = exp2(e - (m - 1));
-                let q_max = (f64::from(amax) / scale).round() as i64;
-                if q_max <= i64::from(max_man) || e >= exp_max {
-                    break;
-                }
-                e += 1;
-            }
-            let e = e.clamp(exp_min, exp_max);
-            let scale = exp2(e - (m - 1));
-            for &v in group {
-                let v = if v.is_finite() {
-                    v
-                } else if v.is_sign_negative() {
-                    f32::MIN
-                } else {
-                    f32::MAX
-                };
-                let exact = f64::from(v) / scale;
-                let q = match rounding {
-                    Rounding::Nearest => exact.round() as i64,
-                    Rounding::Stochastic(_) => {
-                        let floor = exact.floor();
-                        let frac = exact - floor;
-                        floor as i64 + i64::from(next_unit() < frac)
-                    }
-                };
-                let q = q.clamp(-i64::from(max_man), i64::from(max_man));
-                mantissas.push(q as i32);
-            }
-            exponents.push(e);
-        }
-
+        let mut exponents =
+            Vec::with_capacity(values.len().div_ceil((format.block_size() as usize).max(1)));
+        quantize_append(values, format, rounding, &mut mantissas, &mut exponents);
         BfpBlock {
             format,
             mantissas,
             exponents,
         }
+    }
+
+    /// An empty block in the given format, useful as a reusable scratch
+    /// target for [`BfpBlock::quantize_into`].
+    pub fn empty(format: BfpFormat) -> Self {
+        BfpBlock {
+            format,
+            mantissas: Vec::new(),
+            exponents: Vec::new(),
+        }
+    }
+
+    /// Quantizes into an existing block, reusing its mantissa/exponent
+    /// allocations. Produces exactly the same result as
+    /// [`BfpBlock::quantize_with_rounding`].
+    pub fn quantize_into(values: &[f32], format: BfpFormat, rounding: Rounding, out: &mut Self) {
+        out.format = format;
+        out.mantissas.clear();
+        out.exponents.clear();
+        quantize_append(
+            values,
+            format,
+            rounding,
+            &mut out.mantissas,
+            &mut out.exponents,
+        );
     }
 
     /// The format this block was quantized with.
@@ -223,15 +186,50 @@ impl BfpBlock {
 
     /// Dot product of two BFP vectors using integer MACs per chunk.
     ///
-    /// Within each chunk the products `q_a * q_b` accumulate in a 64-bit
-    /// integer; the chunk sum is then scaled by the combined exponents and
-    /// accumulated across chunks in double precision — the software model of
-    /// a hardware accumulation tree followed by a float accumulator.
+    /// This is the fast kernel: within each chunk the products `q_a * q_b`
+    /// accumulate in a 32-bit integer when the formats guarantee no overflow
+    /// (`block_size * max_mantissa_a * max_mantissa_b <= i32::MAX`, true for
+    /// every narrow-mantissa format the NPU uses), falling back to 64-bit
+    /// otherwise; the chunk sum is then scaled once by the combined exponents
+    /// and accumulated across chunks in double precision. Integer addition is
+    /// exact and the per-chunk scale is an exact power of two, so the result
+    /// is bit-identical to [`BfpBlock::dot_naive`] — the differential
+    /// property tests pin this.
     ///
     /// # Errors
     ///
     /// Returns [`DotError`] if the operands differ in length or chunk size.
     pub fn dot(&self, other: &BfpBlock) -> Result<f32, DotError> {
+        self.check_dot_operand(other)?;
+        Ok(dot_flat(
+            &self.mantissas,
+            &self.exponents,
+            self.format,
+            &other.mantissas,
+            &other.exponents,
+            other.format,
+        ))
+    }
+
+    /// Reference dot product: element-by-element 64-bit accumulation per
+    /// chunk, retained verbatim as the oracle for the fast kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DotError`] if the operands differ in length or chunk size.
+    pub fn dot_naive(&self, other: &BfpBlock) -> Result<f32, DotError> {
+        self.check_dot_operand(other)?;
+        Ok(dot_flat_naive(
+            &self.mantissas,
+            &self.exponents,
+            self.format,
+            &other.mantissas,
+            &other.exponents,
+            other.format,
+        ))
+    }
+
+    fn check_dot_operand(&self, other: &BfpBlock) -> Result<(), DotError> {
         if self.len() != other.len() {
             return Err(DotError::LengthMismatch {
                 lhs: self.len(),
@@ -244,24 +242,7 @@ impl BfpBlock {
                 rhs: other.format.block_size(),
             });
         }
-        let chunk = self.format.block_size() as usize;
-        let ma = i32::from(self.format.mantissa_bits());
-        let mb = i32::from(other.format.mantissa_bits());
-        let mut total = 0.0f64;
-        for (gi, (ga, gb)) in self
-            .mantissas
-            .chunks(chunk)
-            .zip(other.mantissas.chunks(chunk))
-            .enumerate()
-        {
-            let mut acc: i64 = 0;
-            for (&a, &b) in ga.iter().zip(gb) {
-                acc += i64::from(a) * i64::from(b);
-            }
-            let scale = exp2(self.exponents[gi] - (ma - 1) + other.exponents[gi] - (mb - 1));
-            total += acc as f64 * scale;
-        }
-        Ok(total as f32)
+        Ok(())
     }
 
     /// Convenience: quantizes `other` with this block's format, then takes
@@ -278,8 +259,164 @@ impl BfpBlock {
 /// `2.0^e` as an `f64` without going through `powi` (exact for the exponent
 /// ranges BFP uses).
 #[inline]
-fn exp2(e: i32) -> f64 {
+pub(crate) fn exp2(e: i32) -> f64 {
     f64::from_bits(((1023 + i64::from(e)) as u64) << 52)
+}
+
+/// Quantization core shared by [`BfpBlock`] and `BfpMatrix`: appends one
+/// chunk-exponent per `block_size` group and one mantissa per element.
+pub(crate) fn quantize_append(
+    values: &[f32],
+    format: BfpFormat,
+    rounding: Rounding,
+    mantissas: &mut Vec<i32>,
+    exponents: &mut Vec<i32>,
+) {
+    // A splitmix64 generator keeps stochastic rounding dependency-free,
+    // deterministic in the seed, and well-distributed even for small,
+    // consecutive seeds.
+    let mut rng_state = match rounding {
+        Rounding::Nearest => 0u64,
+        Rounding::Stochastic(seed) => seed,
+    };
+    let mut next_unit = move || -> f64 {
+        rng_state = rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let chunk = format.block_size() as usize;
+    let max_man = format.max_mantissa();
+    let (exp_min, exp_max) = format.exponent_range();
+    mantissas.reserve(values.len());
+    exponents.reserve(values.len().div_ceil(chunk.max(1)));
+
+    for group in values.chunks(chunk) {
+        let amax = group
+            .iter()
+            .map(|v| if v.is_finite() { v.abs() } else { f32::MAX })
+            .fold(0.0f32, f32::max);
+        let mut e = if amax == 0.0 {
+            exp_min
+        } else {
+            amax.log2().floor() as i32
+        };
+        // Rounding the largest element may overflow the mantissa field
+        // (e.g. 3.9 with 2-bit mantissas); bump the exponent if so.
+        let m = i32::from(format.mantissa_bits());
+        loop {
+            let scale = exp2(e - (m - 1));
+            let q_max = (f64::from(amax) / scale).round() as i64;
+            if q_max <= i64::from(max_man) || e >= exp_max {
+                break;
+            }
+            e += 1;
+        }
+        let e = e.clamp(exp_min, exp_max);
+        let scale = exp2(e - (m - 1));
+        for &v in group {
+            let v = if v.is_finite() {
+                v
+            } else if v.is_sign_negative() {
+                f32::MIN
+            } else {
+                f32::MAX
+            };
+            let exact = f64::from(v) / scale;
+            let q = match rounding {
+                Rounding::Nearest => exact.round() as i64,
+                Rounding::Stochastic(_) => {
+                    let floor = exact.floor();
+                    let frac = exact - floor;
+                    floor as i64 + i64::from(next_unit() < frac)
+                }
+            };
+            let q = q.clamp(-i64::from(max_man), i64::from(max_man));
+            mantissas.push(q as i32);
+        }
+        exponents.push(e);
+    }
+}
+
+/// Whether per-chunk MACs for a format pair fit a 32-bit accumulator:
+/// `chunk_len * max_a * max_b` bounds the magnitude of any chunk sum because
+/// quantized mantissas are clamped to `max_mantissa`.
+#[inline]
+fn macs_fit_i32(a_fmt: BfpFormat, b_fmt: BfpFormat, chunk_len: usize) -> bool {
+    let max_a = i64::from(a_fmt.max_mantissa());
+    let max_b = i64::from(b_fmt.max_mantissa());
+    (chunk_len as i64)
+        .saturating_mul(max_a)
+        .saturating_mul(max_b)
+        <= i64::from(i32::MAX)
+}
+
+/// Fast flat dot kernel over pre-extracted mantissa/exponent slabs.
+///
+/// Callers must have validated that lengths and block sizes agree. The chunk
+/// iteration order and the per-chunk exponent recombination expression are
+/// identical to [`dot_flat_naive`], and integer accumulation is exact, so the
+/// two kernels return bit-identical `f32` results.
+pub(crate) fn dot_flat(
+    a_man: &[i32],
+    a_exp: &[i32],
+    a_fmt: BfpFormat,
+    b_man: &[i32],
+    b_exp: &[i32],
+    b_fmt: BfpFormat,
+) -> f32 {
+    let chunk = (a_fmt.block_size() as usize).max(1);
+    let ma = i32::from(a_fmt.mantissa_bits());
+    let mb = i32::from(b_fmt.mantissa_bits());
+    let chunk_len = chunk.min(a_man.len());
+    let mut total = 0.0f64;
+    if macs_fit_i32(a_fmt, b_fmt, chunk_len) {
+        for (gi, (ga, gb)) in a_man.chunks(chunk).zip(b_man.chunks(chunk)).enumerate() {
+            let mut acc: i32 = 0;
+            for (&a, &b) in ga.iter().zip(gb) {
+                acc += a * b;
+            }
+            let scale = exp2(a_exp[gi] - (ma - 1) + b_exp[gi] - (mb - 1));
+            total += f64::from(acc) * scale;
+        }
+    } else {
+        for (gi, (ga, gb)) in a_man.chunks(chunk).zip(b_man.chunks(chunk)).enumerate() {
+            let mut acc: i64 = 0;
+            for (&a, &b) in ga.iter().zip(gb) {
+                acc += i64::from(a) * i64::from(b);
+            }
+            let scale = exp2(a_exp[gi] - (ma - 1) + b_exp[gi] - (mb - 1));
+            total += acc as f64 * scale;
+        }
+    }
+    total as f32
+}
+
+/// Reference flat dot kernel: the original element-by-element 64-bit
+/// accumulation, kept as the oracle the fast kernel is tested against.
+pub(crate) fn dot_flat_naive(
+    a_man: &[i32],
+    a_exp: &[i32],
+    a_fmt: BfpFormat,
+    b_man: &[i32],
+    b_exp: &[i32],
+    b_fmt: BfpFormat,
+) -> f32 {
+    let chunk = (a_fmt.block_size() as usize).max(1);
+    let ma = i32::from(a_fmt.mantissa_bits());
+    let mb = i32::from(b_fmt.mantissa_bits());
+    let mut total = 0.0f64;
+    for (gi, (ga, gb)) in a_man.chunks(chunk).zip(b_man.chunks(chunk)).enumerate() {
+        let mut acc: i64 = 0;
+        for (&a, &b) in ga.iter().zip(gb) {
+            acc += i64::from(a) * i64::from(b);
+        }
+        let scale = exp2(a_exp[gi] - (ma - 1) + b_exp[gi] - (mb - 1));
+        total += acc as f64 * scale;
+    }
+    total as f32
 }
 
 #[cfg(test)]
@@ -399,6 +536,62 @@ mod tests {
     }
 
     #[test]
+    fn quantize_into_matches_quantize_and_reuses_buffers() {
+        let xs: Vec<f32> = (0..300).map(|i| (i as f32 * 0.77).sin() * 9.0).collect();
+        let mut scratch = BfpBlock::empty(FMT2);
+        for rounding in [Rounding::Nearest, Rounding::Stochastic(7)] {
+            for fmt in [FMT2, FMT5] {
+                BfpBlock::quantize_into(&xs, fmt, rounding, &mut scratch);
+                assert_eq!(
+                    scratch,
+                    BfpBlock::quantize_with_rounding(&xs, fmt, rounding)
+                );
+            }
+        }
+        // Shrinking input must not leave stale tail data.
+        BfpBlock::quantize_into(&xs[..3], FMT5, Rounding::Nearest, &mut scratch);
+        assert_eq!(scratch, BfpBlock::quantize(&xs[..3], FMT5));
+    }
+
+    #[test]
+    fn fast_dot_bit_identical_to_naive_on_edge_cases() {
+        // Zero blocks, denormal-range values, saturating values, and a
+        // length straddling a chunk boundary.
+        let cases: Vec<Vec<f32>> = vec![
+            vec![0.0; 200],
+            vec![2.0f32.powi(-30); 129],
+            vec![2.0f32.powi(20), -1.0e-20, 0.0, 5.5],
+            (0..257).map(|i| ((i * 37) % 19) as f32 - 9.0).collect(),
+        ];
+        for xs in &cases {
+            for fmt in [FMT2, BfpFormat::BFP_1S_5E_3M, FMT5] {
+                let a = BfpBlock::quantize(xs, fmt);
+                let neg: Vec<f32> = xs.iter().map(|v| -v * 0.3).collect();
+                let b = BfpBlock::quantize(&neg, fmt);
+                assert_eq!(
+                    a.dot(&b).unwrap().to_bits(),
+                    a.dot_naive(&b).unwrap().to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_dot_uses_i64_fallback_for_wide_mantissas() {
+        // 23-bit mantissas with a 128 chunk cannot use the i32 accumulator;
+        // the fallback must still match the naive kernel bit-for-bit.
+        let fmt = BfpFormat::new(8, 23, 128).unwrap();
+        let xs: Vec<f32> = (0..256).map(|i| (i as f32 * 0.13).sin() * 100.0).collect();
+        let ys: Vec<f32> = (0..256).map(|i| (i as f32 * 0.29).cos() * 100.0).collect();
+        let a = BfpBlock::quantize(&xs, fmt);
+        let b = BfpBlock::quantize(&ys, fmt);
+        assert_eq!(
+            a.dot(&b).unwrap().to_bits(),
+            a.dot_naive(&b).unwrap().to_bits()
+        );
+    }
+
+    #[test]
     fn dot_f32_equals_quantize_then_dot() {
         let a = BfpBlock::quantize(&[0.5, -0.25, 1.0], FMT5);
         let direct = a.dot_f32(&[1.0, 1.0, 1.0]).unwrap();
@@ -490,6 +683,26 @@ mod tests {
             let qa = BfpBlock::quantize(&a, FMT5);
             let qb = BfpBlock::quantize(&b, FMT5);
             prop_assert_eq!(qa.dot(&qb).unwrap(), qb.dot(&qa).unwrap());
+        }
+
+        #[test]
+        fn fast_dot_bit_identical_to_naive(
+            a in prop::collection::vec(-100.0f32..100.0, 0..400),
+            mantissa_bits in 2u8..=5,
+            block_idx in 0usize..5,
+            seed in 0u64..1000,
+        ) {
+            let block_size = [1u32, 2, 16, 64, 128][block_idx];
+            let fmt = BfpFormat::new(5, mantissa_bits, block_size).unwrap();
+            let b: Vec<f32> = a.iter().enumerate()
+                .map(|(i, v)| v * (((i as u64 + seed) % 11) as f32 - 5.0) * 0.1)
+                .collect();
+            let qa = BfpBlock::quantize(&a, fmt);
+            let qb = BfpBlock::quantize(&b, fmt);
+            let fast = qa.dot(&qb).unwrap();
+            let naive = qa.dot_naive(&qb).unwrap();
+            prop_assert_eq!(fast.to_bits(), naive.to_bits(),
+                "fast {} vs naive {}", fast, naive);
         }
 
         #[test]

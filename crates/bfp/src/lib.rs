@@ -44,4 +44,4 @@ pub use block::{BfpBlock, DotError, Rounding};
 pub use error::ErrorStats;
 pub use f16::F16;
 pub use format::{BfpFormat, FormatError};
-pub use matrix::{BfpMatrix, MatrixShapeError};
+pub use matrix::{BfpMatrix, BfpRowRef, MatrixShapeError};

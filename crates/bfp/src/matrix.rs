@@ -3,7 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::block::{BfpBlock, DotError};
+use crate::block::{dot_flat, dot_flat_naive, exp2, quantize_append, BfpBlock, DotError, Rounding};
 use crate::format::BfpFormat;
 
 /// A dense matrix quantized to block floating point, row by row.
@@ -12,6 +12,10 @@ use crate::format::BfpFormat;
 /// vector (chunked into shared-exponent groups), so a dot-product engine
 /// multiplying the input vector by one row performs only integer MACs plus a
 /// per-chunk exponent recombination.
+///
+/// Storage is a single flat mantissa slab (`rows * cols` signed mantissas,
+/// row-major) plus a flat exponent slab (one per chunk per row) — the layout
+/// the fast dot kernel streams through without per-row indirection.
 ///
 /// # Example
 ///
@@ -29,7 +33,99 @@ pub struct BfpMatrix {
     rows: usize,
     cols: usize,
     format: BfpFormat,
-    row_blocks: Vec<BfpBlock>,
+    /// `rows * cols` signed mantissas, row-major.
+    mantissas: Vec<i32>,
+    /// `rows * chunks_per_row` shared exponents, row-major.
+    exponents: Vec<i32>,
+}
+
+/// A borrowed view of one quantized matrix row: slices into the matrix's
+/// flat mantissa/exponent slabs.
+#[derive(Clone, Copy, Debug)]
+pub struct BfpRowRef<'a> {
+    format: BfpFormat,
+    mantissas: &'a [i32],
+    exponents: &'a [i32],
+}
+
+impl BfpRowRef<'_> {
+    /// Number of elements in the row.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.mantissas.len()
+    }
+
+    /// Returns `true` if the row holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.mantissas.is_empty()
+    }
+
+    /// The quantization format.
+    #[inline]
+    pub fn format(&self) -> BfpFormat {
+        self.format
+    }
+
+    /// The row's signed mantissas.
+    #[inline]
+    pub fn mantissas(&self) -> &[i32] {
+        self.mantissas
+    }
+
+    /// The row's shared exponents, one per chunk.
+    #[inline]
+    pub fn exponents(&self) -> &[i32] {
+        self.exponents
+    }
+
+    /// Dot product of this row against a quantized vector (fast kernel).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DotError`] if `x` differs in length or chunk size.
+    pub fn dot(&self, x: &BfpBlock) -> Result<f32, DotError> {
+        check_operand(self.format, self.mantissas.len(), x)?;
+        Ok(dot_flat(
+            self.mantissas,
+            self.exponents,
+            self.format,
+            x.mantissas(),
+            x.exponents(),
+            x.format(),
+        ))
+    }
+
+    /// Reconstructs the approximate `f32` values of the row.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let chunk = (self.format.block_size() as usize).max(1);
+        let m = i32::from(self.format.mantissa_bits());
+        let mut out = Vec::with_capacity(self.len());
+        for (gi, group) in self.mantissas.chunks(chunk).enumerate() {
+            let scale = exp2(self.exponents[gi] - (m - 1));
+            for &q in group {
+                out.push((f64::from(q) * scale) as f32);
+            }
+        }
+        out
+    }
+}
+
+#[inline]
+fn check_operand(format: BfpFormat, cols: usize, x: &BfpBlock) -> Result<(), DotError> {
+    if cols != x.len() {
+        return Err(DotError::LengthMismatch {
+            lhs: cols,
+            rhs: x.len(),
+        });
+    }
+    if format.block_size() != x.format().block_size() {
+        return Err(DotError::BlockSizeMismatch {
+            lhs: format.block_size(),
+            rhs: x.format().block_size(),
+        });
+    }
+    Ok(())
 }
 
 /// Error returned when the data length does not match the requested shape.
@@ -77,16 +173,23 @@ impl BfpMatrix {
                 len: data.len(),
             });
         }
-        let row_blocks = data
-            .chunks(cols.max(1))
-            .take(rows)
-            .map(|row| BfpBlock::quantize(row, format))
-            .collect();
+        let mut mantissas = Vec::with_capacity(rows * cols);
+        let mut exponents = Vec::new();
+        for row in data.chunks(cols.max(1)).take(rows) {
+            quantize_append(
+                row,
+                format,
+                Rounding::Nearest,
+                &mut mantissas,
+                &mut exponents,
+            );
+        }
         Ok(BfpMatrix {
             rows,
             cols,
             format,
-            row_blocks,
+            mantissas,
+            exponents,
         })
     }
 
@@ -108,14 +211,27 @@ impl BfpMatrix {
         self.format
     }
 
-    /// Borrows one quantized row.
+    /// Exponent groups per row.
+    #[inline]
+    fn chunks_per_row(&self) -> usize {
+        self.cols
+            .div_ceil((self.format.block_size() as usize).max(1))
+    }
+
+    /// Borrows one quantized row as slices into the flat slabs.
     ///
     /// # Panics
     ///
     /// Panics if `row >= self.rows()`.
     #[inline]
-    pub fn row(&self, row: usize) -> &BfpBlock {
-        &self.row_blocks[row]
+    pub fn row(&self, row: usize) -> BfpRowRef<'_> {
+        assert!(row < self.rows, "row {row} out of range ({})", self.rows);
+        let cpr = self.chunks_per_row();
+        BfpRowRef {
+            format: self.format,
+            mantissas: &self.mantissas[row * self.cols..(row + 1) * self.cols],
+            exponents: &self.exponents[row * cpr..(row + 1) * cpr],
+        }
     }
 
     /// Matrix-vector product against an already-quantized input vector.
@@ -125,7 +241,104 @@ impl BfpMatrix {
     /// Returns [`DotError`] if `x` does not match the column count or chunk
     /// size.
     pub fn mv_mul(&self, x: &BfpBlock) -> Result<Vec<f32>, DotError> {
-        self.row_blocks.iter().map(|row| row.dot(x)).collect()
+        let mut out = Vec::new();
+        self.mv_mul_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix-vector product written into a reusable output buffer.
+    ///
+    /// `out` is cleared and filled with `rows` elements; its allocation is
+    /// reused across calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DotError`] if `x` does not match the column count or chunk
+    /// size.
+    pub fn mv_mul_into(&self, x: &BfpBlock, out: &mut Vec<f32>) -> Result<(), DotError> {
+        out.clear();
+        if self.rows == 0 {
+            return Ok(());
+        }
+        check_operand(self.format, self.cols, x)?;
+        out.reserve(self.rows);
+        let cpr = self.chunks_per_row();
+        for r in 0..self.rows {
+            out.push(dot_flat(
+                &self.mantissas[r * self.cols..(r + 1) * self.cols],
+                &self.exponents[r * cpr..(r + 1) * cpr],
+                self.format,
+                x.mantissas(),
+                x.exponents(),
+                x.format(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Matrix-vector product *accumulated* into `acc`: `acc[r] += row_r · x`.
+    ///
+    /// The per-row dot is computed as an `f32` (exactly as [`mv_mul`]
+    /// produces it) and then added in `f32`, matching the MVM datapath's
+    /// tile-accumulation order bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DotError`] if `x` does not match the column count or chunk
+    /// size, or [`DotError::LengthMismatch`] if `acc.len() != self.rows()`.
+    ///
+    /// [`mv_mul`]: BfpMatrix::mv_mul
+    pub fn mv_mul_acc(&self, x: &BfpBlock, acc: &mut [f32]) -> Result<(), DotError> {
+        if acc.len() != self.rows {
+            return Err(DotError::LengthMismatch {
+                lhs: self.rows,
+                rhs: acc.len(),
+            });
+        }
+        if self.rows == 0 {
+            return Ok(());
+        }
+        check_operand(self.format, self.cols, x)?;
+        let cpr = self.chunks_per_row();
+        for (r, slot) in acc.iter_mut().enumerate() {
+            *slot += dot_flat(
+                &self.mantissas[r * self.cols..(r + 1) * self.cols],
+                &self.exponents[r * cpr..(r + 1) * cpr],
+                self.format,
+                x.mantissas(),
+                x.exponents(),
+                x.format(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Matrix-vector product using the retained naive reference kernel;
+    /// bit-identical to [`BfpMatrix::mv_mul`] (the differential property
+    /// tests pin this).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DotError`] if `x` does not match the column count or chunk
+    /// size.
+    pub fn mv_mul_naive(&self, x: &BfpBlock) -> Result<Vec<f32>, DotError> {
+        if self.rows == 0 {
+            return Ok(Vec::new());
+        }
+        check_operand(self.format, self.cols, x)?;
+        let cpr = self.chunks_per_row();
+        (0..self.rows)
+            .map(|r| {
+                Ok(dot_flat_naive(
+                    &self.mantissas[r * self.cols..(r + 1) * self.cols],
+                    &self.exponents[r * cpr..(r + 1) * cpr],
+                    self.format,
+                    x.mantissas(),
+                    x.exponents(),
+                    x.format(),
+                ))
+            })
+            .collect()
     }
 
     /// Matrix-vector product; quantizes `x` with this matrix's format first.
@@ -141,8 +354,8 @@ impl BfpMatrix {
     /// Reconstructs the approximate row-major `f32` contents.
     pub fn dequantize(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.rows * self.cols);
-        for row in &self.row_blocks {
-            out.extend(row.dequantize());
+        for r in 0..self.rows {
+            out.extend(self.row(r).dequantize());
         }
         out
     }
@@ -156,6 +369,7 @@ impl BfpMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     const FMT: BfpFormat = BfpFormat::BFP_1S_5E_5M;
 
@@ -193,6 +407,10 @@ mod tests {
         let m = BfpMatrix::quantize(0, 0, &[], FMT).unwrap();
         assert_eq!(m.rows(), 0);
         assert_eq!(m.mv_mul_f32(&[]).unwrap(), Vec::<f32>::new());
+        assert_eq!(
+            m.mv_mul_naive(&BfpBlock::quantize(&[], FMT)).unwrap().len(),
+            0
+        );
         assert_eq!(m.storage_bytes(), 0);
     }
 
@@ -219,6 +437,56 @@ mod tests {
     }
 
     #[test]
+    fn flat_rows_match_per_row_quantization() {
+        // Quantizing the matrix row-by-row into flat slabs must equal
+        // quantizing each row as a standalone BfpBlock.
+        let (rows, cols) = (4, 200);
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i * 13) % 29) as f32 - 14.0)
+            .collect();
+        let m = BfpMatrix::quantize(rows, cols, &data, FMT).unwrap();
+        for r in 0..rows {
+            let standalone = BfpBlock::quantize(&data[r * cols..(r + 1) * cols], FMT);
+            assert_eq!(m.row(r).mantissas(), standalone.mantissas());
+            assert_eq!(m.row(r).exponents(), standalone.exponents());
+            assert_eq!(m.row(r).dequantize(), standalone.dequantize());
+        }
+    }
+
+    #[test]
+    fn mv_mul_error_cases_match_block_dot() {
+        let m = BfpMatrix::quantize(2, 3, &[1.0; 6], FMT).unwrap();
+        let short = BfpBlock::quantize(&[1.0], FMT);
+        assert_eq!(
+            m.mv_mul(&short),
+            Err(DotError::LengthMismatch { lhs: 3, rhs: 1 })
+        );
+        let fmt_small = BfpFormat::new(5, 5, 64).unwrap();
+        let wrong_chunk = BfpBlock::quantize(&[1.0; 3], fmt_small);
+        assert_eq!(
+            m.mv_mul(&wrong_chunk),
+            Err(DotError::BlockSizeMismatch { lhs: 128, rhs: 64 })
+        );
+    }
+
+    #[test]
+    fn mv_mul_acc_accumulates_in_f32() {
+        let m = BfpMatrix::quantize(3, 4, &[0.5; 12], FMT).unwrap();
+        let x = BfpBlock::quantize(&[1.0, 2.0, 3.0, 4.0], FMT);
+        let base = m.mv_mul(&x).unwrap();
+        let mut acc = base.clone();
+        m.mv_mul_acc(&x, &mut acc).unwrap();
+        for (a, b) in acc.iter().zip(&base) {
+            assert_eq!(*a, b + b);
+        }
+        let mut wrong = vec![0.0; 2];
+        assert_eq!(
+            m.mv_mul_acc(&x, &mut wrong),
+            Err(DotError::LengthMismatch { lhs: 3, rhs: 2 })
+        );
+    }
+
+    #[test]
     fn storage_matches_format_accounting() {
         let m = BfpMatrix::quantize(4, 128, &[1.0; 512], FMT).unwrap();
         assert_eq!(m.storage_bytes(), FMT.storage_bytes(512));
@@ -229,5 +497,35 @@ mod tests {
         let m = BfpMatrix::quantize(3, 4, &[2.0; 12], FMT).unwrap();
         assert_eq!(m.row(1).len(), 4);
         assert_eq!(m.dequantize().len(), 12);
+    }
+
+    proptest! {
+        #[test]
+        fn fast_mv_mul_bit_identical_to_naive(
+            rows in 0usize..6,
+            cols in 0usize..160,
+            mantissa_bits in 2u8..=5,
+            seed in 0u64..500,
+        ) {
+            let fmt = BfpFormat::new(5, mantissa_bits, 128).unwrap();
+            let data: Vec<f32> = (0..rows * cols)
+                .map(|i| (((i as u64).wrapping_mul(seed + 3)) % 37) as f32 - 18.0)
+                .collect();
+            let x: Vec<f32> = (0..cols)
+                .map(|i| (((i as u64).wrapping_mul(seed + 11)) % 23) as f32 * 0.25 - 2.5)
+                .collect();
+            let m = BfpMatrix::quantize(rows, cols, &data, fmt).unwrap();
+            let qx = BfpBlock::quantize(&x, fmt);
+            let fast = m.mv_mul(&qx).unwrap();
+            let naive = m.mv_mul_naive(&qx).unwrap();
+            prop_assert_eq!(fast.len(), naive.len());
+            for (f, n) in fast.iter().zip(&naive) {
+                prop_assert_eq!(f.to_bits(), n.to_bits(), "fast {} vs naive {}", f, n);
+            }
+            // mv_mul_into reuses buffers but must produce the same values.
+            let mut buf = vec![9.0f32; 3];
+            m.mv_mul_into(&qx, &mut buf).unwrap();
+            prop_assert_eq!(&buf, &fast);
+        }
     }
 }

@@ -69,7 +69,7 @@ pub use analysis::{
 };
 pub use config::{ConfigError, NpuConfig, NpuConfigBuilder, TimingParams};
 pub use hdd::{DispatchLevel, HddExpansion};
-pub use npu::{ChainKind, ChainTrace, ExecMode, Npu, SimError};
+pub use npu::{ChainKind, ChainTrace, ExecMode, KernelMode, Npu, SimError};
 pub use stats::RunStats;
 pub use trace_report::{KindSummary, TraceSummary};
 pub use validate::{ValidateError, ValidateErrorKind};

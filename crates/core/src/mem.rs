@@ -4,6 +4,13 @@
 //! Functional contents are stored at full `f32` precision; quantization
 //! happens at the datapath boundaries (BFP at the MVM input, float16 inside
 //! the MFUs), mirroring where precision is lost in the hardware.
+//!
+//! Storage is slab-backed: a vector register file is one flat `f32` slab
+//! (`entries * native_dim` elements) read and written as borrowed slices, so
+//! the simulator's hot path never clones a vector. Each file also carries
+//! its own RAW scoreboard — per-entry ready cycles the NPU consults for
+//! dependency tracking — replacing the former `HashMap<Slot, u64>` with a
+//! dense array indexed the same way the hardware's scoreboard is.
 
 use std::collections::VecDeque;
 
@@ -19,7 +26,11 @@ use crate::npu::SimError;
 pub(crate) struct VectorFile {
     name: &'static str,
     native_dim: usize,
-    entries: Vec<Option<Vec<f32>>>,
+    capacity: usize,
+    /// `capacity * native_dim` elements, zero-initialized.
+    data: Vec<f32>,
+    /// Cycle at which each entry's most recent write lands (0 = power-on).
+    ready: Vec<u64>,
 }
 
 impl VectorFile {
@@ -27,83 +38,198 @@ impl VectorFile {
         VectorFile {
             name,
             native_dim,
-            entries: vec![None; capacity],
+            capacity,
+            data: vec![0.0; capacity * native_dim],
+            ready: vec![0; capacity],
         }
     }
 
-    fn check(&self, index: u32, width: u32) -> Result<(), SimError> {
+    pub(crate) fn check(&self, index: u32, width: u32) -> Result<(), SimError> {
         let end = index as u64 + u64::from(width);
-        if end > self.entries.len() as u64 {
+        if end > self.capacity as u64 {
             return Err(SimError::VrfIndexOutOfRange {
                 file: self.name,
                 index,
                 width,
-                capacity: self.entries.len() as u32,
+                capacity: self.capacity as u32,
             });
         }
         Ok(())
     }
 
-    /// Reads `width` consecutive native vectors starting at `index`.
-    pub(crate) fn read(&self, index: u32, width: u32) -> Result<Vec<Vec<f32>>, SimError> {
+    /// Borrows `width` consecutive native vectors starting at `index` as one
+    /// flat slice (`width * native_dim` elements).
+    pub(crate) fn read(&self, index: u32, width: u32) -> Result<&[f32], SimError> {
         self.check(index, width)?;
-        Ok((0..width)
-            .map(|i| {
-                self.entries[(index + i) as usize]
-                    .clone()
-                    .unwrap_or_else(|| vec![0.0; self.native_dim])
-            })
-            .collect())
+        let start = index as usize * self.native_dim;
+        let len = width as usize * self.native_dim;
+        Ok(&self.data[start..start + len])
     }
 
-    /// Writes consecutive native vectors starting at `index`.
-    pub(crate) fn write(&mut self, index: u32, vectors: &[Vec<f32>]) -> Result<(), SimError> {
-        self.check(index, vectors.len() as u32)?;
-        for (i, v) in vectors.iter().enumerate() {
-            debug_assert_eq!(v.len(), self.native_dim);
-            self.entries[index as usize + i] = Some(v.clone());
-        }
+    /// Writes consecutive native vectors starting at `index` from a flat
+    /// slice whose length must be a multiple of `native_dim`.
+    pub(crate) fn write(&mut self, index: u32, flat: &[f32]) -> Result<(), SimError> {
+        debug_assert_eq!(flat.len() % self.native_dim.max(1), 0);
+        let width = (flat.len() / self.native_dim.max(1)) as u32;
+        self.check(index, width)?;
+        let start = index as usize * self.native_dim;
+        self.data[start..start + flat.len()].copy_from_slice(flat);
         Ok(())
     }
+
+    /// Latest ready cycle across `width` entries starting at `index`
+    /// (bounds must already be checked).
+    pub(crate) fn ready_at(&self, index: u32, width: u32) -> u64 {
+        self.ready[index as usize..(index + width) as usize]
+            .iter()
+            .copied()
+            .fold(0, u64::max)
+    }
+
+    /// Publishes the ready cycle of `width` entries starting at `index`.
+    pub(crate) fn mark_ready(&mut self, index: u32, width: u32, at: u64) {
+        for t in &mut self.ready[index as usize..(index + width) as usize] {
+            *t = at;
+        }
+    }
+
+    /// Resets the RAW scoreboard (start of a run; data persists).
+    pub(crate) fn clear_ready(&mut self) {
+        self.ready.iter_mut().for_each(|t| *t = 0);
+    }
+}
+
+/// One matrix register file entry.
+#[derive(Clone, Debug)]
+enum MrfSlot {
+    /// Never written: reads are an error (uninitialized weights).
+    Empty,
+    /// Reserved by [`MatrixFile::reserve`]: reads resolve to the shared
+    /// zero-tile template without a per-entry allocation.
+    Reserved,
+    /// Holds a quantized native tile.
+    Tile(BfpMatrix),
 }
 
 /// The matrix register file: banked across tile engines, one native
 /// `N × N` tile per entry, read one row per dot-product engine per cycle.
 #[derive(Clone, Debug)]
 pub(crate) struct MatrixFile {
-    entries: Vec<Option<BfpMatrix>>,
+    slots: Vec<MrfSlot>,
+    /// Shared zero tile backing every `Reserved` slot. Set once by
+    /// [`MatrixFile::set_zero_template`] before any reservation.
+    zero_template: Option<BfpMatrix>,
+    /// Cycle at which each entry's most recent write lands.
+    ready: Vec<u64>,
+    /// Write-after-read tracking: the last cycle at which an in-flight
+    /// `mv_mul` is still streaming each tile. A matrix write into a tile
+    /// must wait for this (double-buffering's correctness condition).
+    read_until: Vec<u64>,
 }
 
 impl MatrixFile {
     pub(crate) fn new(capacity: usize) -> Self {
         MatrixFile {
-            entries: vec![None; capacity],
+            slots: (0..capacity).map(|_| MrfSlot::Empty).collect(),
+            zero_template: None,
+            ready: vec![0; capacity],
+            read_until: vec![0; capacity],
         }
     }
 
     pub(crate) fn capacity(&self) -> u32 {
-        self.entries.len() as u32
+        self.slots.len() as u32
     }
 
     pub(crate) fn tile(&self, index: u32) -> Result<&BfpMatrix, SimError> {
-        self.entries
+        match self
+            .slots
             .get(index as usize)
             .ok_or(SimError::MrfIndexOutOfRange {
                 index,
                 capacity: self.capacity(),
-            })?
-            .as_ref()
-            .ok_or(SimError::MrfEntryUninitialized { index })
+            })? {
+            MrfSlot::Tile(tile) => Ok(tile),
+            MrfSlot::Reserved => Ok(self
+                .zero_template
+                .as_ref()
+                .expect("Reserved slots require a zero template")),
+            MrfSlot::Empty => Err(SimError::MrfEntryUninitialized { index }),
+        }
     }
 
     pub(crate) fn store(&mut self, index: u32, tile: BfpMatrix) -> Result<(), SimError> {
         let capacity = self.capacity();
         let slot = self
-            .entries
+            .slots
             .get_mut(index as usize)
             .ok_or(SimError::MrfIndexOutOfRange { index, capacity })?;
-        *slot = Some(tile);
+        *slot = MrfSlot::Tile(tile);
         Ok(())
+    }
+
+    /// Installs the zero-tile template `Reserved` slots resolve to. A no-op
+    /// if already installed (the template depends only on the NPU config).
+    pub(crate) fn set_zero_template(&mut self, tile: BfpMatrix) {
+        if self.zero_template.is_none() {
+            self.zero_template = Some(tile);
+        }
+    }
+
+    pub(crate) fn has_zero_template(&self) -> bool {
+        self.zero_template.is_some()
+    }
+
+    /// Marks an entry as holding the shared zero tile without cloning it —
+    /// the cheap timing-only counterpart of [`MatrixFile::store`].
+    /// [`MatrixFile::set_zero_template`] must have been called first.
+    pub(crate) fn reserve(&mut self, index: u32) -> Result<(), SimError> {
+        debug_assert!(self.zero_template.is_some());
+        let capacity = self.capacity();
+        let slot = self
+            .slots
+            .get_mut(index as usize)
+            .ok_or(SimError::MrfIndexOutOfRange { index, capacity })?;
+        *slot = MrfSlot::Reserved;
+        Ok(())
+    }
+
+    /// Latest ready cycle across `count` entries starting at `index`.
+    pub(crate) fn ready_at(&self, index: u32, count: u32) -> u64 {
+        let end = ((index + count) as usize).min(self.ready.len());
+        self.ready[(index as usize).min(end)..end]
+            .iter()
+            .copied()
+            .fold(0, u64::max)
+    }
+
+    pub(crate) fn mark_ready(&mut self, index: u32, at: u64) {
+        if let Some(t) = self.ready.get_mut(index as usize) {
+            *t = at;
+        }
+    }
+
+    /// Latest in-flight read across `count` entries starting at `index`.
+    pub(crate) fn read_until_at(&self, index: u32, count: u32) -> u64 {
+        let end = ((index + count) as usize).min(self.read_until.len());
+        self.read_until[(index as usize).min(end)..end]
+            .iter()
+            .copied()
+            .fold(0, u64::max)
+    }
+
+    /// Extends the in-flight read window of `count` entries to `until`.
+    pub(crate) fn mark_read_until(&mut self, index: u32, count: u32, until: u64) {
+        let end = ((index + count) as usize).min(self.read_until.len());
+        for t in &mut self.read_until[(index as usize).min(end)..end] {
+            *t = (*t).max(until);
+        }
+    }
+
+    /// Resets both scoreboards (start of a run; tiles persist).
+    pub(crate) fn clear_ready(&mut self) {
+        self.ready.iter_mut().for_each(|t| *t = 0);
+        self.read_until.iter_mut().for_each(|t| *t = 0);
     }
 }
 
@@ -112,35 +238,44 @@ impl MatrixFile {
 /// spill target.
 #[derive(Clone, Debug, Default)]
 pub(crate) struct Dram {
-    vectors: Vec<Option<Vec<f32>>>,
+    /// Flat vector storage, grown on write; unwritten space reads as zeros.
+    vector_data: Vec<f32>,
     matrices: Vec<Option<BfpMatrix>>,
+    vector_ready: Vec<u64>,
+    matrix_ready: Vec<u64>,
 }
 
 impl Dram {
-    pub(crate) fn read_vectors(
+    /// Appends `width` native vectors starting at `index` to `out`;
+    /// unwritten space reads as zeros.
+    pub(crate) fn read_vectors_into(
         &self,
         index: u32,
         width: u32,
         native_dim: usize,
-    ) -> Result<Vec<Vec<f32>>, SimError> {
-        Ok((0..width)
-            .map(|i| {
-                self.vectors
-                    .get((index + i) as usize)
-                    .and_then(|v| v.clone())
-                    .unwrap_or_else(|| vec![0.0; native_dim])
-            })
-            .collect())
+        out: &mut Vec<f32>,
+    ) {
+        let start = index as usize * native_dim;
+        let len = width as usize * native_dim;
+        let have_end = self.vector_data.len().min(start + len);
+        if start < have_end {
+            out.extend_from_slice(&self.vector_data[start..have_end]);
+        }
+        out.resize(
+            out.len() + (start + len).saturating_sub(have_end.max(start)),
+            0.0,
+        );
     }
 
-    pub(crate) fn write_vectors(&mut self, index: u32, vectors: &[Vec<f32>]) {
-        let end = index as usize + vectors.len();
-        if end > self.vectors.len() {
-            self.vectors.resize(end, None);
+    /// Writes native vectors from a flat slice starting at `index`, growing
+    /// the address space as needed.
+    pub(crate) fn write_vectors(&mut self, index: u32, flat: &[f32], native_dim: usize) {
+        let start = index as usize * native_dim;
+        let end = start + flat.len();
+        if end > self.vector_data.len() {
+            self.vector_data.resize(end, 0.0);
         }
-        for (i, v) in vectors.iter().enumerate() {
-            self.vectors[index as usize + i] = Some(v.clone());
-        }
+        self.vector_data[start..end].copy_from_slice(flat);
     }
 
     pub(crate) fn read_matrix(&self, index: u32) -> Result<BfpMatrix, SimError> {
@@ -156,6 +291,44 @@ impl Dram {
             self.matrices.resize(end, None);
         }
         self.matrices[index as usize] = Some(tile);
+    }
+
+    /// Latest ready cycle across `width` vector entries starting at `index`
+    /// (entries beyond the scoreboard read as 0 — never written this run).
+    pub(crate) fn vector_ready_at(&self, index: u32, width: u32) -> u64 {
+        let end = ((index + width) as usize).min(self.vector_ready.len());
+        self.vector_ready[(index as usize).min(end)..end]
+            .iter()
+            .copied()
+            .fold(0, u64::max)
+    }
+
+    pub(crate) fn mark_vectors_ready(&mut self, index: u32, width: u32, at: u64) {
+        let end = (index + width) as usize;
+        if end > self.vector_ready.len() {
+            self.vector_ready.resize(end, 0);
+        }
+        for t in &mut self.vector_ready[index as usize..end] {
+            *t = at;
+        }
+    }
+
+    pub(crate) fn matrix_ready_at(&self, index: u32) -> u64 {
+        self.matrix_ready.get(index as usize).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn mark_matrix_ready(&mut self, index: u32, at: u64) {
+        let end = index as usize + 1;
+        if end > self.matrix_ready.len() {
+            self.matrix_ready.resize(end, 0);
+        }
+        self.matrix_ready[index as usize] = at;
+    }
+
+    /// Resets the RAW scoreboards (start of a run; contents persist).
+    pub(crate) fn clear_ready(&mut self) {
+        self.vector_ready.iter_mut().for_each(|t| *t = 0);
+        self.matrix_ready.iter_mut().for_each(|t| *t = 0);
     }
 }
 
@@ -179,23 +352,30 @@ impl NetQueues {
         self.input_matrices.push_back(tile);
     }
 
-    /// Pops `width` native vectors; returns them and the latest arrival
-    /// cycle among them (the time the read could begin).
-    pub(crate) fn pop_input(&mut self, width: u32) -> Result<(Vec<Vec<f32>>, u64), SimError> {
+    /// Pops `width` native vectors, appending their contents to `out` when
+    /// one is supplied (timing-only runs pass `None` and skip the copy);
+    /// returns the latest arrival cycle among them (the time the read could
+    /// begin).
+    pub(crate) fn pop_input_into(
+        &mut self,
+        width: u32,
+        mut out: Option<&mut Vec<f32>>,
+    ) -> Result<u64, SimError> {
         if (self.input.len() as u64) < u64::from(width) {
             return Err(SimError::NetQueueEmpty {
                 requested: width,
                 available: self.input.len() as u32,
             });
         }
-        let mut vectors = Vec::with_capacity(width as usize);
         let mut ready = 0;
         for _ in 0..width {
             let (v, t) = self.input.pop_front().expect("length checked");
             ready = ready.max(t);
-            vectors.push(v);
+            if let Some(out) = out.as_deref_mut() {
+                out.extend_from_slice(&v);
+            }
         }
-        Ok((vectors, ready))
+        Ok(ready)
     }
 
     pub(crate) fn pop_input_matrix(&mut self) -> Result<BfpMatrix, SimError> {
@@ -207,9 +387,10 @@ impl NetQueues {
             })
     }
 
-    pub(crate) fn push_output(&mut self, vectors: &[Vec<f32>]) {
-        for v in vectors {
-            self.output.push_back(v.clone());
+    /// Pushes native vectors from a flat slice (`native_dim` elements each).
+    pub(crate) fn push_output(&mut self, flat: &[f32], native_dim: usize) {
+        for v in flat.chunks(native_dim.max(1)) {
+            self.output.push_back(v.to_vec());
         }
     }
 
@@ -238,20 +419,17 @@ mod tests {
     #[test]
     fn vector_file_reads_zeros_before_first_write() {
         let f = VectorFile::new("test", 4, 3);
-        let v = f.read(0, 2).unwrap();
-        assert_eq!(v, vec![vec![0.0; 3], vec![0.0; 3]]);
+        assert_eq!(f.read(0, 2).unwrap(), &[0.0; 6][..]);
     }
 
     #[test]
     fn vector_file_round_trips_multi_entry_writes() {
         let mut f = VectorFile::new("test", 8, 2);
-        f.write(3, &[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
-        let v = f.read(3, 2).unwrap();
-        assert_eq!(v[0], vec![1.0, 2.0]);
-        assert_eq!(v[1], vec![3.0, 4.0]);
+        f.write(3, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(f.read(3, 2).unwrap(), &[1.0, 2.0, 3.0, 4.0][..]);
         // Neighbours untouched.
-        assert_eq!(f.read(2, 1).unwrap()[0], vec![0.0, 0.0]);
-        assert_eq!(f.read(5, 1).unwrap()[0], vec![0.0, 0.0]);
+        assert_eq!(f.read(2, 1).unwrap(), &[0.0, 0.0][..]);
+        assert_eq!(f.read(5, 1).unwrap(), &[0.0, 0.0][..]);
     }
 
     #[test]
@@ -259,7 +437,7 @@ mod tests {
         let mut f = VectorFile::new("test", 4, 2);
         assert!(f.read(3, 1).is_ok());
         assert!(f.read(3, 2).is_err());
-        assert!(f.write(4, &[vec![0.0, 0.0]]).is_err());
+        assert!(f.write(4, &[0.0, 0.0]).is_err());
         // Error carries the file name and capacity.
         let err = f.read(2, 3).unwrap_err();
         match err {
@@ -269,6 +447,21 @@ mod tests {
             }
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn vector_file_scoreboard_tracks_ranges() {
+        let mut f = VectorFile::new("test", 8, 2);
+        assert_eq!(f.ready_at(0, 8), 0);
+        f.mark_ready(2, 3, 100);
+        assert_eq!(f.ready_at(2, 1), 100);
+        assert_eq!(f.ready_at(0, 8), 100);
+        assert_eq!(f.ready_at(0, 2), 0);
+        f.mark_ready(3, 1, 50); // overwrite lowers that entry
+        assert_eq!(f.ready_at(3, 1), 50);
+        assert_eq!(f.ready_at(2, 3), 100);
+        f.clear_ready();
+        assert_eq!(f.ready_at(0, 8), 0);
     }
 
     #[test]
@@ -294,12 +487,39 @@ mod tests {
     }
 
     #[test]
+    fn matrix_file_reserved_slots_share_the_zero_template() {
+        let mut m = MatrixFile::new(4);
+        m.set_zero_template(tile(0.0));
+        m.reserve(0).unwrap();
+        m.reserve(3).unwrap();
+        assert!(m.reserve(4).is_err());
+        // Reserved entries read as the zero tile; entry 1 stays empty.
+        assert_eq!(m.tile(0).unwrap().dequantize(), vec![0.0; 4]);
+        assert_eq!(m.tile(3).unwrap().dequantize(), vec![0.0; 4]);
+        assert!(matches!(
+            m.tile(1),
+            Err(SimError::MrfEntryUninitialized { index: 1 })
+        ));
+        // A real store overrides the reservation.
+        m.store(0, tile(2.0)).unwrap();
+        assert!(m.tile(0).unwrap().dequantize()[0] > 1.0);
+    }
+
+    #[test]
     fn dram_grows_on_write_and_reads_zeros_for_vectors() {
         let mut d = Dram::default();
         // Unwritten vector entries read as zeros at the requested width.
-        assert_eq!(d.read_vectors(100, 1, 4).unwrap()[0], vec![0.0; 4]);
-        d.write_vectors(7, &[vec![1.0, 2.0]]);
-        assert_eq!(d.read_vectors(7, 1, 2).unwrap()[0], vec![1.0, 2.0]);
+        let mut out = Vec::new();
+        d.read_vectors_into(100, 1, 4, &mut out);
+        assert_eq!(out, vec![0.0; 4]);
+        d.write_vectors(7, &[1.0, 2.0], 2);
+        out.clear();
+        d.read_vectors_into(7, 1, 2, &mut out);
+        assert_eq!(out, vec![1.0, 2.0]);
+        // A read straddling the written frontier zero-fills the tail.
+        out.clear();
+        d.read_vectors_into(7, 2, 2, &mut out);
+        assert_eq!(out, vec![1.0, 2.0, 0.0, 0.0]);
         // Matrices are strict: uninitialized reads are errors.
         assert!(matches!(
             d.read_matrix(0),
@@ -310,6 +530,20 @@ mod tests {
     }
 
     #[test]
+    fn dram_scoreboards_grow_on_demand() {
+        let mut d = Dram::default();
+        assert_eq!(d.vector_ready_at(1000, 4), 0);
+        assert_eq!(d.matrix_ready_at(1000), 0);
+        d.mark_vectors_ready(5, 2, 42);
+        assert_eq!(d.vector_ready_at(4, 4), 42);
+        d.mark_matrix_ready(3, 7);
+        assert_eq!(d.matrix_ready_at(3), 7);
+        d.clear_ready();
+        assert_eq!(d.vector_ready_at(5, 2), 0);
+        assert_eq!(d.matrix_ready_at(3), 0);
+    }
+
+    #[test]
     fn net_queue_fifo_and_arrival_times() {
         let mut q = NetQueues::default();
         q.push_input(vec![1.0], 5);
@@ -317,23 +551,27 @@ mod tests {
         q.push_input(vec![3.0], 2);
         assert_eq!(q.input_len(), 3);
         // Popping two returns the later of their arrival times.
-        let (vs, ready) = q.pop_input(2).unwrap();
-        assert_eq!(vs, vec![vec![1.0], vec![2.0]]);
+        let mut vs = Vec::new();
+        let ready = q.pop_input_into(2, Some(&mut vs)).unwrap();
+        assert_eq!(vs, vec![1.0, 2.0]);
         assert_eq!(ready, 9);
         // Underflow reports counts.
         assert!(matches!(
-            q.pop_input(2),
+            q.pop_input_into(2, None),
             Err(SimError::NetQueueEmpty {
                 requested: 2,
                 available: 1
             })
         ));
+        // Copy-free pop still dequeues and reports arrival.
+        assert_eq!(q.pop_input_into(1, None).unwrap(), 2);
+        assert_eq!(q.input_len(), 0);
     }
 
     #[test]
     fn net_queue_output_side() {
         let mut q = NetQueues::default();
-        q.push_output(&[vec![1.0], vec![2.0]]);
+        q.push_output(&[1.0, 2.0], 1);
         assert_eq!(q.output_len(), 2);
         assert_eq!(q.pop_output().unwrap(), vec![1.0]);
         assert_eq!(q.pop_output().unwrap(), vec![2.0]);

@@ -6,62 +6,54 @@
 //! ports by a non-blocking crossbar, so a chain may route through any
 //! subsequence of them in any order. Secondary operations execute in
 //! float16 ([`bw_bfp::F16`]), per §VI.
+//!
+//! Operands are flat element slices (the chain's native vectors
+//! concatenated); point-wise semantics make the native-vector boundaries
+//! irrelevant to the arithmetic, and the flat layout lets the simulator
+//! stream a chain through the MFUs without any per-vector indirection.
 
 use bw_bfp::F16;
 
 use crate::isa::Opcode;
 use crate::npu::SimError;
 
-/// Applies a unary activation in float16 to `width` native vectors.
-pub(crate) fn apply_activation(op: Opcode, vectors: &mut [Vec<f32>]) {
-    for v in vectors {
-        for x in v.iter_mut() {
-            let h = F16::from_f32(*x);
-            let y = match op {
-                Opcode::VRelu => h.relu(),
-                Opcode::VSigm => h.sigmoid(),
-                Opcode::VTanh => h.tanh(),
-                _ => unreachable!("not an activation opcode"),
-            };
-            *x = y.to_f32();
-        }
+/// Applies a unary activation in float16, element-wise over the flat chain
+/// value.
+pub(crate) fn apply_activation(op: Opcode, chain: &mut [f32]) {
+    for x in chain.iter_mut() {
+        let h = F16::from_f32(*x);
+        let y = match op {
+            Opcode::VRelu => h.relu(),
+            Opcode::VSigm => h.sigmoid(),
+            Opcode::VTanh => h.tanh(),
+            _ => unreachable!("not an activation opcode"),
+        };
+        *x = y.to_f32();
     }
 }
 
 /// Applies a binary point-wise operation in float16: the chain value is the
 /// implicit `IN` operand (`a`), the register file supplies the explicit
 /// operand (`b`).
-pub(crate) fn apply_binary(
-    op: Opcode,
-    chain: &mut [Vec<f32>],
-    operand: &[Vec<f32>],
-) -> Result<(), SimError> {
+pub(crate) fn apply_binary(op: Opcode, chain: &mut [f32], operand: &[f32]) -> Result<(), SimError> {
     if chain.len() != operand.len() {
         return Err(SimError::VectorLengthMismatch {
             expected: chain.len(),
             actual: operand.len(),
         });
     }
-    for (cv, ov) in chain.iter_mut().zip(operand) {
-        if cv.len() != ov.len() {
-            return Err(SimError::VectorLengthMismatch {
-                expected: cv.len(),
-                actual: ov.len(),
-            });
-        }
-        for (a, &b) in cv.iter_mut().zip(ov) {
-            let ha = F16::from_f32(*a);
-            let hb = F16::from_f32(b);
-            let y = match op {
-                Opcode::VvAdd => ha + hb,
-                Opcode::VvASubB => ha - hb,
-                Opcode::VvBSubA => hb - ha,
-                Opcode::VvMax => ha.max(hb),
-                Opcode::VvMul => ha * hb,
-                _ => unreachable!("not a binary MFU opcode"),
-            };
-            *a = y.to_f32();
-        }
+    for (a, &b) in chain.iter_mut().zip(operand) {
+        let ha = F16::from_f32(*a);
+        let hb = F16::from_f32(b);
+        let y = match op {
+            Opcode::VvAdd => ha + hb,
+            Opcode::VvASubB => ha - hb,
+            Opcode::VvBSubA => hb - ha,
+            Opcode::VvMax => ha.max(hb),
+            Opcode::VvMul => ha * hb,
+            _ => unreachable!("not a binary MFU opcode"),
+        };
+        *a = y.to_f32();
     }
     Ok(())
 }
@@ -72,59 +64,56 @@ mod tests {
 
     #[test]
     fn relu_clamps_negative() {
-        let mut v = vec![vec![1.5, -0.5, 0.0]];
+        let mut v = vec![1.5, -0.5, 0.0];
         apply_activation(Opcode::VRelu, &mut v);
-        assert_eq!(v[0], vec![1.5, 0.0, 0.0]);
+        assert_eq!(v, vec![1.5, 0.0, 0.0]);
     }
 
     #[test]
     fn sigmoid_and_tanh_in_f16() {
-        let mut v = vec![vec![0.0, 100.0, -100.0]];
+        let mut v = vec![0.0, 100.0, -100.0];
         apply_activation(Opcode::VSigm, &mut v);
-        assert_eq!(v[0][0], 0.5);
-        assert_eq!(v[0][1], 1.0);
-        assert_eq!(v[0][2], 0.0);
-        let mut t = vec![vec![0.0]];
+        assert_eq!(v[0], 0.5);
+        assert_eq!(v[1], 1.0);
+        assert_eq!(v[2], 0.0);
+        let mut t = vec![0.0];
         apply_activation(Opcode::VTanh, &mut t);
-        assert_eq!(t[0][0], 0.0);
+        assert_eq!(t[0], 0.0);
     }
 
     #[test]
     fn binary_op_semantics() {
-        let mut a = vec![vec![3.0, 1.0]];
-        let b = vec![vec![1.0, 4.0]];
+        let b = [1.0, 4.0];
+        let mut a = vec![3.0, 1.0];
         apply_binary(Opcode::VvASubB, &mut a, &b).unwrap();
-        assert_eq!(a[0], vec![2.0, -3.0]);
+        assert_eq!(a, vec![2.0, -3.0]);
 
-        let mut a = vec![vec![3.0, 1.0]];
+        let mut a = vec![3.0, 1.0];
         apply_binary(Opcode::VvBSubA, &mut a, &b).unwrap();
-        assert_eq!(a[0], vec![-2.0, 3.0]);
+        assert_eq!(a, vec![-2.0, 3.0]);
 
-        let mut a = vec![vec![3.0, 1.0]];
+        let mut a = vec![3.0, 1.0];
         apply_binary(Opcode::VvMax, &mut a, &b).unwrap();
-        assert_eq!(a[0], vec![3.0, 4.0]);
+        assert_eq!(a, vec![3.0, 4.0]);
 
-        let mut a = vec![vec![3.0, 1.0]];
+        let mut a = vec![3.0, 1.0];
         apply_binary(Opcode::VvMul, &mut a, &b).unwrap();
-        assert_eq!(a[0], vec![3.0, 4.0]);
+        assert_eq!(a, vec![3.0, 4.0]);
     }
 
     #[test]
     fn results_round_to_f16_grid() {
         // 1 + 2^-12 is below half-precision resolution at 1.0.
-        let mut a = vec![vec![1.0]];
-        let b = vec![vec![2.0f32.powi(-12)]];
-        apply_binary(Opcode::VvAdd, &mut a, &b).unwrap();
-        assert_eq!(a[0][0], 1.0);
+        let mut a = vec![1.0];
+        apply_binary(Opcode::VvAdd, &mut a, &[2.0f32.powi(-12)]).unwrap();
+        assert_eq!(a[0], 1.0);
     }
 
     #[test]
     fn mismatched_shapes_error() {
-        let mut a = vec![vec![1.0]];
-        let b = vec![vec![1.0], vec![2.0]];
-        assert!(apply_binary(Opcode::VvAdd, &mut a, &b).is_err());
-        let mut a = vec![vec![1.0, 2.0]];
-        let b = vec![vec![1.0]];
-        assert!(apply_binary(Opcode::VvAdd, &mut a, &b).is_err());
+        let mut a = vec![1.0];
+        assert!(apply_binary(Opcode::VvAdd, &mut a, &[1.0, 2.0]).is_err());
+        let mut a = vec![1.0, 2.0];
+        assert!(apply_binary(Opcode::VvAdd, &mut a, &[1.0]).is_err());
     }
 }

@@ -13,8 +13,14 @@
 //! elements per cycle), so a `rows × cols` tile grid scheduled across `E`
 //! tile engines occupies the MVM for `ceil(rows·cols / E) · N / lanes`
 //! cycles.
+//!
+//! [`compute_into`] is the fast functional path: input quantization reuses
+//! per-column scratch blocks and tile products accumulate directly into a
+//! flat output slab, so a steady-state chain performs no allocation.
+//! [`compute_naive`] retains the original allocate-per-call shape with the
+//! naive BFP kernels as the differential-testing oracle and perf baseline.
 
-use bw_bfp::{BfpBlock, BfpMatrix};
+use bw_bfp::{BfpBlock, BfpMatrix, Rounding};
 
 use crate::config::NpuConfig;
 use crate::mem::MatrixFile;
@@ -42,14 +48,72 @@ pub(crate) fn macs(config: &NpuConfig, rows: u32, cols: u32) -> u64 {
         * u64::from(config.native_dim())
 }
 
-/// Functionally computes the tiled matrix-vector product.
+/// Reusable buffers for [`compute_into`]: one quantized input block per
+/// grid column, retained across chains so steady-state MVM execution
+/// performs no allocation.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct MvmScratch {
+    qinputs: Vec<BfpBlock>,
+}
+
+/// Functionally computes the tiled matrix-vector product into a reusable
+/// flat output buffer.
 ///
 /// `base` is the first MRF entry; tile `(r, c)` lives at `base + r·cols + c`
 /// (row-major grid order, matching the ISA's "20 consecutive MRF entries as
-/// a tiled 4N × 5N matrix" semantics). Accumulation across the `cols` tiles
-/// of a row happens in `f32`, modelling the wide add-reduction unit that
-/// follows the tile engines (Figure 6).
-pub(crate) fn compute(
+/// a tiled 4N × 5N matrix" semantics). `input` is `cols` native vectors
+/// concatenated; `out` is cleared and filled with `rows` native vectors.
+/// Accumulation across the `cols` tiles of a row happens in `f32`, modelling
+/// the wide add-reduction unit that follows the tile engines (Figure 6).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn compute_into(
+    config: &NpuConfig,
+    mrf: &MatrixFile,
+    base: u32,
+    rows: u32,
+    cols: u32,
+    input: &[f32],
+    out: &mut Vec<f32>,
+    scratch: &mut MvmScratch,
+) -> Result<(), SimError> {
+    let nd = config.native_dim() as usize;
+    let fmt = config.matrix_format();
+    if input.len() != cols as usize * nd {
+        return Err(SimError::VectorLengthMismatch {
+            expected: cols as usize * nd,
+            actual: input.len(),
+        });
+    }
+
+    // Quantize each native input vector once into retained scratch blocks;
+    // every tile in a column reuses the same quantized vector, as the
+    // hardware broadcasts it.
+    while scratch.qinputs.len() < cols as usize {
+        scratch.qinputs.push(BfpBlock::empty(fmt));
+    }
+    for (c, chunk) in input.chunks(nd).enumerate() {
+        BfpBlock::quantize_into(chunk, fmt, Rounding::Nearest, &mut scratch.qinputs[c]);
+    }
+
+    out.clear();
+    out.resize(rows as usize * nd, 0.0);
+    for r in 0..rows {
+        let acc = &mut out[r as usize * nd..(r as usize + 1) * nd];
+        for c in 0..cols {
+            let tile = mrf.tile(base + r * cols + c)?;
+            tile.mv_mul_acc(&scratch.qinputs[c as usize], acc)
+                .map_err(|e| SimError::Numeric(e.to_string()))?;
+        }
+    }
+    Ok(())
+}
+
+/// The original allocate-per-call tiled product using the naive BFP
+/// kernels: quantizes every input vector afresh, allocates an accumulator
+/// per row, and materializes each tile's partial product. Retained as the
+/// reference the fast path is differentially tested against, and as the
+/// honestly-measured baseline for the `perf` benchmark.
+pub(crate) fn compute_naive(
     config: &NpuConfig,
     mrf: &MatrixFile,
     base: u32,
@@ -61,8 +125,6 @@ pub(crate) fn compute(
     let nd = config.native_dim() as usize;
     let fmt = config.matrix_format();
 
-    // Quantize each native input vector once; every tile in a column reuses
-    // the same quantized vector, as the hardware broadcasts it.
     let qinputs: Vec<BfpBlock> = inputs
         .iter()
         .map(|v| {
@@ -82,7 +144,7 @@ pub(crate) fn compute(
         for c in 0..cols {
             let tile = mrf.tile(base + r * cols + c)?;
             let partial = tile
-                .mv_mul(&qinputs[c as usize])
+                .mv_mul_naive(&qinputs[c as usize])
                 .map_err(|e| SimError::Numeric(e.to_string()))?;
             for (a, p) in acc.iter_mut().zip(partial) {
                 *a += p;
@@ -164,6 +226,20 @@ mod tests {
             .unwrap()
     }
 
+    fn compute_flat(
+        cfg: &NpuConfig,
+        mrf: &MatrixFile,
+        base: u32,
+        rows: u32,
+        cols: u32,
+        input: &[f32],
+    ) -> Result<Vec<f32>, SimError> {
+        let mut out = Vec::new();
+        let mut scratch = MvmScratch::default();
+        compute_into(cfg, mrf, base, rows, cols, input, &mut out, &mut scratch)?;
+        Ok(out)
+    }
+
     #[test]
     fn occupancy_matches_formula() {
         let cfg = tiny_config();
@@ -241,11 +317,10 @@ mod tests {
             mrf.store(i as u32, t).unwrap();
         }
         let x: Vec<f32> = (0..n).map(|i| (i as f32 - 3.0) / 3.0).collect();
-        let inputs = vec![x[0..4].to_vec(), x[4..8].to_vec()];
-        let out = compute(&cfg, &mrf, 0, 2, 2, &inputs).unwrap();
+        let out = compute_flat(&cfg, &mrf, 0, 2, 2, &x).unwrap();
         for r in 0..n {
             let reference: f32 = (0..n).map(|c| data[r * n + c] * x[c]).sum();
-            let got = out[r / 4][r % 4];
+            let got = out[r];
             assert!(
                 (got - reference).abs() < 0.1,
                 "row {r}: {got} vs {reference}"
@@ -254,11 +329,31 @@ mod tests {
     }
 
     #[test]
+    fn fast_compute_bit_identical_to_naive() {
+        let cfg = tiny_config();
+        let mut mrf = MatrixFile::new(64);
+        let n = 8;
+        let data: Vec<f32> = (0..n * n).map(|i| ((i * 7) % 11) as f32 - 5.0).collect();
+        let tiles = tile_matrix(&cfg, n, n, &data, 2, 2).unwrap();
+        for (i, t) in tiles.into_iter().enumerate() {
+            mrf.store(i as u32, t).unwrap();
+        }
+        let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin() * 3.0).collect();
+        let fast = compute_flat(&cfg, &mrf, 0, 2, 2, &x).unwrap();
+        let naive =
+            compute_naive(&cfg, &mrf, 0, 2, 2, &[x[0..4].to_vec(), x[4..8].to_vec()]).unwrap();
+        let naive_flat: Vec<f32> = naive.into_iter().flatten().collect();
+        assert_eq!(fast.len(), naive_flat.len());
+        for (f, nv) in fast.iter().zip(&naive_flat) {
+            assert_eq!(f.to_bits(), nv.to_bits(), "fast {f} vs naive {nv}");
+        }
+    }
+
+    #[test]
     fn compute_errors_on_missing_tile() {
         let cfg = tiny_config();
         let mrf = MatrixFile::new(4);
-        let inputs = vec![vec![0.0; 4]];
-        let err = compute(&cfg, &mrf, 0, 1, 1, &inputs).unwrap_err();
+        let err = compute_flat(&cfg, &mrf, 0, 1, 1, &[0.0; 4]).unwrap_err();
         assert!(matches!(err, SimError::MrfEntryUninitialized { index: 0 }));
     }
 
@@ -268,7 +363,9 @@ mod tests {
         let mut mrf = MatrixFile::new(4);
         let tiles = tile_matrix(&cfg, 4, 4, &[1.0; 16], 1, 1).unwrap();
         mrf.store(0, tiles.into_iter().next().unwrap()).unwrap();
-        let err = compute(&cfg, &mrf, 0, 1, 1, &[vec![0.0; 3]]).unwrap_err();
+        let err = compute_flat(&cfg, &mrf, 0, 1, 1, &[0.0; 3]).unwrap_err();
+        assert!(matches!(err, SimError::VectorLengthMismatch { .. }));
+        let err = compute_naive(&cfg, &mrf, 0, 1, 1, &[vec![0.0; 3]]).unwrap_err();
         assert!(matches!(err, SimError::VectorLengthMismatch { .. }));
     }
 }

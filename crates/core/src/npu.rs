@@ -35,7 +35,6 @@
 //! execute on: the k-th add/sub operation of a chain reads `AddSubVrf(k)`,
 //! the k-th multiply reads `MultiplyVrf(k)`.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use bw_bfp::BfpMatrix;
@@ -58,6 +57,40 @@ pub enum ExecMode {
     /// performance sweeps where computing tens of gigaMACs in software
     /// would dominate run time without changing any timing result.
     TimingOnly,
+}
+
+/// Which functional kernel implementation a run uses. Cycle counts and
+/// computed values are identical in both modes; only host-side wall-clock
+/// cost differs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum KernelMode {
+    /// The optimized kernels: slab-backed register files read as borrowed
+    /// slices, reusable MVM quantization scratch, flat-accumulator BFP dot
+    /// products. The default.
+    #[default]
+    Fast,
+    /// The retained reference kernels: clone-on-read register files, fresh
+    /// quantization and accumulator allocations per chain, naive
+    /// element-by-element BFP dot products. Used as the oracle in the
+    /// differential test suite and as the measured baseline of the `perf`
+    /// benchmark.
+    Reference,
+}
+
+/// Reusable per-chain buffers, retained across chains and runs so the
+/// steady-state hot path performs no allocation.
+#[derive(Clone, Debug, Default)]
+struct ChainScratch {
+    /// The chain's current value: `width` native vectors, flat.
+    cur: Vec<f32>,
+    /// Double buffer for `mv_mul` output (swapped with `cur`).
+    aux: Vec<f32>,
+    /// Zero placeholder written by timing-only runs.
+    zeros: Vec<f32>,
+    /// Pending `v_wr` targets of the chain in flight.
+    writes: Vec<(MemId, u32, u32)>,
+    /// MVM input-quantization scratch.
+    mvm: mvm::MvmScratch,
 }
 
 /// The resource class a traced chain executed on.
@@ -245,22 +278,17 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// One addressable native-vector or native-tile slot, for dependency
-/// tracking.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-enum Slot {
-    Vrf(MemId, u32),
-    Mrf(u32),
-    DramVector(u32),
-    DramMatrix(u32),
-}
-
 /// The Brainwave NPU simulator. See the [crate-level docs](crate) for an
 /// end-to-end example.
+///
+/// RAW/WAR dependency scoreboards live inside the storage components
+/// themselves ([`crate::mem`]) as dense per-entry cycle arrays, indexed
+/// exactly like the hardware's scoreboard.
 #[derive(Clone, Debug)]
 pub struct Npu {
     config: NpuConfig,
     mode: ExecMode,
+    kernel: KernelMode,
     mrf: MatrixFile,
     initial_vrf: VectorFile,
     addsub_vrfs: Vec<VectorFile>,
@@ -269,6 +297,7 @@ pub struct Npu {
     net: NetQueues,
     rows: u32,
     cols: u32,
+    scratch: ChainScratch,
     // --- timing state ---
     nios_cursor: u64,
     /// Per-instruction dispatch cost for the current segment iteration:
@@ -280,11 +309,6 @@ pub struct Npu {
     mvm_free_at: u64,
     mfu_free_at: u64,
     mem_free_at: u64,
-    ready: HashMap<Slot, u64>,
-    /// Write-after-read tracking for MRF tiles: the last cycle at which an
-    /// in-flight `mv_mul` is still streaming a tile. A matrix write into a
-    /// tile must wait for this (double-buffering's correctness condition).
-    mrf_read_until: HashMap<u32, u64>,
     stats: RunStats,
     trace: Option<Vec<ChainTrace>>,
 }
@@ -313,17 +337,17 @@ impl Npu {
             net: NetQueues::default(),
             rows: 1,
             cols: 1,
+            scratch: ChainScratch::default(),
             nios_cursor: 0,
             dispatch_cost: 0,
             mvm_free_at: 0,
             mfu_free_at: 0,
             mem_free_at: 0,
-            ready: HashMap::new(),
-            mrf_read_until: HashMap::new(),
             stats: RunStats::default(),
             trace: None,
             config,
             mode,
+            kernel: KernelMode::Fast,
         }
     }
 
@@ -335,6 +359,18 @@ impl Npu {
     /// The execution mode.
     pub fn mode(&self) -> ExecMode {
         self.mode
+    }
+
+    /// The functional kernel implementation in use.
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.kernel
+    }
+
+    /// Selects the functional kernel implementation. Cycle counts and
+    /// computed values are unaffected; [`KernelMode::Reference`] trades
+    /// speed for the original allocate-per-step execution shape.
+    pub fn set_kernel_mode(&mut self, kernel: KernelMode) {
+        self.kernel = kernel;
     }
 
     /// Enables or disables per-chain trace collection. Enabling clears any
@@ -457,11 +493,23 @@ impl Npu {
         grid_rows: u32,
         grid_cols: u32,
     ) -> Result<u32, SimError> {
-        let nd = self.config.native_dim() as usize;
-        let zero = BfpMatrix::quantize(nd, nd, &vec![0.0; nd * nd], self.config.matrix_format())
-            .map_err(|e| SimError::Numeric(e.to_string()))?;
+        if !self.mrf.has_zero_template() || self.kernel == KernelMode::Reference {
+            let nd = self.config.native_dim() as usize;
+            let zero =
+                BfpMatrix::quantize(nd, nd, &vec![0.0; nd * nd], self.config.matrix_format())
+                    .map_err(|e| SimError::Numeric(e.to_string()))?;
+            if self.kernel == KernelMode::Reference {
+                // The reference execution shape: one full tile clone per
+                // reserved entry, as the original implementation did.
+                for i in 0..grid_rows * grid_cols {
+                    self.mrf.store(base + i, zero.clone())?;
+                }
+                return Ok(grid_rows * grid_cols);
+            }
+            self.mrf.set_zero_template(zero);
+        }
         for i in 0..grid_rows * grid_cols {
-            self.mrf.store(base + i, zero.clone())?;
+            self.mrf.reserve(base + i)?;
         }
         Ok(grid_rows * grid_cols)
     }
@@ -476,17 +524,9 @@ impl Npu {
     pub fn load_vector(&mut self, mem: MemId, index: u32, data: &[f32]) -> Result<u32, SimError> {
         let nd = self.config.native_dim() as usize;
         let count = data.len().div_ceil(nd).max(1);
-        let mut vectors = Vec::with_capacity(count);
-        for i in 0..count {
-            let mut v = vec![0.0f32; nd];
-            let start = i * nd;
-            if start < data.len() {
-                let n = nd.min(data.len() - start);
-                v[..n].copy_from_slice(&data[start..start + n]);
-            }
-            vectors.push(v);
-        }
-        self.vrf_mut(mem)?.write(index, &vectors)?;
+        let mut flat = vec![0.0f32; count * nd];
+        flat[..data.len()].copy_from_slice(data);
+        self.vrf_mut(mem)?.write(index, &flat)?;
         Ok(count as u32)
     }
 
@@ -541,8 +581,15 @@ impl Npu {
         self.mvm_free_at = 0;
         self.mfu_free_at = 0;
         self.mem_free_at = 0;
-        self.ready.clear();
-        self.mrf_read_until.clear();
+        self.initial_vrf.clear_ready();
+        for f in &mut self.addsub_vrfs {
+            f.clear_ready();
+        }
+        for f in &mut self.multiply_vrfs {
+            f.clear_ready();
+        }
+        self.mrf.clear_ready();
+        self.dram.clear_ready();
         self.stats = RunStats {
             peak_flops_per_cycle: self.config.peak_flops_per_cycle(),
             clock_hz: self.config.clock_hz(),
@@ -564,11 +611,10 @@ impl Npu {
                 }
             }
         }
-        // The run ends when the last effect lands.
-        let end = self.ready.values().copied().fold(
-            self.mvm_free_at.max(self.mfu_free_at).max(self.mem_free_at),
-            u64::max,
-        );
+        // The run ends when the last effect lands. Every published ready
+        // time is bounded by a chain completion already folded into
+        // `stats.cycles`, so only the resource frontiers can extend it.
+        let end = self.mvm_free_at.max(self.mfu_free_at).max(self.mem_free_at);
         self.stats.cycles = self.stats.cycles.max(end);
         Ok(self.stats.clone())
     }
@@ -616,14 +662,6 @@ impl Npu {
                 .ok_or(SimError::BadVrfFileIndex { mem, mfus }),
             _ => unreachable!("vrf_mut() called on non-VRF target"),
         }
-    }
-
-    fn slot_ready(&self, slot: Slot) -> u64 {
-        self.ready.get(&slot).copied().unwrap_or(0)
-    }
-
-    fn mark_ready(&mut self, slot: Slot, at: u64) {
-        self.ready.insert(slot, at);
     }
 
     fn validate_chain(&self, chain: &Chain) -> Result<(), SimError> {
@@ -681,18 +719,14 @@ impl Npu {
         if dst_mem == MemId::MatrixRf {
             // Write-after-read: do not overwrite tiles an earlier mv_mul is
             // still streaming.
-            for i in 0..count {
-                if let Some(&t) = self.mrf_read_until.get(&(dst_index + i)) {
-                    dep_ready = dep_ready.max(t);
-                }
-            }
+            dep_ready = dep_ready.max(self.mrf.read_until_at(dst_index, count));
         }
         let mut tiles = Vec::with_capacity(count as usize);
         for i in 0..count {
             let tile = match src_mem {
                 MemId::NetQ => self.net.pop_input_matrix()?,
                 MemId::Dram => {
-                    dep_ready = dep_ready.max(self.slot_ready(Slot::DramMatrix(src_index + i)));
+                    dep_ready = dep_ready.max(self.dram.matrix_ready_at(src_index + i));
                     self.dram.read_matrix(src_index + i)?
                 }
                 _ => unreachable!("matrix source validated"),
@@ -721,11 +755,11 @@ impl Npu {
             match dst_mem {
                 MemId::MatrixRf => {
                     self.mrf.store(dst_index + i, tile)?;
-                    self.mark_ready(Slot::Mrf(dst_index + i), completion);
+                    self.mrf.mark_ready(dst_index + i, completion);
                 }
                 MemId::Dram => {
                     self.dram.write_matrix(dst_index + i, tile);
-                    self.mark_ready(Slot::DramMatrix(dst_index + i), completion);
+                    self.dram.mark_matrix_ready(dst_index + i, completion);
                 }
                 _ => unreachable!("matrix destination validated"),
             }
@@ -742,8 +776,15 @@ impl Npu {
         let w_in = if has_mvm { cols } else { rows };
         let w_out = rows;
         let nd = self.config.native_dim() as usize;
-        let stream = u64::from(self.config.tile_stream_cycles());
         let functional = self.mode == ExecMode::Full;
+        let reference = self.kernel == KernelMode::Reference;
+
+        // Reusable chain buffers: taken out of `self` so the borrow checker
+        // sees them as disjoint from the register files, and returned on
+        // success (an error path simply reallocates on the next chain).
+        let mut s = std::mem::take(&mut self.scratch);
+        s.cur.clear();
+        s.writes.clear();
 
         // `dep_ready` accumulates the earliest legal chain start implied by
         // each operand: an operand consumed at pipeline offset `depth` may
@@ -751,12 +792,10 @@ impl Npu {
         let mut dep_ready = 0u64;
         let mut depth = 0u64;
         let mut mvm_occ = 0u64;
-        let mut cur: Vec<Vec<f32>> = Vec::new();
         // Wide counters so chains with pathological op counts reach the
         // capacity fault instead of wrapping an 8-bit index in debug builds.
         let mut addsub_seen: usize = 0;
         let mut multiply_seen: usize = 0;
-        let mut writes: Vec<(MemId, u32, u32)> = Vec::new();
         let mut mvm_tiles: Option<(u32, u32)> = None; // (base, count)
 
         for instr in chain.instructions() {
@@ -764,33 +803,48 @@ impl Npu {
                 Instruction::VRd { mem, index } => {
                     match mem {
                         MemId::NetQ => {
-                            let (vectors, arrival) = self.net.pop_input(w_in)?;
+                            s.cur.clear();
+                            let arrival = self
+                                .net
+                                .pop_input_into(w_in, functional.then_some(&mut s.cur))?;
                             dep_ready = dep_ready.max(arrival.saturating_sub(depth));
                             self.stats.net_vectors_in += u64::from(w_in);
-                            if functional {
-                                cur = vectors;
-                            }
                             depth += u64::from(timing.net_depth);
                         }
                         MemId::Dram => {
-                            for i in 0..w_in {
-                                let t = self.slot_ready(Slot::DramVector(index + i));
-                                dep_ready = dep_ready.max(t.saturating_sub(depth));
-                            }
+                            let t = self.dram.vector_ready_at(index, w_in);
+                            dep_ready = dep_ready.max(t.saturating_sub(depth));
                             if functional {
-                                cur = self.dram.read_vectors(index, w_in, nd)?;
+                                s.cur.clear();
+                                self.dram.read_vectors_into(index, w_in, nd, &mut s.cur);
+                                if reference {
+                                    // Reference shape: one clone per vector.
+                                    let _c: Vec<Vec<f32>> =
+                                        s.cur.chunks(nd).map(<[f32]>::to_vec).collect();
+                                }
                             }
                         }
                         vrf => {
                             // Bounds are validated even in timing-only mode.
                             let file = self.vrf(vrf)?;
-                            let vectors = file.read(index, w_in)?;
-                            for i in 0..w_in {
-                                let t = self.slot_ready(Slot::Vrf(vrf, index + i));
-                                dep_ready = dep_ready.max(t.saturating_sub(depth));
-                            }
-                            if functional {
-                                cur = vectors;
+                            let flat = file.read(index, w_in)?;
+                            let t = file.ready_at(index, w_in);
+                            dep_ready = dep_ready.max(t.saturating_sub(depth));
+                            if reference {
+                                // Reference shape: clone-on-read regardless
+                                // of execution mode, as the original
+                                // register files did.
+                                let cloned: Vec<Vec<f32>> =
+                                    flat.chunks(nd).map(<[f32]>::to_vec).collect();
+                                if functional {
+                                    s.cur.clear();
+                                    for v in &cloned {
+                                        s.cur.extend_from_slice(v);
+                                    }
+                                }
+                            } else if functional {
+                                s.cur.clear();
+                                s.cur.extend_from_slice(flat);
                             }
                         }
                     }
@@ -799,13 +853,38 @@ impl Npu {
                 Instruction::MvMul { mrf_index } => {
                     mvm_occ = mvm::occupancy(&self.config, rows, cols);
                     mvm_tiles = Some((mrf_index, rows * cols));
-                    for i in 0..rows * cols {
-                        let t = self.slot_ready(Slot::Mrf(mrf_index + i));
-                        dep_ready = dep_ready.max(t.saturating_sub(depth));
-                    }
+                    let t = self.mrf.ready_at(mrf_index, rows * cols);
+                    dep_ready = dep_ready.max(t.saturating_sub(depth));
                     self.stats.mvm_macs += mvm::macs(&self.config, rows, cols);
                     if functional {
-                        cur = mvm::compute(&self.config, &self.mrf, mrf_index, rows, cols, &cur)?;
+                        if reference {
+                            let inputs: Vec<Vec<f32>> =
+                                s.cur.chunks(nd).map(<[f32]>::to_vec).collect();
+                            let out = mvm::compute_naive(
+                                &self.config,
+                                &self.mrf,
+                                mrf_index,
+                                rows,
+                                cols,
+                                &inputs,
+                            )?;
+                            s.cur.clear();
+                            for v in out {
+                                s.cur.extend_from_slice(&v);
+                            }
+                        } else {
+                            mvm::compute_into(
+                                &self.config,
+                                &self.mrf,
+                                mrf_index,
+                                rows,
+                                cols,
+                                &s.cur,
+                                &mut s.aux,
+                                &mut s.mvm,
+                            )?;
+                            std::mem::swap(&mut s.cur, &mut s.aux);
+                        }
                     }
                     depth += u64::from(timing.mvm_depth);
                 }
@@ -814,7 +893,7 @@ impl Npu {
                     if mem == MemId::NetQ {
                         depth += u64::from(timing.net_depth);
                     }
-                    writes.push((mem, index, w_out));
+                    s.writes.push((mem, index, w_out));
                 }
                 ref op if op.opcode().is_mfu_op() => {
                     self.stats.mfu_element_ops += u64::from(w_out) * nd as u64;
@@ -823,35 +902,35 @@ impl Npu {
                         Instruction::VvAdd { index }
                         | Instruction::VvASubB { index }
                         | Instruction::VvBSubA { index }
-                        | Instruction::VvMax { index } => {
-                            let mem =
-                                MemId::AddSubVrf(u8::try_from(addsub_seen).unwrap_or(u8::MAX));
-                            addsub_seen += 1;
-                            let operand = self.vrf(mem)?.read(index, w_out)?;
-                            for i in 0..w_out {
-                                let t = self.slot_ready(Slot::Vrf(mem, index + i));
-                                dep_ready = dep_ready.max(t.saturating_sub(depth));
+                        | Instruction::VvMax { index }
+                        | Instruction::VvMul { index } => {
+                            let mem = if matches!(*instr, Instruction::VvMul { .. }) {
+                                let m = MemId::MultiplyVrf(
+                                    u8::try_from(multiply_seen).unwrap_or(u8::MAX),
+                                );
+                                multiply_seen += 1;
+                                m
+                            } else {
+                                let m =
+                                    MemId::AddSubVrf(u8::try_from(addsub_seen).unwrap_or(u8::MAX));
+                                addsub_seen += 1;
+                                m
+                            };
+                            let file = self.vrf(mem)?;
+                            let operand = file.read(index, w_out)?;
+                            let t = file.ready_at(index, w_out);
+                            dep_ready = dep_ready.max(t.saturating_sub(depth));
+                            if reference {
+                                let _c: Vec<Vec<f32>> =
+                                    operand.chunks(nd).map(<[f32]>::to_vec).collect();
                             }
                             if functional {
-                                mfu::apply_binary(opcode, &mut cur, &operand)?;
-                            }
-                        }
-                        Instruction::VvMul { index } => {
-                            let mem =
-                                MemId::MultiplyVrf(u8::try_from(multiply_seen).unwrap_or(u8::MAX));
-                            multiply_seen += 1;
-                            let operand = self.vrf(mem)?.read(index, w_out)?;
-                            for i in 0..w_out {
-                                let t = self.slot_ready(Slot::Vrf(mem, index + i));
-                                dep_ready = dep_ready.max(t.saturating_sub(depth));
-                            }
-                            if functional {
-                                mfu::apply_binary(opcode, &mut cur, &operand)?;
+                                mfu::apply_binary(opcode, &mut s.cur, operand)?;
                             }
                         }
                         _ => {
                             if functional {
-                                mfu::apply_activation(opcode, &mut cur);
+                                mfu::apply_activation(opcode, &mut s.cur);
                             }
                         }
                     }
@@ -867,7 +946,6 @@ impl Npu {
         // compute chains without one stream through the MFU pipeline; pure
         // data moves (v_rd → v_wr with no arithmetic) ride the vector
         // arbitration network and leave both compute resources free.
-        let _ = stream;
         let mfu_stream = u64::from(self.config.mfu_stream_cycles());
         enum Res {
             Mvm,
@@ -906,10 +984,7 @@ impl Npu {
         let completion = start + occupancy + depth;
         self.stats.cycles = self.stats.cycles.max(completion);
         if let Some((base, count)) = mvm_tiles {
-            for i in 0..count {
-                let until = self.mrf_read_until.entry(base + i).or_insert(0);
-                *until = (*until).max(start + occupancy);
-            }
+            self.mrf.mark_read_until(base, count, start + occupancy);
         }
         if let Some(trace) = &mut self.trace {
             trace.push(ChainTrace {
@@ -927,39 +1002,43 @@ impl Npu {
         }
 
         // Apply writes and publish ready times.
-        if functional && cur.len() != w_out as usize {
+        if functional && s.cur.len() != w_out as usize * nd {
             return Err(SimError::VectorLengthMismatch {
                 expected: w_out as usize,
-                actual: cur.len(),
+                actual: s.cur.len() / nd.max(1),
             });
         }
-        let placeholder: Vec<Vec<f32>>;
-        let values: &[Vec<f32>] = if functional {
-            &cur
-        } else {
-            placeholder = vec![vec![0.0; nd]; w_out as usize];
-            &placeholder
-        };
-        for (mem, index, width) in writes {
+        if !functional {
+            s.zeros.clear();
+            s.zeros.resize(w_out as usize * nd, 0.0);
+            if reference {
+                // Reference shape: a fresh zero placeholder per chain.
+                let _placeholder: Vec<Vec<f32>> = vec![vec![0.0; nd]; w_out as usize];
+            }
+        }
+        let values: &[f32] = if functional { &s.cur } else { &s.zeros };
+        for &(mem, index, width) in &s.writes {
             match mem {
                 MemId::NetQ => {
-                    self.net.push_output(values);
+                    self.net.push_output(values, nd);
                     self.stats.net_vectors_out += u64::from(width);
                 }
                 MemId::Dram => {
-                    self.dram.write_vectors(index, values);
-                    for i in 0..width {
-                        self.mark_ready(Slot::DramVector(index + i), completion);
-                    }
+                    self.dram.write_vectors(index, values, nd);
+                    self.dram.mark_vectors_ready(index, width, completion);
                 }
                 vrf => {
-                    self.vrf_mut(vrf)?.write(index, values)?;
-                    for i in 0..width {
-                        self.mark_ready(Slot::Vrf(vrf, index + i), completion);
+                    if reference {
+                        // Reference shape: clone-per-entry into the file.
+                        let _c: Vec<Vec<f32>> = values.chunks(nd).map(<[f32]>::to_vec).collect();
                     }
+                    let file = self.vrf_mut(vrf)?;
+                    file.write(index, values)?;
+                    file.mark_ready(index, width, completion);
                 }
             }
         }
+        self.scratch = s;
         Ok(())
     }
 }

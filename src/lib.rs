@@ -65,7 +65,7 @@ pub mod prelude {
         analyze, analyze_with, AnalysisOptions, AnalysisReport, Analyzer, DiagCode, Diagnostic,
         Severity,
     };
-    pub use bw_core::{ExecMode, HddExpansion, Npu, NpuConfig, RunStats, SimError};
+    pub use bw_core::{ExecMode, HddExpansion, KernelMode, Npu, NpuConfig, RunStats, SimError};
     pub use bw_dataflow::{ConvCriticalPath, RnnCriticalPath};
     pub use bw_fpga::{Device, ModelRequirements, ResourceEstimate};
     pub use bw_models::{

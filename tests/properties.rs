@@ -141,6 +141,42 @@ proptest! {
         prop_assert!(y[0].iter().all(|v| v.is_finite()));
     }
 
+    /// The fast simulator kernels are a pure optimization: on any random
+    /// LSTM, `KernelMode::Fast` and `KernelMode::Reference` (the
+    /// pre-optimization clone-and-naive-BFP strategy) produce bit-identical
+    /// outputs and identical run statistics.
+    #[test]
+    fn fast_kernels_bit_identical_to_reference(
+        hidden in 4usize..20,
+        steps in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let dims = RnnDims::square(hidden);
+        let weights = LstmWeights::random(dims, seed);
+        let inputs: Vec<Vec<f32>> = (0..steps)
+            .map(|t| (0..hidden).map(|i| ((t * hidden + i) as f32 * 0.41 + seed as f32).sin() * 0.6).collect())
+            .collect();
+
+        let run = |kernel: KernelMode| {
+            let cfg = small_cfg();
+            let lstm = Lstm::new(&cfg, dims);
+            let mut npu = Npu::new(cfg);
+            npu.set_kernel_mode(kernel);
+            lstm.load_weights(&mut npu, &weights).unwrap();
+            lstm.run(&mut npu, &inputs).unwrap()
+        };
+        let (fast_out, fast_stats) = run(KernelMode::Fast);
+        let (ref_out, ref_stats) = run(KernelMode::Reference);
+
+        prop_assert_eq!(fast_stats, ref_stats);
+        for (t, (a, b)) in fast_out.iter().zip(&ref_out).enumerate() {
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "step {}: {} vs {}", t, x, y);
+            }
+        }
+    }
+
     /// The BFP pipeline is numerically sane end to end: no NaN/inf escapes
     /// the NPU for bounded inputs, at any tested precision.
     #[test]

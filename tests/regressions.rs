@@ -1,0 +1,138 @@
+//! Regression pins for the zero-copy register files and the dense
+//! cross-chain scoreboards: behavioral contracts the fast kernels must
+//! not change.
+
+use brainwave::prelude::*;
+
+fn cfg() -> NpuConfig {
+    NpuConfig::builder()
+        .native_dim(8)
+        .lanes(4)
+        .tile_engines(2)
+        .mfus(2)
+        .mrf_entries(64)
+        .vrf_entries(64)
+        .matrix_format(BfpFormat::BFP_1S_5E_5M)
+        .build()
+        .expect("valid test configuration")
+}
+
+/// Reading a VRF range that was never written yields exact zeros — the
+/// register files are defined to power on cleared, and the slab-backed
+/// implementation must preserve that.
+#[test]
+fn uninitialized_vrf_reads_as_zero() {
+    let mut b = ProgramBuilder::new();
+    b.set_rows(2);
+    b.v_rd(MemId::InitialVrf, 5);
+    b.v_wr(MemId::NetQ, 0);
+    b.end_chain().unwrap();
+    let program = b.build();
+
+    let mut npu = Npu::new(cfg());
+    npu.run(&program).unwrap();
+    for _ in 0..2 {
+        let v = npu.pop_output().expect("two native vectors written");
+        assert_eq!(v.len(), 8);
+        assert!(v.iter().all(|x| x.to_bits() == 0), "exact +0.0 required");
+    }
+}
+
+/// A chain's write list is a multicast: the same result vector lands in
+/// every named destination, including a destination that aliases the
+/// chain's own source range (the read happens at chain start, the write
+/// at chain end).
+#[test]
+fn aliased_multicast_writes_see_pre_chain_values() {
+    let cfg = cfg();
+    let x: Vec<f32> = (0..8).map(|i| i as f32 * 0.25 - 1.0).collect();
+
+    let mut npu = Npu::new(cfg);
+    npu.load_vector(MemId::InitialVrf, 0, &x).unwrap();
+
+    // relu(x) multicast to: InitialVrf[0] (aliases the source),
+    // InitialVrf[9], and AddSubVrf(0)[4].
+    let mut b = ProgramBuilder::new();
+    b.set_rows(1);
+    b.v_rd(MemId::InitialVrf, 0);
+    b.v_relu();
+    b.v_wr(MemId::InitialVrf, 0);
+    b.v_wr(MemId::InitialVrf, 9);
+    b.v_wr(MemId::AddSubVrf(0), 4);
+    b.end_chain().unwrap();
+    // Second chain: read the aliased slot back out, add the AddSubVrf
+    // copy (RAW on both files), and emit.
+    b.v_rd(MemId::InitialVrf, 0);
+    b.vv_add(4);
+    b.v_wr(MemId::NetQ, 0);
+    b.end_chain().unwrap();
+    let program = b.build();
+    npu.run(&program).unwrap();
+
+    let out = npu.pop_output().expect("one native vector");
+    let relu: Vec<f32> = x.iter().map(|v| v.max(0.0)).collect();
+    // Both copies carry relu(x), so the sum is 2·relu(x) (exact in f16:
+    // doubling only bumps the exponent).
+    let want: Vec<f32> = relu.iter().map(|v| v * 2.0).collect();
+    assert_eq!(out, want);
+}
+
+/// Cross-chain RAW dependencies through a VRF stall the consumer: the
+/// dense scoreboard must report the producer's completion, exactly as the
+/// old per-slot hash map did.
+#[test]
+fn raw_dependency_through_vrf_stalls_consumer() {
+    let mut b = ProgramBuilder::new();
+    b.set_rows(1);
+    // Producer: a long matrix-free compute chain into InitialVrf[3].
+    b.v_rd(MemId::InitialVrf, 0);
+    b.v_relu();
+    b.v_wr(MemId::InitialVrf, 3);
+    b.end_chain().unwrap();
+    // Consumer: reads InitialVrf[3] immediately.
+    b.v_rd(MemId::InitialVrf, 3);
+    b.v_wr(MemId::NetQ, 0);
+    b.end_chain().unwrap();
+    let program = b.build();
+
+    let mut npu = Npu::with_mode(cfg(), ExecMode::TimingOnly);
+    npu.set_trace(true);
+    let stats = npu.run(&program).unwrap();
+    assert!(stats.dep_stall_cycles > 0, "consumer must stall on the RAW");
+    let trace = npu.take_trace();
+    assert_eq!(trace.len(), 2);
+    // The consumer cannot start before the producer's write is visible
+    // (minus the forwarding credit, which is what dep_ready_at records).
+    assert!(trace[1].start >= trace[1].dep_ready_at);
+    assert!(trace[1].dep_ready_at > trace[0].start);
+}
+
+/// The trace and statistics are kernel-independent: Fast and Reference
+/// modes must report byte-identical `RunStats` and chain traces.
+#[test]
+fn trace_output_unchanged_by_kernel_mode() {
+    let run = |kernel: KernelMode| {
+        let mut b = ProgramBuilder::new();
+        b.set_rows(2);
+        b.v_rd(MemId::InitialVrf, 0);
+        b.v_relu();
+        b.v_wr(MemId::InitialVrf, 4);
+        b.end_chain().unwrap();
+        b.v_rd(MemId::InitialVrf, 4);
+        b.vv_add(0);
+        b.v_tanh();
+        b.v_wr(MemId::NetQ, 0);
+        b.end_chain().unwrap();
+        let program = b.build();
+
+        let mut npu = Npu::new(cfg());
+        npu.set_kernel_mode(kernel);
+        npu.set_trace(true);
+        let stats = npu.run(&program).unwrap();
+        (stats, npu.take_trace())
+    };
+    let (fast_stats, fast_trace) = run(KernelMode::Fast);
+    let (ref_stats, ref_trace) = run(KernelMode::Reference);
+    assert_eq!(fast_stats, ref_stats);
+    assert_eq!(fast_trace, ref_trace);
+}

@@ -1,0 +1,107 @@
+//! Pins the cost of disabled tracing and of the steady-state hot path:
+//! with `set_trace(false)` (the default), re-running a warm program
+//! performs **zero** heap allocation, and enabling tracing changes no
+//! cycle statistic.
+//!
+//! This file holds exactly one `#[test]` so no concurrent test can
+//! allocate inside the measurement window of the process-global counting
+//! allocator.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use brainwave::prelude::*;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations() -> usize {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn untraced_hot_path_does_not_allocate() {
+    let cfg = NpuConfig::builder()
+        .native_dim(8)
+        .lanes(4)
+        .tile_engines(2)
+        .mfus(2)
+        .mrf_entries(64)
+        .vrf_entries(64)
+        .matrix_format(BfpFormat::BFP_1S_5E_5M)
+        .build()
+        .expect("valid test configuration");
+    let nd = cfg.native_dim() as usize;
+
+    // A VRF-to-VRF program (no NetQ: the network queues hand over owned
+    // vectors, which inherently allocates): mv_mul into the MFU pipeline,
+    // looped so the steady state dominates.
+    let mut b = ProgramBuilder::new();
+    b.set_rows(2);
+    b.set_cols(2);
+    b.begin_loop(10).unwrap();
+    b.v_rd(MemId::InitialVrf, 0);
+    b.mv_mul(0);
+    b.vv_add(0);
+    b.v_relu();
+    b.v_wr(MemId::InitialVrf, 0);
+    b.end_chain().unwrap();
+    b.end_loop().unwrap();
+    let program = b.build();
+
+    let mut npu = Npu::new(cfg);
+    let ident: Vec<f32> = {
+        let n = 2 * nd;
+        let mut m = vec![0.0; n * n];
+        for i in 0..n {
+            m[i * n + i] = 1.0;
+        }
+        m
+    };
+    npu.load_tiled_matrix(0, 2, 2, 2 * nd, 2 * nd, &ident)
+        .unwrap();
+    npu.load_vector(MemId::InitialVrf, 0, &vec![0.5; nd])
+        .unwrap();
+    npu.load_vector(MemId::AddSubVrf(0), 0, &vec![0.25; nd])
+        .unwrap();
+
+    // Warm-up: first run sizes every scratch buffer.
+    let warm = npu.run(&program).expect("program runs");
+
+    // Measured run: trace off, steady state — zero allocations.
+    let before = allocations();
+    let untraced = npu.run(&program).expect("program runs");
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "untraced steady-state run must not allocate"
+    );
+    assert_eq!(untraced, warm, "steady-state runs are deterministic");
+
+    // Tracing changes the records kept, never the simulated timing.
+    npu.set_trace(true);
+    let traced = npu.run(&program).expect("program runs");
+    assert_eq!(traced, untraced, "tracing must not perturb statistics");
+    assert_eq!(npu.take_trace().len(), 10, "one record per executed chain");
+}

@@ -68,9 +68,17 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn print_report(report: &AnalysisReport, json: bool) {
-    if json {
-        println!("{}", report.to_json());
+fn print_report(report: &AnalysisReport, args: &Args) {
+    if args.json {
+        // One JSON object on stdout, nothing else: machine-readable for
+        // toolflow scripts. The verdict is embedded so callers need not
+        // re-derive the gate from counts.
+        println!(
+            "{{\"tool\":\"bw-lint\",\"deny_warnings\":{},\"blocking\":{},\"report\":{}}}",
+            args.deny_warnings,
+            report.blocks_deployment(args.deny_warnings),
+            report.to_json()
+        );
     } else if report.diagnostics.is_empty() {
         println!("clean: no diagnostics");
     } else {
@@ -121,9 +129,11 @@ fn main() -> ExitCode {
     };
 
     if args.demo {
-        println!("== seeded-bug showcase ==");
+        if !args.json {
+            println!("== seeded-bug showcase ==");
+        }
         let report = demo_report();
-        print_report(&report, args.json);
+        print_report(&report, &args);
         return ExitCode::SUCCESS;
     }
 
@@ -147,7 +157,7 @@ fn main() -> ExitCode {
         );
     }
     let report = analyze_with(&program, &cfg, options);
-    print_report(&report, args.json);
+    print_report(&report, &args);
 
     if report.blocks_deployment(args.deny_warnings) {
         ExitCode::FAILURE

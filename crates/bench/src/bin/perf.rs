@@ -84,7 +84,7 @@ fn main() {
     );
 
     // Serving sweep: the big-GRU BW microservice under rising Poisson load
-    // (DESIGN.md §6); exercises the parallel sweep machinery end to end.
+    // (DESIGN.md §4); exercises the parallel sweep machinery end to end.
     let service = Microservice {
         service: ServiceModel::PerRequest { seconds: 2.0e-3 },
         servers: 4,

@@ -1,0 +1,211 @@
+//! Live serving benchmark (§II-A): open-loop Poisson load against a real
+//! `bw-serve` pool, side by side with the `bw-system` analytical
+//! prediction for the same (model, rate, replicas, policy) point.
+//!
+//! Boots a server whose workers pin a demo MLP onto `bw-core` NPUs,
+//! measures its warm batch-1 service time, replays a Poisson arrival
+//! process against it, and writes `BENCH_serving.json` with the measured
+//! latency distribution next to `simulate_pool`'s prediction.
+//!
+//! Usage: `cargo run --release -p bw-bench --bin serving [-- flags]`
+//!
+//! Flags:
+//! - `--quick`          CI smoke mode: fewer requests
+//! - `--replicas N`     pool size (default 2)
+//! - `--requests N`     offered requests (default 400; 120 with --quick)
+//! - `--utilization F`  offered load as a fraction of pool capacity
+//!   (default 0.25)
+//! - `--policy P`       round-robin | random | least-outstanding
+//! - `--expect-clean`   exit nonzero if anything was shed or failed
+//!   (the CI low-load assertion)
+
+use std::time::{Duration, Instant};
+
+use bw_serve::demo::{demo_input, mlp_artifact};
+use bw_serve::{run_loadgen, ArrivalProcess, LoadgenConfig, Routing, Server};
+use bw_system::{simulate_pool, Microservice, ServiceModel};
+
+struct Args {
+    quick: bool,
+    expect_clean: bool,
+    replicas: usize,
+    requests: Option<usize>,
+    utilization: f64,
+    policy: Routing,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        expect_clean: false,
+        replicas: 2,
+        requests: None,
+        utilization: 0.25,
+        policy: Routing::RoundRobin,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| {
+            argv.get(i + 1)
+                .unwrap_or_else(|| panic!("{} needs a value", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--quick" => args.quick = true,
+            "--expect-clean" => args.expect_clean = true,
+            "--replicas" => {
+                args.replicas = value(i).parse().expect("--replicas: integer");
+                i += 1;
+            }
+            "--requests" => {
+                args.requests = Some(value(i).parse().expect("--requests: integer"));
+                i += 1;
+            }
+            "--utilization" => {
+                args.utilization = value(i).parse().expect("--utilization: float");
+                i += 1;
+            }
+            "--policy" => {
+                args.policy = match value(i).as_str() {
+                    "round-robin" => Routing::RoundRobin,
+                    "random" => Routing::Random,
+                    "least-outstanding" => Routing::LeastOutstanding,
+                    p => panic!("unknown policy `{p}`"),
+                };
+                i += 1;
+            }
+            other => panic!("unknown flag `{other}`"),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn policy_name(p: Routing) -> &'static str {
+    match p {
+        Routing::RoundRobin => "round-robin",
+        Routing::Random => "random",
+        Routing::LeastOutstanding => "least-outstanding",
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let requests = args.requests.unwrap_or(if args.quick { 120 } else { 400 });
+    // Sized so one batch-1 inference takes hundreds of microseconds on
+    // the simulator: runtime overheads (channels, wakeups) then perturb
+    // the latency distribution by percent, not multiples, which is what
+    // makes the analytical comparison meaningful.
+    const MODEL: &str = "serving-mlp";
+    const WIDTHS: &[usize] = &[64, 512, 256, 64];
+    const SEED: u64 = 11;
+
+    // Warm service time of one batch-1 inference on a private replica:
+    // this is the `PerRequest` service model the analytical pool uses.
+    let probe = mlp_artifact(MODEL, WIDTHS, SEED);
+    let mut pinned = probe.pin().expect("demo artifact pins");
+    let input = demo_input(probe.input_dim(), 0);
+    let _ = pinned.infer(&input).expect("warm-up inference");
+    let t0 = Instant::now();
+    let probes = 50;
+    for _ in 0..probes {
+        let _ = pinned.infer(&input).expect("probe inference");
+    }
+    let service_s = t0.elapsed().as_secs_f64() / f64::from(probes);
+    eprintln!("measured service time: {:.1} µs/inference", service_s * 1e6);
+
+    let capacity_rps = args.replicas as f64 / service_s;
+    let rate = capacity_rps * args.utilization;
+    eprintln!(
+        "pool: {} replicas ({}), capacity {:.0} rps, offering {:.0} rps ({:.0}% utilization), {} requests",
+        args.replicas,
+        policy_name(args.policy),
+        capacity_rps,
+        rate,
+        args.utilization * 100.0,
+        requests
+    );
+
+    // The live pool.
+    let server = Server::builder()
+        .model(mlp_artifact(MODEL, WIDTHS, SEED))
+        .replicas(args.replicas)
+        .policy(args.policy)
+        .queue_cap(64)
+        .spawn()
+        .expect("server spawns");
+    let report = run_loadgen(
+        &server.client(),
+        &LoadgenConfig {
+            model: MODEL.to_owned(),
+            arrivals: ArrivalProcess::Poisson { rate_per_s: rate },
+            requests,
+            deadline: Duration::from_secs(5),
+            seed: 23,
+        },
+    );
+    eprintln!(
+        "measured: {} completed, {} shed, {} failed; p50 {:.1} µs, p99 {:.1} µs",
+        report.completed,
+        report.shed,
+        report.failed,
+        report.latency.p50_s * 1e6,
+        report.latency.p99_s * 1e6
+    );
+
+    // The analytical twin: same arrivals, same policy, per-request service
+    // equal to the measured service time.
+    let instance = Microservice {
+        service: ServiceModel::PerRequest { seconds: service_s },
+        servers: 1,
+        network_hop_s: 0.0,
+    };
+    let pool: Vec<Microservice> = vec![instance; args.replicas];
+    let arrivals = ArrivalProcess::Poisson { rate_per_s: rate }.generate(requests, 23);
+    let predicted = simulate_pool(&arrivals, &pool, args.policy, 23);
+    eprintln!(
+        "analytical: mean {:.1} µs, p99 {:.1} µs",
+        predicted.mean_latency_s * 1e6,
+        predicted.p99_latency_s * 1e6
+    );
+
+    let p99_ratio = report.latency.p99_s / predicted.p99_latency_s.max(1e-12);
+    let json = format!(
+        "{{\n  \"bench\": \"serving\",\n  \"mode\": \"{}\",\n  \"policy\": \"{}\",\n  \
+         \"replicas\": {},\n  \"service_time_s\": {:.9},\n  \"offered_rps\": {:.1},\n  \
+         \"utilization\": {:.3},\n  \"measured\": {},\n  \"analytical\": {{\n    \
+         \"mean_latency_s\": {:.9},\n    \"p99_latency_s\": {:.9},\n    \
+         \"throughput_rps\": {:.1}\n  }},\n  \"p99_live_over_analytical\": {:.3}\n}}\n",
+        if args.quick { "quick" } else { "full" },
+        policy_name(args.policy),
+        args.replicas,
+        service_s,
+        rate,
+        args.utilization,
+        report.to_json(),
+        predicted.mean_latency_s,
+        predicted.p99_latency_s,
+        predicted.throughput_rps,
+        p99_ratio,
+    );
+    std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_serving.json");
+
+    // Accounting must close regardless of flags.
+    assert_eq!(
+        report.completed + report.shed + report.failed + report.rejected,
+        report.offered as u64,
+        "loadgen accounting must cover every offered request"
+    );
+    if args.expect_clean && (report.shed > 0 || report.failed > 0 || report.rejected > 0) {
+        eprintln!(
+            "FAIL: expected a clean run at {:.0}% utilization but saw shed={} failed={} rejected={}",
+            args.utilization * 100.0,
+            report.shed,
+            report.failed,
+            report.rejected
+        );
+        std::process::exit(1);
+    }
+}

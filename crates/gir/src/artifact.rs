@@ -1,0 +1,299 @@
+//! Pin-able model artifacts: the unit a serving runtime deploys.
+//!
+//! §II-A publishes a compiled model as a *hardware microservice*: firmware
+//! plus BFP weights pinned onto one or more NPUs, then driven by live
+//! requests. [`ModelArtifact`] packages everything that pinning needs — a
+//! name, the NPU configuration the firmware was lowered for, and the
+//! compiled [`Deployment`] (ISA binaries + weight payloads) — while
+//! [`PinnedModel`] is one live instance: the artifact deployed onto a set
+//! of owned [`Npu`]s, ready to serve batch-1 inferences.
+
+use bw_core::{KernelMode, Npu, NpuConfig, RunStats};
+use serde::{Deserialize, Serialize};
+
+use crate::ir::{GirError, GirGraph};
+use crate::lower::{DeployError, Deployment, LowerOptions};
+use crate::pipeline::{fuse, partition, PartitionError};
+
+/// Error produced while packaging a model into an artifact.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArtifactError {
+    /// The source graph failed fusion/validation.
+    Gir(GirError),
+    /// The fused pipeline could not be partitioned under the budget.
+    Partition(PartitionError),
+    /// Lowering or deployment failed.
+    Deploy(DeployError),
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Gir(e) => write!(f, "graph error: {e}"),
+            ArtifactError::Partition(e) => write!(f, "partition error: {e}"),
+            ArtifactError::Deploy(e) => write!(f, "deploy error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<GirError> for ArtifactError {
+    fn from(e: GirError) -> Self {
+        ArtifactError::Gir(e)
+    }
+}
+impl From<PartitionError> for ArtifactError {
+    fn from(e: PartitionError) -> Self {
+        ArtifactError::Partition(e)
+    }
+}
+impl From<DeployError> for ArtifactError {
+    fn from(e: DeployError) -> Self {
+        ArtifactError::Deploy(e)
+    }
+}
+
+/// A compiled, self-contained, pin-able model: everything a worker needs
+/// to stand up a live NPU-backed instance of a hardware microservice.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModelArtifact {
+    name: String,
+    config: NpuConfig,
+    deployment: Deployment,
+}
+
+impl ModelArtifact {
+    /// Packages an already-compiled deployment under `name`.
+    pub fn new(
+        name: impl Into<String>,
+        config: NpuConfig,
+        deployment: Deployment,
+    ) -> ModelArtifact {
+        ModelArtifact {
+            name: name.into(),
+            config,
+            deployment,
+        }
+    }
+
+    /// Runs the full toolflow — fuse, partition under
+    /// `device_param_budget`, lower with the firmware-linter gate — and
+    /// packages the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError`] if any toolflow phase rejects the model.
+    pub fn compile(
+        name: impl Into<String>,
+        graph: &GirGraph,
+        device_param_budget: u64,
+        config: &NpuConfig,
+        opts: &LowerOptions,
+    ) -> Result<ModelArtifact, ArtifactError> {
+        let pipeline = fuse(graph)?;
+        let plan = partition(&pipeline, device_param_budget)?;
+        let deployment = Deployment::compile_with(&pipeline, &plan, config, opts)?;
+        Ok(ModelArtifact::new(name, config.clone(), deployment))
+    }
+
+    /// The artifact's published name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The NPU configuration the firmware was lowered for.
+    pub fn config(&self) -> &NpuConfig {
+        &self.config
+    }
+
+    /// The compiled deployment.
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// Devices one pinned instance occupies.
+    pub fn devices_required(&self) -> usize {
+        self.deployment.devices_required()
+    }
+
+    /// Input dimension one inference consumes.
+    pub fn input_dim(&self) -> usize {
+        self.deployment.input_dim()
+    }
+
+    /// Output dimension one inference produces.
+    pub fn output_dim(&self) -> usize {
+        self.deployment.output_dim()
+    }
+
+    /// Stands up a live instance: instantiates the NPUs (fast kernels) and
+    /// pins the weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] if weight loading overflows a register file.
+    pub fn pin(&self) -> Result<PinnedModel, DeployError> {
+        self.pin_with_kernel(KernelMode::Fast)
+    }
+
+    /// [`ModelArtifact::pin`] with an explicit simulator kernel mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] if weight loading overflows a register file.
+    pub fn pin_with_kernel(&self, kernel: KernelMode) -> Result<PinnedModel, DeployError> {
+        let mut npus: Vec<Npu> = (0..self.deployment.devices_required())
+            .map(|_| {
+                let mut npu = Npu::new(self.config.clone());
+                npu.set_kernel_mode(kernel);
+                npu
+            })
+            .collect();
+        self.deployment.deploy(&mut npus)?;
+        Ok(PinnedModel {
+            deployment: self.deployment.clone(),
+            npus,
+        })
+    }
+}
+
+/// One live instance of a [`ModelArtifact`]: the deployment pinned onto
+/// owned NPUs. Not `Sync` by design — a pinned model is a single device
+/// pool serving one request at a time, exactly like the hardware; replicas
+/// are separate pins.
+#[derive(Clone, Debug)]
+pub struct PinnedModel {
+    deployment: Deployment,
+    npus: Vec<Npu>,
+}
+
+impl PinnedModel {
+    /// Runs one batch-1 inference through the pinned devices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] on simulator failures.
+    pub fn infer(&mut self, input: &[f32]) -> Result<Vec<f32>, DeployError> {
+        self.deployment
+            .execute(&mut self.npus, input)
+            .map(|(y, _)| y)
+    }
+
+    /// [`PinnedModel::infer`] returning the accumulated accelerator
+    /// statistics alongside the output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] on simulator failures.
+    pub fn infer_with_stats(&mut self, input: &[f32]) -> Result<(Vec<f32>, RunStats), DeployError> {
+        self.deployment.execute(&mut self.npus, input)
+    }
+
+    /// Input dimension one inference consumes.
+    pub fn input_dim(&self) -> usize {
+        self.deployment.input_dim()
+    }
+
+    /// Output dimension one inference produces.
+    pub fn output_dim(&self) -> usize {
+        self.deployment.output_dim()
+    }
+
+    /// Devices this instance occupies.
+    pub fn devices(&self) -> usize {
+        self.npus.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ActFn, GirOp};
+
+    fn config() -> NpuConfig {
+        NpuConfig::builder()
+            .native_dim(8)
+            .lanes(4)
+            .tile_engines(2)
+            .mrf_entries(256)
+            .vrf_entries(128)
+            .matrix_format(bw_bfp::BfpFormat::BFP_1S_5E_5M)
+            .build()
+            .unwrap()
+    }
+
+    fn mlp(widths: &[usize]) -> GirGraph {
+        let mut g = GirGraph::new();
+        let mut prev = g.add(GirOp::Input { dim: widths[0] }, &[]).unwrap();
+        for (li, w) in widths.windows(2).enumerate() {
+            let weights: Vec<f32> = (0..w[0] * w[1])
+                .map(|i| (((i + li * 3) % 9) as f32 - 4.0) / 16.0)
+                .collect();
+            let m = g
+                .add(
+                    GirOp::MatMul {
+                        rows: w[1],
+                        cols: w[0],
+                        weights,
+                    },
+                    &[prev],
+                )
+                .unwrap();
+            prev = g.add(GirOp::Activation(ActFn::Tanh), &[m]).unwrap();
+        }
+        g.add(GirOp::Output, &[prev]).unwrap();
+        g
+    }
+
+    #[test]
+    fn compile_pin_infer_matches_reference() {
+        let g = mlp(&[8, 16, 4]);
+        let artifact = ModelArtifact::compile(
+            "mlp-8-16-4",
+            &g,
+            1 << 20,
+            &config(),
+            &LowerOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(artifact.name(), "mlp-8-16-4");
+        assert_eq!(artifact.input_dim(), 8);
+        assert_eq!(artifact.output_dim(), 4);
+        assert_eq!(artifact.devices_required(), 1);
+
+        let mut pinned = artifact.pin().unwrap();
+        let x: Vec<f32> = (0..8).map(|i| (i as f32 - 4.0) / 10.0).collect();
+        let y = pinned.infer(&x).unwrap();
+        let want = g.evaluate(&x).unwrap();
+        for (a, b) in y.iter().zip(&want) {
+            assert!((a - b).abs() < 0.1, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn pins_are_independent_replicas() {
+        let g = mlp(&[8, 8]);
+        let artifact =
+            ModelArtifact::compile("mlp", &g, 1 << 20, &config(), &LowerOptions::default())
+                .unwrap();
+        let mut a = artifact.pin().unwrap();
+        let mut b = artifact.pin().unwrap();
+        let x = vec![0.25f32; 8];
+        assert_eq!(a.infer(&x).unwrap(), b.infer(&x).unwrap());
+        // Replicas keep serving identically after divergent histories.
+        let _ = a.infer(&[0.9f32; 8]).unwrap();
+        assert_eq!(a.infer(&x).unwrap(), b.infer(&x).unwrap());
+    }
+
+    #[test]
+    fn multi_device_artifact_pins_every_device() {
+        // 4 layers of 16x16 under a 512-param budget -> 2 devices.
+        let g = mlp(&[16, 16, 16, 16, 16]);
+        let artifact =
+            ModelArtifact::compile("deep", &g, 512, &config(), &LowerOptions::default()).unwrap();
+        assert_eq!(artifact.devices_required(), 2);
+        let pinned = artifact.pin().unwrap();
+        assert_eq!(pinned.devices(), 2);
+    }
+}

@@ -14,7 +14,10 @@
 //! * [`split_oversized_stages`] — intra-layer row sharding for single
 //!   layers that exceed one device (§II-A's spatial distribution);
 //! * [`Deployment`] — compiles accelerator segments to ISA programs, pins
-//!   weights, and executes the federated pipeline end to end.
+//!   weights, and executes the federated pipeline end to end;
+//! * [`ModelArtifact`] / [`PinnedModel`] — packages a compiled deployment
+//!   into the pin-able unit a serving runtime (`bw-serve`) publishes as a
+//!   hardware microservice, and a live NPU-backed instance of it.
 //!
 //! # Example
 //!
@@ -45,12 +48,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod artifact;
 mod ir;
 mod lower;
 mod model_text;
 mod pipeline;
 mod split;
 
+pub use artifact::{ArtifactError, ModelArtifact, PinnedModel};
 pub use ir::{cpu_op_apply, ActFn, GirError, GirGraph, GirNode, GirNodeId, GirOp};
 pub use lower::{AcceleratorBinary, DeployError, Deployment, LowerOptions};
 pub use model_text::{parse_model, ModelParseError};

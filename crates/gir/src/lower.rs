@@ -301,6 +301,19 @@ impl Deployment {
         &self.binaries
     }
 
+    /// Input dimension one inference consumes.
+    pub fn input_dim(&self) -> usize {
+        self.pipeline.input_dim
+    }
+
+    /// Output dimension one inference produces.
+    pub fn output_dim(&self) -> usize {
+        self.pipeline
+            .stages
+            .last()
+            .map_or(self.pipeline.input_dim, Stage::out_dim)
+    }
+
     /// Number of NPUs the deployment requires.
     pub fn devices_required(&self) -> usize {
         self.plan.devices_used

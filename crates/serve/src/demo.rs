@@ -1,0 +1,118 @@
+//! Ready-made demo artifacts: small MLPs compiled through the full
+//! toolflow, used by the crate's tests, the `bw-bench` load generator,
+//! and the README quickstart. Not a test-only module on purpose — a
+//! serving runtime without a model to serve demos nothing.
+
+use bw_bfp::BfpFormat;
+use bw_core::NpuConfig;
+use bw_gir::{ActFn, GirGraph, GirOp, LowerOptions, ModelArtifact};
+
+/// A small NPU configuration every demo artifact targets: 16-wide native
+/// vectors, enough register file for the demo MLPs, fast to instantiate
+/// per worker.
+pub fn demo_config() -> NpuConfig {
+    NpuConfig::builder()
+        .name("BW_DEMO")
+        .native_dim(16)
+        .lanes(4)
+        .tile_engines(4)
+        .mrf_entries(2048)
+        .vrf_entries(512)
+        .clock_mhz(250.0)
+        .matrix_format(BfpFormat::BFP_1S_5E_5M)
+        .build()
+        .expect("demo configuration is valid")
+}
+
+/// Builds the GIR graph of a tanh MLP with the given layer `widths`
+/// (first = input dimension), deterministically weighted by `seed`.
+///
+/// # Panics
+///
+/// Panics if `widths` has fewer than two entries.
+pub fn mlp_graph(widths: &[usize], seed: u64) -> GirGraph {
+    assert!(widths.len() >= 2, "an MLP needs input and output widths");
+    let mut g = GirGraph::new();
+    let mut prev = g
+        .add(GirOp::Input { dim: widths[0] }, &[])
+        .expect("input node");
+    for (li, w) in widths.windows(2).enumerate() {
+        let weights: Vec<f32> = (0..w[0] * w[1])
+            .map(|i| {
+                let x = (i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(seed ^ (li as u64) << 32);
+                // Map to [-0.5, 0.5) scaled down for stable activations.
+                (((x >> 33) as f32 / (1u64 << 31) as f32) - 0.5) * 0.4
+            })
+            .collect();
+        let m = g
+            .add(
+                GirOp::MatMul {
+                    rows: w[1],
+                    cols: w[0],
+                    weights,
+                },
+                &[prev],
+            )
+            .expect("matmul node");
+        let b = g
+            .add(
+                GirOp::BiasAdd {
+                    bias: vec![0.02; w[1]],
+                },
+                &[m],
+            )
+            .expect("bias node");
+        prev = g
+            .add(GirOp::Activation(ActFn::Tanh), &[b])
+            .expect("activation node");
+    }
+    g.add(GirOp::Output, &[prev]).expect("output node");
+    g
+}
+
+/// Compiles an MLP demo artifact named `name` through fuse → partition →
+/// lower (linter-gated) against [`demo_config`].
+///
+/// # Panics
+///
+/// Panics if compilation fails — demo shapes are sized to make that a
+/// bug, not a runtime condition.
+pub fn mlp_artifact(name: &str, widths: &[usize], seed: u64) -> ModelArtifact {
+    let graph = mlp_graph(widths, seed);
+    ModelArtifact::compile(
+        name,
+        &graph,
+        1 << 24,
+        &demo_config(),
+        &LowerOptions::default(),
+    )
+    .expect("demo MLP compiles")
+}
+
+/// A deterministic input vector for a demo artifact.
+pub fn demo_input(dim: usize, seed: u64) -> Vec<f32> {
+    (0..dim)
+        .map(|i| (((i as u64 + seed * 977) % 41) as f32 / 41.0 - 0.5) * 0.8)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_artifact_compiles_and_serves() {
+        let artifact = mlp_artifact("demo", &[32, 64, 16], 7);
+        assert_eq!(artifact.input_dim(), 32);
+        assert_eq!(artifact.output_dim(), 16);
+        let mut pinned = artifact.pin().unwrap();
+        let y = pinned.infer(&demo_input(32, 0)).unwrap();
+        assert_eq!(y.len(), 16);
+        assert!(y.iter().all(|v| v.is_finite()));
+        // Same seed, same weights: a second build serves identically.
+        let mut again = mlp_artifact("demo", &[32, 64, 16], 7).pin().unwrap();
+        assert_eq!(again.infer(&demo_input(32, 0)).unwrap(), y);
+    }
+}

@@ -1,0 +1,72 @@
+//! # bw-serve: hardware microservices over simulated NPUs
+//!
+//! The Brainwave paper's deployment story (§II-A) is not "a DNN on an
+//! accelerator" but "DNNs as *hardware microservices*": models are
+//! compiled once, pinned onto FPGA instances, published behind a router,
+//! and served batch-1 under millisecond SLOs. The rest of this workspace
+//! builds the device (`bw-core`), the toolflow (`bw-gir`), and the
+//! analytical serving model (`bw-system`); this crate builds the serving
+//! *runtime* that drives real simulated NPUs:
+//!
+//! - [`ModelRegistry`] — the published catalog of compiled
+//!   [`ModelArtifact`]s (firmware + BFP weights, via `bw-gir`);
+//! - worker threads — each pins every registered model onto its own
+//!   `bw-core` NPUs (fast kernels) and drains a bounded queue, one
+//!   batch-1 inference at a time;
+//! - a router — the same three policies `bw-system` models analytically
+//!   (round-robin / random / least-outstanding), applied to live queues;
+//! - a request lifecycle — deadlines, retry-with-failover onto replicas
+//!   on timeout or injected worker fault, and load shedding when every
+//!   replica's queue is full;
+//! - [`MetricsSnapshot`] — per-model counters and log-bucketed latency
+//!   histograms (p50/p99/p99.9) with the accounting identity
+//!   `completed + shed + failed == submitted`;
+//! - a TCP front end ([`TcpFrontend`] / [`TcpClient`]) speaking a
+//!   length-prefixed binary protocol ([`wire`]);
+//! - an open-loop load generator ([`run_loadgen`]) replaying
+//!   `bw_system::ArrivalProcess` traffic against the live pool.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::time::Duration;
+//! use bw_serve::demo::{demo_input, mlp_artifact};
+//! use bw_serve::Server;
+//!
+//! let server = Server::builder()
+//!     .model(mlp_artifact("mlp", &[16, 32, 8], 7))
+//!     .replicas(2)
+//!     .spawn()
+//!     .unwrap();
+//! let client = server.client();
+//! let resp = client
+//!     .call("mlp", &demo_input(16, 0), Duration::from_secs(5))
+//!     .unwrap();
+//! assert_eq!(resp.output.len(), 8);
+//! let m = client.metrics();
+//! assert_eq!(m.models[0].completed, 1);
+//! ```
+
+pub mod demo;
+mod metrics;
+mod registry;
+mod request;
+mod router;
+mod server;
+mod tcp;
+mod wire;
+mod worker;
+
+pub mod loadgen;
+
+pub use metrics::{Histogram, MetricsSnapshot, ModelSnapshot};
+pub use registry::{ModelRegistry, RegistryError};
+pub use request::{RequestId, Response, ServeError};
+pub use server::{Client, Pending, Server, ServerBuilder, ServerConfig, SpawnError};
+pub use tcp::{TcpClient, TcpFrontend};
+pub use wire::{WireError, WireRequest, WireResponse};
+
+pub use bw_gir::{ModelArtifact, PinnedModel};
+pub use bw_system::{ArrivalProcess, LatencySummary, Routing};
+
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};

@@ -1,0 +1,327 @@
+//! The serving metrics layer: per-model counters and latency histograms
+//! with tail percentiles, queue-depth gauges, and a JSON snapshot — the
+//! observability §II-A's resource manager relies on to publish healthy
+//! instances.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bw_system::LatencySummary;
+use parking_lot::Mutex;
+
+/// Histogram bucket layout: geometric buckets from 1 µs upward, ×1.25 per
+/// bucket. 96 buckets reach past 2000 s — far beyond any deadline this
+/// runtime accepts — with ≤ 12% quantile resolution error.
+const BUCKET_FLOOR_S: f64 = 1e-6;
+const BUCKET_GROWTH: f64 = 1.25;
+const BUCKETS: usize = 96;
+
+/// A log-bucketed latency histogram. Records are seconds; quantiles come
+/// back as the geometric midpoint of the owning bucket, so resolution is
+/// bounded by the bucket growth factor, not sample count.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum_s: f64,
+    min_s: f64,
+    max_s: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum_s: 0.0,
+            min_s: f64::INFINITY,
+            max_s: 0.0,
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket(latency_s: f64) -> usize {
+        if latency_s <= BUCKET_FLOOR_S {
+            return 0;
+        }
+        let idx = (latency_s / BUCKET_FLOOR_S).ln() / BUCKET_GROWTH.ln();
+        (idx as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one latency sample (seconds).
+    pub fn record(&mut self, latency_s: f64) {
+        self.counts[Self::bucket(latency_s)] += 1;
+        self.count += 1;
+        self.sum_s += latency_s;
+        self.min_s = self.min_s.min(latency_s);
+        self.max_s = self.max_s.max(latency_s);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Nearest-rank quantile (`0 ≤ q ≤ 1`), resolved to the geometric
+    /// midpoint of the owning bucket (exact min/max at the extremes).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return self.min_s;
+        }
+        if q >= 1.0 {
+            return self.max_s;
+        }
+        let rank = ((self.count - 1) as f64 * q) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if c > 0 && seen > rank {
+                let lo = BUCKET_FLOOR_S * BUCKET_GROWTH.powi(i as i32);
+                let hi = lo * BUCKET_GROWTH;
+                return (lo * hi).sqrt().clamp(self.min_s, self.max_s);
+            }
+        }
+        self.max_s
+    }
+
+    /// Summarizes the histogram in the shared `bw-system` vocabulary.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count as usize,
+            mean_s: if self.count == 0 {
+                0.0
+            } else {
+                self.sum_s / self.count as f64
+            },
+            p50_s: self.quantile(0.50),
+            p95_s: self.quantile(0.95),
+            p99_s: self.quantile(0.99),
+            p999_s: self.quantile(0.999),
+            max_s: if self.count == 0 { 0.0 } else { self.max_s },
+        }
+    }
+}
+
+/// Live counters for one registered model. All increments are lock-free;
+/// the histogram takes a short uncontended lock per completion.
+#[derive(Debug, Default)]
+pub struct ModelMetrics {
+    /// Requests admitted (past validation).
+    pub submitted: AtomicU64,
+    /// Requests answered with an output.
+    pub completed: AtomicU64,
+    /// Requests shed at admission (every replica queue full).
+    pub shed: AtomicU64,
+    /// Requests that failed after admission (deadline, faults, shutdown).
+    pub failed: AtomicU64,
+    /// Failover retries dispatched (attempts beyond each first).
+    pub retries: AtomicU64,
+    /// End-to-end latency of completed requests.
+    pub latency: Mutex<Histogram>,
+}
+
+impl ModelMetrics {
+    /// Records a completion with its end-to-end latency.
+    pub fn record_completed(&self, latency_s: f64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latency.lock().record(latency_s);
+    }
+}
+
+/// A point-in-time reading of one model's metrics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelSnapshot {
+    /// The model name.
+    pub model: String,
+    /// Requests admitted.
+    pub submitted: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Requests failed after admission.
+    pub failed: u64,
+    /// Failover retries dispatched.
+    pub retries: u64,
+    /// Latency distribution of completed requests.
+    pub latency: LatencySummary,
+}
+
+impl ModelSnapshot {
+    /// Requests the metrics account for: `completed + shed + failed`.
+    /// Equals `submitted` whenever no request is still in flight.
+    pub fn accounted(&self) -> u64 {
+        self.completed + self.shed + self.failed
+    }
+}
+
+/// A point-in-time reading of the whole server.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Per-model readings, in registry order.
+    pub models: Vec<ModelSnapshot>,
+    /// Per-worker outstanding requests (queued + executing), in worker
+    /// order.
+    pub queue_depths: Vec<usize>,
+    /// Per-worker liveness, in worker order.
+    pub workers_alive: Vec<bool>,
+    /// Per-worker jobs fully processed, in worker order.
+    pub worker_processed: Vec<u64>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl MetricsSnapshot {
+    /// Serializes the snapshot as a JSON object (no external
+    /// dependencies; strings escaped per RFC 8259).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"models\":[");
+        for (i, m) in self.models.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"model\":\"{}\",\"submitted\":{},\"completed\":{},\"shed\":{},\
+                 \"failed\":{},\"retries\":{},\"latency\":{}}}",
+                json_escape(&m.model),
+                m.submitted,
+                m.completed,
+                m.shed,
+                m.failed,
+                m.retries,
+                m.latency.to_json()
+            ));
+        }
+        out.push_str("],\"queue_depths\":[");
+        for (i, d) in self.queue_depths.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&d.to_string());
+        }
+        out.push_str("],\"workers_alive\":[");
+        for (i, a) in self.workers_alive.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(if *a { "true" } else { "false" });
+        }
+        out.push_str("],\"worker_processed\":[");
+        for (i, p) in self.worker_processed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&p.to_string());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Snapshots one model's live metrics.
+pub(crate) fn snapshot_model(name: &str, m: &ModelMetrics) -> ModelSnapshot {
+    ModelSnapshot {
+        model: name.to_owned(),
+        submitted: m.submitted.load(Ordering::Relaxed),
+        completed: m.completed.load(Ordering::Relaxed),
+        shed: m.shed.load(Ordering::Relaxed),
+        failed: m.failed.load(Ordering::Relaxed),
+        retries: m.retries.load(Ordering::Relaxed),
+        latency: m.latency.lock().summary(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bound_resolution() {
+        let mut h = Histogram::default();
+        for _ in 0..990 {
+            h.record(1e-3);
+        }
+        for _ in 0..10 {
+            h.record(50e-3);
+        }
+        // p50 within one bucket (±25%) of 1 ms; p999 near 50 ms.
+        let p50 = h.quantile(0.50);
+        assert!((0.75e-3..=1.3e-3).contains(&p50), "p50 {p50}");
+        let p999 = h.quantile(0.999);
+        assert!((35e-3..=65e-3).contains(&p999), "p999 {p999}");
+        assert_eq!(h.quantile(0.0), 1e-3);
+        assert_eq!(h.quantile(1.0), 50e-3);
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn histogram_summary_matches_quantiles() {
+        let mut h = Histogram::default();
+        for i in 1..=100 {
+            h.record(i as f64 * 1e-4);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert!((s.mean_s - 50.5e-4).abs() < 1e-9);
+        assert_eq!(s.p50_s, h.quantile(0.5));
+        assert_eq!(s.max_s, 1e-2);
+    }
+
+    #[test]
+    fn empty_histogram_is_quiet() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.99), 0.0);
+        assert_eq!(h.summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn out_of_range_latencies_clamp_to_edge_buckets() {
+        let mut h = Histogram::default();
+        h.record(0.0);
+        h.record(1e9);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 1e9);
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let m = ModelMetrics::default();
+        m.submitted.store(3, Ordering::Relaxed);
+        m.record_completed(2e-3);
+        m.shed.fetch_add(1, Ordering::Relaxed);
+        m.failed.fetch_add(1, Ordering::Relaxed);
+        let snap = MetricsSnapshot {
+            models: vec![snapshot_model("mlp \"a\"", &m)],
+            queue_depths: vec![0, 2],
+            workers_alive: vec![true, false],
+            worker_processed: vec![5, 0],
+        };
+        assert_eq!(snap.models[0].accounted(), 3);
+        let j = snap.to_json();
+        assert!(j.contains("\"submitted\":3"));
+        assert!(j.contains("\\\"a\\\""));
+        assert!(j.contains("\"queue_depths\":[0,2]"));
+        assert!(j.contains("\"workers_alive\":[true,false]"));
+        assert!(j.contains("\"worker_processed\":[5,0]"));
+        assert!(j.contains("\"p99_s\""));
+    }
+}

@@ -1,0 +1,126 @@
+//! The model registry: named, compiled artifacts a server publishes.
+//!
+//! §II-B compiles a model once into firmware + BFP weights; §II-A then
+//! publishes it as a hardware microservice. The registry is that published
+//! catalog: it owns the [`ModelArtifact`]s, assigns each a dense index
+//! (the worker-side pin slot), and answers name lookups at admission.
+
+use std::sync::Arc;
+
+use bw_gir::ModelArtifact;
+
+/// Error produced while building a registry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegistryError {
+    /// Two artifacts share a name.
+    Duplicate(
+        /// The colliding name.
+        String,
+    ),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Duplicate(name) => {
+                write!(f, "model `{name}` is already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// The published model catalog. Immutable once the server spawns — every
+/// worker pins exactly this set.
+#[derive(Clone, Debug, Default)]
+pub struct ModelRegistry {
+    models: Vec<Arc<ModelArtifact>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> ModelRegistry {
+        ModelRegistry::default()
+    }
+
+    /// Registers an artifact under its own name, returning its dense
+    /// index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::Duplicate`] if the name is taken.
+    pub fn register(&mut self, artifact: ModelArtifact) -> Result<usize, RegistryError> {
+        if self.index_of(artifact.name()).is_some() {
+            return Err(RegistryError::Duplicate(artifact.name().to_owned()));
+        }
+        self.models.push(Arc::new(artifact));
+        Ok(self.models.len() - 1)
+    }
+
+    /// The dense index of `name`, if registered.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.models.iter().position(|m| m.name() == name)
+    }
+
+    /// The artifact at a dense index.
+    pub fn get(&self, index: usize) -> Option<&Arc<ModelArtifact>> {
+        self.models.get(index)
+    }
+
+    /// The artifact registered under `name`.
+    pub fn lookup(&self, name: &str) -> Option<&Arc<ModelArtifact>> {
+        self.index_of(name).and_then(|i| self.get(i))
+    }
+
+    /// Registered artifacts, in index order.
+    pub fn artifacts(&self) -> &[Arc<ModelArtifact>] {
+        &self.models
+    }
+
+    /// Registered names, in index order.
+    pub fn names(&self) -> Vec<&str> {
+        self.models.iter().map(|m| m.name()).collect()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::mlp_artifact;
+
+    #[test]
+    fn register_lookup_round_trip() {
+        let mut reg = ModelRegistry::new();
+        let a = mlp_artifact("a", &[8, 8], 0);
+        let b = mlp_artifact("b", &[8, 4], 1);
+        assert_eq!(reg.register(a).unwrap(), 0);
+        assert_eq!(reg.register(b).unwrap(), 1);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.index_of("b"), Some(1));
+        assert_eq!(reg.lookup("a").unwrap().output_dim(), 8);
+        assert!(reg.lookup("c").is_none());
+        assert_eq!(reg.names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut reg = ModelRegistry::new();
+        reg.register(mlp_artifact("m", &[8, 8], 0)).unwrap();
+        assert_eq!(
+            reg.register(mlp_artifact("m", &[8, 4], 1)).unwrap_err(),
+            RegistryError::Duplicate("m".into())
+        );
+        assert_eq!(reg.len(), 1);
+    }
+}

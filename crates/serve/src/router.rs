@@ -1,0 +1,144 @@
+//! Client-side routing over the worker pool.
+//!
+//! Implements the same three policies `bw-system` models analytically
+//! ([`Routing`], §II-A's client-side instance selection) — round-robin,
+//! uniform random, and least-outstanding — but over *live* bounded worker
+//! queues. The router produces a preference order; the dispatcher walks it
+//! skipping dead and saturated replicas, which is what turns a policy into
+//! failover and load shedding.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use bw_system::Routing;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::worker::WorkerHandle;
+
+/// Orders replicas for one dispatch attempt.
+pub(crate) struct Router {
+    policy: Routing,
+    rr: AtomicUsize,
+    rng: Mutex<StdRng>,
+}
+
+impl Router {
+    pub fn new(policy: Routing, seed: u64) -> Router {
+        Router {
+            policy,
+            rr: AtomicUsize::new(0),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// The preference order over `workers` for one dispatch, excluding
+    /// workers listed in `exclude` (already tried by this request) and
+    /// dead workers. The first element is the policy's pick; the rest are
+    /// the failover order.
+    pub fn plan(&self, workers: &[WorkerHandle], exclude: &[usize]) -> Vec<usize> {
+        let mut candidates: Vec<usize> = (0..workers.len())
+            .filter(|i| !exclude.contains(i) && workers[*i].is_alive())
+            .collect();
+        if candidates.is_empty() {
+            return candidates;
+        }
+        match self.policy {
+            Routing::RoundRobin => {
+                // One global cursor, advanced per dispatch; rotate the
+                // candidate list so the cursor's pick comes first.
+                let cursor = self.rr.fetch_add(1, Ordering::Relaxed) % candidates.len();
+                candidates.rotate_left(cursor);
+            }
+            Routing::Random => {
+                // Seeded Fisher–Yates: the pick and the failover order are
+                // both uniform and deterministic in the server seed.
+                let mut rng = self.rng.lock();
+                for i in (1..candidates.len()).rev() {
+                    let j = rng.gen_range(0..i + 1);
+                    candidates.swap(i, j);
+                }
+            }
+            Routing::LeastOutstanding => {
+                // Stable sort: ties resolve to the lowest index, matching
+                // the analytical model (`free_at` ties pick the first).
+                candidates.sort_by_key(|&i| workers[i].queue_depth());
+            }
+        }
+        candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::mlp_artifact;
+    use crate::worker::spawn_worker;
+
+    fn pool(n: usize) -> Vec<WorkerHandle> {
+        let artifact = mlp_artifact("m", &[16, 8], 1);
+        (0..n)
+            .map(|i| spawn_worker(i, vec![artifact.pin().unwrap()], 4))
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let workers = pool(3);
+        let r = Router::new(Routing::RoundRobin, 0);
+        let picks: Vec<usize> = (0..6).map(|_| r.plan(&workers, &[])[0]).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        for w in &workers {
+            w.stop_and_join();
+        }
+    }
+
+    #[test]
+    fn exclusion_and_death_shrink_the_plan() {
+        let workers = pool(3);
+        let r = Router::new(Routing::RoundRobin, 0);
+        workers[1].kill();
+        let plan = r.plan(&workers, &[2]);
+        assert_eq!(plan, vec![0]);
+        let none = r.plan(&workers, &[0, 2]);
+        assert!(none.is_empty());
+        for w in &workers {
+            w.stop_and_join();
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_in_seed_and_covers_the_pool() {
+        let workers = pool(4);
+        let a: Vec<usize> = {
+            let r = Router::new(Routing::Random, 7);
+            (0..20).map(|_| r.plan(&workers, &[])[0]).collect()
+        };
+        let b: Vec<usize> = {
+            let r = Router::new(Routing::Random, 7);
+            (0..20).map(|_| r.plan(&workers, &[])[0]).collect()
+        };
+        assert_eq!(a, b);
+        // Every plan is a permutation of the full pool.
+        let r = Router::new(Routing::Random, 9);
+        let mut plan = r.plan(&workers, &[]);
+        plan.sort_unstable();
+        assert_eq!(plan, vec![0, 1, 2, 3]);
+        for w in &workers {
+            w.stop_and_join();
+        }
+    }
+
+    #[test]
+    fn least_outstanding_prefers_the_idle_replica() {
+        let workers = pool(2);
+        let r = Router::new(Routing::LeastOutstanding, 0);
+        // Artificially load worker 0.
+        workers[0].outstanding.fetch_add(5, Ordering::Relaxed);
+        assert_eq!(r.plan(&workers, &[])[0], 1);
+        workers[0].outstanding.fetch_sub(5, Ordering::Relaxed);
+        for w in &workers {
+            w.stop_and_join();
+        }
+    }
+}

@@ -1,0 +1,652 @@
+//! The serving runtime: a pool of NPU-backed workers behind a routing
+//! policy, with deadlines, retry-with-failover, and load shedding.
+//!
+//! One [`Server`] is one published pool of hardware-microservice
+//! instances (§II-A): every worker pins every registered model, a
+//! [`Router`] picks replicas per request, and the [`Client`] drives the
+//! request lifecycle:
+//!
+//! 1. **admission** — validate model and input, count `submitted`, pick a
+//!    replica; if every live replica's queue is full, *shed* immediately;
+//! 2. **attempt** — wait for the replica up to the attempt timeout (or
+//!    the remaining deadline, whichever is sooner);
+//! 3. **failover** — on worker fault, worker death, or attempt timeout,
+//!    re-dispatch to a replica that has not served this request yet,
+//!    up to `max_retries` times within the deadline;
+//! 4. **termination** — exactly one of completed / shed / failed, always
+//!    recorded in the metrics: `completed + shed + failed == submitted`
+//!    once nothing is in flight.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bw_gir::ModelArtifact;
+use bw_system::Routing;
+
+use crate::metrics::{snapshot_model, MetricsSnapshot, ModelMetrics};
+use crate::registry::{ModelRegistry, RegistryError};
+use crate::request::{RequestId, Response, ServeError};
+use crate::router::Router;
+use crate::worker::{spawn_worker, Completion, DispatchRefused, Job, WorkerHandle};
+
+/// Tunables of one server pool.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServerConfig {
+    /// Workers in the pool; every worker pins every registered model.
+    pub replicas: usize,
+    /// Bounded per-worker queue capacity (jobs).
+    pub queue_cap: usize,
+    /// The routing policy (shared vocabulary with `bw-system`).
+    pub policy: Routing,
+    /// Failover retries permitted per request beyond the first attempt.
+    pub max_retries: u32,
+    /// Per-attempt timeout. `None` gives each attempt the full remaining
+    /// deadline (failover then only triggers on faults and death).
+    pub attempt_timeout: Option<Duration>,
+    /// Seed for the random routing policy.
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            replicas: 2,
+            queue_cap: 32,
+            policy: Routing::RoundRobin,
+            max_retries: 1,
+            attempt_timeout: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Error produced while spawning a server.
+#[derive(Debug)]
+pub enum SpawnError {
+    /// The builder had no registered models.
+    NoModels,
+    /// A model name collided.
+    Registry(RegistryError),
+    /// Pinning an artifact onto a worker failed.
+    Pin {
+        /// The model that failed to pin.
+        model: String,
+        /// The deployment error.
+        error: bw_gir::DeployError,
+    },
+    /// The configuration is unusable (zero replicas or queue capacity).
+    BadConfig(
+        /// What is wrong.
+        String,
+    ),
+}
+
+impl std::fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpawnError::NoModels => write!(f, "no models registered"),
+            SpawnError::Registry(e) => write!(f, "{e}"),
+            SpawnError::Pin { model, error } => write!(f, "pinning `{model}` failed: {error}"),
+            SpawnError::BadConfig(msg) => write!(f, "bad config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpawnError {}
+
+impl From<RegistryError> for SpawnError {
+    fn from(e: RegistryError) -> Self {
+        SpawnError::Registry(e)
+    }
+}
+
+pub(crate) struct ServerInner {
+    pub registry: ModelRegistry,
+    pub workers: Vec<WorkerHandle>,
+    pub metrics: Vec<ModelMetrics>,
+    pub router: Router,
+    pub cfg: ServerConfig,
+    next_id: AtomicU64,
+}
+
+impl ServerInner {
+    fn next_request_id(&self) -> RequestId {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            models: self
+                .registry
+                .artifacts()
+                .iter()
+                .zip(&self.metrics)
+                .map(|(a, m)| snapshot_model(a.name(), m))
+                .collect(),
+            queue_depths: self.workers.iter().map(WorkerHandle::queue_depth).collect(),
+            workers_alive: self.workers.iter().map(WorkerHandle::is_alive).collect(),
+            worker_processed: self
+                .workers
+                .iter()
+                .map(WorkerHandle::processed_count)
+                .collect(),
+        }
+    }
+
+    /// Walks the router's plan and enqueues the job on the first replica
+    /// that accepts it. Returns the worker id, or what stopped dispatch.
+    fn dispatch(
+        &self,
+        attempt: u32,
+        model: usize,
+        input: &Arc<Vec<f32>>,
+        deadline: Instant,
+        tried: &[usize],
+    ) -> Result<(usize, Receiver<Completion>), DispatchStopped> {
+        let plan = self.router.plan(&self.workers, tried);
+        if plan.is_empty() {
+            return Err(DispatchStopped::NoReplica);
+        }
+        let mut all_full = true;
+        for worker in plan {
+            let (tx, rx) = std::sync::mpsc::channel();
+            let job = Job {
+                attempt,
+                model,
+                input: Arc::clone(input),
+                deadline,
+                reply: tx,
+            };
+            match self.workers[worker].try_dispatch(job) {
+                Ok(()) => return Ok((worker, rx)),
+                Err(DispatchRefused::QueueFull) => {}
+                Err(DispatchRefused::Dead) => all_full = false,
+            }
+        }
+        if all_full {
+            Err(DispatchStopped::AllFull)
+        } else {
+            Err(DispatchStopped::NoReplica)
+        }
+    }
+}
+
+enum DispatchStopped {
+    /// Every candidate's queue was full.
+    AllFull,
+    /// No live, untried candidate exists.
+    NoReplica,
+}
+
+/// Builds a [`Server`]: register models, set the pool shape, spawn.
+#[derive(Default)]
+pub struct ServerBuilder {
+    registry: ModelRegistry,
+    cfg: ServerConfig,
+    registry_error: Option<RegistryError>,
+}
+
+impl ServerBuilder {
+    /// Registers a model artifact.
+    pub fn model(mut self, artifact: ModelArtifact) -> Self {
+        if self.registry_error.is_none() {
+            if let Err(e) = self.registry.register(artifact) {
+                self.registry_error = Some(e);
+            }
+        }
+        self
+    }
+
+    /// Replaces the whole configuration.
+    pub fn config(mut self, cfg: ServerConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the worker count.
+    pub fn replicas(mut self, replicas: usize) -> Self {
+        self.cfg.replicas = replicas;
+        self
+    }
+
+    /// Sets the bounded per-worker queue capacity.
+    pub fn queue_cap(mut self, cap: usize) -> Self {
+        self.cfg.queue_cap = cap;
+        self
+    }
+
+    /// Sets the routing policy.
+    pub fn policy(mut self, policy: Routing) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Sets the failover retry budget.
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.cfg.max_retries = retries;
+        self
+    }
+
+    /// Sets the per-attempt timeout.
+    pub fn attempt_timeout(mut self, timeout: Duration) -> Self {
+        self.cfg.attempt_timeout = Some(timeout);
+        self
+    }
+
+    /// Spawns the pool: every worker pins every registered model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpawnError`] on an empty registry, a bad configuration,
+    /// or a pin failure.
+    pub fn spawn(self) -> Result<Server, SpawnError> {
+        if let Some(e) = self.registry_error {
+            return Err(e.into());
+        }
+        if self.registry.is_empty() {
+            return Err(SpawnError::NoModels);
+        }
+        if self.cfg.replicas == 0 {
+            return Err(SpawnError::BadConfig("replicas must be positive".into()));
+        }
+        if self.cfg.queue_cap == 0 {
+            return Err(SpawnError::BadConfig("queue_cap must be positive".into()));
+        }
+
+        let mut workers = Vec::with_capacity(self.cfg.replicas);
+        for id in 0..self.cfg.replicas {
+            let mut pinned = Vec::with_capacity(self.registry.len());
+            for artifact in self.registry.artifacts() {
+                let pin = artifact.pin().map_err(|error| SpawnError::Pin {
+                    model: artifact.name().to_owned(),
+                    error,
+                })?;
+                pinned.push(pin);
+            }
+            workers.push(spawn_worker(id, pinned, self.cfg.queue_cap));
+        }
+
+        let metrics = (0..self.registry.len())
+            .map(|_| ModelMetrics::default())
+            .collect();
+        Ok(Server {
+            inner: Arc::new(ServerInner {
+                router: Router::new(self.cfg.policy, self.cfg.seed),
+                registry: self.registry,
+                workers,
+                metrics,
+                cfg: self.cfg,
+                next_id: AtomicU64::new(1),
+            }),
+        })
+    }
+}
+
+/// A running serving pool. Dropping the server stops every worker after
+/// the work already queued (injected-fault workers stop immediately).
+pub struct Server {
+    inner: Arc<ServerInner>,
+}
+
+impl Server {
+    /// Starts building a server.
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder::default()
+    }
+
+    /// An in-process client for this server. Clients are cheap to clone
+    /// and usable from any thread.
+    pub fn client(&self) -> Client {
+        Client {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// The pool configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.inner.cfg
+    }
+
+    /// Number of workers (live or dead).
+    pub fn worker_count(&self) -> usize {
+        self.inner.workers.len()
+    }
+
+    /// Per-worker liveness, in worker order.
+    pub fn workers_alive(&self) -> Vec<bool> {
+        self.inner
+            .workers
+            .iter()
+            .map(WorkerHandle::is_alive)
+            .collect()
+    }
+
+    /// Injects a fault into worker `id`: it stops accepting work
+    /// immediately and its thread dies at the next queue pop, dropping
+    /// queued jobs (their requests fail over). Returns `false` for an
+    /// unknown id.
+    pub fn kill_worker(&self, id: usize) -> bool {
+        match self.inner.workers.get(id) {
+            Some(w) => {
+                w.kill();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// A point-in-time metrics reading.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.snapshot()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        for worker in &self.inner.workers {
+            worker.stop_and_join();
+        }
+    }
+}
+
+/// An in-process handle for submitting requests.
+#[derive(Clone)]
+pub struct Client {
+    inner: Arc<ServerInner>,
+}
+
+impl Client {
+    /// Validates, admits, and dispatches a request; the returned
+    /// [`Pending`] drives the rest of the lifecycle. `deadline` is the
+    /// total end-to-end budget from this call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] / [`ServeError::BadInput`]
+    /// before admission (not counted), or [`ServeError::Shed`] /
+    /// [`ServeError::NoReplica`] at admission (counted).
+    pub fn submit(
+        &self,
+        model: &str,
+        input: &[f32],
+        deadline: Duration,
+    ) -> Result<Pending, ServeError> {
+        let inner = &self.inner;
+        let Some(model_idx) = inner.registry.index_of(model) else {
+            return Err(ServeError::UnknownModel(model.to_owned()));
+        };
+        let expected = inner
+            .registry
+            .get(model_idx)
+            .expect("index valid")
+            .input_dim();
+        if input.len() != expected {
+            return Err(ServeError::BadInput {
+                expected,
+                got: input.len(),
+            });
+        }
+
+        let metrics = &inner.metrics[model_idx];
+        metrics.submitted.fetch_add(1, Ordering::Relaxed);
+
+        let submitted = Instant::now();
+        let deadline_at = submitted + deadline;
+        let request_id = inner.next_request_id();
+        let input = Arc::new(input.to_vec());
+
+        match inner.dispatch(0, model_idx, &input, deadline_at, &[]) {
+            Ok((worker, rx)) => Ok(Pending {
+                inner: Arc::clone(inner),
+                request_id,
+                model_idx,
+                model: model.to_owned(),
+                input,
+                submitted,
+                deadline: deadline_at,
+                attempt: 0,
+                tried: vec![worker],
+                retries: 0,
+                rx,
+                settled: false,
+            }),
+            Err(DispatchStopped::AllFull) => {
+                metrics.shed.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Shed {
+                    model: model.to_owned(),
+                })
+            }
+            Err(DispatchStopped::NoReplica) => {
+                metrics.failed.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::NoReplica {
+                    model: model.to_owned(),
+                })
+            }
+        }
+    }
+
+    /// [`Client::submit`] + [`Pending::wait`] in one call.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit`] and [`Pending::wait`].
+    pub fn call(
+        &self,
+        model: &str,
+        input: &[f32],
+        deadline: Duration,
+    ) -> Result<Response, ServeError> {
+        self.submit(model, input, deadline)?.wait()
+    }
+
+    /// A point-in-time metrics reading (same as [`Server::metrics`]).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.snapshot()
+    }
+
+    /// The input width `model` expects, if registered.
+    pub fn input_dim_of(&self, model: &str) -> Option<usize> {
+        self.inner.registry.lookup(model).map(|a| a.input_dim())
+    }
+
+    /// Registered model names, in registry order.
+    pub fn model_names(&self) -> Vec<String> {
+        self.inner
+            .registry
+            .names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect()
+    }
+}
+
+/// An admitted, dispatched request. Call [`Pending::wait`] to drive
+/// failover and obtain the outcome. Dropping an unwaited `Pending`
+/// records the request as failed (abandoned), keeping the metrics
+/// identity intact.
+pub struct Pending {
+    inner: Arc<ServerInner>,
+    request_id: RequestId,
+    model_idx: usize,
+    model: String,
+    input: Arc<Vec<f32>>,
+    submitted: Instant,
+    deadline: Instant,
+    attempt: u32,
+    tried: Vec<usize>,
+    retries: u32,
+    rx: Receiver<Completion>,
+    settled: bool,
+}
+
+impl Pending {
+    /// The server-assigned request id.
+    pub fn request_id(&self) -> RequestId {
+        self.request_id
+    }
+
+    /// Drives the request to termination: waits on the current attempt,
+    /// failing over to replicas on fault, death, or attempt timeout,
+    /// until completion, the deadline, or the retry budget ends it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the terminal [`ServeError`]; every error path is recorded
+    /// in the metrics exactly once.
+    pub fn wait(mut self) -> Result<Response, ServeError> {
+        let cfg = self.inner.cfg;
+        loop {
+            let now = Instant::now();
+            if now >= self.deadline {
+                return Err(self.fail(ServeError::DeadlineExceeded {
+                    model: self.model.clone(),
+                    retries: self.retries,
+                }));
+            }
+            let budget = self.deadline - now;
+            let slice = cfg.attempt_timeout.map_or(budget, |t| t.min(budget));
+
+            match self.rx.recv_timeout(slice) {
+                Ok(Completion::Done {
+                    attempt,
+                    worker,
+                    output,
+                    ..
+                }) => {
+                    if attempt != self.attempt {
+                        continue; // stale attempt; keep waiting
+                    }
+                    let latency = self.submitted.elapsed();
+                    self.settled = true;
+                    self.inner.metrics[self.model_idx].record_completed(latency.as_secs_f64());
+                    return Ok(Response {
+                        request_id: self.request_id,
+                        output,
+                        latency,
+                        worker,
+                        retries: self.retries,
+                    });
+                }
+                Ok(Completion::Fault {
+                    attempt,
+                    worker,
+                    message,
+                }) => {
+                    if attempt != self.attempt {
+                        continue;
+                    }
+                    if let Some(err) = self.failover(Some(format!("worker {worker}: {message}"))) {
+                        return Err(err);
+                    }
+                }
+                Ok(Completion::Expired { attempt }) => {
+                    if attempt != self.attempt {
+                        continue;
+                    }
+                    // The worker saw the job after its deadline: terminal.
+                    return Err(self.fail(ServeError::DeadlineExceeded {
+                        model: self.model.clone(),
+                        retries: self.retries,
+                    }));
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if Instant::now() >= self.deadline {
+                        return Err(self.fail(ServeError::DeadlineExceeded {
+                            model: self.model.clone(),
+                            retries: self.retries,
+                        }));
+                    }
+                    // Attempt timeout with budget left: fail over.
+                    if let Some(err) = self.failover(None) {
+                        return Err(err);
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // The worker died with our job (injected fault or
+                    // shutdown): fail over immediately.
+                    if let Some(err) = self.failover(None) {
+                        return Err(err);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-dispatches to an untried replica. Returns `Some(error)` if the
+    /// request is terminal instead.
+    fn failover(&mut self, fault: Option<String>) -> Option<ServeError> {
+        if self.retries >= self.inner.cfg.max_retries {
+            let err = match fault {
+                Some(message) => ServeError::WorkerFault {
+                    model: self.model.clone(),
+                    message,
+                    retries: self.retries,
+                },
+                None => ServeError::DeadlineExceeded {
+                    model: self.model.clone(),
+                    retries: self.retries,
+                },
+            };
+            return Some(self.fail(err));
+        }
+        self.retries += 1;
+        self.attempt += 1;
+        self.inner.metrics[self.model_idx]
+            .retries
+            .fetch_add(1, Ordering::Relaxed);
+        let dispatched = self.inner.dispatch(
+            self.attempt,
+            self.model_idx,
+            &self.input,
+            self.deadline,
+            &self.tried,
+        );
+        match dispatched {
+            Ok((worker, rx)) => {
+                self.tried.push(worker);
+                self.rx = rx;
+                None
+            }
+            Err(DispatchStopped::AllFull) | Err(DispatchStopped::NoReplica) => {
+                let err = match fault {
+                    Some(message) => ServeError::WorkerFault {
+                        model: self.model.clone(),
+                        message,
+                        retries: self.retries,
+                    },
+                    None => ServeError::NoReplica {
+                        model: self.model.clone(),
+                    },
+                };
+                Some(self.fail(err))
+            }
+        }
+    }
+
+    /// Marks the request failed in the metrics (exactly once) and hands
+    /// the error back.
+    fn fail(&mut self, err: ServeError) -> ServeError {
+        if !self.settled {
+            self.settled = true;
+            self.inner.metrics[self.model_idx]
+                .failed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        err
+    }
+}
+
+impl Drop for Pending {
+    fn drop(&mut self) {
+        if !self.settled {
+            // Abandoned without waiting: account it as failed so the
+            // metrics identity holds.
+            self.settled = true;
+            self.inner.metrics[self.model_idx]
+                .failed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}

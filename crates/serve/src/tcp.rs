@@ -1,0 +1,228 @@
+//! The TCP front end: exposes a [`Server`] over the [`wire`] protocol.
+//!
+//! One OS thread accepts connections (non-blocking accept + shutdown
+//! flag, so the front end stops promptly); each connection gets its own
+//! handler thread that reads frames, drives the in-process [`Client`],
+//! and writes responses back in request order. Errors inside a request
+//! become `Error` frames; framing errors terminate the connection.
+//!
+//! [`wire`]: crate::wire
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::request::{Response, ServeError};
+use crate::server::{Client, Server};
+use crate::wire::{read_frame, write_frame, WireRequest, WireResponse};
+
+/// A running TCP front end. Dropping it stops the accept loop and waits
+/// for it; connection handlers finish their in-flight request and exit
+/// when their sockets close.
+pub struct TcpFrontend {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl TcpFrontend {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `server`'s models over it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn bind(server: &Server, addr: &str) -> std::io::Result<TcpFrontend> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let t_stop = Arc::clone(&stop);
+        let client = server.client();
+        let accept_thread = std::thread::Builder::new()
+            .name("bw-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &client, &t_stop))
+            .expect("accept thread spawns");
+
+        Ok(TcpFrontend {
+            addr: local,
+            stop,
+            accept_thread: Mutex::new(Some(accept_thread)),
+        })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins it.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.accept_thread.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpFrontend {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, client: &Client, stop: &AtomicBool) {
+    let mut conn_id: u64 = 0;
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                conn_id += 1;
+                let client = client.clone();
+                // Handlers are detached: they exit when the peer closes
+                // or on the first framing error.
+                let _ = std::thread::Builder::new()
+                    .name(format!("bw-serve-conn-{conn_id}"))
+                    .spawn(move || handle_connection(stream, &client));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, client: &Client) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) | Err(_) => return, // clean close or broken stream
+        };
+        let response = match WireRequest::decode(&payload) {
+            Ok(WireRequest::Infer {
+                model,
+                deadline_us,
+                input,
+            }) => {
+                let deadline = Duration::from_micros(deadline_us);
+                match client.call(&model, &input, deadline) {
+                    Ok(resp) => infer_response(&resp),
+                    Err(e) => WireResponse::Error(e.to_string()),
+                }
+            }
+            Ok(WireRequest::Metrics) => WireResponse::Metrics(client.metrics().to_json()),
+            Err(e) => {
+                // Tell the peer why, then drop the connection: framing is
+                // unrecoverable.
+                let _ = write_frame(&mut writer, &WireResponse::Error(e.to_string()).encode());
+                return;
+            }
+        };
+        if write_frame(&mut writer, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+fn infer_response(resp: &Response) -> WireResponse {
+    WireResponse::Infer {
+        request_id: resp.request_id,
+        latency_us: resp.latency.as_micros() as u64,
+        worker: resp.worker as u32,
+        retries: resp.retries,
+        output: resp.output.clone(),
+    }
+}
+
+/// A blocking client for the TCP front end: one connection, one request
+/// in flight at a time.
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl TcpClient {
+    /// Connects to a front end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect errors.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let write_half = stream.try_clone()?;
+        Ok(TcpClient {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+        })
+    }
+
+    /// Runs one inference over the wire.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] carries server-side failures (including
+    /// shed/deadline errors rendered as text); [`ServeError::Disconnected`]
+    /// covers transport loss.
+    pub fn call(
+        &mut self,
+        model: &str,
+        input: &[f32],
+        deadline: Duration,
+    ) -> Result<Response, ServeError> {
+        let req = WireRequest::Infer {
+            model: model.to_owned(),
+            deadline_us: deadline.as_micros() as u64,
+            input: input.to_vec(),
+        };
+        match self.round_trip(&req)? {
+            WireResponse::Infer {
+                request_id,
+                latency_us,
+                worker,
+                retries,
+                output,
+            } => Ok(Response {
+                request_id,
+                output,
+                latency: Duration::from_micros(latency_us),
+                worker: worker as usize,
+                retries,
+            }),
+            WireResponse::Error(msg) => Err(ServeError::Remote(msg)),
+            WireResponse::Metrics(_) => Err(ServeError::Remote("unexpected metrics frame".into())),
+        }
+    }
+
+    /// Fetches the server's metrics snapshot as JSON.
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpClient::call`].
+    pub fn metrics_json(&mut self) -> Result<String, ServeError> {
+        match self.round_trip(&WireRequest::Metrics)? {
+            WireResponse::Metrics(json) => Ok(json),
+            WireResponse::Error(msg) => Err(ServeError::Remote(msg)),
+            WireResponse::Infer { .. } => Err(ServeError::Remote("unexpected infer frame".into())),
+        }
+    }
+
+    fn round_trip(&mut self, req: &WireRequest) -> Result<WireResponse, ServeError> {
+        write_frame(&mut self.writer, &req.encode()).map_err(|_| ServeError::Disconnected)?;
+        let payload = read_frame(&mut self.reader)
+            .map_err(|_| ServeError::Disconnected)?
+            .ok_or(ServeError::Disconnected)?;
+        WireResponse::decode(&payload).map_err(|e| ServeError::Remote(e.to_string()))
+    }
+}

@@ -1,0 +1,437 @@
+//! The binary wire protocol of the TCP front end.
+//!
+//! Length-prefixed frames, everything little-endian, hand-rolled because
+//! the workspace carries no serialization dependency:
+//!
+//! ```text
+//! frame    := u32 len | payload[len]
+//! request  := u8 tag=0x01 | u16 name_len | name bytes (utf-8)
+//!             | u64 deadline_us | u32 n | f32[n] input
+//! response := u8 tag=0x81 | u64 request_id | u64 latency_us
+//!             | u32 worker | u32 retries | u32 n | f32[n] output
+//! error    := u8 tag=0xEE | u16 msg_len | msg bytes (utf-8)
+//! metrics request  := u8 tag=0x02
+//! metrics response := u8 tag=0x82 | u32 json_len | json bytes (utf-8)
+//! ```
+//!
+//! Frames are capped at [`MAX_FRAME`] bytes; oversized or malformed
+//! frames terminate the connection with a decode error.
+
+use std::io::{Read, Write};
+
+/// Hard cap on one frame's payload (16 MiB) — a malformed length prefix
+/// must not allocate unboundedly.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Frame tags.
+pub const TAG_INFER: u8 = 0x01;
+/// Metrics request tag.
+pub const TAG_METRICS: u8 = 0x02;
+/// Inference response tag.
+pub const TAG_RESPONSE: u8 = 0x81;
+/// Metrics response tag.
+pub const TAG_METRICS_RESPONSE: u8 = 0x82;
+/// Error response tag.
+pub const TAG_ERROR: u8 = 0xEE;
+
+/// A decoded client→server message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireRequest {
+    /// Run one inference.
+    Infer {
+        /// Registered model name.
+        model: String,
+        /// End-to-end deadline in microseconds.
+        deadline_us: u64,
+        /// The input vector.
+        input: Vec<f32>,
+    },
+    /// Fetch the metrics snapshot as JSON.
+    Metrics,
+}
+
+/// A decoded server→client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireResponse {
+    /// A completed inference.
+    Infer {
+        /// Server-assigned request id.
+        request_id: u64,
+        /// End-to-end latency in microseconds.
+        latency_us: u64,
+        /// Worker that served the final attempt.
+        worker: u32,
+        /// Failover retries used.
+        retries: u32,
+        /// The output vector.
+        output: Vec<f32>,
+    },
+    /// The metrics snapshot as a JSON string.
+    Metrics(String),
+    /// The request failed; the message is the `ServeError` rendering.
+    Error(String),
+}
+
+/// A framing or decoding failure. Terminal for the connection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The length prefix exceeds [`MAX_FRAME`].
+    FrameTooLarge(usize),
+    /// The payload ended before the advertised structure did, carries a
+    /// short description of what was being read.
+    Truncated(&'static str),
+    /// Unknown frame tag.
+    BadTag(u8),
+    /// A name or message was not UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds cap"),
+            WireError::Truncated(what) => write!(f, "frame truncated while reading {what}"),
+            WireError::BadTag(t) => write!(f, "unknown frame tag {t:#04x}"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A little-endian payload reader.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(WireError::Truncated(what)),
+        }
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn string(&mut self, len: usize, what: &'static str) -> Result<String, WireError> {
+        let b = self.take(len, what)?;
+        String::from_utf8(b.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn f32s(&mut self, n: usize, what: &'static str) -> Result<Vec<f32>, WireError> {
+        let b = self.take(n.checked_mul(4).ok_or(WireError::Truncated(what))?, what)?;
+        Ok(b.chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    fn done(&self, what: &'static str) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            // Trailing bytes mean the sender and receiver disagree about
+            // the schema; treat it as a framing error, not silence.
+            Err(WireError::Truncated(what))
+        }
+    }
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32s(buf: &mut Vec<u8>, vs: &[f32]) {
+    for v in vs {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+impl WireRequest {
+    /// Encodes the payload (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            WireRequest::Infer {
+                model,
+                deadline_us,
+                input,
+            } => {
+                let mut buf = Vec::with_capacity(1 + 2 + model.len() + 8 + 4 + input.len() * 4);
+                buf.push(TAG_INFER);
+                put_u16(&mut buf, model.len() as u16);
+                buf.extend_from_slice(model.as_bytes());
+                put_u64(&mut buf, *deadline_us);
+                put_u32(&mut buf, input.len() as u32);
+                put_f32s(&mut buf, input);
+                buf
+            }
+            WireRequest::Metrics => vec![TAG_METRICS],
+        }
+    }
+
+    /// Decodes a payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation, bad tags, or bad UTF-8.
+    pub fn decode(payload: &[u8]) -> Result<WireRequest, WireError> {
+        let mut c = Cursor::new(payload);
+        match c.u8("tag")? {
+            TAG_INFER => {
+                let name_len = c.u16("model name length")? as usize;
+                let model = c.string(name_len, "model name")?;
+                let deadline_us = c.u64("deadline")?;
+                let n = c.u32("input length")? as usize;
+                let input = c.f32s(n, "input")?;
+                c.done("infer request")?;
+                Ok(WireRequest::Infer {
+                    model,
+                    deadline_us,
+                    input,
+                })
+            }
+            TAG_METRICS => {
+                c.done("metrics request")?;
+                Ok(WireRequest::Metrics)
+            }
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl WireResponse {
+    /// Encodes the payload (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            WireResponse::Infer {
+                request_id,
+                latency_us,
+                worker,
+                retries,
+                output,
+            } => {
+                let mut buf = Vec::with_capacity(1 + 8 + 8 + 4 + 4 + 4 + output.len() * 4);
+                buf.push(TAG_RESPONSE);
+                put_u64(&mut buf, *request_id);
+                put_u64(&mut buf, *latency_us);
+                put_u32(&mut buf, *worker);
+                put_u32(&mut buf, *retries);
+                put_u32(&mut buf, output.len() as u32);
+                put_f32s(&mut buf, output);
+                buf
+            }
+            WireResponse::Metrics(json) => {
+                let mut buf = Vec::with_capacity(1 + 4 + json.len());
+                buf.push(TAG_METRICS_RESPONSE);
+                put_u32(&mut buf, json.len() as u32);
+                buf.extend_from_slice(json.as_bytes());
+                buf
+            }
+            WireResponse::Error(msg) => {
+                let mut buf = Vec::with_capacity(1 + 2 + msg.len());
+                buf.push(TAG_ERROR);
+                put_u16(&mut buf, msg.len().min(u16::MAX as usize) as u16);
+                buf.extend_from_slice(&msg.as_bytes()[..msg.len().min(u16::MAX as usize)]);
+                buf
+            }
+        }
+    }
+
+    /// Decodes a payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation, bad tags, or bad UTF-8.
+    pub fn decode(payload: &[u8]) -> Result<WireResponse, WireError> {
+        let mut c = Cursor::new(payload);
+        match c.u8("tag")? {
+            TAG_RESPONSE => {
+                let request_id = c.u64("request id")?;
+                let latency_us = c.u64("latency")?;
+                let worker = c.u32("worker")?;
+                let retries = c.u32("retries")?;
+                let n = c.u32("output length")? as usize;
+                let output = c.f32s(n, "output")?;
+                c.done("infer response")?;
+                Ok(WireResponse::Infer {
+                    request_id,
+                    latency_us,
+                    worker,
+                    retries,
+                    output,
+                })
+            }
+            TAG_METRICS_RESPONSE => {
+                let len = c.u32("metrics json length")? as usize;
+                let json = c.string(len, "metrics json")?;
+                c.done("metrics response")?;
+                Ok(WireResponse::Metrics(json))
+            }
+            TAG_ERROR => {
+                let len = c.u16("error length")? as usize;
+                let msg = c.string(len, "error message")?;
+                c.done("error response")?;
+                Ok(WireResponse::Error(msg))
+            }
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the stream.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    let len = payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on clean EOF at a
+/// frame boundary.
+///
+/// # Errors
+///
+/// Propagates I/O errors; an oversized length prefix surfaces as
+/// `InvalidData`.
+pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    // EOF before any length byte is a clean close; mid-prefix EOF is not.
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_buf[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside frame length",
+                ))
+            }
+            n => got += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            WireError::FrameTooLarge(len).to_string(),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let req = WireRequest::Infer {
+            model: "mlp".into(),
+            deadline_us: 250_000,
+            input: vec![0.5, -1.25, 3.0],
+        };
+        assert_eq!(WireRequest::decode(&req.encode()).unwrap(), req);
+        assert_eq!(
+            WireRequest::decode(&WireRequest::Metrics.encode()).unwrap(),
+            WireRequest::Metrics
+        );
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = WireResponse::Infer {
+            request_id: 42,
+            latency_us: 1234,
+            worker: 1,
+            retries: 0,
+            output: vec![1.0, 2.0],
+        };
+        assert_eq!(WireResponse::decode(&resp.encode()).unwrap(), resp);
+        let err = WireResponse::Error("model `x` is not registered".into());
+        assert_eq!(WireResponse::decode(&err.encode()).unwrap(), err);
+        let m = WireResponse::Metrics("{\"models\":[]}".into());
+        assert_eq!(WireResponse::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn truncation_and_bad_tags_are_rejected() {
+        let mut buf = WireRequest::Infer {
+            model: "m".into(),
+            deadline_us: 1,
+            input: vec![1.0; 4],
+        }
+        .encode();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(
+            WireRequest::decode(&buf),
+            Err(WireError::Truncated(_))
+        ));
+        assert_eq!(WireRequest::decode(&[0x7F]), Err(WireError::BadTag(0x7F)));
+        // Trailing garbage is a schema disagreement, not ignorable.
+        let mut ok = WireRequest::Metrics.encode();
+        ok.push(0);
+        assert!(WireRequest::decode(&ok).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frames_are_refused() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+}

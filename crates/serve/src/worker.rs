@@ -1,0 +1,317 @@
+//! Worker threads: each owns one live NPU pool per registered model.
+//!
+//! A worker is one disaggregated instance of every published hardware
+//! microservice (§II-A): at spawn it pins each registry artifact onto its
+//! own `bw-core` NPUs (fast kernels) and then drains a *bounded* request
+//! queue, one batch-1 inference at a time — the BW service discipline.
+//! Bounding the queue is what makes load shedding possible: admission
+//! fails fast instead of building an unbounded backlog.
+//!
+//! Fault injection: a worker can be killed. The kill takes effect
+//! immediately for routing (the liveness flag drops, so no new work is
+//! admitted to it) and at the next queue pop for the thread, which exits
+//! *without* draining — every queued job is dropped, its reply channel
+//! disconnects, and the request lifecycle fails over to a replica.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use bw_gir::PinnedModel;
+use parking_lot::Mutex;
+
+/// What a worker reports back for one attempt.
+#[derive(Clone, Debug)]
+pub(crate) enum Completion {
+    /// The attempt produced an output.
+    Done {
+        /// Attempt number (monotone per request).
+        attempt: u32,
+        /// Worker that served it.
+        worker: usize,
+        /// The model output.
+        output: Vec<f32>,
+    },
+    /// The attempt failed in the simulator.
+    Fault {
+        /// Attempt number.
+        attempt: u32,
+        /// Worker that faulted.
+        worker: usize,
+        /// The simulator error.
+        message: String,
+    },
+    /// The worker popped the job after its deadline had already passed.
+    Expired {
+        /// Attempt number.
+        attempt: u32,
+    },
+}
+
+/// One queued attempt.
+pub(crate) struct Job {
+    pub attempt: u32,
+    /// Dense registry index of the model.
+    pub model: usize,
+    pub input: Arc<Vec<f32>>,
+    pub deadline: Instant,
+    pub reply: Sender<Completion>,
+}
+
+/// A message on the worker queue.
+enum WorkerMsg {
+    Work(Box<Job>),
+    Stop,
+}
+
+/// The server-side handle to one worker thread.
+pub(crate) struct WorkerHandle {
+    tx: SyncSender<WorkerMsg>,
+    /// Jobs queued or executing on this worker.
+    pub outstanding: Arc<AtomicUsize>,
+    /// Cleared on kill or thread exit; routing skips dead workers.
+    pub alive: Arc<AtomicBool>,
+    kill: Arc<AtomicBool>,
+    /// Jobs the worker has fully processed (for tests and metrics).
+    pub processed: Arc<AtomicU64>,
+    join: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// Why a dispatch to this worker was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum DispatchRefused {
+    /// The bounded queue is full.
+    QueueFull,
+    /// The worker is dead.
+    Dead,
+}
+
+impl WorkerHandle {
+    /// Attempts to enqueue a job without blocking.
+    pub fn try_dispatch(&self, job: Job) -> Result<(), DispatchRefused> {
+        if !self.alive.load(Ordering::Acquire) {
+            return Err(DispatchRefused::Dead);
+        }
+        match self.tx.try_send(WorkerMsg::Work(Box::new(job))) {
+            Ok(()) => {
+                self.outstanding.fetch_add(1, Ordering::AcqRel);
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => Err(DispatchRefused::QueueFull),
+            Err(TrySendError::Disconnected(_)) => {
+                self.alive.store(false, Ordering::Release);
+                Err(DispatchRefused::Dead)
+            }
+        }
+    }
+
+    /// Jobs queued or executing.
+    pub fn queue_depth(&self) -> usize {
+        self.outstanding.load(Ordering::Acquire)
+    }
+
+    /// Whether the worker accepts work.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Jobs this worker has fully processed.
+    pub fn processed_count(&self) -> u64 {
+        self.processed.load(Ordering::Relaxed)
+    }
+
+    /// Injects a fault: the worker stops accepting work immediately and
+    /// its thread exits at the next queue pop, dropping queued jobs.
+    pub fn kill(&self) {
+        self.kill.store(true, Ordering::Release);
+        self.alive.store(false, Ordering::Release);
+    }
+
+    /// Graceful shutdown: asks the thread to stop after the work already
+    /// queued, then joins it. Safe to call on killed workers (the blocked
+    /// stop message unblocks when the dying thread drops its receiver).
+    pub fn stop_and_join(&self) {
+        let _ = self.tx.send(WorkerMsg::Stop);
+        if let Some(handle) = self.join.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Spawns a worker that serves `models` (registry order) from a bounded
+/// queue of `queue_cap` jobs.
+pub(crate) fn spawn_worker(
+    id: usize,
+    mut models: Vec<PinnedModel>,
+    queue_cap: usize,
+) -> WorkerHandle {
+    let (tx, rx): (SyncSender<WorkerMsg>, Receiver<WorkerMsg>) =
+        std::sync::mpsc::sync_channel(queue_cap.max(1));
+    let outstanding = Arc::new(AtomicUsize::new(0));
+    let alive = Arc::new(AtomicBool::new(true));
+    let kill = Arc::new(AtomicBool::new(false));
+    let processed = Arc::new(AtomicU64::new(0));
+
+    let t_outstanding = Arc::clone(&outstanding);
+    let t_alive = Arc::clone(&alive);
+    let t_kill = Arc::clone(&kill);
+    let t_processed = Arc::clone(&processed);
+    let join = std::thread::Builder::new()
+        .name(format!("bw-serve-worker-{id}"))
+        .spawn(move || {
+            while let Ok(msg) = rx.recv() {
+                if t_kill.load(Ordering::Acquire) {
+                    // Injected fault: exit without serving or draining.
+                    // Dropping `rx` disconnects every queued job's reply
+                    // channel, which the lifecycle treats as worker loss.
+                    break;
+                }
+                let job = match msg {
+                    WorkerMsg::Work(job) => job,
+                    WorkerMsg::Stop => break,
+                };
+                let completion = if Instant::now() >= job.deadline {
+                    Completion::Expired {
+                        attempt: job.attempt,
+                    }
+                } else {
+                    match models[job.model].infer(&job.input) {
+                        Ok(output) => Completion::Done {
+                            attempt: job.attempt,
+                            worker: id,
+                            output,
+                        },
+                        Err(e) => Completion::Fault {
+                            attempt: job.attempt,
+                            worker: id,
+                            message: e.to_string(),
+                        },
+                    }
+                };
+                t_outstanding.fetch_sub(1, Ordering::AcqRel);
+                t_processed.fetch_add(1, Ordering::Relaxed);
+                // The requester may have moved on (failover); that drops
+                // the receiver and this send becomes a no-op.
+                let _ = job.reply.send(completion);
+            }
+            t_alive.store(false, Ordering::Release);
+        })
+        .expect("worker thread spawns");
+
+    WorkerHandle {
+        tx,
+        outstanding,
+        alive,
+        kill,
+        processed,
+        join: Mutex::new(Some(join)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::{demo_input, mlp_artifact};
+    use std::time::Duration;
+
+    fn worker_with(queue_cap: usize) -> WorkerHandle {
+        let artifact = mlp_artifact("m", &[16, 8], 3);
+        spawn_worker(0, vec![artifact.pin().unwrap()], queue_cap)
+    }
+
+    fn job(attempt: u32, reply: Sender<Completion>) -> Job {
+        Job {
+            attempt,
+            model: 0,
+            input: Arc::new(demo_input(16, 0)),
+            deadline: Instant::now() + Duration::from_secs(5),
+            reply,
+        }
+    }
+
+    #[test]
+    fn worker_serves_jobs() {
+        let w = worker_with(4);
+        let (tx, rx) = std::sync::mpsc::channel();
+        w.try_dispatch(job(0, tx)).unwrap();
+        match rx.recv_timeout(Duration::from_secs(10)).unwrap() {
+            Completion::Done {
+                attempt,
+                worker,
+                output,
+            } => {
+                assert_eq!((attempt, worker), (0, 0));
+                assert_eq!(output.len(), 8);
+            }
+            other => panic!("unexpected completion {other:?}"),
+        }
+        assert_eq!(w.processed.load(Ordering::Relaxed), 1);
+        assert_eq!(w.queue_depth(), 0);
+        w.stop_and_join();
+        assert!(!w.is_alive());
+    }
+
+    #[test]
+    fn expired_jobs_are_reported_not_served() {
+        let w = worker_with(4);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut j = job(2, tx);
+        j.deadline = Instant::now() - Duration::from_millis(1);
+        w.try_dispatch(j).unwrap();
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+            Completion::Expired { attempt: 2, .. }
+        ));
+        w.stop_and_join();
+    }
+
+    #[test]
+    fn killed_worker_refuses_and_drops_queued_jobs() {
+        let w = worker_with(8);
+        // Queue several jobs, then kill: queued replies must disconnect
+        // (or complete, if the worker raced past them before the kill).
+        let receivers: Vec<_> = (0..4)
+            .map(|i| {
+                let (tx, rx) = std::sync::mpsc::channel();
+                w.try_dispatch(job(i, tx)).unwrap();
+                rx
+            })
+            .collect();
+        w.kill();
+        assert!(!w.is_alive());
+        let (tx, _rx) = std::sync::mpsc::channel();
+        assert_eq!(w.try_dispatch(job(9, tx)), Err(DispatchRefused::Dead));
+        for rx in receivers {
+            match rx.recv_timeout(Duration::from_secs(10)) {
+                Ok(_) | Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {}
+                Err(e) => panic!("queued job left hanging: {e:?}"),
+            }
+        }
+        w.stop_and_join();
+    }
+
+    #[test]
+    fn full_queue_refuses_with_queue_full() {
+        let artifact = mlp_artifact("m", &[16, 8], 3);
+        let w = spawn_worker(0, vec![artifact.pin().unwrap()], 1);
+        // The worker may already be executing the first job; keep
+        // dispatching until the bounded queue refuses.
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut refused = None;
+        for i in 0..16 {
+            match w.try_dispatch(job(i, tx.clone())) {
+                Ok(()) => {}
+                Err(r) => {
+                    refused = Some(r);
+                    break;
+                }
+            }
+        }
+        assert_eq!(refused, Some(DispatchRefused::QueueFull));
+        drop(tx);
+        while rx.recv_timeout(Duration::from_secs(10)).is_ok() {}
+        w.stop_and_join();
+    }
+}

@@ -1,0 +1,115 @@
+//! Cross-validation: the analytical serving simulator (`bw-system`) and
+//! the live runtime (`bw-serve`) must agree on the same serving point.
+//!
+//! Protocol (recorded in EXPERIMENTS.md):
+//! 1. measure the warm batch-1 service time `s` of the demo model on a
+//!    private replica — this is the ground truth both sides share;
+//! 2. pick a Poisson rate for ~30% utilization of a 1-replica pool
+//!    (1 replica because CI machines may have a single core, where a
+//!    multi-worker pool has no real parallel capacity for the analytical
+//!    model to be right about);
+//! 3. run the same (model, rate, policy) point through
+//!    `bw_system::simulate_pool` and a live `bw-serve` pool under the
+//!    open-loop load generator;
+//! 4. require order-of-magnitude agreement on p99 and mean: the live
+//!    runtime carries OS scheduling jitter the discrete-event model does
+//!    not, so the tolerance is a wide ratio band — wide enough for noisy
+//!    single-core CI, tight enough to catch unit mistakes, double
+//!    counting, or a broken queueing model (which show up as 10x-100x).
+
+use std::time::{Duration, Instant};
+
+use bw_serve::demo::{demo_input, mlp_artifact};
+use bw_serve::{run_loadgen, ArrivalProcess, LoadgenConfig, Routing, Server};
+use bw_system::{simulate_pool, Microservice, ServiceModel};
+
+const MODEL: &str = "xval-mlp";
+const WIDTHS: &[usize] = &[32, 128, 64, 32];
+const SEED: u64 = 29;
+const UTILIZATION: f64 = 0.3;
+const REQUESTS: usize = 80;
+
+#[test]
+fn live_pool_p99_tracks_the_analytical_simulator() {
+    // 1. Ground-truth service time on a private replica of the same
+    //    artifact (warm: the first inference pays one-time costs).
+    let probe = mlp_artifact(MODEL, WIDTHS, SEED);
+    let mut pinned = probe.pin().unwrap();
+    let input = demo_input(probe.input_dim(), 0);
+    pinned.infer(&input).unwrap();
+    let t0 = Instant::now();
+    let probes = 12;
+    for _ in 0..probes {
+        pinned.infer(&input).unwrap();
+    }
+    let service_s = t0.elapsed().as_secs_f64() / f64::from(probes);
+    assert!(service_s > 0.0);
+
+    // 2. The shared serving point.
+    let rate = UTILIZATION / service_s;
+    let arrivals = ArrivalProcess::Poisson { rate_per_s: rate };
+
+    // 3a. Analytical prediction.
+    let pool = [Microservice {
+        service: ServiceModel::PerRequest { seconds: service_s },
+        servers: 1,
+        network_hop_s: 0.0,
+    }];
+    let offsets = arrivals.generate(REQUESTS, SEED);
+    let predicted = simulate_pool(&offsets, &pool, Routing::RoundRobin, SEED);
+
+    // 3b. Live measurement.
+    let server = Server::builder()
+        .model(mlp_artifact(MODEL, WIDTHS, SEED))
+        .replicas(1)
+        .queue_cap(64)
+        .policy(Routing::RoundRobin)
+        .spawn()
+        .unwrap();
+    let measured = run_loadgen(
+        &server.client(),
+        &LoadgenConfig {
+            model: MODEL.to_owned(),
+            arrivals,
+            requests: REQUESTS,
+            deadline: Duration::from_secs(30),
+            seed: SEED,
+        },
+    );
+
+    // Low load with a deep queue and a long deadline: nothing sheds.
+    assert_eq!(measured.completed, REQUESTS as u64, "{measured:?}");
+    assert_eq!(measured.shed + measured.failed + measured.rejected, 0);
+
+    // 4. Agreement bands.
+    let p99_ratio = measured.latency.p99_s / predicted.p99_latency_s.max(1e-12);
+    let mean_ratio = measured.latency.mean_s / predicted.mean_latency_s.max(1e-12);
+    eprintln!(
+        "service {:.1} µs, rate {:.0} rps; p99 live {:.1} µs vs analytical {:.1} µs (x{:.2}); \
+         mean live {:.1} µs vs analytical {:.1} µs (x{:.2})",
+        service_s * 1e6,
+        rate,
+        measured.latency.p99_s * 1e6,
+        predicted.p99_latency_s * 1e6,
+        p99_ratio,
+        measured.latency.mean_s * 1e6,
+        predicted.mean_latency_s * 1e6,
+        mean_ratio,
+    );
+    assert!(
+        (0.2..10.0).contains(&p99_ratio),
+        "live p99 {:.1} µs diverges from analytical {:.1} µs (x{:.2})",
+        measured.latency.p99_s * 1e6,
+        predicted.p99_latency_s * 1e6,
+        p99_ratio
+    );
+    assert!(
+        (0.2..10.0).contains(&mean_ratio),
+        "live mean {:.1} µs diverges from analytical {:.1} µs (x{:.2})",
+        measured.latency.mean_s * 1e6,
+        predicted.mean_latency_s * 1e6,
+        mean_ratio
+    );
+    // The live mean can't beat physics: it includes the full service time.
+    assert!(measured.latency.mean_s >= service_s * 0.5);
+}

@@ -1,0 +1,75 @@
+//! TCP front-end round trips: the wire protocol against a live server.
+
+use std::time::Duration;
+
+use bw_serve::demo::{demo_input, mlp_artifact};
+use bw_serve::{ServeError, Server, TcpClient, TcpFrontend};
+
+const DEADLINE: Duration = Duration::from_secs(10);
+
+#[test]
+fn tcp_round_trip_matches_in_process_result() {
+    let server = Server::builder()
+        .model(mlp_artifact("mlp", &[16, 32, 8], 7))
+        .replicas(2)
+        .spawn()
+        .unwrap();
+    let expected = server
+        .client()
+        .call("mlp", &demo_input(16, 5), DEADLINE)
+        .unwrap()
+        .output;
+
+    let frontend = TcpFrontend::bind(&server, "127.0.0.1:0").unwrap();
+    let mut client = TcpClient::connect(frontend.addr()).unwrap();
+    let resp = client.call("mlp", &demo_input(16, 5), DEADLINE).unwrap();
+    assert_eq!(resp.output, expected);
+    assert!(resp.latency > Duration::ZERO);
+
+    // Errors travel the wire as explicit error frames.
+    let err = client
+        .call("nope", &demo_input(16, 0), DEADLINE)
+        .unwrap_err();
+    assert!(matches!(err, ServeError::Remote(_)), "got {err}");
+
+    // Metrics are fetchable over the same connection.
+    let json = client.metrics_json().unwrap();
+    assert!(json.contains("\"model\":\"mlp\""));
+    assert!(json.contains("\"completed\":2"));
+
+    frontend.shutdown();
+}
+
+#[test]
+fn concurrent_tcp_clients_are_isolated() {
+    let server = Server::builder()
+        .model(mlp_artifact("mlp", &[16, 8], 3))
+        .replicas(2)
+        .spawn()
+        .unwrap();
+    let frontend = TcpFrontend::bind(&server, "127.0.0.1:0").unwrap();
+    let addr = frontend.addr();
+
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut client = TcpClient::connect(addr).unwrap();
+                let mut outputs = Vec::new();
+                for j in 0..5 {
+                    let resp = client
+                        .call("mlp", &demo_input(16, i * 100 + j), DEADLINE)
+                        .unwrap();
+                    outputs.push(resp.output);
+                }
+                outputs
+            })
+        })
+        .collect();
+    for h in handles {
+        let outputs = h.join().unwrap();
+        assert_eq!(outputs.len(), 5);
+        assert!(outputs.iter().all(|o| o.len() == 8));
+    }
+    let m = server.metrics();
+    assert_eq!(m.models[0].completed, 20);
+}

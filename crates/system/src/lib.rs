@@ -14,7 +14,10 @@
 //!   multi-FPGA pipelines for partitioned models;
 //! * [`sweep_load`] — parallel offered-load sweeps;
 //! * [`simulate_pool`] — disaggregated instance pools with client-side
-//!   routing policies (§II-A's hardware-microservice pooling).
+//!   routing policies (§II-A's hardware-microservice pooling);
+//! * [`LatencySummary`] / [`nearest_rank`] — the shared latency-statistics
+//!   vocabulary, reused by the live serving runtime (`bw-serve`) so
+//!   analytical predictions and measured latencies compare directly.
 //!
 //! # Example
 //!
@@ -37,10 +40,12 @@
 
 mod pool;
 mod sim;
+mod summary;
 mod sweep;
 
 pub use pool::{simulate_pool, PoolReport, Routing};
 pub use sim::{
     simulate, simulate_pipeline, ArrivalProcess, Microservice, ServiceModel, ServingReport,
 };
+pub use summary::{nearest_rank, LatencySummary};
 pub use sweep::{sweep_load, SweepPoint};

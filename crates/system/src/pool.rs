@@ -111,16 +111,9 @@ pub fn simulate_pool(
         .flat_map(|r| r.completion_times.iter().copied())
         .fold(0.0f64, f64::max)
         .max(f64::EPSILON);
-    let pct = |q: f64| -> f64 {
-        if latencies.is_empty() {
-            0.0
-        } else {
-            latencies[((latencies.len() - 1) as f64 * q) as usize]
-        }
-    };
     PoolReport {
         mean_latency_s: latencies.iter().sum::<f64>() / latencies.len().max(1) as f64,
-        p99_latency_s: pct(0.99),
+        p99_latency_s: crate::summary::nearest_rank(&latencies, 0.99),
         throughput_rps: completed as f64 / span,
         instances,
     }

@@ -156,8 +156,13 @@ impl ServingReport {
         if self.sorted_latencies.is_empty() {
             return 0.0;
         }
-        let idx = ((self.sorted_latencies.len() - 1) as f64 * q.clamp(0.0, 1.0)) as usize;
-        self.sorted_latencies[idx]
+        crate::summary::nearest_rank(&self.sorted_latencies, q)
+    }
+
+    /// The full [`LatencySummary`](crate::LatencySummary) of this report's
+    /// latency sample.
+    pub fn latency_summary(&self) -> crate::LatencySummary {
+        crate::LatencySummary::from_sorted(&self.sorted_latencies)
     }
 }
 

@@ -20,6 +20,7 @@
 //! | [`fpga`] | `bw-fpga` | device catalog, area model, synthesis specialization |
 //! | [`baselines`] | `bw-baselines` | Titan Xp / P40 published datasets + GPU batch model |
 //! | [`system`] | `bw-system` | datacenter serving simulation |
+//! | [`serve`] | `bw-serve` | hardware-microservices serving runtime over live NPUs |
 //!
 //! ## Quickstart
 //!
@@ -55,6 +56,7 @@ pub use bw_dataflow as dataflow;
 pub use bw_fpga as fpga;
 pub use bw_gir as gir;
 pub use bw_models as models;
+pub use bw_serve as serve;
 pub use bw_system as system;
 
 /// The commonly used subset of the whole stack, for glob import.
@@ -73,7 +75,9 @@ pub mod prelude {
         LstmWeights, Mlp, RnnBenchmark, RnnDims, RnnKind, SpeechModel, SpeechModelShape,
         StreamedConvNet,
     };
+    pub use bw_serve::{Server, ServerConfig};
     pub use bw_system::{
-        simulate, simulate_pool, ArrivalProcess, Microservice, Routing, ServiceModel,
+        simulate, simulate_pool, ArrivalProcess, LatencySummary, Microservice, Routing,
+        ServiceModel,
     };
 }

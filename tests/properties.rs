@@ -203,4 +203,60 @@ proptest! {
         prop_assert!(outputs[0].iter().all(|v| v.is_finite() && v.abs() <= 1.0),
             "LSTM outputs are tanh-bounded: {:?}", outputs[0]);
     }
+
+    /// Row-sharding an oversized dense stage is semantics-preserving
+    /// *bit for bit*: each shard computes the same f32 dot products over
+    /// the same weight rows in the same order, so concatenating shard
+    /// outputs must equal the unsplit stage exactly — for any layer
+    /// shape, any per-device budget that admits at least one row, any
+    /// bias/activation combination, and any input.
+    #[test]
+    fn row_sharded_execution_concatenates_bit_identical(
+        rows in 1usize..96,
+        cols in 1usize..48,
+        budget_rows in 1usize..20,
+        weight_seed in 0u64..1_000,
+        bias_sel in 0usize..2,
+        act_sel in 0usize..4,
+    ) {
+        use brainwave::gir::{
+            shard_outputs_concat, split_oversized_stages, ActFn, Pipeline, Stage,
+        };
+
+        let weights: Vec<f32> = (0..rows * cols)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(weight_seed);
+                ((x >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 3.0
+            })
+            .collect();
+        let bias = (bias_sel == 1).then(|| (0..rows).map(|r| (r as f32 - 2.0) * 0.05).collect());
+        let act = [None, Some(ActFn::Relu), Some(ActFn::Sigmoid), Some(ActFn::Tanh)][act_sel];
+        let stage = Stage::Dense { rows, cols, weights, bias, act };
+        let pipeline = Pipeline { input_dim: cols, stages: vec![stage] };
+
+        // A budget of `budget_rows` rows: always admits a single row, so
+        // the split must succeed; a budget >= the whole stage must leave
+        // the pipeline untouched.
+        let budget = (budget_rows * cols) as u64;
+        let (sharded, report) = split_oversized_stages(&pipeline, budget).unwrap();
+        if budget >= (rows * cols) as u64 {
+            prop_assert_eq!(&sharded, &pipeline);
+            prop_assert!(report.splits.is_empty());
+        } else {
+            prop_assert_eq!(report.splits.len(), 1);
+            prop_assert_eq!(report.splits[0].1, sharded.stages.len());
+            for s in &sharded.stages {
+                prop_assert!(s.weight_params() <= budget);
+            }
+        }
+
+        let x: Vec<f32> = (0..cols).map(|i| ((i as f32) * 0.61 + 0.2).cos() * 1.5).collect();
+        let whole = shard_outputs_concat(&[&pipeline.stages[0]], &x);
+        let shards: Vec<&Stage> = sharded.stages.iter().collect();
+        let concat = shard_outputs_concat(&shards, &x);
+        prop_assert_eq!(whole.len(), concat.len());
+        for (r, (a, b)) in whole.iter().zip(&concat).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "row {}: {} vs {}", r, a, b);
+        }
+    }
 }

@@ -18,6 +18,9 @@
 //! - `--policy P`       round-robin | random | least-outstanding
 //! - `--expect-clean`   exit nonzero if anything was shed or failed
 //!   (the CI low-load assertion)
+//! - `--metrics-snapshot P`  also dump the server's final
+//!   [`MetricsSnapshot`](bw_serve::MetricsSnapshot) JSON (per-model
+//!   counters, NPU attribution, queue-wait/service histograms) to `P`
 
 use std::time::{Duration, Instant};
 
@@ -32,6 +35,7 @@ struct Args {
     requests: Option<usize>,
     utilization: f64,
     policy: Routing,
+    metrics_snapshot: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -42,6 +46,7 @@ fn parse_args() -> Args {
         requests: None,
         utilization: 0.25,
         policy: Routing::RoundRobin,
+        metrics_snapshot: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -72,6 +77,10 @@ fn parse_args() -> Args {
                     "least-outstanding" => Routing::LeastOutstanding,
                     p => panic!("unknown policy `{p}`"),
                 };
+                i += 1;
+            }
+            "--metrics-snapshot" => {
+                args.metrics_snapshot = Some(value(i).clone());
                 i += 1;
             }
             other => panic!("unknown flag `{other}`"),
@@ -191,6 +200,13 @@ fn main() {
     std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
     println!("{json}");
     eprintln!("wrote BENCH_serving.json");
+
+    // The server's own view of the run: per-model counters, NPU cycle/MAC
+    // attribution, and queue-wait vs service split.
+    if let Some(path) = &args.metrics_snapshot {
+        std::fs::write(path, server.metrics().to_json()).expect("write metrics snapshot");
+        eprintln!("wrote {path}");
+    }
 
     // Accounting must close regardless of flags.
     assert_eq!(

@@ -60,6 +60,7 @@ mod mfu;
 mod mvm;
 mod npu;
 mod stats;
+mod trace;
 mod trace_report;
 mod validate;
 
@@ -71,5 +72,6 @@ pub use config::{ConfigError, NpuConfig, NpuConfigBuilder, TimingParams};
 pub use hdd::{DispatchLevel, HddExpansion};
 pub use npu::{ChainKind, ChainTrace, ExecMode, KernelMode, Npu, SimError};
 pub use stats::RunStats;
+pub use trace::{SinkHandle, SpanCollector, SpanKind, SpanRecord, TraceId, TraceSink};
 pub use trace_report::{KindSummary, TraceSummary};
 pub use validate::{ValidateError, ValidateErrorKind};

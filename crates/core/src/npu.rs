@@ -45,6 +45,7 @@ use crate::mem::{Dram, MatrixFile, NetQueues, VectorFile};
 use crate::mfu;
 use crate::mvm;
 use crate::stats::RunStats;
+use crate::trace::{SinkHandle, SpanKind, SpanRecord, TraceId};
 
 /// Whether a run computes real values or only models time.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -94,7 +95,7 @@ struct ChainScratch {
 }
 
 /// The resource class a traced chain executed on.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize)]
 pub enum ChainKind {
     /// A chain containing an `mv_mul` (occupies the MVM).
     Mvm,
@@ -311,6 +312,13 @@ pub struct Npu {
     mem_free_at: u64,
     stats: RunStats,
     trace: Option<Vec<ChainTrace>>,
+    /// Structured span stream (see [`crate::trace`]); `None` — the
+    /// default — costs one branch per chain and allocates nothing.
+    sink: Option<SinkHandle>,
+    /// Propagated into every emitted [`SpanRecord`].
+    trace_id: TraceId,
+    /// Device ordinal propagated into every emitted [`SpanRecord`].
+    trace_device: u32,
 }
 
 impl Npu {
@@ -345,6 +353,9 @@ impl Npu {
             mem_free_at: 0,
             stats: RunStats::default(),
             trace: None,
+            sink: None,
+            trace_id: 0,
+            trace_device: 0,
             config,
             mode,
             kernel: KernelMode::Fast,
@@ -385,6 +396,38 @@ impl Npu {
         match &mut self.trace {
             Some(t) => std::mem::take(t),
             None => Vec::new(),
+        }
+    }
+
+    /// Installs (or removes) a structured span sink. While a sink is
+    /// installed every run emits [`SpanRecord`]s — chain, MVM/MFU
+    /// streaming, stall, and run-envelope spans — tagged with the context
+    /// set by [`Npu::set_trace_context`]. `None` (the default) restores
+    /// the zero-cost path. Independent of [`Npu::set_trace`].
+    pub fn set_trace_sink(&mut self, sink: Option<SinkHandle>) {
+        self.sink = sink;
+    }
+
+    /// Sets the trace id and device ordinal stamped on every span emitted
+    /// from now on. The id is owned by whichever layer defines request
+    /// identity (e.g. `bw-serve` uses its request id).
+    pub fn set_trace_context(&mut self, trace_id: TraceId, device: u32) {
+        self.trace_id = trace_id;
+        self.trace_device = device;
+    }
+
+    /// Emits one span if a sink is installed.
+    #[inline]
+    fn emit_span(&self, kind: SpanKind, chain: u64, start_cycle: u64, end_cycle: u64) {
+        if let Some(sink) = &self.sink {
+            sink.emit(&SpanRecord {
+                trace_id: self.trace_id,
+                device: self.trace_device,
+                kind,
+                chain,
+                start_cycle,
+                end_cycle,
+            });
         }
     }
 
@@ -616,6 +659,7 @@ impl Npu {
         // `stats.cycles`, so only the resource frontiers can extend it.
         let end = self.mvm_free_at.max(self.mfu_free_at).max(self.mem_free_at);
         self.stats.cycles = self.stats.cycles.max(end);
+        self.emit_span(SpanKind::Run, 0, 0, self.stats.cycles);
         Ok(self.stats.clone())
     }
 
@@ -748,6 +792,18 @@ impl Npu {
                 occupancy,
                 completion,
             });
+        }
+        if self.sink.is_some() {
+            let ordinal = self.stats.chains;
+            self.emit_span(
+                SpanKind::Chain(ChainKind::MatrixMove),
+                ordinal,
+                start,
+                completion,
+            );
+            if dep_ready > self.nios_cursor {
+                self.emit_span(SpanKind::DepStall, ordinal, self.nios_cursor, dep_ready);
+            }
         }
 
         for (i, tile) in tiles.into_iter().enumerate() {
@@ -986,19 +1042,41 @@ impl Npu {
         if let Some((base, count)) = mvm_tiles {
             self.mrf.mark_read_until(base, count, start + occupancy);
         }
+        let kind = match res {
+            Res::Mvm => ChainKind::Mvm,
+            Res::Mfu => ChainKind::Mfu,
+            Res::Move => ChainKind::Move,
+        };
         if let Some(trace) = &mut self.trace {
             trace.push(ChainTrace {
-                kind: match res {
-                    Res::Mvm => ChainKind::Mvm,
-                    Res::Mfu => ChainKind::Mfu,
-                    Res::Move => ChainKind::Move,
-                },
+                kind,
                 dispatched_at: self.nios_cursor,
                 dep_ready_at: dep_ready,
                 start,
                 occupancy,
                 completion,
             });
+        }
+        if self.sink.is_some() {
+            let ordinal = self.stats.chains;
+            self.emit_span(SpanKind::Chain(kind), ordinal, start, completion);
+            match kind {
+                ChainKind::Mvm => {
+                    self.emit_span(SpanKind::MvmStream, ordinal, start, start + mvm_occ);
+                }
+                ChainKind::Mfu => {
+                    self.emit_span(SpanKind::MfuStream, ordinal, start, start + occupancy);
+                }
+                ChainKind::Move | ChainKind::MatrixMove => {}
+            }
+            if dep_ready > other {
+                self.emit_span(SpanKind::DepStall, ordinal, other, dep_ready);
+            } else {
+                let ready = self.nios_cursor.max(dep_ready);
+                if resource_free > ready {
+                    self.emit_span(SpanKind::ResourceStall, ordinal, ready, resource_free);
+                }
+            }
         }
 
         // Apply writes and publish ready times.

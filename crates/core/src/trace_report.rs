@@ -171,6 +171,69 @@ mod tests {
         assert_eq!(summary.occupancy("nonexistent"), 0.0);
     }
 
+    /// A handcrafted record: dispatched at `dispatch`, dependencies ready
+    /// at `dep`, started at `start`, occupying `occ` cycles.
+    fn rec(kind: ChainKind, dispatch: u64, dep: u64, start: u64, occ: u64) -> ChainTrace {
+        ChainTrace {
+            kind,
+            dispatched_at: dispatch,
+            dep_ready_at: dep,
+            start,
+            occupancy: occ,
+            completion: start + occ,
+        }
+    }
+
+    #[test]
+    fn worst_dep_stall_keeps_the_first_on_ties() {
+        // Records 1 and 2 both expose 10 cycles of dependence latency;
+        // the strict `>` comparison must keep the earlier index.
+        let trace = vec![
+            rec(ChainKind::Mvm, 0, 0, 0, 4),
+            rec(ChainKind::Mvm, 4, 14, 14, 4),
+            rec(ChainKind::Mfu, 18, 28, 28, 4),
+            rec(ChainKind::Mfu, 32, 37, 37, 4), // smaller stall: ignored
+        ];
+        let summary = TraceSummary::from_trace(&trace);
+        assert_eq!(summary.worst_dep_stall, Some((1, 10)));
+        // A strictly larger stall later does displace the winner.
+        let mut bigger = trace;
+        bigger.push(rec(ChainKind::Mvm, 41, 60, 60, 4));
+        let summary = TraceSummary::from_trace(&bigger);
+        assert_eq!(summary.worst_dep_stall, Some((4, 19)));
+    }
+
+    #[test]
+    fn single_kind_trace_rolls_up_into_one_bucket() {
+        let trace = vec![
+            rec(ChainKind::Mfu, 0, 0, 0, 8),
+            rec(ChainKind::Mfu, 2, 0, 8, 8), // starts late: resource wait
+            rec(ChainKind::Mfu, 4, 20, 20, 8),
+        ];
+        let summary = TraceSummary::from_trace(&trace);
+        assert_eq!(summary.kinds.len(), 1);
+        let mfu = &summary.kinds["mfu"];
+        assert_eq!(mfu.chains, 3);
+        assert_eq!(mfu.busy_cycles, 24);
+        // Chain 1 started 6 cycles past max(dep, dispatch)=2.
+        assert_eq!(mfu.resource_wait_cycles, 6);
+        // Chain 2 exposed 16 cycles of dependence latency.
+        assert_eq!(mfu.dep_wait_cycles, 16);
+        assert_eq!(summary.end_cycle, 28);
+        assert!((summary.occupancy("mfu") - 24.0 / 28.0).abs() < 1e-12);
+        assert_eq!(summary.occupancy("mvm"), 0.0);
+    }
+
+    #[test]
+    fn dep_exposure_is_clamped_by_the_actual_start() {
+        // dep_ready far beyond start must not attribute more wait than the
+        // chain actually experienced (start - dispatch).
+        let trace = vec![rec(ChainKind::Mvm, 10, 100, 30, 4)];
+        let summary = TraceSummary::from_trace(&trace);
+        assert_eq!(summary.kinds["mvm"].dep_wait_cycles, 20);
+        assert_eq!(summary.worst_dep_stall, Some((0, 20)));
+    }
+
     #[test]
     fn empty_trace_is_all_zeros() {
         let summary = TraceSummary::from_trace(&[]);

@@ -8,7 +8,7 @@
 //! [`PinnedModel`] is one live instance: the artifact deployed onto a set
 //! of owned [`Npu`]s, ready to serve batch-1 inferences.
 
-use bw_core::{KernelMode, Npu, NpuConfig, RunStats};
+use bw_core::{KernelMode, Npu, NpuConfig, RunStats, SpanCollector, SpanRecord, TraceId};
 use serde::{Deserialize, Serialize};
 
 use crate::ir::{GirError, GirGraph};
@@ -190,6 +190,35 @@ impl PinnedModel {
         self.deployment.execute(&mut self.npus, input)
     }
 
+    /// [`PinnedModel::infer_with_stats`] with span tracing: installs a
+    /// [`SpanCollector`] on every pinned device for the duration of the
+    /// call, stamping each span with `trace_id` and the device ordinal,
+    /// then uninstalls the sinks and drains the collected spans. Tracing
+    /// state does not persist across calls, so a traced inference leaves
+    /// the instance exactly as a plain one does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] on simulator failures.
+    pub fn infer_traced(
+        &mut self,
+        input: &[f32],
+        trace_id: TraceId,
+    ) -> Result<(Vec<f32>, RunStats, Vec<SpanRecord>), DeployError> {
+        let collector = SpanCollector::new();
+        for (d, npu) in self.npus.iter_mut().enumerate() {
+            npu.set_trace_sink(Some(collector.handle()));
+            npu.set_trace_context(trace_id, d as u32);
+        }
+        let result = self.deployment.execute(&mut self.npus, input);
+        for npu in &mut self.npus {
+            npu.set_trace_sink(None);
+            npu.set_trace_context(0, 0);
+        }
+        let (output, stats) = result?;
+        Ok((output, stats, collector.drain()))
+    }
+
     /// Input dimension one inference consumes.
     pub fn input_dim(&self) -> usize {
         self.deployment.input_dim()
@@ -203,6 +232,14 @@ impl PinnedModel {
     /// Devices this instance occupies.
     pub fn devices(&self) -> usize {
         self.npus.len()
+    }
+
+    /// The device clock in Hz (for converting span cycles to wall time).
+    pub fn clock_hz(&self) -> f64 {
+        self.npus
+            .first()
+            .map(|n| n.config().clock_hz())
+            .unwrap_or(0.0)
     }
 }
 

@@ -61,7 +61,7 @@ pub mod loadgen;
 
 pub use metrics::{Histogram, MetricsSnapshot, ModelSnapshot};
 pub use registry::{ModelRegistry, RegistryError};
-pub use request::{RequestId, Response, ServeError};
+pub use request::{Attribution, RequestId, RequestTrace, Response, ServeError};
 pub use server::{Client, Pending, Server, ServerBuilder, ServerConfig, SpawnError};
 pub use tcp::{TcpClient, TcpFrontend};
 pub use wire::{WireError, WireRequest, WireResponse};

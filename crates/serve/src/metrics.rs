@@ -62,14 +62,56 @@ impl Histogram {
         self.count
     }
 
-    /// Nearest-rank quantile (`0 ≤ q ≤ 1`), resolved to the geometric
-    /// midpoint of the owning bucket (exact min/max at the extremes).
+    /// Sum of all recorded samples (seconds).
+    pub fn sum_s(&self) -> f64 {
+        self.sum_s
+    }
+
+    /// Smallest recorded sample, or `0.0` when empty.
+    pub fn min_s(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min_s
+        }
+    }
+
+    /// Largest recorded sample, or `0.0` when empty.
+    pub fn max_s(&self) -> f64 {
+        self.max_s
+    }
+
+    /// Cumulative `(upper_bound_s, count)` pairs through the last
+    /// occupied bucket — the shape Prometheus `_bucket` series want. The
+    /// implicit `+Inf` bucket (== total count) is not included. Empty for
+    /// an empty histogram.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let last = match self.counts.iter().rposition(|&c| c > 0) {
+            Some(i) => i,
+            None => return Vec::new(),
+        };
+        let mut running = 0u64;
+        (0..=last)
+            .map(|i| {
+                running += self.counts[i];
+                (BUCKET_FLOOR_S * BUCKET_GROWTH.powi(i as i32 + 1), running)
+            })
+            .collect()
+    }
+
+    /// Nearest-rank quantile, resolved to the geometric midpoint of the
+    /// owning bucket (exact min/max at the extremes).
+    ///
+    /// Edge behavior, relied on by the snapshot consumers: an **empty
+    /// histogram returns the `0.0` sentinel for every `q`** (so idle
+    /// models read as all-zero, not NaN); `q` outside `[0, 1]` clamps to
+    /// the nearest extreme (`q ≤ 0` → min, `q ≥ 1` → max); a NaN `q` is
+    /// treated as `0.0` and returns the min.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
-        let q = q.clamp(0.0, 1.0);
-        if q <= 0.0 {
+        if q.is_nan() || q <= 0.0 {
             return self.min_s;
         }
         if q >= 1.0 {
@@ -122,6 +164,19 @@ pub struct ModelMetrics {
     pub retries: AtomicU64,
     /// End-to-end latency of completed requests.
     pub latency: Mutex<Histogram>,
+    /// NPU cycles attributed to completed requests.
+    pub npu_cycles: AtomicU64,
+    /// MVM multiply-accumulates attributed to completed requests.
+    pub npu_macs: AtomicU64,
+    /// Dependency-stall cycles attributed to completed requests.
+    pub npu_dep_stall_cycles: AtomicU64,
+    /// Resource-stall cycles attributed to completed requests.
+    pub npu_resource_stall_cycles: AtomicU64,
+    /// Time completed requests spent queued before a worker picked them
+    /// up (per winning attempt).
+    pub queue_wait: Mutex<Histogram>,
+    /// Time the winning attempt spent executing on the NPU pool.
+    pub service: Mutex<Histogram>,
 }
 
 impl ModelMetrics {
@@ -129,6 +184,19 @@ impl ModelMetrics {
     pub fn record_completed(&self, latency_s: f64) {
         self.completed.fetch_add(1, Ordering::Relaxed);
         self.latency.lock().record(latency_s);
+    }
+
+    /// Attributes one completed request's NPU work and queue/service
+    /// split to this model.
+    pub fn record_attribution(&self, queue_wait_s: f64, service_s: f64, stats: &bw_core::RunStats) {
+        self.npu_cycles.fetch_add(stats.cycles, Ordering::Relaxed);
+        self.npu_macs.fetch_add(stats.mvm_macs, Ordering::Relaxed);
+        self.npu_dep_stall_cycles
+            .fetch_add(stats.dep_stall_cycles, Ordering::Relaxed);
+        self.npu_resource_stall_cycles
+            .fetch_add(stats.resource_stall_cycles, Ordering::Relaxed);
+        self.queue_wait.lock().record(queue_wait_s);
+        self.service.lock().record(service_s);
     }
 }
 
@@ -149,6 +217,18 @@ pub struct ModelSnapshot {
     pub retries: u64,
     /// Latency distribution of completed requests.
     pub latency: LatencySummary,
+    /// NPU cycles attributed to completed requests.
+    pub npu_cycles: u64,
+    /// MVM multiply-accumulates attributed to completed requests.
+    pub npu_macs: u64,
+    /// Dependency-stall cycles attributed to completed requests.
+    pub npu_dep_stall_cycles: u64,
+    /// Resource-stall cycles attributed to completed requests.
+    pub npu_resource_stall_cycles: u64,
+    /// Queue-wait distribution of completed requests.
+    pub queue_wait: LatencySummary,
+    /// NPU service-time distribution of completed requests.
+    pub service: LatencySummary,
 }
 
 impl ModelSnapshot {
@@ -200,14 +280,22 @@ impl MetricsSnapshot {
             }
             out.push_str(&format!(
                 "{{\"model\":\"{}\",\"submitted\":{},\"completed\":{},\"shed\":{},\
-                 \"failed\":{},\"retries\":{},\"latency\":{}}}",
+                 \"failed\":{},\"retries\":{},\"latency\":{},\"npu_cycles\":{},\
+                 \"npu_macs\":{},\"npu_dep_stall_cycles\":{},\
+                 \"npu_resource_stall_cycles\":{},\"queue_wait\":{},\"service\":{}}}",
                 json_escape(&m.model),
                 m.submitted,
                 m.completed,
                 m.shed,
                 m.failed,
                 m.retries,
-                m.latency.to_json()
+                m.latency.to_json(),
+                m.npu_cycles,
+                m.npu_macs,
+                m.npu_dep_stall_cycles,
+                m.npu_resource_stall_cycles,
+                m.queue_wait.to_json(),
+                m.service.to_json()
             ));
         }
         out.push_str("],\"queue_depths\":[");
@@ -246,7 +334,157 @@ pub(crate) fn snapshot_model(name: &str, m: &ModelMetrics) -> ModelSnapshot {
         failed: m.failed.load(Ordering::Relaxed),
         retries: m.retries.load(Ordering::Relaxed),
         latency: m.latency.lock().summary(),
+        npu_cycles: m.npu_cycles.load(Ordering::Relaxed),
+        npu_macs: m.npu_macs.load(Ordering::Relaxed),
+        npu_dep_stall_cycles: m.npu_dep_stall_cycles.load(Ordering::Relaxed),
+        npu_resource_stall_cycles: m.npu_resource_stall_cycles.load(Ordering::Relaxed),
+        queue_wait: m.queue_wait.lock().summary(),
+        service: m.service.lock().summary(),
     }
+}
+
+/// Renders the whole server's live metrics as a Prometheus text
+/// exposition (format 0.0.4). Counter families carry one series per
+/// model; request-time histograms render the live bucket layout.
+type CounterCol = (&'static str, &'static str, fn(&ModelMetrics) -> u64);
+type HistogramCol = (
+    &'static str,
+    &'static str,
+    fn(&ModelMetrics) -> &Mutex<Histogram>,
+);
+
+pub(crate) fn render_prometheus(models: &[(&str, &ModelMetrics)], workers: &[WorkerRow]) -> String {
+    use bw_trace::Exposition;
+    let mut e = Exposition::new();
+    let counters: [CounterCol; 9] = [
+        ("bw_requests_submitted_total", "Requests admitted.", |m| {
+            m.submitted.load(Ordering::Relaxed)
+        }),
+        (
+            "bw_requests_completed_total",
+            "Requests answered with an output.",
+            |m| m.completed.load(Ordering::Relaxed),
+        ),
+        (
+            "bw_requests_shed_total",
+            "Requests shed at admission.",
+            |m| m.shed.load(Ordering::Relaxed),
+        ),
+        (
+            "bw_requests_failed_total",
+            "Requests failed after admission.",
+            |m| m.failed.load(Ordering::Relaxed),
+        ),
+        (
+            "bw_requests_retries_total",
+            "Failover retries dispatched.",
+            |m| m.retries.load(Ordering::Relaxed),
+        ),
+        (
+            "bw_npu_cycles_total",
+            "NPU cycles attributed to completed requests.",
+            |m| m.npu_cycles.load(Ordering::Relaxed),
+        ),
+        (
+            "bw_npu_macs_total",
+            "MVM multiply-accumulates attributed to completed requests.",
+            |m| m.npu_macs.load(Ordering::Relaxed),
+        ),
+        (
+            "bw_npu_dep_stall_cycles_total",
+            "Dependency-stall cycles attributed to completed requests.",
+            |m| m.npu_dep_stall_cycles.load(Ordering::Relaxed),
+        ),
+        (
+            "bw_npu_resource_stall_cycles_total",
+            "Resource-stall cycles attributed to completed requests.",
+            |m| m.npu_resource_stall_cycles.load(Ordering::Relaxed),
+        ),
+    ];
+    for (name, help, read) in counters {
+        e.counter(name, help);
+        for &(model, m) in models {
+            e.sample(name, &[("model", model)], read(m) as f64);
+        }
+    }
+    let histograms: [HistogramCol; 3] = [
+        (
+            "bw_request_latency_seconds",
+            "End-to-end latency of completed requests.",
+            |m| &m.latency,
+        ),
+        (
+            "bw_request_queue_wait_seconds",
+            "Queue wait of completed requests (winning attempt).",
+            |m| &m.queue_wait,
+        ),
+        (
+            "bw_request_service_seconds",
+            "NPU service time of completed requests.",
+            |m| &m.service,
+        ),
+    ];
+    for (name, help, pick) in &histograms {
+        let mut first = true;
+        for &(model, m) in models {
+            let h = pick(m).lock();
+            if first {
+                e.histogram(
+                    name,
+                    help,
+                    &[("model", model)],
+                    &h.cumulative_buckets(),
+                    h.sum_s(),
+                    h.count(),
+                );
+                first = false;
+            } else {
+                e.histogram_series(
+                    name,
+                    &[("model", model)],
+                    &h.cumulative_buckets(),
+                    h.sum_s(),
+                    h.count(),
+                );
+            }
+        }
+    }
+    e.gauge("bw_worker_queue_depth", "Jobs queued or executing.");
+    for w in workers {
+        let id = w.id.to_string();
+        e.sample(
+            "bw_worker_queue_depth",
+            &[("worker", id.as_str())],
+            w.queue_depth as f64,
+        );
+    }
+    e.gauge("bw_worker_alive", "Worker liveness (1 = accepting work).");
+    for w in workers {
+        let id = w.id.to_string();
+        e.sample(
+            "bw_worker_alive",
+            &[("worker", id.as_str())],
+            if w.alive { 1.0 } else { 0.0 },
+        );
+    }
+    e.counter("bw_worker_processed_total", "Jobs fully processed.");
+    for w in workers {
+        let id = w.id.to_string();
+        e.sample(
+            "bw_worker_processed_total",
+            &[("worker", id.as_str())],
+            w.processed as f64,
+        );
+    }
+    e.finish()
+}
+
+/// One worker's gauge readings for the Prometheus exposition.
+pub(crate) struct WorkerRow {
+    pub id: usize,
+    pub queue_depth: usize,
+    pub alive: bool,
+    pub processed: u64,
 }
 
 #[cfg(test)]
@@ -290,6 +528,98 @@ mod tests {
         let h = Histogram::default();
         assert_eq!(h.quantile(0.99), 0.0);
         assert_eq!(h.summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn quantile_edges_are_documented_sentinels() {
+        // Empty histogram: the 0.0 sentinel for every q, NaN included.
+        let h = Histogram::default();
+        for q in [0.0, 0.5, 1.0, -2.0, 3.0, f64::NAN] {
+            assert_eq!(h.quantile(q), 0.0, "empty at q={q}");
+        }
+        assert!(h.cumulative_buckets().is_empty());
+        assert_eq!((h.min_s(), h.max_s(), h.sum_s()), (0.0, 0.0, 0.0));
+        // Non-empty: q clamps to [0,1] (exact min/max at the extremes)
+        // and NaN is treated as 0.0.
+        let mut h = Histogram::default();
+        h.record(2e-3);
+        h.record(7e-3);
+        assert_eq!(h.quantile(0.0), 2e-3);
+        assert_eq!(h.quantile(-5.0), 2e-3);
+        assert_eq!(h.quantile(f64::NAN), 2e-3);
+        assert_eq!(h.quantile(1.0), 7e-3);
+        assert_eq!(h.quantile(9.0), 7e-3);
+        assert_eq!((h.min_s(), h.max_s()), (2e-3, 7e-3));
+        assert!((h.sum_s() - 9e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_bounded() {
+        let mut h = Histogram::default();
+        for s in [0.5e-6, 3e-6, 3e-6, 1e-3] {
+            h.record(s);
+        }
+        let b = h.cumulative_buckets();
+        assert_eq!(b.last().map(|&(_, c)| c), Some(4));
+        for w in b.windows(2) {
+            assert!(w[0].0 < w[1].0, "bounds increase");
+            assert!(w[0].1 <= w[1].1, "counts cumulative");
+        }
+        // Every recorded sample is ≤ its covering bound's bucket edge.
+        assert!(b[0].0 >= 1e-6);
+    }
+
+    #[test]
+    fn attribution_accumulates_counters_and_split_histograms() {
+        let m = ModelMetrics::default();
+        let mut stats = bw_core::RunStats {
+            cycles: 1000,
+            mvm_macs: 4096,
+            dep_stall_cycles: 100,
+            resource_stall_cycles: 50,
+            ..Default::default()
+        };
+        m.record_attribution(1e-3, 4e-3, &stats);
+        stats.cycles = 500;
+        m.record_attribution(2e-3, 2e-3, &stats);
+        let s = snapshot_model("m", &m);
+        assert_eq!(s.npu_cycles, 1500);
+        assert_eq!(s.npu_macs, 8192);
+        assert_eq!(s.npu_dep_stall_cycles, 200);
+        assert_eq!(s.npu_resource_stall_cycles, 100);
+        assert_eq!(s.queue_wait.count, 2);
+        assert_eq!(s.service.count, 2);
+        assert_eq!(s.queue_wait.max_s, 2e-3);
+        assert_eq!(s.service.max_s, 4e-3);
+    }
+
+    #[test]
+    fn prometheus_exposition_round_trips_the_validator() {
+        let m = ModelMetrics::default();
+        m.submitted.store(2, Ordering::Relaxed);
+        m.record_completed(2e-3);
+        m.record_attribution(1e-4, 19e-4, &bw_core::RunStats::default());
+        let workers = [
+            WorkerRow {
+                id: 0,
+                queue_depth: 1,
+                alive: true,
+                processed: 2,
+            },
+            WorkerRow {
+                id: 1,
+                queue_depth: 0,
+                alive: false,
+                processed: 0,
+            },
+        ];
+        let text = render_prometheus(&[("mlp", &m)], &workers);
+        let n = bw_trace::validate_exposition(&text).expect("valid exposition");
+        assert!(n >= 9 + 6, "sample lines: {n}");
+        assert!(text.contains("bw_requests_submitted_total{model=\"mlp\"} 2"));
+        assert!(text.contains("# TYPE bw_request_latency_seconds histogram"));
+        assert!(text.contains("bw_request_latency_seconds_count{model=\"mlp\"} 1"));
+        assert!(text.contains("bw_worker_alive{worker=\"1\"} 0"));
     }
 
     #[test]

@@ -4,8 +4,31 @@
 
 use std::time::Duration;
 
+use bw_core::{RunStats, SpanRecord, TraceId};
+
 /// A server-assigned request identifier, unique per server instance.
 pub type RequestId = u64;
+
+/// Where one completed request's time and NPU work went: the queue-wait
+/// vs service split of the winning attempt plus the accelerator counters
+/// it accumulated. Every completion carries one (zeroed only if the
+/// serving path could not measure it).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Attribution {
+    /// Time the winning attempt sat in the worker queue before a thread
+    /// picked it up.
+    pub queue_wait: Duration,
+    /// Time the winning attempt spent executing on the worker's NPUs.
+    pub service: Duration,
+    /// Simulated NPU cycles the inference consumed.
+    pub npu_cycles: u64,
+    /// MVM multiply-accumulates the inference performed.
+    pub npu_macs: u64,
+    /// Cycles the NPU pipeline stalled on chain dependencies.
+    pub dep_stall_cycles: u64,
+    /// Cycles chains waited on busy resources.
+    pub resource_stall_cycles: u64,
+}
 
 /// A completed inference.
 #[derive(Clone, Debug, PartialEq)]
@@ -20,6 +43,31 @@ pub struct Response {
     pub worker: usize,
     /// Failover retries this request consumed (0 = first attempt won).
     pub retries: u32,
+    /// Queue/service split and attributed NPU counters.
+    pub attribution: Attribution,
+}
+
+/// One sampled request's full trace: its attribution plus the raw
+/// [`SpanRecord`]s the NPUs emitted while serving it. Collected only for
+/// requests matched by the server's `trace_sample` knob and drained via
+/// `Server::take_traces`.
+#[derive(Clone, Debug)]
+pub struct RequestTrace {
+    /// The request the spans belong to.
+    pub request_id: RequestId,
+    /// The span `trace_id` stamped on every record (equals
+    /// `request_id`).
+    pub trace_id: TraceId,
+    /// The model served.
+    pub model: String,
+    /// Worker that produced the accepted attempt.
+    pub worker: usize,
+    /// Queue/service split and attributed NPU counters.
+    pub attribution: Attribution,
+    /// Full accelerator statistics of the winning attempt.
+    pub stats: RunStats,
+    /// Spans the NPU pool emitted, in emission order.
+    pub spans: Vec<SpanRecord>,
 }
 
 /// Why a request did not complete. Every in-flight request terminates in

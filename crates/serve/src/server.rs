@@ -17,6 +17,7 @@
 //!    recorded in the metrics: `completed + shed + failed == submitted`
 //!    once nothing is in flight.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
@@ -24,12 +25,16 @@ use std::time::{Duration, Instant};
 
 use bw_gir::ModelArtifact;
 use bw_system::Routing;
+use parking_lot::Mutex;
 
-use crate::metrics::{snapshot_model, MetricsSnapshot, ModelMetrics};
+use crate::metrics::{render_prometheus, snapshot_model, MetricsSnapshot, ModelMetrics, WorkerRow};
 use crate::registry::{ModelRegistry, RegistryError};
-use crate::request::{RequestId, Response, ServeError};
+use crate::request::{Attribution, RequestId, RequestTrace, Response, ServeError};
 use crate::router::Router;
 use crate::worker::{spawn_worker, Completion, DispatchRefused, Job, WorkerHandle};
+
+/// Sampled request traces retained before the oldest is dropped.
+const TRACE_LOG_CAP: usize = 256;
 
 /// Tunables of one server pool.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -47,6 +52,12 @@ pub struct ServerConfig {
     pub attempt_timeout: Option<Duration>,
     /// Seed for the random routing policy.
     pub seed: u64,
+    /// Span-trace sampling: collect full NPU span traces for one request
+    /// in every `trace_sample` (by request id). `0` disables span
+    /// collection entirely; `1` traces every request. Counter
+    /// attribution (cycles, MACs, stalls, queue/service split) is always
+    /// on regardless.
+    pub trace_sample: u64,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +69,7 @@ impl Default for ServerConfig {
             max_retries: 1,
             attempt_timeout: None,
             seed: 0,
+            trace_sample: 0,
         }
     }
 }
@@ -109,6 +121,9 @@ pub(crate) struct ServerInner {
     pub router: Router,
     pub cfg: ServerConfig,
     next_id: AtomicU64,
+    /// Sampled request traces, oldest first, bounded at
+    /// [`TRACE_LOG_CAP`].
+    trace_log: Mutex<VecDeque<RequestTrace>>,
 }
 
 impl ServerInner {
@@ -135,14 +150,42 @@ impl ServerInner {
         }
     }
 
+    fn push_trace(&self, trace: RequestTrace) {
+        let mut log = self.trace_log.lock();
+        if log.len() >= TRACE_LOG_CAP {
+            log.pop_front();
+        }
+        log.push_back(trace);
+    }
+
+    fn prometheus(&self) -> String {
+        let models: Vec<(&str, &ModelMetrics)> = self
+            .registry
+            .artifacts()
+            .iter()
+            .zip(&self.metrics)
+            .map(|(a, m)| (a.name(), m))
+            .collect();
+        let workers: Vec<WorkerRow> = self
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(id, w)| WorkerRow {
+                id,
+                queue_depth: w.queue_depth(),
+                alive: w.is_alive(),
+                processed: w.processed_count(),
+            })
+            .collect();
+        render_prometheus(&models, &workers)
+    }
+
     /// Walks the router's plan and enqueues the job on the first replica
     /// that accepts it. Returns the worker id, or what stopped dispatch.
     fn dispatch(
         &self,
-        attempt: u32,
-        model: usize,
+        spec: &DispatchSpec,
         input: &Arc<Vec<f32>>,
-        deadline: Instant,
         tried: &[usize],
     ) -> Result<(usize, Receiver<Completion>), DispatchStopped> {
         let plan = self.router.plan(&self.workers, tried);
@@ -153,11 +196,14 @@ impl ServerInner {
         for worker in plan {
             let (tx, rx) = std::sync::mpsc::channel();
             let job = Job {
-                attempt,
-                model,
+                attempt: spec.attempt,
+                model: spec.model,
                 input: Arc::clone(input),
-                deadline,
+                deadline: spec.deadline,
                 reply: tx,
+                trace_id: spec.trace_id,
+                enqueued_at: Instant::now(),
+                collect_spans: spec.collect_spans,
             };
             match self.workers[worker].try_dispatch(job) {
                 Ok(()) => return Ok((worker, rx)),
@@ -171,6 +217,16 @@ impl ServerInner {
             Err(DispatchStopped::NoReplica)
         }
     }
+}
+
+/// Per-attempt dispatch parameters (the request-constant ones plus the
+/// attempt ordinal).
+struct DispatchSpec {
+    attempt: u32,
+    model: usize,
+    deadline: Instant,
+    trace_id: u64,
+    collect_spans: bool,
 }
 
 enum DispatchStopped {
@@ -235,6 +291,13 @@ impl ServerBuilder {
         self
     }
 
+    /// Sets span-trace sampling: full NPU span traces for one request in
+    /// every `n` (0 disables, 1 traces all).
+    pub fn trace_sample(mut self, n: u64) -> Self {
+        self.cfg.trace_sample = n;
+        self
+    }
+
     /// Spawns the pool: every worker pins every registered model.
     ///
     /// # Errors
@@ -279,6 +342,7 @@ impl ServerBuilder {
                 metrics,
                 cfg: self.cfg,
                 next_id: AtomicU64::new(1),
+                trace_log: Mutex::new(VecDeque::new()),
             }),
         })
     }
@@ -341,6 +405,18 @@ impl Server {
     pub fn metrics(&self) -> MetricsSnapshot {
         self.inner.snapshot()
     }
+
+    /// The live metrics as a Prometheus text exposition (format 0.0.4).
+    pub fn prometheus(&self) -> String {
+        self.inner.prometheus()
+    }
+
+    /// Drains the sampled request traces collected so far (oldest
+    /// first). Traces accumulate only when `trace_sample > 0`; the log
+    /// keeps the most recent 256.
+    pub fn take_traces(&self) -> Vec<RequestTrace> {
+        self.inner.trace_log.lock().drain(..).collect()
+    }
 }
 
 impl Drop for Server {
@@ -396,8 +472,17 @@ impl Client {
         let deadline_at = submitted + deadline;
         let request_id = inner.next_request_id();
         let input = Arc::new(input.to_vec());
+        let collect_spans =
+            inner.cfg.trace_sample > 0 && request_id.is_multiple_of(inner.cfg.trace_sample);
+        let spec = DispatchSpec {
+            attempt: 0,
+            model: model_idx,
+            deadline: deadline_at,
+            trace_id: request_id,
+            collect_spans,
+        };
 
-        match inner.dispatch(0, model_idx, &input, deadline_at, &[]) {
+        match inner.dispatch(&spec, &input, &[]) {
             Ok((worker, rx)) => Ok(Pending {
                 inner: Arc::clone(inner),
                 request_id,
@@ -409,6 +494,7 @@ impl Client {
                 attempt: 0,
                 tried: vec![worker],
                 retries: 0,
+                collect_spans,
                 rx,
                 settled: false,
             }),
@@ -446,6 +532,12 @@ impl Client {
         self.inner.snapshot()
     }
 
+    /// The live metrics as a Prometheus text exposition (same as
+    /// [`Server::prometheus`]).
+    pub fn prometheus(&self) -> String {
+        self.inner.prometheus()
+    }
+
     /// The input width `model` expects, if registered.
     pub fn input_dim_of(&self, model: &str) -> Option<usize> {
         self.inner.registry.lookup(model).map(|a| a.input_dim())
@@ -477,6 +569,7 @@ pub struct Pending {
     attempt: u32,
     tried: Vec<usize>,
     retries: u32,
+    collect_spans: bool,
     rx: Receiver<Completion>,
     settled: bool,
 }
@@ -513,20 +606,45 @@ impl Pending {
                     attempt,
                     worker,
                     output,
-                    ..
+                    queue_wait_s,
+                    service_s,
+                    stats,
+                    spans,
                 }) => {
                     if attempt != self.attempt {
                         continue; // stale attempt; keep waiting
                     }
                     let latency = self.submitted.elapsed();
                     self.settled = true;
-                    self.inner.metrics[self.model_idx].record_completed(latency.as_secs_f64());
+                    let metrics = &self.inner.metrics[self.model_idx];
+                    metrics.record_completed(latency.as_secs_f64());
+                    metrics.record_attribution(queue_wait_s, service_s, &stats);
+                    let attribution = Attribution {
+                        queue_wait: Duration::from_secs_f64(queue_wait_s),
+                        service: Duration::from_secs_f64(service_s),
+                        npu_cycles: stats.cycles,
+                        npu_macs: stats.mvm_macs,
+                        dep_stall_cycles: stats.dep_stall_cycles,
+                        resource_stall_cycles: stats.resource_stall_cycles,
+                    };
+                    if self.collect_spans && !spans.is_empty() {
+                        self.inner.push_trace(RequestTrace {
+                            request_id: self.request_id,
+                            trace_id: self.request_id,
+                            model: self.model.clone(),
+                            worker,
+                            attribution,
+                            stats,
+                            spans,
+                        });
+                    }
                     return Ok(Response {
                         request_id: self.request_id,
                         output,
                         latency,
                         worker,
                         retries: self.retries,
+                        attribution,
                     });
                 }
                 Ok(Completion::Fault {
@@ -596,13 +714,14 @@ impl Pending {
         self.inner.metrics[self.model_idx]
             .retries
             .fetch_add(1, Ordering::Relaxed);
-        let dispatched = self.inner.dispatch(
-            self.attempt,
-            self.model_idx,
-            &self.input,
-            self.deadline,
-            &self.tried,
-        );
+        let spec = DispatchSpec {
+            attempt: self.attempt,
+            model: self.model_idx,
+            deadline: self.deadline,
+            trace_id: self.request_id,
+            collect_spans: self.collect_spans,
+        };
+        let dispatched = self.inner.dispatch(&spec, &self.input, &self.tried);
         match dispatched {
             Ok((worker, rx)) => {
                 self.tried.push(worker);

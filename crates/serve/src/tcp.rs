@@ -16,7 +16,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use crate::request::{Response, ServeError};
+use crate::request::{Attribution, Response, ServeError};
 use crate::server::{Client, Server};
 use crate::wire::{read_frame, write_frame, WireRequest, WireResponse};
 
@@ -122,6 +122,7 @@ fn handle_connection(stream: TcpStream, client: &Client) {
                 }
             }
             Ok(WireRequest::Metrics) => WireResponse::Metrics(client.metrics().to_json()),
+            Ok(WireRequest::Prometheus) => WireResponse::Prometheus(client.prometheus()),
             Err(e) => {
                 // Tell the peer why, then drop the connection: framing is
                 // unrecoverable.
@@ -141,6 +142,12 @@ fn infer_response(resp: &Response) -> WireResponse {
         latency_us: resp.latency.as_micros() as u64,
         worker: resp.worker as u32,
         retries: resp.retries,
+        queue_wait_us: resp.attribution.queue_wait.as_micros() as u64,
+        service_us: resp.attribution.service.as_micros() as u64,
+        npu_cycles: resp.attribution.npu_cycles,
+        npu_macs: resp.attribution.npu_macs,
+        dep_stall_cycles: resp.attribution.dep_stall_cycles,
+        resource_stall_cycles: resp.attribution.resource_stall_cycles,
         output: resp.output.clone(),
     }
 }
@@ -192,6 +199,12 @@ impl TcpClient {
                 latency_us,
                 worker,
                 retries,
+                queue_wait_us,
+                service_us,
+                npu_cycles,
+                npu_macs,
+                dep_stall_cycles,
+                resource_stall_cycles,
                 output,
             } => Ok(Response {
                 request_id,
@@ -199,9 +212,17 @@ impl TcpClient {
                 latency: Duration::from_micros(latency_us),
                 worker: worker as usize,
                 retries,
+                attribution: Attribution {
+                    queue_wait: Duration::from_micros(queue_wait_us),
+                    service: Duration::from_micros(service_us),
+                    npu_cycles,
+                    npu_macs,
+                    dep_stall_cycles,
+                    resource_stall_cycles,
+                },
             }),
             WireResponse::Error(msg) => Err(ServeError::Remote(msg)),
-            WireResponse::Metrics(_) => Err(ServeError::Remote("unexpected metrics frame".into())),
+            _ => Err(ServeError::Remote("unexpected response frame".into())),
         }
     }
 
@@ -214,7 +235,20 @@ impl TcpClient {
         match self.round_trip(&WireRequest::Metrics)? {
             WireResponse::Metrics(json) => Ok(json),
             WireResponse::Error(msg) => Err(ServeError::Remote(msg)),
-            WireResponse::Infer { .. } => Err(ServeError::Remote("unexpected infer frame".into())),
+            _ => Err(ServeError::Remote("unexpected response frame".into())),
+        }
+    }
+
+    /// Fetches the server's metrics as a Prometheus text exposition.
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpClient::call`].
+    pub fn prometheus(&mut self) -> Result<String, ServeError> {
+        match self.round_trip(&WireRequest::Prometheus)? {
+            WireResponse::Prometheus(text) => Ok(text),
+            WireResponse::Error(msg) => Err(ServeError::Remote(msg)),
+            _ => Err(ServeError::Remote("unexpected response frame".into())),
         }
     }
 

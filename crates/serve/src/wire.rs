@@ -8,10 +8,16 @@
 //! request  := u8 tag=0x01 | u16 name_len | name bytes (utf-8)
 //!             | u64 deadline_us | u32 n | f32[n] input
 //! response := u8 tag=0x81 | u64 request_id | u64 latency_us
-//!             | u32 worker | u32 retries | u32 n | f32[n] output
+//!             | u32 worker | u32 retries
+//!             | u64 queue_wait_us | u64 service_us | u64 npu_cycles
+//!             | u64 npu_macs | u64 dep_stall_cycles
+//!             | u64 resource_stall_cycles
+//!             | u32 n | f32[n] output
 //! error    := u8 tag=0xEE | u16 msg_len | msg bytes (utf-8)
 //! metrics request  := u8 tag=0x02
 //! metrics response := u8 tag=0x82 | u32 json_len | json bytes (utf-8)
+//! prometheus request  := u8 tag=0x03
+//! prometheus response := u8 tag=0x83 | u32 text_len | text bytes (utf-8)
 //! ```
 //!
 //! Frames are capped at [`MAX_FRAME`] bytes; oversized or malformed
@@ -27,10 +33,14 @@ pub const MAX_FRAME: usize = 16 << 20;
 pub const TAG_INFER: u8 = 0x01;
 /// Metrics request tag.
 pub const TAG_METRICS: u8 = 0x02;
+/// Prometheus exposition request tag.
+pub const TAG_PROM: u8 = 0x03;
 /// Inference response tag.
 pub const TAG_RESPONSE: u8 = 0x81;
 /// Metrics response tag.
 pub const TAG_METRICS_RESPONSE: u8 = 0x82;
+/// Prometheus exposition response tag.
+pub const TAG_PROM_RESPONSE: u8 = 0x83;
 /// Error response tag.
 pub const TAG_ERROR: u8 = 0xEE;
 
@@ -48,6 +58,8 @@ pub enum WireRequest {
     },
     /// Fetch the metrics snapshot as JSON.
     Metrics,
+    /// Fetch the metrics as a Prometheus text exposition.
+    Prometheus,
 }
 
 /// A decoded server→client message.
@@ -63,11 +75,25 @@ pub enum WireResponse {
         worker: u32,
         /// Failover retries used.
         retries: u32,
+        /// Queue wait of the winning attempt in microseconds.
+        queue_wait_us: u64,
+        /// NPU service time of the winning attempt in microseconds.
+        service_us: u64,
+        /// Attributed simulated NPU cycles.
+        npu_cycles: u64,
+        /// Attributed MVM multiply-accumulates.
+        npu_macs: u64,
+        /// Attributed dependency-stall cycles.
+        dep_stall_cycles: u64,
+        /// Attributed resource-stall cycles.
+        resource_stall_cycles: u64,
         /// The output vector.
         output: Vec<f32>,
     },
     /// The metrics snapshot as a JSON string.
     Metrics(String),
+    /// The metrics as a Prometheus text exposition.
+    Prometheus(String),
     /// The request failed; the message is the `ServeError` rendering.
     Error(String),
 }
@@ -203,6 +229,7 @@ impl WireRequest {
                 buf
             }
             WireRequest::Metrics => vec![TAG_METRICS],
+            WireRequest::Prometheus => vec![TAG_PROM],
         }
     }
 
@@ -231,6 +258,10 @@ impl WireRequest {
                 c.done("metrics request")?;
                 Ok(WireRequest::Metrics)
             }
+            TAG_PROM => {
+                c.done("prometheus request")?;
+                Ok(WireRequest::Prometheus)
+            }
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -245,14 +276,26 @@ impl WireResponse {
                 latency_us,
                 worker,
                 retries,
+                queue_wait_us,
+                service_us,
+                npu_cycles,
+                npu_macs,
+                dep_stall_cycles,
+                resource_stall_cycles,
                 output,
             } => {
-                let mut buf = Vec::with_capacity(1 + 8 + 8 + 4 + 4 + 4 + output.len() * 4);
+                let mut buf = Vec::with_capacity(1 + 8 * 8 + 4 + 4 + 4 + output.len() * 4);
                 buf.push(TAG_RESPONSE);
                 put_u64(&mut buf, *request_id);
                 put_u64(&mut buf, *latency_us);
                 put_u32(&mut buf, *worker);
                 put_u32(&mut buf, *retries);
+                put_u64(&mut buf, *queue_wait_us);
+                put_u64(&mut buf, *service_us);
+                put_u64(&mut buf, *npu_cycles);
+                put_u64(&mut buf, *npu_macs);
+                put_u64(&mut buf, *dep_stall_cycles);
+                put_u64(&mut buf, *resource_stall_cycles);
                 put_u32(&mut buf, output.len() as u32);
                 put_f32s(&mut buf, output);
                 buf
@@ -262,6 +305,13 @@ impl WireResponse {
                 buf.push(TAG_METRICS_RESPONSE);
                 put_u32(&mut buf, json.len() as u32);
                 buf.extend_from_slice(json.as_bytes());
+                buf
+            }
+            WireResponse::Prometheus(text) => {
+                let mut buf = Vec::with_capacity(1 + 4 + text.len());
+                buf.push(TAG_PROM_RESPONSE);
+                put_u32(&mut buf, text.len() as u32);
+                buf.extend_from_slice(text.as_bytes());
                 buf
             }
             WireResponse::Error(msg) => {
@@ -287,6 +337,12 @@ impl WireResponse {
                 let latency_us = c.u64("latency")?;
                 let worker = c.u32("worker")?;
                 let retries = c.u32("retries")?;
+                let queue_wait_us = c.u64("queue wait")?;
+                let service_us = c.u64("service time")?;
+                let npu_cycles = c.u64("npu cycles")?;
+                let npu_macs = c.u64("npu macs")?;
+                let dep_stall_cycles = c.u64("dep stall cycles")?;
+                let resource_stall_cycles = c.u64("resource stall cycles")?;
                 let n = c.u32("output length")? as usize;
                 let output = c.f32s(n, "output")?;
                 c.done("infer response")?;
@@ -295,6 +351,12 @@ impl WireResponse {
                     latency_us,
                     worker,
                     retries,
+                    queue_wait_us,
+                    service_us,
+                    npu_cycles,
+                    npu_macs,
+                    dep_stall_cycles,
+                    resource_stall_cycles,
                     output,
                 })
             }
@@ -303,6 +365,12 @@ impl WireResponse {
                 let json = c.string(len, "metrics json")?;
                 c.done("metrics response")?;
                 Ok(WireResponse::Metrics(json))
+            }
+            TAG_PROM_RESPONSE => {
+                let len = c.u32("prometheus text length")? as usize;
+                let text = c.string(len, "prometheus text")?;
+                c.done("prometheus response")?;
+                Ok(WireResponse::Prometheus(text))
             }
             TAG_ERROR => {
                 let len = c.u16("error length")? as usize;
@@ -378,6 +446,10 @@ mod tests {
             WireRequest::decode(&WireRequest::Metrics.encode()).unwrap(),
             WireRequest::Metrics
         );
+        assert_eq!(
+            WireRequest::decode(&WireRequest::Prometheus.encode()).unwrap(),
+            WireRequest::Prometheus
+        );
     }
 
     #[test]
@@ -387,6 +459,12 @@ mod tests {
             latency_us: 1234,
             worker: 1,
             retries: 0,
+            queue_wait_us: 17,
+            service_us: 950,
+            npu_cycles: 120_000,
+            npu_macs: 4_000_000,
+            dep_stall_cycles: 900,
+            resource_stall_cycles: 30,
             output: vec![1.0, 2.0],
         };
         assert_eq!(WireResponse::decode(&resp.encode()).unwrap(), resp);
@@ -394,6 +472,8 @@ mod tests {
         assert_eq!(WireResponse::decode(&err.encode()).unwrap(), err);
         let m = WireResponse::Metrics("{\"models\":[]}".into());
         assert_eq!(WireResponse::decode(&m.encode()).unwrap(), m);
+        let p = WireResponse::Prometheus("# TYPE bw_worker_alive gauge\n".into());
+        assert_eq!(WireResponse::decode(&p.encode()).unwrap(), p);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use bw_core::{RunStats, SpanRecord};
 use bw_gir::PinnedModel;
 use parking_lot::Mutex;
 
@@ -33,6 +34,15 @@ pub(crate) enum Completion {
         worker: usize,
         /// The model output.
         output: Vec<f32>,
+        /// Time the job waited in the queue before this worker popped it.
+        queue_wait_s: f64,
+        /// Wall time the inference spent executing.
+        service_s: f64,
+        /// Accelerator statistics of the inference.
+        stats: RunStats,
+        /// NPU spans, when the job asked for span collection (empty
+        /// otherwise).
+        spans: Vec<SpanRecord>,
     },
     /// The attempt failed in the simulator.
     Fault {
@@ -58,6 +68,12 @@ pub(crate) struct Job {
     pub input: Arc<Vec<f32>>,
     pub deadline: Instant,
     pub reply: Sender<Completion>,
+    /// Trace id stamped on emitted spans (the request id).
+    pub trace_id: u64,
+    /// When the job entered the queue (for queue-wait measurement).
+    pub enqueued_at: Instant,
+    /// Whether to collect NPU spans for this attempt.
+    pub collect_spans: bool,
 }
 
 /// A message on the worker queue.
@@ -172,16 +188,31 @@ pub(crate) fn spawn_worker(
                     WorkerMsg::Work(job) => job,
                     WorkerMsg::Stop => break,
                 };
-                let completion = if Instant::now() >= job.deadline {
+                let popped = Instant::now();
+                let completion = if popped >= job.deadline {
                     Completion::Expired {
                         attempt: job.attempt,
                     }
                 } else {
-                    match models[job.model].infer(&job.input) {
-                        Ok(output) => Completion::Done {
+                    let queue_wait_s = (popped - job.enqueued_at).as_secs_f64();
+                    let model = &mut models[job.model];
+                    let result = if job.collect_spans {
+                        model.infer_traced(&job.input, job.trace_id)
+                    } else {
+                        model
+                            .infer_with_stats(&job.input)
+                            .map(|(output, stats)| (output, stats, Vec::new()))
+                    };
+                    let service_s = popped.elapsed().as_secs_f64();
+                    match result {
+                        Ok((output, stats, spans)) => Completion::Done {
                             attempt: job.attempt,
                             worker: id,
                             output,
+                            queue_wait_s,
+                            service_s,
+                            stats,
+                            spans,
                         },
                         Err(e) => Completion::Fault {
                             attempt: job.attempt,
@@ -228,6 +259,9 @@ mod tests {
             input: Arc::new(demo_input(16, 0)),
             deadline: Instant::now() + Duration::from_secs(5),
             reply,
+            trace_id: 7,
+            enqueued_at: Instant::now(),
+            collect_spans: false,
         }
     }
 
@@ -241,9 +275,16 @@ mod tests {
                 attempt,
                 worker,
                 output,
+                queue_wait_s,
+                service_s,
+                stats,
+                spans,
             } => {
                 assert_eq!((attempt, worker), (0, 0));
                 assert_eq!(output.len(), 8);
+                assert!(queue_wait_s >= 0.0 && service_s > 0.0);
+                assert!(stats.cycles > 0);
+                assert!(spans.is_empty(), "no spans unless requested");
             }
             other => panic!("unexpected completion {other:?}"),
         }
@@ -251,6 +292,31 @@ mod tests {
         assert_eq!(w.queue_depth(), 0);
         w.stop_and_join();
         assert!(!w.is_alive());
+    }
+
+    #[test]
+    fn traced_jobs_carry_stamped_spans() {
+        let w = worker_with(4);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut j = job(0, tx);
+        j.collect_spans = true;
+        j.trace_id = 99;
+        w.try_dispatch(j).unwrap();
+        match rx.recv_timeout(Duration::from_secs(10)).unwrap() {
+            Completion::Done { stats, spans, .. } => {
+                assert!(!spans.is_empty());
+                assert!(spans.iter().all(|s| s.trace_id == 99));
+                // The Run spans' cycles reconcile with the stats.
+                let run_cycles: u64 = spans
+                    .iter()
+                    .filter(|s| s.kind == bw_core::SpanKind::Run)
+                    .map(|s| s.cycles())
+                    .sum();
+                assert_eq!(run_cycles, stats.cycles);
+            }
+            other => panic!("unexpected completion {other:?}"),
+        }
+        w.stop_and_join();
     }
 
     #[test]

@@ -1,0 +1,30 @@
+//! # bw-trace: observability exporters for the Brainwave stack
+//!
+//! `bw-core` emits structured [`SpanRecord`](bw_core::SpanRecord)s
+//! through its [`TraceSink`](bw_core::TraceSink) stream and `bw-serve`
+//! attributes them to requests; this crate turns both into the two
+//! industry-standard wire formats a performance engineer actually
+//! opens:
+//!
+//! * [`chrome`] — Chrome trace-event JSON, loadable in Perfetto
+//!   (<https://ui.perfetto.dev>) or `chrome://tracing`, for single-run
+//!   deep dives: one row per device and span lane, chain/stream/stall
+//!   spans as complete (`"ph":"X"`) events on a microsecond timeline.
+//! * [`prom`] — Prometheus text exposition (version 0.0.4): counters,
+//!   gauges, and histograms with `_bucket`/`_sum`/`_count` series, as
+//!   served by `bw-serve`'s TCP front end.
+//!
+//! Both modules also ship *validators* ([`chrome::validate_chrome_trace`],
+//! [`prom::validate_exposition`]) built on the dependency-free [`json`]
+//! parser, so CI can assert that emitted artifacts actually parse — the
+//! workspace carries no external JSON or metrics dependency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod json;
+pub mod prom;
+
+pub use chrome::{chrome_trace_json, spans_to_chrome, validate_chrome_trace, ChromeEvent};
+pub use prom::{validate_exposition, Exposition};

@@ -21,6 +21,7 @@
 //! | [`baselines`] | `bw-baselines` | Titan Xp / P40 published datasets + GPU batch model |
 //! | [`system`] | `bw-system` | datacenter serving simulation |
 //! | [`serve`] | `bw-serve` | hardware-microservices serving runtime over live NPUs |
+//! | [`trace`] | `bw-trace` | Perfetto trace-event + Prometheus exposition exporters |
 //!
 //! ## Quickstart
 //!
@@ -58,6 +59,7 @@ pub use bw_gir as gir;
 pub use bw_models as models;
 pub use bw_serve as serve;
 pub use bw_system as system;
+pub use bw_trace as trace;
 
 /// The commonly used subset of the whole stack, for glob import.
 pub mod prelude {
@@ -67,7 +69,10 @@ pub mod prelude {
         analyze, analyze_with, AnalysisOptions, AnalysisReport, Analyzer, DiagCode, Diagnostic,
         Severity,
     };
-    pub use bw_core::{ExecMode, HddExpansion, KernelMode, Npu, NpuConfig, RunStats, SimError};
+    pub use bw_core::{
+        ExecMode, HddExpansion, KernelMode, Npu, NpuConfig, RunStats, SimError, SpanCollector,
+        SpanKind, SpanRecord,
+    };
     pub use bw_dataflow::{ConvCriticalPath, RnnCriticalPath};
     pub use bw_fpga::{Device, ModelRequirements, ResourceEstimate};
     pub use bw_models::{

@@ -11,6 +11,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use brainwave::prelude::*;
+use brainwave::trace::json::Value;
 
 struct CountingAlloc;
 
@@ -104,4 +105,71 @@ fn untraced_hot_path_does_not_allocate() {
     let traced = npu.run(&program).expect("program runs");
     assert_eq!(traced, untraced, "tracing must not perturb statistics");
     assert_eq!(npu.take_trace().len(), 10, "one record per executed chain");
+    npu.set_trace(false);
+
+    // An armed span sink records the span tree but, like the chain trace,
+    // never perturbs the simulated timing.
+    let collector = SpanCollector::new();
+    npu.set_trace_sink(Some(collector.handle()));
+    npu.set_trace_context(42, 0);
+    let sinked = npu.run(&program).expect("program runs");
+    assert_eq!(sinked, untraced, "a span sink must not perturb statistics");
+    let spans = collector.drain();
+    assert!(spans.iter().all(|s| s.trace_id == 42 && s.device == 0));
+    let run_cycles: u64 = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Run)
+        .map(|s| s.cycles())
+        .sum();
+    assert_eq!(run_cycles, sinked.cycles, "run spans cover the whole run");
+    let chain_spans = spans
+        .iter()
+        .filter(|s| matches!(s.kind, SpanKind::Chain(_)))
+        .count() as u64;
+    assert_eq!(chain_spans, sinked.chains, "one chain span per chain");
+
+    // Clearing the sink restores the zero-allocation steady state: the
+    // disabled-TraceSink path must cost nothing.
+    npu.set_trace_sink(None);
+    let before = allocations();
+    let resumed = npu.run(&program).expect("program runs");
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state run with the span sink cleared must not allocate"
+    );
+    assert_eq!(resumed, untraced, "clearing the sink restores determinism");
+
+    // Simulated-cycle parity against the published baseline: the tracing
+    // plumbing must keep the table-5 suite within 2% of the cycle count
+    // recorded in BENCH_simulator.json (it is exactly equal today; the
+    // margin only tolerates deliberate future timing-model changes).
+    // Skipped when the baseline is absent or came from a --quick run.
+    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_simulator.json");
+    let Ok(text) = std::fs::read_to_string(baseline_path) else {
+        eprintln!("no BENCH_simulator.json baseline; skipping cycle-parity check");
+        return;
+    };
+    let doc = brainwave::trace::json::parse(&text).expect("baseline JSON parses");
+    if doc.get("mode").and_then(Value::as_str) != Some("full") {
+        eprintln!("BENCH_simulator.json is not a full run; skipping cycle-parity check");
+        return;
+    }
+    let baseline = doc
+        .get("table5_suite")
+        .and_then(|t| t.get("fast"))
+        .and_then(|f| f.get("sim_cycles"))
+        .and_then(Value::as_num)
+        .expect("baseline records table5_suite.fast.sim_cycles");
+    let suite = brainwave::models::table5_suite();
+    let total: u64 = bw_bench::run_suite(&suite).iter().map(|r| r.cycles).sum();
+    let drift = (total as f64 - baseline).abs() / baseline;
+    assert!(
+        drift < 0.02,
+        "table-5 suite simulated cycles drifted {:.2}% from baseline ({} vs {})",
+        drift * 100.0,
+        total,
+        baseline
+    );
 }

@@ -1,0 +1,181 @@
+//! Scale-out serving benchmark (§II-A): one model partitioned across
+//! cooperating workers over a simulated datacenter network.
+//!
+//! Compiles the demo MLP as a shard group at several widths, serves it
+//! over a live `bw-serve` pool at each point of a (shards × hop-latency)
+//! sweep, verifies every response is bit-identical to single-device
+//! execution, and writes `BENCH_scaleout.json` with the measured latency
+//! and network-attribution distributions. The headline claim the sweep
+//! substantiates: outputs never change with distribution, only latency
+//! does — and it scales with the configured hop cost.
+//!
+//! Usage: `cargo run --release -p bw-bench --bin scaleout [-- flags]`
+//!
+//! Flags:
+//! - `--quick`       CI smoke mode: fewer requests, smaller sweep
+//! - `--requests N`  requests per sweep point (default 200; 40 quick)
+
+use std::time::Duration;
+
+use bw_serve::demo::{demo_input, mlp_artifact, sharded_mlp};
+use bw_serve::{NetworkModel, Server};
+
+const MODEL: &str = "scaleout-mlp";
+const WIDTHS: &[usize] = &[64, 512, 256, 64];
+const SEED: u64 = 11;
+
+/// A per-worker weight budget that splits the largest dense stage into
+/// `shards` row slices (and leaves it whole for `shards == 1`).
+fn budget_for(shards: usize) -> u64 {
+    let largest: usize = WIDTHS
+        .windows(2)
+        .map(|w| w[0] * w[1])
+        .max()
+        .expect("at least one layer");
+    let widest_row: usize = WIDTHS[..WIDTHS.len() - 1]
+        .iter()
+        .copied()
+        .max()
+        .expect("at least one layer");
+    (largest.div_ceil(shards)).max(widest_row) as u64
+}
+
+struct Point {
+    shards: usize,
+    hop_s: f64,
+    completed: u64,
+    mean_latency_s: f64,
+    p99_latency_s: f64,
+    network_mean_s: f64,
+    link_transfers: u64,
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let quick = argv.iter().any(|a| a == "--quick");
+    let mut requests = if quick { 40 } else { 200 };
+    if let Some(i) = argv.iter().position(|a| a == "--requests") {
+        requests = argv
+            .get(i + 1)
+            .expect("--requests needs a value")
+            .parse()
+            .expect("--requests: integer");
+    }
+    for a in &argv {
+        assert!(
+            a == "--quick" || a == "--requests" || a.parse::<usize>().is_ok(),
+            "unknown flag `{a}`"
+        );
+    }
+
+    let shard_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
+    let hops_us: &[f64] = if quick {
+        &[0.0, 100.0]
+    } else {
+        &[0.0, 20.0, 100.0, 500.0]
+    };
+
+    // Single-device ground truth: every sweep point must reproduce it
+    // bit for bit.
+    let input = demo_input(WIDTHS[0], 3);
+    let expected = mlp_artifact("reference", WIDTHS, SEED)
+        .pin()
+        .expect("reference pins")
+        .infer(&input)
+        .expect("reference inference");
+
+    let mut points = Vec::new();
+    for &shards in shard_counts {
+        let artifact = sharded_mlp(MODEL, WIDTHS, SEED, budget_for(shards));
+        let width = artifact.max_width();
+        for &hop_us in hops_us {
+            let server = Server::builder()
+                .sharded_model(artifact.clone())
+                .replicas(width.max(2) * 2)
+                .network(NetworkModel::with_hop(hop_us * 1e-6))
+                .spawn()
+                .expect("server spawns");
+            let client = server.client();
+            for _ in 0..requests {
+                let resp = client
+                    .call(MODEL, &input, Duration::from_secs(10))
+                    .expect("request completes");
+                assert_eq!(
+                    resp.output, expected,
+                    "{width}-shard serving at {hop_us} µs/hop must be bit-identical"
+                );
+            }
+            let m = server.metrics();
+            let row = m
+                .models
+                .iter()
+                .find(|r| r.model == MODEL)
+                .expect("group row");
+            assert_eq!(row.completed, requests as u64);
+            points.push(Point {
+                shards: width,
+                hop_s: hop_us * 1e-6,
+                completed: row.completed,
+                mean_latency_s: row.latency.mean_s,
+                p99_latency_s: row.latency.p99_s,
+                network_mean_s: row.network.mean_s,
+                link_transfers: m.link_transfers.iter().sum(),
+            });
+            eprintln!(
+                "{width} shard(s) @ {hop_us:>5.0} µs/hop: mean {:.1} µs, p99 {:.1} µs, network {:.1} µs",
+                row.latency.mean_s * 1e6,
+                row.latency.p99_s * 1e6,
+                row.network.mean_s * 1e6
+            );
+        }
+    }
+
+    // The claim the sweep exists for: at fixed width, latency tracks the
+    // hop cost (each extra hop is paid at least twice per segment).
+    for &shards in shard_counts {
+        let mut series: Vec<&Point> = points.iter().filter(|p| p.shards == shards).collect();
+        series.sort_by(|a, b| a.hop_s.total_cmp(&b.hop_s));
+        for pair in series.windows(2) {
+            let added = pair[1].hop_s - pair[0].hop_s;
+            assert!(
+                pair[1].mean_latency_s >= pair[0].mean_latency_s + added,
+                "{} shard(s): raising the hop by {:.0} µs must raise mean latency \
+                 ({:.1} µs -> {:.1} µs)",
+                shards,
+                added * 1e6,
+                pair[0].mean_latency_s * 1e6,
+                pair[1].mean_latency_s * 1e6
+            );
+        }
+    }
+
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{ \"shards\": {}, \"hop_s\": {:.9}, \"completed\": {}, \
+                 \"mean_latency_s\": {:.9}, \"p99_latency_s\": {:.9}, \
+                 \"network_mean_s\": {:.9}, \"link_transfers\": {} }}",
+                p.shards,
+                p.hop_s,
+                p.completed,
+                p.mean_latency_s,
+                p.p99_latency_s,
+                p.network_mean_s,
+                p.link_transfers
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"scaleout\",\n  \"mode\": \"{}\",\n  \"model_widths\": {:?},\n  \
+         \"requests_per_point\": {},\n  \"bit_identical_to_single_device\": true,\n  \
+         \"points\": [\n{}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" },
+        WIDTHS,
+        requests,
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_scaleout.json", &json).expect("write BENCH_scaleout.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_scaleout.json");
+}

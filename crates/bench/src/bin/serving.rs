@@ -21,10 +21,13 @@
 //! - `--metrics-snapshot P`  also dump the server's final
 //!   [`MetricsSnapshot`](bw_serve::MetricsSnapshot) JSON (per-model
 //!   counters, NPU attribution, queue-wait/service histograms) to `P`
+//! - `--shards N`    serve the model as an N-wide shard group
+//!   (scatter/gather over N workers per request) instead of whole-model
+//!   replicas; replicas are raised to at least N
 
 use std::time::{Duration, Instant};
 
-use bw_serve::demo::{demo_input, mlp_artifact};
+use bw_serve::demo::{demo_input, mlp_artifact, sharded_mlp};
 use bw_serve::{run_loadgen, ArrivalProcess, LoadgenConfig, Routing, Server};
 use bw_system::{simulate_pool, Microservice, ServiceModel};
 
@@ -36,6 +39,7 @@ struct Args {
     utilization: f64,
     policy: Routing,
     metrics_snapshot: Option<String>,
+    shards: usize,
 }
 
 fn parse_args() -> Args {
@@ -47,6 +51,7 @@ fn parse_args() -> Args {
         utilization: 0.25,
         policy: Routing::RoundRobin,
         metrics_snapshot: None,
+        shards: 1,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -81,6 +86,11 @@ fn parse_args() -> Args {
             }
             "--metrics-snapshot" => {
                 args.metrics_snapshot = Some(value(i).clone());
+                i += 1;
+            }
+            "--shards" => {
+                args.shards = value(i).parse().expect("--shards: integer");
+                assert!(args.shards >= 1, "--shards: at least 1");
                 i += 1;
             }
             other => panic!("unknown flag `{other}`"),
@@ -123,22 +133,33 @@ fn main() {
     let service_s = t0.elapsed().as_secs_f64() / f64::from(probes);
     eprintln!("measured service time: {:.1} µs/inference", service_s * 1e6);
 
-    let capacity_rps = args.replicas as f64 / service_s;
+    // Shard-group mode needs one distinct worker per shard.
+    let replicas = args.replicas.max(args.shards);
+    let capacity_rps = replicas as f64 / service_s;
     let rate = capacity_rps * args.utilization;
     eprintln!(
-        "pool: {} replicas ({}), capacity {:.0} rps, offering {:.0} rps ({:.0}% utilization), {} requests",
-        args.replicas,
+        "pool: {} replicas ({}), {} shard(s), capacity {:.0} rps, offering {:.0} rps ({:.0}% utilization), {} requests",
+        replicas,
         policy_name(args.policy),
+        args.shards,
         capacity_rps,
         rate,
         args.utilization * 100.0,
         requests
     );
 
-    // The live pool.
-    let server = Server::builder()
-        .model(mlp_artifact(MODEL, WIDTHS, SEED))
-        .replicas(args.replicas)
+    // The live pool: whole-model replicas, or a shard group whose widest
+    // dense stage splits `args.shards` ways (scatter/gather per request).
+    let builder = if args.shards > 1 {
+        let largest: usize = WIDTHS.windows(2).map(|w| w[0] * w[1]).max().unwrap();
+        let widest_row: usize = WIDTHS[..WIDTHS.len() - 1].iter().copied().max().unwrap();
+        let budget = largest.div_ceil(args.shards).max(widest_row) as u64;
+        Server::builder().sharded_model(sharded_mlp(MODEL, WIDTHS, SEED, budget))
+    } else {
+        Server::builder().model(mlp_artifact(MODEL, WIDTHS, SEED))
+    };
+    let server = builder
+        .replicas(replicas)
         .policy(args.policy)
         .queue_cap(64)
         .spawn()
@@ -169,7 +190,7 @@ fn main() {
         servers: 1,
         network_hop_s: 0.0,
     };
-    let pool: Vec<Microservice> = vec![instance; args.replicas];
+    let pool: Vec<Microservice> = vec![instance; replicas];
     let arrivals = ArrivalProcess::Poisson { rate_per_s: rate }.generate(requests, 23);
     let predicted = simulate_pool(&arrivals, &pool, args.policy, 23);
     eprintln!(
@@ -181,13 +202,15 @@ fn main() {
     let p99_ratio = report.latency.p99_s / predicted.p99_latency_s.max(1e-12);
     let json = format!(
         "{{\n  \"bench\": \"serving\",\n  \"mode\": \"{}\",\n  \"policy\": \"{}\",\n  \
-         \"replicas\": {},\n  \"service_time_s\": {:.9},\n  \"offered_rps\": {:.1},\n  \
+         \"replicas\": {},\n  \"shards\": {},\n  \"service_time_s\": {:.9},\n  \
+         \"offered_rps\": {:.1},\n  \
          \"utilization\": {:.3},\n  \"measured\": {},\n  \"analytical\": {{\n    \
          \"mean_latency_s\": {:.9},\n    \"p99_latency_s\": {:.9},\n    \
          \"throughput_rps\": {:.1}\n  }},\n  \"p99_live_over_analytical\": {:.3}\n}}\n",
         if args.quick { "quick" } else { "full" },
         policy_name(args.policy),
-        args.replicas,
+        replicas,
+        args.shards,
         service_s,
         rate,
         args.utilization,

@@ -5,6 +5,19 @@
 //! …) listed in `DESIGN.md`'s experiment index; this library holds the
 //! code they share: running a DeepBench point on a simulated BW_S10,
 //! computing the matching SDM bound, and plain-text table formatting.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bw_bench::{run_bw_s10, sdm_latency_ms};
+//! use bw_models::{RnnBenchmark, RnnKind};
+//!
+//! let bench = RnnBenchmark::new(RnnKind::Lstm, 256, 10);
+//! let result = run_bw_s10(&bench);
+//! assert!(result.cycles > 0);
+//! // The structural-dataflow-model bound is a lower bound on BW latency.
+//! assert!(sdm_latency_ms(&bench) < result.latency_ms);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -283,7 +283,7 @@ impl std::error::Error for SimError {}
 /// end-to-end example.
 ///
 /// RAW/WAR dependency scoreboards live inside the storage components
-/// themselves ([`crate::mem`]) as dense per-entry cycle arrays, indexed
+/// themselves (the `mem` module) as dense per-entry cycle arrays, indexed
 /// exactly like the hardware's scoreboard.
 #[derive(Clone, Debug)]
 pub struct Npu {

@@ -44,6 +44,11 @@ pub enum SpanKind {
     /// A chain waiting for its resource to drain beyond dispatch and
     /// dependency readiness.
     ResourceStall,
+    /// A network transfer between cooperating devices (scatter or gather
+    /// leg of a sharded model). Emitted by the serving layer, not the
+    /// device simulator: `device` is the far end's worker id and the
+    /// interval is the modeled transfer time converted to device cycles.
+    NetTransfer,
 }
 
 impl SpanKind {
@@ -59,6 +64,7 @@ impl SpanKind {
             SpanKind::MfuStream => "mfu-stream",
             SpanKind::DepStall => "dep-stall",
             SpanKind::ResourceStall => "resource-stall",
+            SpanKind::NetTransfer => "net-transfer",
         }
     }
 }
@@ -235,6 +241,7 @@ mod tests {
             SpanKind::MfuStream,
             SpanKind::DepStall,
             SpanKind::ResourceStall,
+            SpanKind::NetTransfer,
         ];
         let labels: std::collections::BTreeSet<&str> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());

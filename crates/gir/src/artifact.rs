@@ -22,6 +22,8 @@ pub enum ArtifactError {
     Gir(GirError),
     /// The fused pipeline could not be partitioned under the budget.
     Partition(PartitionError),
+    /// An oversized stage could not be row-sharded under the budget.
+    Split(crate::split::SplitError),
     /// Lowering or deployment failed.
     Deploy(DeployError),
 }
@@ -31,6 +33,7 @@ impl std::fmt::Display for ArtifactError {
         match self {
             ArtifactError::Gir(e) => write!(f, "graph error: {e}"),
             ArtifactError::Partition(e) => write!(f, "partition error: {e}"),
+            ArtifactError::Split(e) => write!(f, "split error: {e}"),
             ArtifactError::Deploy(e) => write!(f, "deploy error: {e}"),
         }
     }
@@ -46,6 +49,11 @@ impl From<GirError> for ArtifactError {
 impl From<PartitionError> for ArtifactError {
     fn from(e: PartitionError) -> Self {
         ArtifactError::Partition(e)
+    }
+}
+impl From<crate::split::SplitError> for ArtifactError {
+    fn from(e: crate::split::SplitError) -> Self {
+        ArtifactError::Split(e)
     }
 }
 impl From<DeployError> for ArtifactError {

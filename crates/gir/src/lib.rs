@@ -53,6 +53,7 @@ mod ir;
 mod lower;
 mod model_text;
 mod pipeline;
+mod shard;
 mod split;
 
 pub use artifact::{ArtifactError, ModelArtifact, PinnedModel};
@@ -62,4 +63,5 @@ pub use model_text::{parse_model, ModelParseError};
 pub use pipeline::{
     fuse, partition, partition_sharded, PartitionError, PartitionPlan, Pipeline, Placement, Stage,
 };
+pub use shard::{ShardSegment, ShardedArtifact};
 pub use split::{shard_outputs_concat, split_oversized_stages, SplitError, SplitReport};

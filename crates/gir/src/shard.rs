@@ -1,0 +1,344 @@
+//! Network-partitioned model artifacts: the compile-side half of serving
+//! one model across cooperating workers.
+//!
+//! §II-A: "large, partitionable problems can be spatially distributed
+//! across multiple accelerators" connected by the datacenter network.
+//! [`crate::split_oversized_stages`] rewrites an oversized dense stage
+//! into row shards; this module packages the rewritten pipeline as a
+//! [`ShardedArtifact`] — an ordered list of [`ShardSegment`]s, each a
+//! self-contained [`ModelArtifact`] (or a scatter/gather group of them)
+//! that a serving runtime pins on a *different* worker. The federated
+//! runtime (`bw-serve`) streams the input to every shard of a group,
+//! concatenates the row-shard outputs, and forwards the result to the
+//! next segment; because row sharding preserves each output row's dot
+//! product exactly, the distributed execution is bit-identical to a
+//! single device holding the whole model.
+
+use bw_core::NpuConfig;
+
+use crate::artifact::{ArtifactError, ModelArtifact};
+use crate::ir::GirGraph;
+use crate::lower::{Deployment, LowerOptions};
+use crate::pipeline::{fuse, partition, Pipeline, Stage};
+use crate::split::{split_oversized_stages, SplitReport};
+
+/// One stage of a sharded model's serving plan, in pipeline order.
+// Segments live in a short Vec built once at compile time; boxing the
+// Single payload would buy nothing for the size skew clippy flags.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardSegment {
+    /// A contiguous run of stages that fits one worker: pinned and served
+    /// like any whole model.
+    Single(ModelArtifact),
+    /// A row-sharded stage: every member receives the same input
+    /// (scatter) and the serving runtime concatenates their outputs in
+    /// member order (gather). Members pin on distinct workers.
+    Sharded(Vec<ModelArtifact>),
+}
+
+impl ShardSegment {
+    /// The artifacts of this segment, in execution (shard) order.
+    pub fn members(&self) -> Vec<&ModelArtifact> {
+        match self {
+            ShardSegment::Single(a) => vec![a],
+            ShardSegment::Sharded(v) => v.iter().collect(),
+        }
+    }
+
+    /// Number of cooperating workers this segment needs (1 for a single).
+    pub fn width(&self) -> usize {
+        match self {
+            ShardSegment::Single(_) => 1,
+            ShardSegment::Sharded(v) => v.len(),
+        }
+    }
+}
+
+/// A model compiled for distributed serving: the fused pipeline split
+/// under a per-worker parameter budget, with every oversized stage row-
+/// sharded into a scatter/gather group and every segment packaged as an
+/// independently pin-able [`ModelArtifact`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardedArtifact {
+    name: String,
+    input_dim: usize,
+    output_dim: usize,
+    report: SplitReport,
+    segments: Vec<ShardSegment>,
+}
+
+impl ShardedArtifact {
+    /// Compiles `graph` for distributed serving: fuse, row-shard every
+    /// stage over `worker_param_budget`, then compile each segment (a
+    /// shard, or a contiguous run of fitting stages) into its own
+    /// [`ModelArtifact`] named `{name}#g{group}s{shard}` /
+    /// `{name}#seg{index}`.
+    ///
+    /// A model that fits entirely produces one `Single` segment — the
+    /// sharded path degenerates to ordinary serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError`] if fusion, splitting (a single row over
+    /// budget), partitioning, or lowering fails.
+    pub fn compile(
+        name: impl Into<String>,
+        graph: &GirGraph,
+        worker_param_budget: u64,
+        config: &NpuConfig,
+        opts: &LowerOptions,
+    ) -> Result<ShardedArtifact, ArtifactError> {
+        let name = name.into();
+        let pipeline = fuse(graph)?;
+        let (split, report) = split_oversized_stages(&pipeline, worker_param_budget)?;
+
+        // Stage index -> (group ordinal, shard ordinal) for shard stages.
+        let mut shard_of = vec![None; split.stages.len()];
+        for (g, group) in report.groups.iter().enumerate() {
+            for (s, &stage) in group.iter().enumerate() {
+                shard_of[stage] = Some((g, s));
+            }
+        }
+
+        let mut segments = Vec::new();
+        let mut run: Vec<Stage> = Vec::new();
+        let mut run_input = split.input_dim;
+        let mut cursor_dim = split.input_dim;
+        let mut seg_ordinal = 0usize;
+        let mut flush =
+            |run: &mut Vec<Stage>, run_input: usize, segments: &mut Vec<ShardSegment>| {
+                if run.is_empty() {
+                    return Ok(());
+                }
+                let artifact = compile_stages(
+                    format!("{name}#seg{seg_ordinal}"),
+                    run_input,
+                    std::mem::take(run),
+                    worker_param_budget,
+                    config,
+                    opts,
+                )?;
+                seg_ordinal += 1;
+                segments.push(ShardSegment::Single(artifact));
+                Ok::<(), ArtifactError>(())
+            };
+
+        let mut i = 0;
+        while i < split.stages.len() {
+            match shard_of[i] {
+                None => {
+                    if run.is_empty() {
+                        run_input = cursor_dim;
+                    }
+                    cursor_dim = split.stages[i].out_dim();
+                    run.push(split.stages[i].clone());
+                    i += 1;
+                }
+                Some((g, _)) => {
+                    flush(&mut run, run_input, &mut segments)?;
+                    let group = &report.groups[g];
+                    let scatter_dim = cursor_dim;
+                    let mut members = Vec::with_capacity(group.len());
+                    let mut gathered = 0usize;
+                    for (s, &stage) in group.iter().enumerate() {
+                        gathered += split.stages[stage].out_dim();
+                        members.push(compile_stages(
+                            format!("{name}#g{g}s{s}"),
+                            scatter_dim,
+                            vec![split.stages[stage].clone()],
+                            worker_param_budget,
+                            config,
+                            opts,
+                        )?);
+                    }
+                    cursor_dim = gathered;
+                    segments.push(ShardSegment::Sharded(members));
+                    i += group.len();
+                }
+            }
+        }
+        flush(&mut run, run_input, &mut segments)?;
+
+        Ok(ShardedArtifact {
+            name,
+            input_dim: split.input_dim,
+            output_dim: cursor_dim,
+            report,
+            segments,
+        })
+    }
+
+    /// The published model name clients address.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Input dimension one inference consumes.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Output dimension one inference produces.
+    pub fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    /// What the splitter rewrote (empty if the model fit whole).
+    pub fn report(&self) -> &SplitReport {
+        &self.report
+    }
+
+    /// The serving plan, in pipeline order.
+    pub fn segments(&self) -> &[ShardSegment] {
+        &self.segments
+    }
+
+    /// Whether any segment is a scatter/gather group.
+    pub fn is_sharded(&self) -> bool {
+        self.segments
+            .iter()
+            .any(|s| matches!(s, ShardSegment::Sharded(_)))
+    }
+
+    /// The widest segment: the minimum number of cooperating workers a
+    /// pool needs to place every shard on a distinct worker.
+    pub fn max_width(&self) -> usize {
+        self.segments
+            .iter()
+            .map(ShardSegment::width)
+            .max()
+            .unwrap_or(1)
+    }
+}
+
+/// Compiles a contiguous stage slice as its own pipeline.
+fn compile_stages(
+    name: String,
+    input_dim: usize,
+    stages: Vec<Stage>,
+    budget: u64,
+    config: &NpuConfig,
+    opts: &LowerOptions,
+) -> Result<ModelArtifact, ArtifactError> {
+    let sub = Pipeline { input_dim, stages };
+    let plan = partition(&sub, budget)?;
+    let deployment = Deployment::compile_with(&sub, &plan, config, opts)?;
+    Ok(ModelArtifact::new(name, config.clone(), deployment))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ActFn, GirOp};
+    use bw_bfp::BfpFormat;
+
+    fn config() -> NpuConfig {
+        NpuConfig::builder()
+            .native_dim(8)
+            .lanes(4)
+            .tile_engines(2)
+            .mrf_entries(1024)
+            .vrf_entries(128)
+            .matrix_format(BfpFormat::BFP_1S_5E_5M)
+            .build()
+            .unwrap()
+    }
+
+    fn mlp(widths: &[usize]) -> GirGraph {
+        let mut g = GirGraph::new();
+        let mut prev = g.add(GirOp::Input { dim: widths[0] }, &[]).unwrap();
+        for (li, w) in widths.windows(2).enumerate() {
+            let weights: Vec<f32> = (0..w[0] * w[1])
+                .map(|i| (((i + li * 5) % 11) as f32 - 5.0) / 16.0)
+                .collect();
+            let m = g
+                .add(
+                    GirOp::MatMul {
+                        rows: w[1],
+                        cols: w[0],
+                        weights,
+                    },
+                    &[prev],
+                )
+                .unwrap();
+            prev = g.add(GirOp::Activation(ActFn::Tanh), &[m]).unwrap();
+        }
+        g.add(GirOp::Output, &[prev]).unwrap();
+        g
+    }
+
+    #[test]
+    fn fitting_model_degenerates_to_one_single_segment() {
+        let g = mlp(&[8, 16, 8]);
+        let sharded =
+            ShardedArtifact::compile("m", &g, 1 << 20, &config(), &LowerOptions::default())
+                .unwrap();
+        assert!(!sharded.is_sharded());
+        assert_eq!(sharded.segments().len(), 1);
+        assert_eq!(sharded.max_width(), 1);
+        assert_eq!((sharded.input_dim(), sharded.output_dim()), (8, 8));
+    }
+
+    #[test]
+    fn oversized_stage_becomes_a_scatter_gather_group() {
+        // 64x16 = 1024 params over a 512 budget -> 2 shards of 32 rows.
+        let g = mlp(&[16, 64, 8]);
+        let sharded =
+            ShardedArtifact::compile("big", &g, 512, &config(), &LowerOptions::default()).unwrap();
+        assert!(sharded.is_sharded());
+        assert_eq!(sharded.report().splits, vec![(0, 2)]);
+        assert_eq!(sharded.max_width(), 2);
+        // Segment plan: [group of 2, single tail].
+        assert_eq!(sharded.segments().len(), 2);
+        match &sharded.segments()[0] {
+            ShardSegment::Sharded(members) => {
+                assert_eq!(members.len(), 2);
+                assert_eq!(members[0].name(), "big#g0s0");
+                assert_eq!(members[0].input_dim(), 16);
+                assert_eq!(members[0].output_dim(), 32);
+            }
+            other => panic!("expected a sharded head segment, got {other:?}"),
+        }
+        match &sharded.segments()[1] {
+            ShardSegment::Single(a) => {
+                assert_eq!(a.name(), "big#seg0");
+                assert_eq!((a.input_dim(), a.output_dim()), (64, 8));
+            }
+            other => panic!("expected a single tail segment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn federated_execution_is_bit_identical_to_single_device() {
+        let g = mlp(&[16, 48, 24]);
+        let cfg = config();
+        // Reference: the whole model on one (big-budget) device pool.
+        let reference =
+            ModelArtifact::compile("ref", &g, 1 << 20, &cfg, &LowerOptions::default()).unwrap();
+        let mut ref_pin = reference.pin().unwrap();
+
+        let sharded =
+            ShardedArtifact::compile("big", &g, 400, &cfg, &LowerOptions::default()).unwrap();
+        assert!(sharded.is_sharded());
+
+        // Host-side federated run: scatter/gather across pinned members.
+        let x: Vec<f32> = (0..16).map(|i| ((i as f32) * 0.37).sin() * 0.5).collect();
+        let mut value = x.clone();
+        for segment in sharded.segments() {
+            match segment {
+                ShardSegment::Single(a) => {
+                    value = a.pin().unwrap().infer(&value).unwrap();
+                }
+                ShardSegment::Sharded(members) => {
+                    let mut gathered = Vec::new();
+                    for m in members {
+                        gathered.extend(m.pin().unwrap().infer(&value).unwrap());
+                    }
+                    value = gathered;
+                }
+            }
+        }
+        assert_eq!(value, ref_pin.infer(&x).unwrap(), "bit-identity");
+    }
+}

@@ -16,6 +16,31 @@ use serde::{Deserialize, Serialize};
 use crate::pipeline::{Pipeline, Stage};
 
 /// How a pipeline was rewritten by [`split_oversized_stages`].
+///
+/// `splits` records *what* was split (original stage index, shard count);
+/// `groups` records *where* the shards landed in the rewritten pipeline,
+/// which is what a federated runtime needs to scatter one input and
+/// gather the concatenated outputs:
+///
+/// ```
+/// use bw_gir::{split_oversized_stages, Pipeline, Stage};
+///
+/// let oversized = Pipeline {
+///     input_dim: 32,
+///     stages: vec![Stage::Dense {
+///         rows: 64,
+///         cols: 32,
+///         weights: vec![0.01; 64 * 32], // 2048 params
+///         bias: None,
+///         act: None,
+///     }],
+/// };
+/// let (rewritten, report) = split_oversized_stages(&oversized, 1024)?;
+/// assert_eq!(report.splits, vec![(0, 2)]);      // stage 0 -> 2 shards
+/// assert_eq!(report.groups, vec![vec![0, 1]]);  // shard stages 0 and 1
+/// assert_eq!(rewritten.stages.len(), 2);
+/// # Ok::<(), bw_gir::SplitError>(())
+/// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SplitReport {
     /// `(original_stage_index, shards)` for every stage that was split.
@@ -28,6 +53,29 @@ pub struct SplitReport {
 }
 
 /// Error produced when a stage cannot be split under the budget.
+///
+/// The output row is the atomic unit of a matrix-vector product, so a
+/// budget below one row's parameter count (= the stage's input
+/// dimension) is unsatisfiable:
+///
+/// ```
+/// use bw_gir::{split_oversized_stages, Pipeline, SplitError, Stage};
+///
+/// let p = Pipeline {
+///     input_dim: 512,
+///     stages: vec![Stage::Dense {
+///         rows: 4,
+///         cols: 512,
+///         weights: vec![0.0; 4 * 512],
+///         bias: None,
+///         act: None,
+///     }],
+/// };
+/// assert_eq!(
+///     split_oversized_stages(&p, 256).unwrap_err(),
+///     SplitError::RowTooLarge { stage: 0, row_params: 512, budget: 256 },
+/// );
+/// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SplitError {
     /// Even a single output row's weights exceed the budget.
@@ -69,6 +117,37 @@ impl std::error::Error for SplitError {}
 /// consecutive devices; executing such a plan requires the federated
 /// runtime to scatter the shard input and gather the outputs, which
 /// [`shard_outputs_concat`] performs for host-side validation.
+///
+/// # Example
+///
+/// The stacked gate matrix of an LSTM — `W ∈ R^{4h×h}` for hidden size
+/// `h` — is the paper's canonical oversized layer. With `h = 64` the
+/// gates hold 16384 parameters; a 6000-parameter device budget shards
+/// them into three row slices that each fit (see `DESIGN.md` §Scale-out
+/// for how `bw-serve` executes such a group across workers):
+///
+/// ```
+/// use bw_gir::{split_oversized_stages, Pipeline, Stage};
+///
+/// let h = 64;
+/// let lstm_gates = Pipeline {
+///     input_dim: h,
+///     stages: vec![Stage::Dense {
+///         rows: 4 * h, // i, f, g, o gates stacked row-wise
+///         cols: h,
+///         weights: vec![0.01; 4 * h * h],
+///         bias: Some(vec![0.0; 4 * h]),
+///         act: None, // gate nonlinearities apply after the split
+///     }],
+/// };
+/// let (sharded, report) = split_oversized_stages(&lstm_gates, 6000)?;
+/// assert_eq!(report.splits, vec![(0, 3)]);
+/// assert!(sharded.stages.iter().all(|s| s.weight_params() <= 6000));
+/// // Shards gather back to the full 4h gate vector.
+/// let rows: usize = sharded.stages.iter().map(|s| s.out_dim()).sum();
+/// assert_eq!(rows, 4 * h);
+/// # Ok::<(), bw_gir::SplitError>(())
+/// ```
 ///
 /// # Errors
 ///

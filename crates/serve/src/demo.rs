@@ -5,7 +5,7 @@
 
 use bw_bfp::BfpFormat;
 use bw_core::NpuConfig;
-use bw_gir::{ActFn, GirGraph, GirOp, LowerOptions, ModelArtifact};
+use bw_gir::{ActFn, GirGraph, GirOp, LowerOptions, ModelArtifact, ShardedArtifact};
 
 /// A small NPU configuration every demo artifact targets: 16-wide native
 /// vectors, enough register file for the demo MLPs, fast to instantiate
@@ -89,6 +89,27 @@ pub fn mlp_artifact(name: &str, widths: &[usize], seed: u64) -> ModelArtifact {
         &LowerOptions::default(),
     )
     .expect("demo MLP compiles")
+}
+
+/// Compiles an MLP as a [`ShardedArtifact`] whose dense stages split
+/// wherever they exceed `param_budget` weights per worker — the demo
+/// entry point for scale-out serving. With a generous budget the result
+/// degenerates to one `Single` segment.
+///
+/// # Panics
+///
+/// Panics if compilation fails (a row wider than the budget cannot be
+/// sharded; pick `widths` and `param_budget` accordingly).
+pub fn sharded_mlp(name: &str, widths: &[usize], seed: u64, param_budget: u64) -> ShardedArtifact {
+    let graph = mlp_graph(widths, seed);
+    ShardedArtifact::compile(
+        name,
+        &graph,
+        param_budget,
+        &demo_config(),
+        &LowerOptions::default(),
+    )
+    .expect("demo sharded MLP compiles")
 }
 
 /// A deterministic input vector for a demo artifact.

@@ -18,11 +18,18 @@
 //! - a request lifecycle — deadlines, retry-with-failover onto replicas
 //!   on timeout or injected worker fault, and load shedding when every
 //!   replica's queue is full;
+//! - scale-out — a model too large for one device registers as a shard
+//!   group ([`ServerBuilder::sharded_model`] over
+//!   [`bw_gir::ShardedArtifact`]): shards pin on disjoint worker sets
+//!   and a scatter/gather coordinator serves the group name
+//!   bit-identically to single-device execution, charging every
+//!   transfer leg against a configurable [`NetworkModel`];
 //! - [`MetricsSnapshot`] — per-model counters and log-bucketed latency
 //!   histograms (p50/p99/p99.9) with the accounting identity
-//!   `completed + shed + failed == submitted`;
+//!   `completed + shed + failed == submitted`, plus per-link network
+//!   counters;
 //! - a TCP front end ([`TcpFrontend`] / [`TcpClient`]) speaking a
-//!   length-prefixed binary protocol ([`wire`]);
+//!   length-prefixed binary protocol ([`WireRequest`] / [`WireResponse`]);
 //! - an open-loop load generator ([`run_loadgen`]) replaying
 //!   `bw_system::ArrivalProcess` traffic against the live pool.
 //!
@@ -59,14 +66,14 @@ mod worker;
 
 pub mod loadgen;
 
-pub use metrics::{Histogram, MetricsSnapshot, ModelSnapshot};
-pub use registry::{ModelRegistry, RegistryError};
+pub use metrics::{Histogram, LinkMetrics, MetricsSnapshot, ModelSnapshot};
+pub use registry::{GroupSegment, ModelRegistry, RegistryError, ShardGroup};
 pub use request::{Attribution, RequestId, RequestTrace, Response, ServeError};
 pub use server::{Client, Pending, Server, ServerBuilder, ServerConfig, SpawnError};
 pub use tcp::{TcpClient, TcpFrontend};
 pub use wire::{WireError, WireRequest, WireResponse};
 
-pub use bw_gir::{ModelArtifact, PinnedModel};
-pub use bw_system::{ArrivalProcess, LatencySummary, Routing};
+pub use bw_gir::{ModelArtifact, PinnedModel, ShardedArtifact};
+pub use bw_system::{ArrivalProcess, LatencySummary, NetworkModel, Routing};
 
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};

@@ -177,6 +177,10 @@ pub struct ModelMetrics {
     pub queue_wait: Mutex<Histogram>,
     /// Time the winning attempt spent executing on the NPU pool.
     pub service: Mutex<Histogram>,
+    /// Modeled network transfer time charged per completed request
+    /// (scatter/gather and request/response legs; all-zero on an ideal
+    /// network).
+    pub network: Mutex<Histogram>,
 }
 
 impl ModelMetrics {
@@ -186,9 +190,15 @@ impl ModelMetrics {
         self.latency.lock().record(latency_s);
     }
 
-    /// Attributes one completed request's NPU work and queue/service
-    /// split to this model.
-    pub fn record_attribution(&self, queue_wait_s: f64, service_s: f64, stats: &bw_core::RunStats) {
+    /// Attributes one completed request's NPU work, queue/service split,
+    /// and modeled network time to this model.
+    pub fn record_attribution(
+        &self,
+        queue_wait_s: f64,
+        service_s: f64,
+        network_s: f64,
+        stats: &bw_core::RunStats,
+    ) {
         self.npu_cycles.fetch_add(stats.cycles, Ordering::Relaxed);
         self.npu_macs.fetch_add(stats.mvm_macs, Ordering::Relaxed);
         self.npu_dep_stall_cycles
@@ -197,6 +207,30 @@ impl ModelMetrics {
             .fetch_add(stats.resource_stall_cycles, Ordering::Relaxed);
         self.queue_wait.lock().record(queue_wait_s);
         self.service.lock().record(service_s);
+        self.network.lock().record(network_s);
+    }
+}
+
+/// Live counters for one client↔worker network link (the per-link half
+/// of the Prometheus exposition). All increments are lock-free.
+#[derive(Debug, Default)]
+pub struct LinkMetrics {
+    /// Transfer legs charged over this link.
+    pub transfers: AtomicU64,
+    /// Payload bytes moved over this link.
+    pub bytes: AtomicU64,
+    /// Modeled busy time of this link, in nanoseconds.
+    pub busy_ns: AtomicU64,
+}
+
+impl LinkMetrics {
+    /// Records one transfer leg of `bytes` taking `seconds` of modeled
+    /// link time.
+    pub fn record(&self, bytes: usize, seconds: f64) {
+        self.transfers.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.busy_ns
+            .fetch_add((seconds * 1e9) as u64, Ordering::Relaxed);
     }
 }
 
@@ -229,6 +263,8 @@ pub struct ModelSnapshot {
     pub queue_wait: LatencySummary,
     /// NPU service-time distribution of completed requests.
     pub service: LatencySummary,
+    /// Modeled network-time distribution of completed requests.
+    pub network: LatencySummary,
 }
 
 impl ModelSnapshot {
@@ -251,6 +287,12 @@ pub struct MetricsSnapshot {
     pub workers_alive: Vec<bool>,
     /// Per-worker jobs fully processed, in worker order.
     pub worker_processed: Vec<u64>,
+    /// Per-link transfer legs charged, in worker (link) order.
+    pub link_transfers: Vec<u64>,
+    /// Per-link payload bytes moved, in worker (link) order.
+    pub link_bytes: Vec<u64>,
+    /// Per-link modeled busy seconds, in worker (link) order.
+    pub link_busy_s: Vec<f64>,
 }
 
 fn json_escape(s: &str) -> String {
@@ -282,7 +324,8 @@ impl MetricsSnapshot {
                 "{{\"model\":\"{}\",\"submitted\":{},\"completed\":{},\"shed\":{},\
                  \"failed\":{},\"retries\":{},\"latency\":{},\"npu_cycles\":{},\
                  \"npu_macs\":{},\"npu_dep_stall_cycles\":{},\
-                 \"npu_resource_stall_cycles\":{},\"queue_wait\":{},\"service\":{}}}",
+                 \"npu_resource_stall_cycles\":{},\"queue_wait\":{},\"service\":{},\
+                 \"network\":{}}}",
                 json_escape(&m.model),
                 m.submitted,
                 m.completed,
@@ -295,7 +338,8 @@ impl MetricsSnapshot {
                 m.npu_dep_stall_cycles,
                 m.npu_resource_stall_cycles,
                 m.queue_wait.to_json(),
-                m.service.to_json()
+                m.service.to_json(),
+                m.network.to_json()
             ));
         }
         out.push_str("],\"queue_depths\":[");
@@ -319,6 +363,27 @@ impl MetricsSnapshot {
             }
             out.push_str(&p.to_string());
         }
+        out.push_str("],\"link_transfers\":[");
+        for (i, t) in self.link_transfers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&t.to_string());
+        }
+        out.push_str("],\"link_bytes\":[");
+        for (i, b) in self.link_bytes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&b.to_string());
+        }
+        out.push_str("],\"link_busy_s\":[");
+        for (i, s) in self.link_busy_s.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{s}"));
+        }
         out.push_str("]}");
         out
     }
@@ -340,6 +405,7 @@ pub(crate) fn snapshot_model(name: &str, m: &ModelMetrics) -> ModelSnapshot {
         npu_resource_stall_cycles: m.npu_resource_stall_cycles.load(Ordering::Relaxed),
         queue_wait: m.queue_wait.lock().summary(),
         service: m.service.lock().summary(),
+        network: m.network.lock().summary(),
     }
 }
 
@@ -353,7 +419,11 @@ type HistogramCol = (
     fn(&ModelMetrics) -> &Mutex<Histogram>,
 );
 
-pub(crate) fn render_prometheus(models: &[(&str, &ModelMetrics)], workers: &[WorkerRow]) -> String {
+pub(crate) fn render_prometheus(
+    models: &[(&str, &ModelMetrics)],
+    workers: &[WorkerRow],
+    links: &[LinkRow],
+) -> String {
     use bw_trace::Exposition;
     let mut e = Exposition::new();
     let counters: [CounterCol; 9] = [
@@ -407,7 +477,7 @@ pub(crate) fn render_prometheus(models: &[(&str, &ModelMetrics)], workers: &[Wor
             e.sample(name, &[("model", model)], read(m) as f64);
         }
     }
-    let histograms: [HistogramCol; 3] = [
+    let histograms: [HistogramCol; 4] = [
         (
             "bw_request_latency_seconds",
             "End-to-end latency of completed requests.",
@@ -422,6 +492,11 @@ pub(crate) fn render_prometheus(models: &[(&str, &ModelMetrics)], workers: &[Wor
             "bw_request_service_seconds",
             "NPU service time of completed requests.",
             |m| &m.service,
+        ),
+        (
+            "bw_request_network_seconds",
+            "Modeled network time of completed requests.",
+            |m| &m.network,
         ),
     ];
     for (name, help, pick) in &histograms {
@@ -476,6 +551,42 @@ pub(crate) fn render_prometheus(models: &[(&str, &ModelMetrics)], workers: &[Wor
             w.processed as f64,
         );
     }
+    e.counter(
+        "bw_link_transfers_total",
+        "Modeled network transfer legs charged per client-worker link.",
+    );
+    for l in links {
+        let id = l.id.to_string();
+        e.sample(
+            "bw_link_transfers_total",
+            &[("link", id.as_str())],
+            l.transfers as f64,
+        );
+    }
+    e.counter(
+        "bw_link_bytes_total",
+        "Payload bytes moved per client-worker link.",
+    );
+    for l in links {
+        let id = l.id.to_string();
+        e.sample(
+            "bw_link_bytes_total",
+            &[("link", id.as_str())],
+            l.bytes as f64,
+        );
+    }
+    e.counter(
+        "bw_link_busy_seconds_total",
+        "Modeled busy time per client-worker link.",
+    );
+    for l in links {
+        let id = l.id.to_string();
+        e.sample(
+            "bw_link_busy_seconds_total",
+            &[("link", id.as_str())],
+            l.busy_s,
+        );
+    }
     e.finish()
 }
 
@@ -485,6 +596,15 @@ pub(crate) struct WorkerRow {
     pub queue_depth: usize,
     pub alive: bool,
     pub processed: u64,
+}
+
+/// One client↔worker link's counter readings for the Prometheus
+/// exposition.
+pub(crate) struct LinkRow {
+    pub id: usize,
+    pub transfers: u64,
+    pub bytes: u64,
+    pub busy_s: f64,
 }
 
 #[cfg(test)]
@@ -579,9 +699,9 @@ mod tests {
             resource_stall_cycles: 50,
             ..Default::default()
         };
-        m.record_attribution(1e-3, 4e-3, &stats);
+        m.record_attribution(1e-3, 4e-3, 0.0, &stats);
         stats.cycles = 500;
-        m.record_attribution(2e-3, 2e-3, &stats);
+        m.record_attribution(2e-3, 2e-3, 3e-4, &stats);
         let s = snapshot_model("m", &m);
         assert_eq!(s.npu_cycles, 1500);
         assert_eq!(s.npu_macs, 8192);
@@ -591,6 +711,8 @@ mod tests {
         assert_eq!(s.service.count, 2);
         assert_eq!(s.queue_wait.max_s, 2e-3);
         assert_eq!(s.service.max_s, 4e-3);
+        assert_eq!(s.network.count, 2);
+        assert_eq!(s.network.max_s, 3e-4);
     }
 
     #[test]
@@ -598,7 +720,7 @@ mod tests {
         let m = ModelMetrics::default();
         m.submitted.store(2, Ordering::Relaxed);
         m.record_completed(2e-3);
-        m.record_attribution(1e-4, 19e-4, &bw_core::RunStats::default());
+        m.record_attribution(1e-4, 19e-4, 2e-4, &bw_core::RunStats::default());
         let workers = [
             WorkerRow {
                 id: 0,
@@ -613,13 +735,31 @@ mod tests {
                 processed: 0,
             },
         ];
-        let text = render_prometheus(&[("mlp", &m)], &workers);
+        let links = [
+            LinkRow {
+                id: 0,
+                transfers: 4,
+                bytes: 1024,
+                busy_s: 2e-4,
+            },
+            LinkRow {
+                id: 1,
+                transfers: 0,
+                bytes: 0,
+                busy_s: 0.0,
+            },
+        ];
+        let text = render_prometheus(&[("mlp", &m)], &workers, &links);
         let n = bw_trace::validate_exposition(&text).expect("valid exposition");
         assert!(n >= 9 + 6, "sample lines: {n}");
         assert!(text.contains("bw_requests_submitted_total{model=\"mlp\"} 2"));
         assert!(text.contains("# TYPE bw_request_latency_seconds histogram"));
         assert!(text.contains("bw_request_latency_seconds_count{model=\"mlp\"} 1"));
+        assert!(text.contains("bw_request_network_seconds_count{model=\"mlp\"} 1"));
         assert!(text.contains("bw_worker_alive{worker=\"1\"} 0"));
+        assert!(text.contains("bw_link_transfers_total{link=\"0\"} 4"));
+        assert!(text.contains("bw_link_bytes_total{link=\"0\"} 1024"));
+        assert!(text.contains("bw_link_busy_seconds_total{link=\"1\"} 0"));
     }
 
     #[test]
@@ -644,6 +784,9 @@ mod tests {
             queue_depths: vec![0, 2],
             workers_alive: vec![true, false],
             worker_processed: vec![5, 0],
+            link_transfers: vec![3, 0],
+            link_bytes: vec![256, 0],
+            link_busy_s: vec![1.5e-4, 0.0],
         };
         assert_eq!(snap.models[0].accounted(), 3);
         let j = snap.to_json();
@@ -652,6 +795,10 @@ mod tests {
         assert!(j.contains("\"queue_depths\":[0,2]"));
         assert!(j.contains("\"workers_alive\":[true,false]"));
         assert!(j.contains("\"worker_processed\":[5,0]"));
+        assert!(j.contains("\"link_transfers\":[3,0]"));
+        assert!(j.contains("\"link_bytes\":[256,0]"));
+        assert!(j.contains("\"link_busy_s\":[0.00015,0]"));
+        assert!(j.contains("\"network\""));
         assert!(j.contains("\"p99_s\""));
     }
 }

@@ -4,10 +4,17 @@
 //! publishes it as a hardware microservice. The registry is that published
 //! catalog: it owns the [`ModelArtifact`]s, assigns each a dense index
 //! (the worker-side pin slot), and answers name lookups at admission.
+//!
+//! A *sharded* model ([`bw_gir::ShardedArtifact`]) registers as a
+//! [`ShardGroup`]: its member artifacts become ordinary registry slots
+//! (named `model#g0s1`, `model#seg0`, …) so they pin, dispatch, and meter
+//! like any model, while the group itself owns the published name clients
+//! address. Admission of the group name drives the scatter/gather
+//! coordinator over the member slots.
 
 use std::sync::Arc;
 
-use bw_gir::ModelArtifact;
+use bw_gir::{ModelArtifact, ShardSegment, ShardedArtifact};
 
 /// Error produced while building a registry.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -31,11 +38,67 @@ impl std::fmt::Display for RegistryError {
 
 impl std::error::Error for RegistryError {}
 
+/// One segment of a shard group's execution plan, holding dense registry
+/// indices of the member artifacts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GroupSegment {
+    /// A whole sub-model served by one worker per attempt.
+    Single(
+        /// The member's registry index.
+        usize,
+    ),
+    /// A scatter/gather shard set: one dispatch per member, to distinct
+    /// workers, outputs concatenated in member order.
+    Sharded(
+        /// Member registry indices, in shard order.
+        Vec<usize>,
+    ),
+}
+
+impl GroupSegment {
+    /// Member registry indices in execution order.
+    pub fn members(&self) -> Vec<usize> {
+        match self {
+            GroupSegment::Single(m) => vec![*m],
+            GroupSegment::Sharded(v) => v.clone(),
+        }
+    }
+}
+
+/// A published sharded model: the client-visible name plus the ordered
+/// segment plan over member registry slots.
+#[derive(Clone, Debug)]
+pub struct ShardGroup {
+    /// The published name clients address.
+    pub name: String,
+    /// Input dimension one request consumes.
+    pub input_dim: usize,
+    /// Output dimension one request produces.
+    pub output_dim: usize,
+    /// Execution plan, in pipeline order.
+    pub segments: Vec<GroupSegment>,
+}
+
+impl ShardGroup {
+    /// The widest segment: distinct workers one request needs at once.
+    pub fn max_width(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| match s {
+                GroupSegment::Single(_) => 1,
+                GroupSegment::Sharded(v) => v.len(),
+            })
+            .max()
+            .unwrap_or(1)
+    }
+}
+
 /// The published model catalog. Immutable once the server spawns — every
 /// worker pins exactly this set.
 #[derive(Clone, Debug, Default)]
 pub struct ModelRegistry {
     models: Vec<Arc<ModelArtifact>>,
+    groups: Vec<ShardGroup>,
 }
 
 impl ModelRegistry {
@@ -51,11 +114,74 @@ impl ModelRegistry {
     ///
     /// Returns [`RegistryError::Duplicate`] if the name is taken.
     pub fn register(&mut self, artifact: ModelArtifact) -> Result<usize, RegistryError> {
-        if self.index_of(artifact.name()).is_some() {
+        if self.name_taken(artifact.name()) {
             return Err(RegistryError::Duplicate(artifact.name().to_owned()));
         }
         self.models.push(Arc::new(artifact));
         Ok(self.models.len() - 1)
+    }
+
+    /// Registers a sharded model: its member artifacts become ordinary
+    /// registry slots (pinned asymmetrically by the server) and the group
+    /// itself is published under the sharded artifact's name. Returns the
+    /// group's dense index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::Duplicate`] if the group name or any
+    /// member name is taken; nothing is registered on error.
+    pub fn register_sharded(&mut self, sharded: ShardedArtifact) -> Result<usize, RegistryError> {
+        if self.name_taken(sharded.name()) {
+            return Err(RegistryError::Duplicate(sharded.name().to_owned()));
+        }
+        for segment in sharded.segments() {
+            for member in segment.members() {
+                if self.name_taken(member.name()) {
+                    return Err(RegistryError::Duplicate(member.name().to_owned()));
+                }
+            }
+        }
+        let mut segments = Vec::with_capacity(sharded.segments().len());
+        for segment in sharded.segments() {
+            segments.push(match segment {
+                ShardSegment::Single(a) => {
+                    GroupSegment::Single(self.register(a.clone()).expect("names pre-checked"))
+                }
+                ShardSegment::Sharded(members) => GroupSegment::Sharded(
+                    members
+                        .iter()
+                        .map(|a| self.register(a.clone()).expect("names pre-checked"))
+                        .collect(),
+                ),
+            });
+        }
+        self.groups.push(ShardGroup {
+            name: sharded.name().to_owned(),
+            input_dim: sharded.input_dim(),
+            output_dim: sharded.output_dim(),
+            segments,
+        });
+        Ok(self.groups.len() - 1)
+    }
+
+    /// Whether `name` names a registered model or group.
+    fn name_taken(&self, name: &str) -> bool {
+        self.index_of(name).is_some() || self.group_index_of(name).is_some()
+    }
+
+    /// The dense index of the group published as `name`, if any.
+    pub fn group_index_of(&self, name: &str) -> Option<usize> {
+        self.groups.iter().position(|g| g.name == name)
+    }
+
+    /// The group at a dense index.
+    pub fn group(&self, index: usize) -> Option<&ShardGroup> {
+        self.groups.get(index)
+    }
+
+    /// Published shard groups, in index order.
+    pub fn groups(&self) -> &[ShardGroup] {
+        &self.groups
     }
 
     /// The dense index of `name`, if registered.
@@ -90,7 +216,7 @@ impl ModelRegistry {
 
     /// Whether the registry is empty.
     pub fn is_empty(&self) -> bool {
-        self.models.is_empty()
+        self.models.is_empty() && self.groups.is_empty()
     }
 }
 
@@ -111,6 +237,39 @@ mod tests {
         assert_eq!(reg.lookup("a").unwrap().output_dim(), 8);
         assert!(reg.lookup("c").is_none());
         assert_eq!(reg.names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn sharded_registration_publishes_group_and_members() {
+        use crate::demo::{demo_config, mlp_graph};
+        use bw_gir::{LowerOptions, ShardedArtifact};
+        let graph = mlp_graph(&[16, 64, 8], 5);
+        // 64x16=1024 params over a 600 budget -> 2 shards; the 8x64=512
+        // tail layer fits whole -> one trailing Single segment.
+        let sharded =
+            ShardedArtifact::compile("big", &graph, 600, &demo_config(), &LowerOptions::default())
+                .unwrap();
+        assert!(sharded.is_sharded());
+        let mut reg = ModelRegistry::new();
+        reg.register(mlp_artifact("plain", &[8, 8], 0)).unwrap();
+        let gidx = reg.register_sharded(sharded.clone()).unwrap();
+        assert_eq!(gidx, 0);
+        let group = reg.group(gidx).unwrap();
+        assert_eq!(group.name, "big");
+        assert_eq!((group.input_dim, group.output_dim), (16, 8));
+        assert_eq!(group.max_width(), 2);
+        // Members are ordinary registry slots with their shard names.
+        assert!(reg.index_of("big#g0s0").is_some());
+        assert!(reg.index_of("big#g0s1").is_some());
+        assert!(reg.index_of("big#seg0").is_some());
+        // The group name itself is not a model slot.
+        assert!(reg.index_of("big").is_none());
+        assert!(reg.group_index_of("big").is_some());
+        // Re-registering collides on the group name.
+        assert_eq!(
+            reg.register_sharded(sharded).unwrap_err(),
+            RegistryError::Duplicate("big".into())
+        );
     }
 
     #[test]

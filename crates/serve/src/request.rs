@@ -20,6 +20,10 @@ pub struct Attribution {
     pub queue_wait: Duration,
     /// Time the winning attempt spent executing on the worker's NPUs.
     pub service: Duration,
+    /// Modeled network transfer time charged to this request (scatter,
+    /// gather, and request/response legs under the server's
+    /// `NetworkModel`; zero on an ideal network).
+    pub network: Duration,
     /// Simulated NPU cycles the inference consumed.
     pub npu_cycles: u64,
     /// MVM multiply-accumulates the inference performed.

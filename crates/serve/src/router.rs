@@ -33,12 +33,19 @@ impl Router {
     }
 
     /// The preference order over `workers` for one dispatch, excluding
-    /// workers listed in `exclude` (already tried by this request) and
-    /// dead workers. The first element is the policy's pick; the rest are
-    /// the failover order.
-    pub fn plan(&self, workers: &[WorkerHandle], exclude: &[usize]) -> Vec<usize> {
+    /// workers listed in `exclude` (already tried by this request), dead
+    /// workers, and workers failing the `eligible` predicate (the
+    /// dispatcher passes "pins this model slot over a live network
+    /// link"). The first element is the policy's pick; the rest are the
+    /// failover order.
+    pub fn plan_eligible(
+        &self,
+        workers: &[WorkerHandle],
+        exclude: &[usize],
+        eligible: impl Fn(usize) -> bool,
+    ) -> Vec<usize> {
         let mut candidates: Vec<usize> = (0..workers.len())
-            .filter(|i| !exclude.contains(i) && workers[*i].is_alive())
+            .filter(|i| !exclude.contains(i) && workers[*i].is_alive() && eligible(*i))
             .collect();
         if candidates.is_empty() {
             return candidates;
@@ -78,7 +85,7 @@ mod tests {
     fn pool(n: usize) -> Vec<WorkerHandle> {
         let artifact = mlp_artifact("m", &[16, 8], 1);
         (0..n)
-            .map(|i| spawn_worker(i, vec![artifact.pin().unwrap()], 4))
+            .map(|i| spawn_worker(i, vec![Some(artifact.pin().unwrap())], 4))
             .collect()
     }
 
@@ -86,7 +93,9 @@ mod tests {
     fn round_robin_cycles() {
         let workers = pool(3);
         let r = Router::new(Routing::RoundRobin, 0);
-        let picks: Vec<usize> = (0..6).map(|_| r.plan(&workers, &[])[0]).collect();
+        let picks: Vec<usize> = (0..6)
+            .map(|_| r.plan_eligible(&workers, &[], |_| true)[0])
+            .collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
         for w in &workers {
             w.stop_and_join();
@@ -98,10 +107,26 @@ mod tests {
         let workers = pool(3);
         let r = Router::new(Routing::RoundRobin, 0);
         workers[1].kill();
-        let plan = r.plan(&workers, &[2]);
+        let plan = r.plan_eligible(&workers, &[2], |_| true);
         assert_eq!(plan, vec![0]);
-        let none = r.plan(&workers, &[0, 2]);
+        let none = r.plan_eligible(&workers, &[0, 2], |_| true);
         assert!(none.is_empty());
+        for w in &workers {
+            w.stop_and_join();
+        }
+    }
+
+    #[test]
+    fn eligibility_filters_the_plan() {
+        let workers = pool(4);
+        let r = Router::new(Routing::RoundRobin, 0);
+        // Only even workers are eligible (e.g. owners of one shard).
+        let plan = r.plan_eligible(&workers, &[], |w| w % 2 == 0);
+        let mut sorted = plan.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 2]);
+        // Exclusion composes with eligibility.
+        assert_eq!(r.plan_eligible(&workers, &[0], |w| w % 2 == 0), vec![2]);
         for w in &workers {
             w.stop_and_join();
         }
@@ -112,16 +137,20 @@ mod tests {
         let workers = pool(4);
         let a: Vec<usize> = {
             let r = Router::new(Routing::Random, 7);
-            (0..20).map(|_| r.plan(&workers, &[])[0]).collect()
+            (0..20)
+                .map(|_| r.plan_eligible(&workers, &[], |_| true)[0])
+                .collect()
         };
         let b: Vec<usize> = {
             let r = Router::new(Routing::Random, 7);
-            (0..20).map(|_| r.plan(&workers, &[])[0]).collect()
+            (0..20)
+                .map(|_| r.plan_eligible(&workers, &[], |_| true)[0])
+                .collect()
         };
         assert_eq!(a, b);
         // Every plan is a permutation of the full pool.
         let r = Router::new(Routing::Random, 9);
-        let mut plan = r.plan(&workers, &[]);
+        let mut plan = r.plan_eligible(&workers, &[], |_| true);
         plan.sort_unstable();
         assert_eq!(plan, vec![0, 1, 2, 3]);
         for w in &workers {
@@ -135,7 +164,7 @@ mod tests {
         let r = Router::new(Routing::LeastOutstanding, 0);
         // Artificially load worker 0.
         workers[0].outstanding.fetch_add(5, Ordering::Relaxed);
-        assert_eq!(r.plan(&workers, &[])[0], 1);
+        assert_eq!(r.plan_eligible(&workers, &[], |_| true)[0], 1);
         workers[0].outstanding.fetch_sub(5, Ordering::Relaxed);
         for w in &workers {
             w.stop_and_join();

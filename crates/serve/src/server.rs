@@ -1,8 +1,9 @@
 //! The serving runtime: a pool of NPU-backed workers behind a routing
-//! policy, with deadlines, retry-with-failover, and load shedding.
+//! policy, with deadlines, retry-with-failover, load shedding, and
+//! network-partitioned (sharded) model execution.
 //!
 //! One [`Server`] is one published pool of hardware-microservice
-//! instances (§II-A): every worker pins every registered model, a
+//! instances (§II-A): every worker pins every registered whole model, a
 //! [`Router`] picks replicas per request, and the [`Client`] drives the
 //! request lifecycle:
 //!
@@ -16,6 +17,22 @@
 //! 4. **termination** — exactly one of completed / shed / failed, always
 //!    recorded in the metrics: `completed + shed + failed == submitted`
 //!    once nothing is in flight.
+//!
+//! # Scale-out: shard groups over the network
+//!
+//! A model registered via [`ServerBuilder::sharded_model`] spans
+//! cooperating workers, reproducing §II-A's spatial distribution of one
+//! model across accelerators on the datacenter network. Each shard of
+//! each scatter/gather segment pins on a distinct owner set (worker `w`
+//! owns shard `k` of a `K`-wide segment iff `w % K == k`); a request for
+//! the group name runs segment by segment — scatter the segment input to
+//! one owner per shard, gather, concatenate the row-shard outputs in
+//! shard order, feed the next segment. Every transfer leg is charged
+//! against the server's [`NetworkModel`] (and slept, so measured latency
+//! reflects it); a lost shard fails over to another owner exactly like a
+//! whole-model attempt. Row sharding keeps the result bit-identical to
+//! single-device execution because BFP block exponents are shared only
+//! along a row's column blocks.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,12 +40,16 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bw_gir::ModelArtifact;
-use bw_system::Routing;
+use bw_core::{RunStats, SpanKind, SpanRecord};
+use bw_gir::{ModelArtifact, ShardedArtifact};
+use bw_system::{NetworkModel, Routing};
 use parking_lot::Mutex;
 
-use crate::metrics::{render_prometheus, snapshot_model, MetricsSnapshot, ModelMetrics, WorkerRow};
-use crate::registry::{ModelRegistry, RegistryError};
+use crate::metrics::{
+    render_prometheus, snapshot_model, LinkMetrics, LinkRow, MetricsSnapshot, ModelMetrics,
+    WorkerRow,
+};
+use crate::registry::{GroupSegment, ModelRegistry, RegistryError};
 use crate::request::{Attribution, RequestId, RequestTrace, Response, ServeError};
 use crate::router::Router;
 use crate::worker::{spawn_worker, Completion, DispatchRefused, Job, WorkerHandle};
@@ -58,6 +79,12 @@ pub struct ServerConfig {
     /// attribution (cycles, MACs, stalls, queue/service split) is always
     /// on regardless.
     pub trace_sample: u64,
+    /// The datacenter network between the client and the workers: every
+    /// request/response and scatter/gather leg is charged (and slept)
+    /// per this model, and a down link makes its worker unreachable. The
+    /// default ideal network charges nothing, preserving the
+    /// single-machine behavior.
+    pub network: NetworkModel,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +97,7 @@ impl Default for ServerConfig {
             attempt_timeout: None,
             seed: 0,
             trace_sample: 0,
+            network: NetworkModel::ideal(),
         }
     }
 }
@@ -117,7 +145,11 @@ impl From<RegistryError> for SpawnError {
 pub(crate) struct ServerInner {
     pub registry: ModelRegistry,
     pub workers: Vec<WorkerHandle>,
+    /// One metrics row per registry model slot, then one per shard group
+    /// (group `g`'s row sits at `registry.len() + g`).
     pub metrics: Vec<ModelMetrics>,
+    /// One client↔worker link per worker, in worker order.
+    pub links: Vec<LinkMetrics>,
     pub router: Router,
     pub cfg: ServerConfig,
     next_id: AtomicU64,
@@ -131,14 +163,31 @@ impl ServerInner {
         self.next_id.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// `(name, metrics)` rows: registry models first, then shard groups.
+    fn metric_rows(&self) -> Vec<(&str, &ModelMetrics)> {
+        let mut rows: Vec<(&str, &ModelMetrics)> = self
+            .registry
+            .artifacts()
+            .iter()
+            .zip(&self.metrics)
+            .map(|(a, m)| (a.name(), m))
+            .collect();
+        rows.extend(
+            self.registry
+                .groups()
+                .iter()
+                .zip(&self.metrics[self.registry.len()..])
+                .map(|(g, m)| (g.name.as_str(), m)),
+        );
+        rows
+    }
+
     fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             models: self
-                .registry
-                .artifacts()
-                .iter()
-                .zip(&self.metrics)
-                .map(|(a, m)| snapshot_model(a.name(), m))
+                .metric_rows()
+                .into_iter()
+                .map(|(name, m)| snapshot_model(name, m))
                 .collect(),
             queue_depths: self.workers.iter().map(WorkerHandle::queue_depth).collect(),
             workers_alive: self.workers.iter().map(WorkerHandle::is_alive).collect(),
@@ -146,6 +195,21 @@ impl ServerInner {
                 .workers
                 .iter()
                 .map(WorkerHandle::processed_count)
+                .collect(),
+            link_transfers: self
+                .links
+                .iter()
+                .map(|l| l.transfers.load(Ordering::Relaxed))
+                .collect(),
+            link_bytes: self
+                .links
+                .iter()
+                .map(|l| l.bytes.load(Ordering::Relaxed))
+                .collect(),
+            link_busy_s: self
+                .links
+                .iter()
+                .map(|l| l.busy_ns.load(Ordering::Relaxed) as f64 * 1e-9)
                 .collect(),
         }
     }
@@ -159,13 +223,7 @@ impl ServerInner {
     }
 
     fn prometheus(&self) -> String {
-        let models: Vec<(&str, &ModelMetrics)> = self
-            .registry
-            .artifacts()
-            .iter()
-            .zip(&self.metrics)
-            .map(|(a, m)| (a.name(), m))
-            .collect();
+        let models = self.metric_rows();
         let workers: Vec<WorkerRow> = self
             .workers
             .iter()
@@ -177,18 +235,46 @@ impl ServerInner {
                 processed: w.processed_count(),
             })
             .collect();
-        render_prometheus(&models, &workers)
+        let links: Vec<LinkRow> = self
+            .links
+            .iter()
+            .enumerate()
+            .map(|(id, l)| LinkRow {
+                id,
+                transfers: l.transfers.load(Ordering::Relaxed),
+                bytes: l.bytes.load(Ordering::Relaxed),
+                busy_s: l.busy_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+            })
+            .collect();
+        render_prometheus(&models, &workers, &links)
+    }
+
+    /// Records one modeled transfer leg of `bytes` over worker `worker`'s
+    /// link, returning the leg's modeled seconds (zero on an ideal
+    /// network). The caller decides how to sleep — parallel scatter legs
+    /// overlap, so only the longest leg is slept.
+    fn charge_leg(&self, worker: usize, bytes: usize) -> f64 {
+        let net = &self.cfg.network;
+        if net.is_ideal() {
+            return 0.0;
+        }
+        let s = net.one_way_s(bytes);
+        self.links[worker].record(bytes, s);
+        s
     }
 
     /// Walks the router's plan and enqueues the job on the first replica
-    /// that accepts it. Returns the worker id, or what stopped dispatch.
+    /// that both pins the model slot and is reachable over a live link.
+    /// Returns the worker id, or what stopped dispatch.
     fn dispatch(
         &self,
         spec: &DispatchSpec,
         input: &Arc<Vec<f32>>,
         tried: &[usize],
     ) -> Result<(usize, Receiver<Completion>), DispatchStopped> {
-        let plan = self.router.plan(&self.workers, tried);
+        let plan = self.router.plan_eligible(&self.workers, tried, |w| {
+            self.workers[w].pins(spec.model) && self.cfg.network.link_up(w)
+        });
         if plan.is_empty() {
             return Err(DispatchStopped::NoReplica);
         }
@@ -255,6 +341,25 @@ impl ServerBuilder {
         self
     }
 
+    /// Registers a sharded model: its member artifacts pin on disjoint
+    /// owner sets and a request for the group name runs scatter/gather
+    /// across them. Requires `replicas >=` the group's widest segment at
+    /// spawn.
+    pub fn sharded_model(mut self, sharded: ShardedArtifact) -> Self {
+        if self.registry_error.is_none() {
+            if let Err(e) = self.registry.register_sharded(sharded) {
+                self.registry_error = Some(e);
+            }
+        }
+        self
+    }
+
+    /// Sets the client↔worker network model.
+    pub fn network(mut self, network: NetworkModel) -> Self {
+        self.cfg.network = network;
+        self
+    }
+
     /// Replaces the whole configuration.
     pub fn config(mut self, cfg: ServerConfig) -> Self {
         self.cfg = cfg;
@@ -298,12 +403,16 @@ impl ServerBuilder {
         self
     }
 
-    /// Spawns the pool: every worker pins every registered model.
+    /// Spawns the pool: every worker pins every whole model; shard
+    /// members pin only on their owner set (worker `w` owns shard `k` of
+    /// a `K`-wide segment iff `w % K == k`, so owner sets are disjoint
+    /// across the segment and every shard has `replicas / K` owners).
     ///
     /// # Errors
     ///
-    /// Returns [`SpawnError`] on an empty registry, a bad configuration,
-    /// or a pin failure.
+    /// Returns [`SpawnError`] on an empty registry, a bad configuration
+    /// (including fewer replicas than the widest shard segment), or a
+    /// pin failure.
     pub fn spawn(self) -> Result<Server, SpawnError> {
         if let Some(e) = self.registry_error {
             return Err(e.into());
@@ -317,22 +426,55 @@ impl ServerBuilder {
         if self.cfg.queue_cap == 0 {
             return Err(SpawnError::BadConfig("queue_cap must be positive".into()));
         }
+        let widest = self
+            .registry
+            .groups()
+            .iter()
+            .map(|g| g.max_width())
+            .max()
+            .unwrap_or(1);
+        if self.cfg.replicas < widest {
+            return Err(SpawnError::BadConfig(format!(
+                "{} replicas cannot host a {widest}-shard segment (one distinct worker per shard)",
+                self.cfg.replicas
+            )));
+        }
+
+        // Shard ownership: slot -> (shard ordinal, segment width).
+        let mut shard_of: Vec<Option<(usize, usize)>> = vec![None; self.registry.len()];
+        for group in self.registry.groups() {
+            for segment in &group.segments {
+                if let GroupSegment::Sharded(members) = segment {
+                    for (k, &slot) in members.iter().enumerate() {
+                        shard_of[slot] = Some((k, members.len()));
+                    }
+                }
+            }
+        }
 
         let mut workers = Vec::with_capacity(self.cfg.replicas);
         for id in 0..self.cfg.replicas {
             let mut pinned = Vec::with_capacity(self.registry.len());
-            for artifact in self.registry.artifacts() {
+            for (slot, artifact) in self.registry.artifacts().iter().enumerate() {
+                let owns = shard_of[slot].is_none_or(|(k, width)| id % width == k);
+                if !owns {
+                    pinned.push(None);
+                    continue;
+                }
                 let pin = artifact.pin().map_err(|error| SpawnError::Pin {
                     model: artifact.name().to_owned(),
                     error,
                 })?;
-                pinned.push(pin);
+                pinned.push(Some(pin));
             }
             workers.push(spawn_worker(id, pinned, self.cfg.queue_cap));
         }
 
-        let metrics = (0..self.registry.len())
+        let metrics = (0..self.registry.len() + self.registry.groups().len())
             .map(|_| ModelMetrics::default())
+            .collect();
+        let links = (0..self.cfg.replicas)
+            .map(|_| LinkMetrics::default())
             .collect();
         Ok(Server {
             inner: Arc::new(ServerInner {
@@ -340,6 +482,7 @@ impl ServerBuilder {
                 registry: self.registry,
                 workers,
                 metrics,
+                links,
                 cfg: self.cfg,
                 next_id: AtomicU64::new(1),
                 trace_log: Mutex::new(VecDeque::new()),
@@ -450,6 +593,9 @@ impl Client {
         deadline: Duration,
     ) -> Result<Pending, ServeError> {
         let inner = &self.inner;
+        if let Some(group_idx) = inner.registry.group_index_of(model) {
+            return self.submit_group(group_idx, input, deadline);
+        }
         let Some(model_idx) = inner.registry.index_of(model) else {
             return Err(ServeError::UnknownModel(model.to_owned()));
         };
@@ -484,19 +630,21 @@ impl Client {
 
         match inner.dispatch(&spec, &input, &[]) {
             Ok((worker, rx)) => Ok(Pending {
-                inner: Arc::clone(inner),
-                request_id,
-                model_idx,
-                model: model.to_owned(),
-                input,
-                submitted,
-                deadline: deadline_at,
-                attempt: 0,
-                tried: vec![worker],
-                retries: 0,
-                collect_spans,
-                rx,
-                settled: false,
+                state: PendingState::Single(SinglePending {
+                    inner: Arc::clone(inner),
+                    request_id,
+                    model_idx,
+                    model: model.to_owned(),
+                    input,
+                    submitted,
+                    deadline: deadline_at,
+                    attempt: 0,
+                    tried: vec![worker],
+                    retries: 0,
+                    collect_spans,
+                    rx,
+                    settled: false,
+                }),
             }),
             Err(DispatchStopped::AllFull) => {
                 metrics.shed.fetch_add(1, Ordering::Relaxed);
@@ -509,6 +657,66 @@ impl Client {
                 Err(ServeError::NoReplica {
                     model: model.to_owned(),
                 })
+            }
+        }
+    }
+
+    /// Admits and scatters segment 0 of a shard-group request; the
+    /// returned [`Pending`] drives the remaining segments.
+    fn submit_group(
+        &self,
+        group_idx: usize,
+        input: &[f32],
+        deadline: Duration,
+    ) -> Result<Pending, ServeError> {
+        let inner = &self.inner;
+        let group = inner.registry.group(group_idx).expect("index valid");
+        if input.len() != group.input_dim {
+            return Err(ServeError::BadInput {
+                expected: group.input_dim,
+                got: input.len(),
+            });
+        }
+        let name = group.name.clone();
+        let metric_idx = inner.registry.len() + group_idx;
+        inner.metrics[metric_idx]
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+
+        let submitted = Instant::now();
+        let request_id = inner.next_request_id();
+        let collect_spans =
+            inner.cfg.trace_sample > 0 && request_id.is_multiple_of(inner.cfg.trace_sample);
+        let mut pending = GroupPending {
+            inner: Arc::clone(inner),
+            request_id,
+            group_idx,
+            metric_idx,
+            name: name.clone(),
+            submitted,
+            deadline: submitted + deadline,
+            collect_spans,
+            seg_idx: 0,
+            inflight: Vec::new(),
+            carry: Arc::new(input.to_vec()),
+            retries: 0,
+            network_s: 0.0,
+            queue_wait_s: 0.0,
+            service_s: 0.0,
+            stats: RunStats::default(),
+            spans: Vec::new(),
+            last_worker: 0,
+            settled: false,
+        };
+        // Scatter the first segment now, so admission-time shedding
+        // matches the single-model path.
+        match pending.scatter() {
+            Ok(()) => Ok(Pending {
+                state: PendingState::Group(pending),
+            }),
+            Err(DispatchStopped::AllFull) => Err(pending.shed()),
+            Err(DispatchStopped::NoReplica) => {
+                Err(pending.fail(ServeError::NoReplica { model: name }))
             }
         }
     }
@@ -538,27 +746,78 @@ impl Client {
         self.inner.prometheus()
     }
 
-    /// The input width `model` expects, if registered.
+    /// The input width `model` expects, if registered (whole models and
+    /// shard groups alike).
     pub fn input_dim_of(&self, model: &str) -> Option<usize> {
-        self.inner.registry.lookup(model).map(|a| a.input_dim())
+        self.inner
+            .registry
+            .lookup(model)
+            .map(|a| a.input_dim())
+            .or_else(|| {
+                self.inner
+                    .registry
+                    .group_index_of(model)
+                    .and_then(|g| self.inner.registry.group(g))
+                    .map(|g| g.input_dim)
+            })
     }
 
-    /// Registered model names, in registry order.
+    /// Addressable model names: registry models in index order, then
+    /// shard-group names.
     pub fn model_names(&self) -> Vec<String> {
-        self.inner
+        let mut names: Vec<String> = self
+            .inner
             .registry
             .names()
             .into_iter()
             .map(str::to_owned)
-            .collect()
+            .collect();
+        names.extend(self.inner.registry.groups().iter().map(|g| g.name.clone()));
+        names
     }
 }
 
-/// An admitted, dispatched request. Call [`Pending::wait`] to drive
-/// failover and obtain the outcome. Dropping an unwaited `Pending`
-/// records the request as failed (abandoned), keeping the metrics
-/// identity intact.
+/// An admitted, dispatched request (whole-model or shard-group). Call
+/// [`Pending::wait`] to drive failover and obtain the outcome. Dropping
+/// an unwaited `Pending` records the request as failed (abandoned),
+/// keeping the metrics identity intact.
 pub struct Pending {
+    state: PendingState,
+}
+
+enum PendingState {
+    Single(SinglePending),
+    Group(GroupPending),
+}
+
+impl Pending {
+    /// The server-assigned request id.
+    pub fn request_id(&self) -> RequestId {
+        match &self.state {
+            PendingState::Single(p) => p.request_id,
+            PendingState::Group(p) => p.request_id,
+        }
+    }
+
+    /// Drives the request to termination: waits on the current attempt
+    /// (every shard of the current segment, for a group), failing over to
+    /// replicas on fault, death, or attempt timeout, until completion,
+    /// the deadline, or the retry budget ends it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the terminal [`ServeError`]; every error path is recorded
+    /// in the metrics exactly once.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        match self.state {
+            PendingState::Single(p) => p.wait(),
+            PendingState::Group(p) => p.wait(),
+        }
+    }
+}
+
+/// The whole-model request lifecycle: one attempt in flight at a time.
+struct SinglePending {
     inner: Arc<ServerInner>,
     request_id: RequestId,
     model_idx: usize,
@@ -574,21 +833,8 @@ pub struct Pending {
     settled: bool,
 }
 
-impl Pending {
-    /// The server-assigned request id.
-    pub fn request_id(&self) -> RequestId {
-        self.request_id
-    }
-
-    /// Drives the request to termination: waits on the current attempt,
-    /// failing over to replicas on fault, death, or attempt timeout,
-    /// until completion, the deadline, or the retry budget ends it.
-    ///
-    /// # Errors
-    ///
-    /// Returns the terminal [`ServeError`]; every error path is recorded
-    /// in the metrics exactly once.
-    pub fn wait(mut self) -> Result<Response, ServeError> {
+impl SinglePending {
+    fn wait(mut self) -> Result<Response, ServeError> {
         let cfg = self.inner.cfg;
         loop {
             let now = Instant::now();
@@ -614,14 +860,26 @@ impl Pending {
                     if attempt != self.attempt {
                         continue; // stale attempt; keep waiting
                     }
+                    // Charge the request and response legs over the
+                    // winning worker's link, sleeping the modeled time so
+                    // measured latency reflects the network.
+                    let network_s = if self.inner.cfg.network.is_ideal() {
+                        0.0
+                    } else {
+                        let s = self.inner.charge_leg(worker, self.input.len() * 4)
+                            + self.inner.charge_leg(worker, output.len() * 4);
+                        std::thread::sleep(Duration::from_secs_f64(s));
+                        s
+                    };
                     let latency = self.submitted.elapsed();
                     self.settled = true;
                     let metrics = &self.inner.metrics[self.model_idx];
                     metrics.record_completed(latency.as_secs_f64());
-                    metrics.record_attribution(queue_wait_s, service_s, &stats);
+                    metrics.record_attribution(queue_wait_s, service_s, network_s, &stats);
                     let attribution = Attribution {
                         queue_wait: Duration::from_secs_f64(queue_wait_s),
                         service: Duration::from_secs_f64(service_s),
+                        network: Duration::from_secs_f64(network_s),
                         npu_cycles: stats.cycles,
                         npu_macs: stats.mvm_macs,
                         dep_stall_cycles: stats.dep_stall_cycles,
@@ -757,7 +1015,7 @@ impl Pending {
     }
 }
 
-impl Drop for Pending {
+impl Drop for SinglePending {
     fn drop(&mut self) {
         if !self.settled {
             // Abandoned without waiting: account it as failed so the
@@ -766,6 +1024,453 @@ impl Drop for Pending {
             self.inner.metrics[self.model_idx]
                 .failed
                 .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One shard of the in-flight segment of a group request.
+struct ShardInFlight {
+    /// The member's registry slot.
+    member: usize,
+    /// Attempt ordinal (monotone across this shard's failovers).
+    attempt: u32,
+    /// Workers that already tried this shard.
+    tried: Vec<usize>,
+    /// Failover retries this shard consumed.
+    retries: u32,
+    /// Worker serving the current attempt.
+    worker: usize,
+    /// When the shard's first attempt was dispatched (member latency).
+    dispatched_at: Instant,
+    rx: Receiver<Completion>,
+    /// The gathered result, once the shard completes.
+    done: Option<ShardDone>,
+}
+
+/// A completed shard attempt, held until the whole segment gathers.
+struct ShardDone {
+    output: Vec<f32>,
+    queue_wait_s: f64,
+    service_s: f64,
+    stats: RunStats,
+    spans: Vec<SpanRecord>,
+    worker: usize,
+}
+
+/// The shard-group request lifecycle: the scatter/gather coordinator.
+///
+/// Segments run in pipeline order. For each segment the coordinator
+/// scatters the segment input to one owner per shard, gathers every
+/// shard (driving per-shard failover with the same retry budget as a
+/// whole-model request), charges the modeled network legs, concatenates
+/// the row-shard outputs in shard order, and feeds the next segment.
+/// Exactly one terminal is recorded on the group's metrics row;
+/// in-flight member attempts abandoned by a terminal error are recorded
+/// as failed on their own rows, so every row keeps the accounting
+/// identity.
+struct GroupPending {
+    inner: Arc<ServerInner>,
+    request_id: RequestId,
+    group_idx: usize,
+    /// The group's metrics row (`registry.len() + group_idx`).
+    metric_idx: usize,
+    name: String,
+    submitted: Instant,
+    deadline: Instant,
+    collect_spans: bool,
+    /// Segment currently in flight (index into the group's plan).
+    seg_idx: usize,
+    inflight: Vec<ShardInFlight>,
+    /// The in-flight segment's input (the previous segment's
+    /// concatenated output).
+    carry: Arc<Vec<f32>>,
+    /// Total failover retries across all shards and segments.
+    retries: u32,
+    network_s: f64,
+    queue_wait_s: f64,
+    service_s: f64,
+    stats: RunStats,
+    spans: Vec<SpanRecord>,
+    last_worker: usize,
+    settled: bool,
+}
+
+impl GroupPending {
+    /// Dispatches every shard of the current segment. On error the
+    /// already-dispatched shards stay in `inflight` for the caller's
+    /// terminal accounting.
+    fn scatter(&mut self) -> Result<(), DispatchStopped> {
+        let inner = Arc::clone(&self.inner);
+        let members = inner
+            .registry
+            .group(self.group_idx)
+            .expect("index valid")
+            .segments[self.seg_idx]
+            .members();
+        for member in members {
+            inner.metrics[member]
+                .submitted
+                .fetch_add(1, Ordering::Relaxed);
+            let spec = DispatchSpec {
+                attempt: 0,
+                model: member,
+                deadline: self.deadline,
+                trace_id: self.request_id,
+                collect_spans: self.collect_spans,
+            };
+            match inner.dispatch(&spec, &self.carry, &[]) {
+                Ok((worker, rx)) => self.inflight.push(ShardInFlight {
+                    member,
+                    attempt: 0,
+                    tried: vec![worker],
+                    retries: 0,
+                    worker,
+                    dispatched_at: Instant::now(),
+                    rx,
+                    done: None,
+                }),
+                Err(stop) => {
+                    // The member was admitted but never dispatched:
+                    // terminal for it.
+                    inner.metrics[member].failed.fetch_add(1, Ordering::Relaxed);
+                    return Err(stop);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drives the group request to termination.
+    fn wait(mut self) -> Result<Response, ServeError> {
+        let cfg = self.inner.cfg;
+        let seg_count = self
+            .inner
+            .registry
+            .group(self.group_idx)
+            .expect("index valid")
+            .segments
+            .len();
+        loop {
+            // Gather every shard of the in-flight segment.
+            for i in 0..self.inflight.len() {
+                self.gather_shard(i, &cfg)?;
+            }
+            self.finish_segment();
+            self.seg_idx += 1;
+            if self.seg_idx == seg_count {
+                return Ok(self.complete());
+            }
+            match self.scatter() {
+                Ok(()) => {}
+                Err(DispatchStopped::AllFull) | Err(DispatchStopped::NoReplica) => {
+                    // Post-admission: shedding is an admission-time
+                    // outcome, so a mid-pipeline full pool is a failure.
+                    let name = self.name.clone();
+                    return Err(self.fail(ServeError::NoReplica { model: name }));
+                }
+            }
+        }
+    }
+
+    /// Waits for shard `i` of the current segment, driving its failover,
+    /// until it completes or the request becomes terminal.
+    fn gather_shard(&mut self, i: usize, cfg: &ServerConfig) -> Result<(), ServeError> {
+        loop {
+            let now = Instant::now();
+            if now >= self.deadline {
+                let err = ServeError::DeadlineExceeded {
+                    model: self.name.clone(),
+                    retries: self.retries,
+                };
+                return Err(self.fail(err));
+            }
+            let budget = self.deadline - now;
+            let slice = cfg.attempt_timeout.map_or(budget, |t| t.min(budget));
+
+            match self.inflight[i].rx.recv_timeout(slice) {
+                Ok(Completion::Done {
+                    attempt,
+                    worker,
+                    output,
+                    queue_wait_s,
+                    service_s,
+                    stats,
+                    spans,
+                }) => {
+                    if attempt != self.inflight[i].attempt {
+                        continue; // stale attempt; keep waiting
+                    }
+                    let shard = &mut self.inflight[i];
+                    let member_latency = shard.dispatched_at.elapsed().as_secs_f64();
+                    shard.done = Some(ShardDone {
+                        output,
+                        queue_wait_s,
+                        service_s,
+                        stats,
+                        spans,
+                        worker,
+                    });
+                    let member = &self.inner.metrics[shard.member];
+                    member.record_completed(member_latency);
+                    // Network legs are attributed at the group level.
+                    member.record_attribution(
+                        queue_wait_s,
+                        service_s,
+                        0.0,
+                        &shard.done.as_ref().expect("just set").stats,
+                    );
+                    return Ok(());
+                }
+                Ok(Completion::Fault {
+                    attempt,
+                    worker,
+                    message,
+                }) => {
+                    if attempt != self.inflight[i].attempt {
+                        continue;
+                    }
+                    self.shard_failover(i, Some(format!("worker {worker}: {message}")))?;
+                }
+                Ok(Completion::Expired { attempt }) => {
+                    if attempt != self.inflight[i].attempt {
+                        continue;
+                    }
+                    let err = ServeError::DeadlineExceeded {
+                        model: self.name.clone(),
+                        retries: self.retries,
+                    };
+                    return Err(self.fail(err));
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if Instant::now() >= self.deadline {
+                        let err = ServeError::DeadlineExceeded {
+                            model: self.name.clone(),
+                            retries: self.retries,
+                        };
+                        return Err(self.fail(err));
+                    }
+                    self.shard_failover(i, None)?;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // The owning worker died with the shard (injected
+                    // fault or shutdown): fail over to another owner.
+                    self.shard_failover(i, None)?;
+                }
+            }
+        }
+    }
+
+    /// Re-dispatches shard `i` to an untried owner. On a terminal
+    /// outcome, records it and returns the error.
+    fn shard_failover(&mut self, i: usize, fault: Option<String>) -> Result<(), ServeError> {
+        let inner = Arc::clone(&self.inner);
+        if self.inflight[i].retries >= inner.cfg.max_retries {
+            let err = match fault {
+                Some(message) => ServeError::WorkerFault {
+                    model: self.name.clone(),
+                    message,
+                    retries: self.retries,
+                },
+                None => ServeError::DeadlineExceeded {
+                    model: self.name.clone(),
+                    retries: self.retries,
+                },
+            };
+            return Err(self.fail(err));
+        }
+        self.retries += 1;
+        {
+            let shard = &mut self.inflight[i];
+            shard.retries += 1;
+            shard.attempt += 1;
+            inner.metrics[shard.member]
+                .retries
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        inner.metrics[self.metric_idx]
+            .retries
+            .fetch_add(1, Ordering::Relaxed);
+        let spec = DispatchSpec {
+            attempt: self.inflight[i].attempt,
+            model: self.inflight[i].member,
+            deadline: self.deadline,
+            trace_id: self.request_id,
+            collect_spans: self.collect_spans,
+        };
+        match inner.dispatch(&spec, &self.carry, &self.inflight[i].tried) {
+            Ok((worker, rx)) => {
+                let shard = &mut self.inflight[i];
+                shard.tried.push(worker);
+                shard.worker = worker;
+                shard.rx = rx;
+                Ok(())
+            }
+            Err(DispatchStopped::AllFull) | Err(DispatchStopped::NoReplica) => {
+                let err = match fault {
+                    Some(message) => ServeError::WorkerFault {
+                        model: self.name.clone(),
+                        message,
+                        retries: self.retries,
+                    },
+                    None => ServeError::NoReplica {
+                        model: self.name.clone(),
+                    },
+                };
+                Err(self.fail(err))
+            }
+        }
+    }
+
+    /// Charges the segment's scatter/gather network legs, accumulates
+    /// attribution and spans, and concatenates the shard outputs (in
+    /// shard order) into the next segment's input.
+    fn finish_segment(&mut self) {
+        let inner = Arc::clone(&self.inner);
+        let in_bytes = self.carry.len() * 4;
+        let mut seg_net_s = 0.0f64;
+        let mut seg_queue_s = 0.0f64;
+        let mut seg_service_s = 0.0f64;
+        let mut output = Vec::new();
+        for (ordinal, shard) in self.inflight.drain(..).enumerate() {
+            let done = shard.done.expect("segment gathered");
+            // One input leg and one output leg per shard; the legs run
+            // in parallel, so the segment pays the slowest pair.
+            let leg_s = inner.charge_leg(done.worker, in_bytes)
+                + inner.charge_leg(done.worker, done.output.len() * 4);
+            seg_net_s = seg_net_s.max(leg_s);
+            seg_queue_s = seg_queue_s.max(done.queue_wait_s);
+            seg_service_s = seg_service_s.max(done.service_s);
+            self.stats.accumulate(&done.stats);
+            self.last_worker = done.worker;
+            if self.collect_spans {
+                // Re-stamp NPU spans with the owning worker as the
+                // device, so a gathered trace reads as the spatially
+                // distributed execution it was.
+                for mut span in done.spans {
+                    span.device = done.worker as u32;
+                    self.spans.push(span);
+                }
+                if leg_s > 0.0 {
+                    let clock_hz = inner
+                        .registry
+                        .get(shard.member)
+                        .map(|a| a.config().clock_hz())
+                        .unwrap_or(0.0);
+                    self.spans.push(SpanRecord {
+                        trace_id: self.request_id,
+                        device: done.worker as u32,
+                        kind: SpanKind::NetTransfer,
+                        chain: ordinal as u64 + 1,
+                        start_cycle: 0,
+                        end_cycle: (leg_s * clock_hz) as u64,
+                    });
+                }
+            }
+            output.extend_from_slice(&done.output);
+        }
+        if seg_net_s > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(seg_net_s));
+            self.network_s += seg_net_s;
+        }
+        self.queue_wait_s += seg_queue_s;
+        self.service_s += seg_service_s;
+        self.carry = Arc::new(output);
+    }
+
+    /// Records the completed terminal on the group row and builds the
+    /// response.
+    fn complete(&mut self) -> Response {
+        let latency = self.submitted.elapsed();
+        self.settled = true;
+        let metrics = &self.inner.metrics[self.metric_idx];
+        metrics.record_completed(latency.as_secs_f64());
+        metrics.record_attribution(
+            self.queue_wait_s,
+            self.service_s,
+            self.network_s,
+            &self.stats,
+        );
+        let attribution = Attribution {
+            queue_wait: Duration::from_secs_f64(self.queue_wait_s),
+            service: Duration::from_secs_f64(self.service_s),
+            network: Duration::from_secs_f64(self.network_s),
+            npu_cycles: self.stats.cycles,
+            npu_macs: self.stats.mvm_macs,
+            dep_stall_cycles: self.stats.dep_stall_cycles,
+            resource_stall_cycles: self.stats.resource_stall_cycles,
+        };
+        if self.collect_spans && !self.spans.is_empty() {
+            self.inner.push_trace(RequestTrace {
+                request_id: self.request_id,
+                trace_id: self.request_id,
+                model: self.name.clone(),
+                worker: self.last_worker,
+                attribution,
+                stats: self.stats.clone(),
+                spans: std::mem::take(&mut self.spans),
+            });
+        }
+        Response {
+            request_id: self.request_id,
+            output: self.carry.to_vec(),
+            latency,
+            worker: self.last_worker,
+            retries: self.retries,
+            attribution,
+        }
+    }
+
+    /// Marks the group request failed (exactly once), failing any
+    /// abandoned in-flight member attempts, and hands the error back.
+    fn fail(&mut self, err: ServeError) -> ServeError {
+        if !self.settled {
+            self.settled = true;
+            self.inner.metrics[self.metric_idx]
+                .failed
+                .fetch_add(1, Ordering::Relaxed);
+            self.abandon_inflight();
+        }
+        err
+    }
+
+    /// Marks the group request shed (exactly once); abandoned in-flight
+    /// member attempts count as failed on their rows.
+    fn shed(&mut self) -> ServeError {
+        if !self.settled {
+            self.settled = true;
+            self.inner.metrics[self.metric_idx]
+                .shed
+                .fetch_add(1, Ordering::Relaxed);
+            self.abandon_inflight();
+        }
+        ServeError::Shed {
+            model: self.name.clone(),
+        }
+    }
+
+    /// Terminal accounting for member attempts the group abandons:
+    /// gathered shards already recorded `completed`; the rest fail.
+    fn abandon_inflight(&mut self) {
+        for shard in self.inflight.drain(..) {
+            if shard.done.is_none() {
+                self.inner.metrics[shard.member]
+                    .failed
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl Drop for GroupPending {
+    fn drop(&mut self) {
+        if !self.settled {
+            // Abandoned without waiting: account the group and its
+            // in-flight members as failed so every row's identity holds.
+            self.settled = true;
+            self.inner.metrics[self.metric_idx]
+                .failed
+                .fetch_add(1, Ordering::Relaxed);
+            self.abandon_inflight();
         }
     }
 }

@@ -148,6 +148,7 @@ fn infer_response(resp: &Response) -> WireResponse {
         npu_macs: resp.attribution.npu_macs,
         dep_stall_cycles: resp.attribution.dep_stall_cycles,
         resource_stall_cycles: resp.attribution.resource_stall_cycles,
+        network_us: resp.attribution.network.as_micros() as u64,
         output: resp.output.clone(),
     }
 }
@@ -205,6 +206,7 @@ impl TcpClient {
                 npu_macs,
                 dep_stall_cycles,
                 resource_stall_cycles,
+                network_us,
                 output,
             } => Ok(Response {
                 request_id,
@@ -215,6 +217,7 @@ impl TcpClient {
                 attribution: Attribution {
                     queue_wait: Duration::from_micros(queue_wait_us),
                     service: Duration::from_micros(service_us),
+                    network: Duration::from_micros(network_us),
                     npu_cycles,
                     npu_macs,
                     dep_stall_cycles,

@@ -11,7 +11,7 @@
 //!             | u32 worker | u32 retries
 //!             | u64 queue_wait_us | u64 service_us | u64 npu_cycles
 //!             | u64 npu_macs | u64 dep_stall_cycles
-//!             | u64 resource_stall_cycles
+//!             | u64 resource_stall_cycles | u64 network_us
 //!             | u32 n | f32[n] output
 //! error    := u8 tag=0xEE | u16 msg_len | msg bytes (utf-8)
 //! metrics request  := u8 tag=0x02
@@ -87,6 +87,9 @@ pub enum WireResponse {
         dep_stall_cycles: u64,
         /// Attributed resource-stall cycles.
         resource_stall_cycles: u64,
+        /// Modeled network transfer time in microseconds (zero on an
+        /// ideal network).
+        network_us: u64,
         /// The output vector.
         output: Vec<f32>,
     },
@@ -101,7 +104,7 @@ pub enum WireResponse {
 /// A framing or decoding failure. Terminal for the connection.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WireError {
-    /// The length prefix exceeds [`MAX_FRAME`].
+    /// The length prefix exceeds the frame-size cap (`MAX_FRAME`).
     FrameTooLarge(usize),
     /// The payload ended before the advertised structure did, carries a
     /// short description of what was being read.
@@ -282,9 +285,10 @@ impl WireResponse {
                 npu_macs,
                 dep_stall_cycles,
                 resource_stall_cycles,
+                network_us,
                 output,
             } => {
-                let mut buf = Vec::with_capacity(1 + 8 * 8 + 4 + 4 + 4 + output.len() * 4);
+                let mut buf = Vec::with_capacity(1 + 8 * 9 + 4 + 4 + 4 + output.len() * 4);
                 buf.push(TAG_RESPONSE);
                 put_u64(&mut buf, *request_id);
                 put_u64(&mut buf, *latency_us);
@@ -296,6 +300,7 @@ impl WireResponse {
                 put_u64(&mut buf, *npu_macs);
                 put_u64(&mut buf, *dep_stall_cycles);
                 put_u64(&mut buf, *resource_stall_cycles);
+                put_u64(&mut buf, *network_us);
                 put_u32(&mut buf, output.len() as u32);
                 put_f32s(&mut buf, output);
                 buf
@@ -343,6 +348,7 @@ impl WireResponse {
                 let npu_macs = c.u64("npu macs")?;
                 let dep_stall_cycles = c.u64("dep stall cycles")?;
                 let resource_stall_cycles = c.u64("resource stall cycles")?;
+                let network_us = c.u64("network us")?;
                 let n = c.u32("output length")? as usize;
                 let output = c.f32s(n, "output")?;
                 c.done("infer response")?;
@@ -357,6 +363,7 @@ impl WireResponse {
                     npu_macs,
                     dep_stall_cycles,
                     resource_stall_cycles,
+                    network_us,
                     output,
                 })
             }
@@ -465,6 +472,7 @@ mod tests {
             npu_macs: 4_000_000,
             dep_stall_cycles: 900,
             resource_stall_cycles: 30,
+            network_us: 120,
             output: vec![1.0, 2.0],
         };
         assert_eq!(WireResponse::decode(&resp.encode()).unwrap(), resp);

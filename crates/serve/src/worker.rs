@@ -1,9 +1,12 @@
-//! Worker threads: each owns one live NPU pool per registered model.
+//! Worker threads: each owns one live NPU pool per pinned model.
 //!
-//! A worker is one disaggregated instance of every published hardware
-//! microservice (§II-A): at spawn it pins each registry artifact onto its
+//! A worker is one disaggregated instance of the published hardware
+//! microservices (§II-A): at spawn it pins registry artifacts onto its
 //! own `bw-core` NPUs (fast kernels) and then drains a *bounded* request
 //! queue, one batch-1 inference at a time — the BW service discipline.
+//! Ordinary models pin on every worker; shard members of a scatter/gather
+//! group pin only on their owning workers (distinct per shard), so the
+//! pin table is sparse — a job for an unpinned slot faults and fails over.
 //! Bounding the queue is what makes load shedding possible: admission
 //! fails fast instead of building an unbounded backlog.
 //!
@@ -92,6 +95,8 @@ pub(crate) struct WorkerHandle {
     kill: Arc<AtomicBool>,
     /// Jobs the worker has fully processed (for tests and metrics).
     pub processed: Arc<AtomicU64>,
+    /// Which registry slots this worker pins (`true` = can serve).
+    pins: Vec<bool>,
     join: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -138,6 +143,11 @@ impl WorkerHandle {
         self.processed.load(Ordering::Relaxed)
     }
 
+    /// Whether this worker pins registry slot `model`.
+    pub fn pins(&self, model: usize) -> bool {
+        self.pins.get(model).copied().unwrap_or(false)
+    }
+
     /// Injects a fault: the worker stops accepting work immediately and
     /// its thread exits at the next queue pop, dropping queued jobs.
     pub fn kill(&self) {
@@ -156,15 +166,16 @@ impl WorkerHandle {
     }
 }
 
-/// Spawns a worker that serves `models` (registry order) from a bounded
-/// queue of `queue_cap` jobs.
+/// Spawns a worker that serves `models` (registry order; `None` = not
+/// pinned here) from a bounded queue of `queue_cap` jobs.
 pub(crate) fn spawn_worker(
     id: usize,
-    mut models: Vec<PinnedModel>,
+    mut models: Vec<Option<PinnedModel>>,
     queue_cap: usize,
 ) -> WorkerHandle {
     let (tx, rx): (SyncSender<WorkerMsg>, Receiver<WorkerMsg>) =
         std::sync::mpsc::sync_channel(queue_cap.max(1));
+    let pins: Vec<bool> = models.iter().map(Option::is_some).collect();
     let outstanding = Arc::new(AtomicUsize::new(0));
     let alive = Arc::new(AtomicBool::new(true));
     let kill = Arc::new(AtomicBool::new(false));
@@ -193,9 +204,17 @@ pub(crate) fn spawn_worker(
                     Completion::Expired {
                         attempt: job.attempt,
                     }
+                } else if models.get(job.model).is_none_or(Option::is_none) {
+                    // A mis-routed job for a slot this worker does not
+                    // pin: fault so the request fails over to an owner.
+                    Completion::Fault {
+                        attempt: job.attempt,
+                        worker: id,
+                        message: format!("model slot {} not pinned on worker {id}", job.model),
+                    }
                 } else {
                     let queue_wait_s = (popped - job.enqueued_at).as_secs_f64();
-                    let model = &mut models[job.model];
+                    let model = models[job.model].as_mut().expect("pinned slot");
                     let result = if job.collect_spans {
                         model.infer_traced(&job.input, job.trace_id)
                     } else {
@@ -237,6 +256,7 @@ pub(crate) fn spawn_worker(
         alive,
         kill,
         processed,
+        pins,
         join: Mutex::new(Some(join)),
     }
 }
@@ -249,7 +269,7 @@ mod tests {
 
     fn worker_with(queue_cap: usize) -> WorkerHandle {
         let artifact = mlp_artifact("m", &[16, 8], 3);
-        spawn_worker(0, vec![artifact.pin().unwrap()], queue_cap)
+        spawn_worker(0, vec![Some(artifact.pin().unwrap())], queue_cap)
     }
 
     fn job(attempt: u32, reply: Sender<Completion>) -> Job {
@@ -361,7 +381,7 @@ mod tests {
     #[test]
     fn full_queue_refuses_with_queue_full() {
         let artifact = mlp_artifact("m", &[16, 8], 3);
-        let w = spawn_worker(0, vec![artifact.pin().unwrap()], 1);
+        let w = spawn_worker(0, vec![Some(artifact.pin().unwrap())], 1);
         // The worker may already be executing the first job; keep
         // dispatching until the bounded queue refuses.
         let (tx, rx) = std::sync::mpsc::channel();

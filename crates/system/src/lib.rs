@@ -9,6 +9,9 @@
 //! * [`ArrivalProcess`] — Poisson or deterministic request streams;
 //! * [`Microservice`] / [`ServiceModel`] — a pool of devices behind a
 //!   network hop, serving per-request or in formed batches;
+//! * [`NetworkModel`] — the datacenter-network cost model (per-hop
+//!   latency, bandwidth, link fault injection), shared with the live
+//!   scatter/gather runtime in `bw-serve`;
 //! * [`simulate`] / [`simulate_pipeline`] — event-driven simulation with
 //!   percentile latency and utilization reporting, including linear
 //!   multi-FPGA pipelines for partitioned models;
@@ -38,11 +41,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod net;
 mod pool;
 mod sim;
 mod summary;
 mod sweep;
 
+pub use net::NetworkModel;
 pub use pool::{simulate_pool, PoolReport, Routing};
 pub use sim::{
     simulate, simulate_pipeline, ArrivalProcess, Microservice, ServiceModel, ServingReport,

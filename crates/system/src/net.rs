@@ -1,0 +1,139 @@
+//! The datacenter network cost model shared by the analytical simulator
+//! and the live serving runtime.
+//!
+//! §II-A reaches hardware microservices "directly through an IP address"
+//! over the datacenter network, and §I's latency argument only holds if
+//! that network is accounted for. [`NetworkModel`] is the single
+//! vocabulary both layers use: `bw-system` derives a
+//! [`Microservice`](crate::Microservice)'s `network_hop_s` from it
+//! (see [`Microservice::over_network`](crate::Microservice::over_network)),
+//! and `bw-serve`'s scatter/gather coordinator charges each shard leg
+//! with [`NetworkModel::one_way_s`] and consults [`NetworkModel::link_up`]
+//! for injected link faults.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-hop latency + bandwidth + optional link fault injection.
+///
+/// A transfer of `b` bytes over one hop costs
+/// `hop_latency_s + b / bandwidth_bytes_per_s` one way; a zero (or
+/// non-finite) bandwidth means "latency only" — the serialization term is
+/// dropped. Links are identified by a small integer (the serving runtime
+/// uses the worker id); [`NetworkModel::fail_link`] marks a link down for
+/// fault injection. The model is `Copy` on purpose — it rides inside
+/// configuration structs — so the fault set is a 64-bit mask: links 64 and
+/// above are always up.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// One-way per-message latency of a hop, in seconds.
+    pub hop_latency_s: f64,
+    /// Link bandwidth in bytes per second. `0.0` (the default) models an
+    /// infinitely fast link: only `hop_latency_s` is charged.
+    pub bandwidth_bytes_per_s: f64,
+    /// Bitmask of links that are down (bit `i` = link `i`). Normally 0;
+    /// set via [`NetworkModel::fail_link`] for fault injection.
+    pub down_links: u64,
+}
+
+impl NetworkModel {
+    /// The ideal network: zero latency, infinite bandwidth, all links up.
+    /// This is also the [`Default`], so existing single-host setups keep
+    /// their exact behavior.
+    pub fn ideal() -> NetworkModel {
+        NetworkModel::default()
+    }
+
+    /// A latency-only network with the given one-way hop cost.
+    pub fn with_hop(hop_latency_s: f64) -> NetworkModel {
+        NetworkModel {
+            hop_latency_s,
+            ..NetworkModel::default()
+        }
+    }
+
+    /// Sets the link bandwidth (builder style).
+    pub fn bandwidth(mut self, bytes_per_s: f64) -> NetworkModel {
+        self.bandwidth_bytes_per_s = bytes_per_s;
+        self
+    }
+
+    /// Marks `link` down (builder style). Links ≥ 64 cannot be failed.
+    pub fn fail_link(mut self, link: usize) -> NetworkModel {
+        if link < 64 {
+            self.down_links |= 1 << link;
+        }
+        self
+    }
+
+    /// Whether `link` is up. Links ≥ 64 are always up.
+    pub fn link_up(&self, link: usize) -> bool {
+        link >= 64 || self.down_links & (1 << link) == 0
+    }
+
+    /// The one-way cost of moving `payload_bytes` over one hop:
+    /// `hop_latency_s` plus the serialization time at the configured
+    /// bandwidth (zero if bandwidth is unset).
+    pub fn one_way_s(&self, payload_bytes: usize) -> f64 {
+        let serial = if self.bandwidth_bytes_per_s > 0.0 && self.bandwidth_bytes_per_s.is_finite() {
+            payload_bytes as f64 / self.bandwidth_bytes_per_s
+        } else {
+            0.0
+        };
+        self.hop_latency_s + serial
+    }
+
+    /// The round-trip cost of a request/response pair of the given sizes.
+    pub fn round_trip_s(&self, request_bytes: usize, response_bytes: usize) -> f64 {
+        self.one_way_s(request_bytes) + self.one_way_s(response_bytes)
+    }
+
+    /// Whether the model charges anything at all — `false` for
+    /// [`NetworkModel::ideal`], letting hot paths skip the charge.
+    pub fn is_ideal(&self) -> bool {
+        self.hop_latency_s == 0.0 && self.bandwidth_bytes_per_s == 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_charges_nothing() {
+        let net = NetworkModel::ideal();
+        assert!(net.is_ideal());
+        assert_eq!(net.one_way_s(1 << 20), 0.0);
+        assert_eq!(net.round_trip_s(64, 1 << 20), 0.0);
+        assert!(net.link_up(0));
+    }
+
+    #[test]
+    fn latency_and_bandwidth_compose() {
+        let net = NetworkModel::with_hop(10e-6).bandwidth(1e9);
+        assert!(!net.is_ideal());
+        // 4 KiB at 1 GB/s = 4.096 µs serialization on top of the hop.
+        let t = net.one_way_s(4096);
+        assert!((t - (10e-6 + 4096.0 / 1e9)).abs() < 1e-12);
+        // Round trip with an empty response still pays the hop twice.
+        let rt = net.round_trip_s(4096, 0);
+        assert!((rt - (t + 10e-6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_bandwidth_means_latency_only() {
+        let net = NetworkModel::with_hop(5e-6);
+        assert_eq!(net.one_way_s(usize::MAX / 2), 5e-6);
+    }
+
+    #[test]
+    fn link_faults_are_per_link_and_bounded() {
+        let net = NetworkModel::ideal().fail_link(2).fail_link(63);
+        assert!(net.link_up(0));
+        assert!(!net.link_up(2));
+        assert!(!net.link_up(63));
+        // Out-of-mask links are always up, and failing them is a no-op.
+        let net = net.fail_link(64);
+        assert!(net.link_up(64));
+        assert!(net.link_up(usize::MAX));
+    }
+}

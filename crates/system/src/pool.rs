@@ -124,12 +124,14 @@ mod tests {
     use super::*;
     use crate::sim::{ArrivalProcess, ServiceModel};
 
+    fn instance_over(service_s: f64, net: &crate::NetworkModel) -> Microservice {
+        // Pool tests model latency-dominated control messages: the
+        // payload term is zero and only the hop charge applies.
+        Microservice::over_network(ServiceModel::PerRequest { seconds: service_s }, 1, net, 0)
+    }
+
     fn instance(service_s: f64) -> Microservice {
-        Microservice {
-            service: ServiceModel::PerRequest { seconds: service_s },
-            servers: 1,
-            network_hop_s: 0.0,
-        }
+        instance_over(service_s, &crate::NetworkModel::ideal())
     }
 
     #[test]
@@ -159,6 +161,33 @@ mod tests {
         );
         // The fast instance takes more of the load under LO.
         assert!(lo.instances[0].completed > lo.instances[1].completed);
+    }
+
+    #[test]
+    fn network_hop_shifts_pool_latency() {
+        // The same lightly-loaded pool behind an ideal network and behind
+        // a 500 µs hop: every request pays the hop twice, so the mean
+        // shifts by ~1 ms while throughput is unchanged.
+        let arrivals = ArrivalProcess::Uniform { interval_s: 5e-3 }.generate(400, 0);
+        let hop = crate::NetworkModel::with_hop(500e-6);
+        let near = simulate_pool(
+            &arrivals,
+            &[instance(2e-3), instance(2e-3)],
+            Routing::RoundRobin,
+            0,
+        );
+        let far = simulate_pool(
+            &arrivals,
+            &[instance_over(2e-3, &hop), instance_over(2e-3, &hop)],
+            Routing::RoundRobin,
+            0,
+        );
+        let shift = far.mean_latency_s - near.mean_latency_s;
+        assert!(
+            (shift - 2.0 * 500e-6).abs() < 1e-9,
+            "hop shifted mean by {shift:.6}s, expected 1 ms"
+        );
+        assert_eq!(far.instances[0].completed, near.instances[0].completed);
     }
 
     #[test]

@@ -113,6 +113,27 @@ pub struct Microservice {
     pub network_hop_s: f64,
 }
 
+impl Microservice {
+    /// Builds a microservice whose hop cost comes from a
+    /// [`NetworkModel`](crate::NetworkModel) instead of a hand-set
+    /// constant: the one-way cost of moving `payload_bytes` (per
+    /// direction) over the modeled link. This is the bridge that keeps
+    /// the analytical path and the live `bw-serve` runtime charging the
+    /// same network.
+    pub fn over_network(
+        service: ServiceModel,
+        servers: usize,
+        net: &crate::NetworkModel,
+        payload_bytes: usize,
+    ) -> Microservice {
+        Microservice {
+            service,
+            servers,
+            network_hop_s: net.one_way_s(payload_bytes),
+        }
+    }
+}
+
 /// Latency and throughput statistics from one simulation.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ServingReport {

@@ -50,6 +50,7 @@ fn lane(kind: SpanKind) -> u64 {
         SpanKind::MvmStream => 2,
         SpanKind::MfuStream => 3,
         SpanKind::DepStall | SpanKind::ResourceStall => 4,
+        SpanKind::NetTransfer => 5,
     }
 }
 

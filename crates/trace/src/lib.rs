@@ -18,6 +18,26 @@
 //! [`prom::validate_exposition`]) built on the dependency-free [`json`]
 //! parser, so CI can assert that emitted artifacts actually parse — the
 //! workspace carries no external JSON or metrics dependency.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bw_core::{SpanKind, SpanRecord};
+//! use bw_trace::{chrome_trace_json, spans_to_chrome, validate_chrome_trace};
+//!
+//! let spans = vec![SpanRecord {
+//!     trace_id: 7,
+//!     device: 0,
+//!     kind: SpanKind::Run,
+//!     chain: 0,
+//!     start_cycle: 0,
+//!     end_cycle: 1_000,
+//! }];
+//! // 250 MHz: 1000 cycles -> a 4 µs span on the Perfetto timeline.
+//! let events = spans_to_chrome(&spans, 250e6, 0.0);
+//! let json = chrome_trace_json(&events);
+//! assert!(validate_chrome_trace(&json).unwrap() >= 1);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

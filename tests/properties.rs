@@ -260,3 +260,61 @@ proptest! {
         }
     }
 }
+
+// Few cases: each spawns a live worker pool. The cheap per-shard math is
+// already covered exhaustively above; this block checks the *serve* path
+// (registry + pinning + scatter/gather over workers) end to end.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Serving a shard group over live workers is bit-identical to
+    /// single-device execution of the unsplit model, for random MLP
+    /// shapes, shard budgets, and inputs.
+    #[test]
+    fn sharded_serving_matches_single_device(
+        input in 4usize..20,
+        hidden in 12usize..36,
+        out in 2usize..10,
+        budget_rows in 2usize..8,
+        seed in 0u64..100,
+    ) {
+        use std::time::Duration;
+        use brainwave::serve::demo::{demo_input, mlp_artifact, mlp_graph};
+        use brainwave::serve::{Server, ShardedArtifact};
+        use bw_gir::LowerOptions;
+
+        // Admit at least one row of every dense stage (rows of the
+        // second matmul are `hidden` wide), otherwise shard as tightly
+        // as `budget_rows` rows of the first stage allow.
+        let widths = [input, hidden, out];
+        let budget = (budget_rows * input).max(hidden) as u64;
+        let sharded = ShardedArtifact::compile(
+            "m",
+            &mlp_graph(&widths, seed),
+            budget,
+            &brainwave::serve::demo::demo_config(),
+            &LowerOptions::default(),
+        ).unwrap();
+        let width = sharded.max_width();
+
+        let expected = mlp_artifact("ref", &widths, seed)
+            .pin()
+            .unwrap()
+            .infer(&demo_input(input, seed))
+            .unwrap();
+
+        let server = Server::builder()
+            .sharded_model(sharded)
+            .replicas(width.max(2))
+            .spawn()
+            .unwrap();
+        let got = server
+            .client()
+            .call("m", &demo_input(input, seed), Duration::from_secs(10))
+            .unwrap();
+        prop_assert_eq!(got.output.len(), out);
+        for (r, (a, b)) in got.output.iter().zip(&expected).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "row {}: {} vs {}", r, a, b);
+        }
+    }
+}

@@ -10,7 +10,16 @@
 //! cargo run -p bw-bench --bin lint -- --deny-warnings
 //! cargo run -p bw-bench --bin lint -- --json     # machine-readable report
 //! cargo run -p bw-bench --bin lint -- --demo     # seeded-bug showcase
+//! cargo run -p bw-bench --bin lint -- --artifact --hidden 128
+//!                                # whole-artifact (BW11x/BW12x) analysis
+//! cargo run -p bw-bench --bin lint -- --artifact --sla-us 50 --json
 //! ```
+//!
+//! `--artifact` switches from single-program linting to whole-artifact
+//! analysis: it shards an MLP (`hidden → 2·hidden → hidden`) into a
+//! scatter/gather serving plan and runs the cross-shard dataflow and
+//! static cycle-bound passes over the composed plan, emitting the BW11x
+//! and (under `--sla-us`) BW12x diagnostic families.
 //!
 //! Exits nonzero if the report blocks deployment (errors; warnings too
 //! under `--deny-warnings`), so it slots into CI and toolflow scripts.
@@ -22,6 +31,7 @@ use std::process::ExitCode;
 use bw_bench::bw_s10_sized;
 use bw_core::isa::{MemId, ProgramBuilder};
 use bw_core::{analyze_with, AnalysisOptions, AnalysisReport, Analyzer};
+use bw_gir::{ActFn, GirGraph, GirOp, LowerOptions, ShardedArtifact};
 use bw_models::{Lstm, RnnDims};
 
 struct Args {
@@ -31,6 +41,8 @@ struct Args {
     deny_warnings: bool,
     json: bool,
     demo: bool,
+    artifact: bool,
+    sla_us: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +53,8 @@ fn parse_args() -> Result<Args, String> {
         deny_warnings: false,
         json: false,
         demo: false,
+        artifact: false,
+        sla_us: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -52,10 +66,15 @@ fn parse_args() -> Result<Args, String> {
             "--deny-warnings" => args.deny_warnings = true,
             "--json" => args.json = true,
             "--demo" => args.demo = true,
+            "--artifact" => args.artifact = true,
+            "--sla-us" => {
+                args.sla_us = Some(value("--sla-us")?.parse().map_err(|e| format!("{e}"))?);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: lint [--hidden N] [--steps N] [--batch N] \
-                     [--deny-warnings] [--json] [--demo]"
+                     [--deny-warnings] [--json] [--demo] \
+                     [--artifact] [--sla-us F]"
                 );
                 std::process::exit(0);
             }
@@ -119,6 +138,98 @@ fn demo_report() -> AnalysisReport {
     )
 }
 
+/// The `--artifact` demo model: an `w → 2w → w` MLP sharded under a
+/// per-worker budget of `w²` parameters, which splits both dense stages
+/// into scatter/gather groups.
+fn demo_artifact(width: usize) -> Result<ShardedArtifact, String> {
+    let mut g = GirGraph::new();
+    let mut prev = g
+        .add(GirOp::Input { dim: width }, &[])
+        .map_err(|e| e.to_string())?;
+    for (li, (rows, cols)) in [(2 * width, width), (width, 2 * width)]
+        .into_iter()
+        .enumerate()
+    {
+        let weights: Vec<f32> = (0..rows * cols)
+            .map(|i| (((i + li * 7) % 17) as f32 - 8.0) / 32.0)
+            .collect();
+        let m = g
+            .add(
+                GirOp::MatMul {
+                    rows,
+                    cols,
+                    weights,
+                },
+                &[prev],
+            )
+            .map_err(|e| e.to_string())?;
+        prev = g
+            .add(GirOp::Activation(ActFn::Tanh), &[m])
+            .map_err(|e| e.to_string())?;
+    }
+    g.add(GirOp::Output, &[prev]).map_err(|e| e.to_string())?;
+    let budget = (width as u64) * (width as u64);
+    ShardedArtifact::compile(
+        "lint-demo",
+        &g,
+        budget,
+        &bw_s10_sized(4096),
+        &LowerOptions::default(),
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn run_artifact(args: &Args) -> ExitCode {
+    let artifact = match demo_artifact(args.hidden) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let opts = LowerOptions {
+        deny_warnings: args.deny_warnings,
+        sla_us: args.sla_us,
+    };
+    let report = artifact.analyze(&opts);
+    let bounds = artifact.static_bounds();
+    if args.json {
+        let bounds_json = bounds.map_or_else(
+            || "null".to_owned(),
+            |b| format!("{{\"lower\":{},\"upper\":{}}}", b.lower, b.upper),
+        );
+        println!(
+            "{{\"tool\":\"bw-lint\",\"mode\":\"artifact\",\"deny_warnings\":{},\
+             \"blocking\":{},\"bounds\":{},\"report\":{}}}",
+            args.deny_warnings,
+            report.blocks_deployment(args.deny_warnings),
+            bounds_json,
+            report.to_json()
+        );
+    } else {
+        println!(
+            "artifact `{}`: {} segment(s), max width {}",
+            artifact.name(),
+            artifact.segments().len(),
+            artifact.max_width()
+        );
+        match bounds {
+            Some(b) => println!("static cycle bounds: [{}, {}] cycles", b.lower, b.upper),
+            None => println!("static cycle bounds: not provable"),
+        }
+        if report.diagnostics.is_empty() {
+            println!("clean: no diagnostics");
+        } else {
+            println!("{report}");
+        }
+    }
+    if report.blocks_deployment(args.deny_warnings) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -127,6 +238,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if args.artifact {
+        return run_artifact(&args);
+    }
 
     if args.demo {
         if !args.json {

@@ -1,0 +1,856 @@
+//! BW11x — interprocedural, whole-artifact analysis.
+//!
+//! A sharded deployment is a pipeline of *stages*; each stage is either a
+//! single program or a scatter/gather group of shard programs (§II-A's
+//! spatially distributed hardware microservices). The single-program
+//! linter cannot see cross-shard contracts: a shard that pops more input
+//! vectors than its peers scatter blocks forever on its NetQ, and no
+//! amount of per-device linting will say so. This module models the
+//! artifact as a dataflow graph over per-unit *summaries* and proves (or
+//! refutes) the scatter/gather transfer contract:
+//!
+//! * every stage's input availability is solved by a worklist fixpoint
+//!   over the stage graph — a stage whose input never becomes available
+//!   is part of an ordering cycle (BW115);
+//! * for each shard of a resolved stage, the runtime scatters
+//!   `ceil(incoming_dim / native_dim)` vectors and gathers the shard's
+//!   declared output grid; the program's closed-form pop/push totals must
+//!   match exactly, or the artifact deadlocks (BW110) / leaves residue
+//!   that poisons the next request (BW111);
+//! * inter-stage dimensions must agree (BW112), serving shards must not
+//!   pop matrix tiles the runtime never pushes (BW113), and a "sharded"
+//!   group of one is flagged as degenerate (BW114);
+//! * with an SLA declared, per-unit [`CycleBounds`] compose across the
+//!   pipeline — sequential stages add, parallel shards take the max — and
+//!   the artifact-level BW12x verdict is emitted against the composed
+//!   bound.
+//!
+//! The shard ownership scheme (`worker w owns shard k of a width-`K`
+//! group iff `w % K == k`) never changes which transfers occur, only
+//! which worker executes them, so the balance proof is ownership-
+//! independent: it quantifies over the transfers themselves.
+
+use super::bounds::{cycle_bounds, CycleBounds};
+use super::netq::{program_traffic, TrafficTotals};
+use super::{AnalysisOptions, AnalysisReport, DiagCode, Diagnostic};
+use crate::config::NpuConfig;
+use crate::isa::Program;
+
+/// One analyzable unit of an artifact: a single device's program plus the
+/// deployment facts its host runtime establishes.
+#[derive(Clone, Debug)]
+pub struct ArtifactUnit<'a> {
+    /// Diagnostic anchor, e.g. `"big#g0s1"`.
+    pub name: String,
+    /// The unit's firmware.
+    pub program: &'a Program,
+    /// The NPU config the unit is pinned on.
+    pub config: &'a NpuConfig,
+    /// Preloads, queue budgets, and bound window for this unit.
+    pub options: AnalysisOptions,
+    /// Logical input width (elements) the unit consumes per request.
+    pub input_dim: usize,
+    /// Logical output width (elements) the unit produces per request.
+    pub output_dim: usize,
+}
+
+impl ArtifactUnit<'_> {
+    /// Vectors the runtime scatters to this unit for a `dim`-element
+    /// payload: `ceil(dim / native_dim)`, the padded-push contract.
+    fn vectors_for(&self, dim: usize) -> u128 {
+        let nd = self.config.native_dim() as usize;
+        (dim.div_ceil(nd.max(1))) as u128
+    }
+}
+
+/// One pipeline stage: a single unit, or a scatter/gather shard group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArtifactStage {
+    /// One unit runs the whole stage.
+    Single(usize),
+    /// Shards split the stage; each receives the full scatter input and
+    /// their gathered outputs concatenate.
+    Sharded(Vec<usize>),
+}
+
+impl ArtifactStage {
+    /// Member unit indices.
+    #[must_use]
+    pub fn members(&self) -> &[usize] {
+        match self {
+            ArtifactStage::Single(u) => std::slice::from_ref(u),
+            ArtifactStage::Sharded(us) => us,
+        }
+    }
+}
+
+/// Where a stage's input comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum StageInput {
+    /// The linear default: the previous stage, or the artifact input for
+    /// stage 0.
+    Default,
+    /// The artifact's external input.
+    External,
+    /// The gathered output of a specific stage.
+    Stage(usize),
+}
+
+/// The whole-artifact view the interprocedural passes run over.
+#[derive(Clone, Debug)]
+pub struct ArtifactView<'a> {
+    name: String,
+    input_dim: usize,
+    units: Vec<ArtifactUnit<'a>>,
+    stages: Vec<ArtifactStage>,
+    stage_inputs: Vec<StageInput>,
+    sla_cycles: Option<u64>,
+}
+
+impl<'a> ArtifactView<'a> {
+    /// An empty view for the artifact `name` taking `input_dim` elements.
+    #[must_use]
+    pub fn new(name: impl Into<String>, input_dim: usize) -> ArtifactView<'a> {
+        ArtifactView {
+            name: name.into(),
+            input_dim,
+            units: Vec::new(),
+            stages: Vec::new(),
+            stage_inputs: Vec::new(),
+            sla_cycles: None,
+        }
+    }
+
+    /// Registers a unit; returns its index for stage membership.
+    pub fn add_unit(&mut self, unit: ArtifactUnit<'a>) -> usize {
+        self.units.push(unit);
+        self.units.len() - 1
+    }
+
+    /// Appends a single-unit stage; returns the stage index.
+    pub fn push_single(&mut self, unit: usize) -> usize {
+        self.stages.push(ArtifactStage::Single(unit));
+        self.stage_inputs.push(StageInput::Default);
+        self.stages.len() - 1
+    }
+
+    /// Appends a scatter/gather stage over `units`; returns the stage
+    /// index.
+    pub fn push_sharded(&mut self, units: Vec<usize>) -> usize {
+        self.stages.push(ArtifactStage::Sharded(units));
+        self.stage_inputs.push(StageInput::Default);
+        self.stages.len() - 1
+    }
+
+    /// Overrides which stage feeds `stage` (default: the previous one).
+    /// Declaring a self or mutually-referential producer creates an
+    /// ordering cycle the fixpoint will refuse (BW115).
+    pub fn set_stage_input(&mut self, stage: usize, producer: usize) {
+        self.stage_inputs[stage] = StageInput::Stage(producer);
+    }
+
+    /// Declares that `stage` consumes the artifact's external input
+    /// rather than a predecessor's gather.
+    pub fn set_stage_input_external(&mut self, stage: usize) {
+        self.stage_inputs[stage] = StageInput::External;
+    }
+
+    /// Declares the artifact-level SLA in cycles (of the slowest-clock
+    /// member device, when clocks differ).
+    #[must_use]
+    pub fn with_sla_cycles(mut self, cycles: u64) -> ArtifactView<'a> {
+        self.sla_cycles = Some(cycles);
+        self
+    }
+
+    /// The artifact name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The registered units.
+    #[must_use]
+    pub fn units(&self) -> &[ArtifactUnit<'a>] {
+        &self.units
+    }
+
+    /// The pipeline stages.
+    #[must_use]
+    pub fn stages(&self) -> &[ArtifactStage] {
+        &self.stages
+    }
+
+    /// The declared artifact input width.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+}
+
+/// Closed-form facts about one unit, computed once and shared by every
+/// artifact pass — the "per-segment summary" of the fixpoint engine.
+#[derive(Clone, Debug)]
+pub struct UnitSummary {
+    /// Input vectors the program pops from its NetQ per run.
+    pub vec_pops: u128,
+    /// Output vectors the program pushes per run.
+    pub vec_pushes: u128,
+    /// Matrix tiles the program pops per run.
+    pub mat_pops: u128,
+    /// Static cycle bounds, when provable.
+    pub bounds: Option<CycleBounds>,
+}
+
+/// The solved dataflow facts of one stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageFlow {
+    /// The element width delivered to this stage, once its producer is
+    /// known to complete. `None` = unresolved (ordering cycle).
+    pub input_dim: Option<usize>,
+    /// The stage's gathered output width: the concatenation of member
+    /// outputs.
+    pub output_dim: usize,
+}
+
+/// Everything an [`ArtifactPass`] sees.
+pub struct ArtifactContext<'a, 'v> {
+    /// The artifact under analysis.
+    pub view: &'v ArtifactView<'a>,
+    /// Per-unit summaries, indexed like [`ArtifactView::units`].
+    pub summaries: &'v [UnitSummary],
+    /// Per-stage solved flows, indexed like [`ArtifactView::stages`].
+    pub flows: &'v [StageFlow],
+}
+
+/// An artifact-level analysis pass. The program-level [`AnalysisPass`]
+/// sees one `Program`; an `ArtifactPass` sees the whole pipeline with
+/// summaries and solved flows.
+///
+/// [`AnalysisPass`]: super::AnalysisPass
+pub trait ArtifactPass {
+    /// Short stable name for tooling.
+    fn name(&self) -> &'static str;
+    /// Appends diagnostics for the artifact.
+    fn run(&self, cx: &ArtifactContext<'_, '_>, out: &mut Vec<Diagnostic>);
+}
+
+fn producer_of(view: &ArtifactView<'_>, stage: usize) -> StageInput {
+    match view.stage_inputs[stage] {
+        StageInput::Default if stage == 0 => StageInput::External,
+        StageInput::Default => StageInput::Stage(stage - 1),
+        declared => declared,
+    }
+}
+
+/// The worklist fixpoint: propagates input availability through the stage
+/// graph. Stages fed by the artifact input seed the worklist; resolving a
+/// stage releases its consumers. Anything left unresolved depends —
+/// directly or transitively — on its own output.
+fn solve_flows(view: &ArtifactView<'_>) -> Vec<StageFlow> {
+    let n = view.stages.len();
+    let mut flows: Vec<StageFlow> = view
+        .stages
+        .iter()
+        .map(|stage| StageFlow {
+            input_dim: None,
+            output_dim: stage
+                .members()
+                .iter()
+                .filter_map(|&u| view.units.get(u))
+                .map(|u| u.output_dim)
+                .sum(),
+        })
+        .collect();
+
+    let mut worklist: Vec<usize> = (0..n)
+        .filter(|&s| producer_of(view, s) == StageInput::External)
+        .collect();
+    while let Some(s) = worklist.pop() {
+        if flows[s].input_dim.is_some() {
+            continue;
+        }
+        flows[s].input_dim = Some(match producer_of(view, s) {
+            StageInput::External => view.input_dim,
+            StageInput::Stage(p) if p < n => flows[p].output_dim,
+            _ => continue, // dangling producer: stays unresolved
+        });
+        for (c, f) in flows.iter().enumerate() {
+            if producer_of(view, c) == StageInput::Stage(s) && f.input_dim.is_none() {
+                worklist.push(c);
+            }
+        }
+    }
+    flows
+}
+
+fn summarize(view: &ArtifactView<'_>) -> Vec<UnitSummary> {
+    view.units
+        .iter()
+        .map(|u| {
+            let t: TrafficTotals = program_traffic(u.program);
+            UnitSummary {
+                vec_pops: t.vec_pops,
+                vec_pushes: t.vec_pushes,
+                mat_pops: t.mat_pops,
+                bounds: cycle_bounds(u.program, u.config, &u.options),
+            }
+        })
+        .collect()
+}
+
+/// BW110/BW111/BW113/BW114: the cross-shard NetQ balance and
+/// scatter/gather deadlock proof.
+pub struct ShardBalancePass;
+
+impl ArtifactPass for ShardBalancePass {
+    fn name(&self) -> &'static str {
+        "shard-balance"
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run(&self, cx: &ArtifactContext<'_, '_>, out: &mut Vec<Diagnostic>) {
+        for (si, stage) in cx.view.stages().iter().enumerate() {
+            if let ArtifactStage::Sharded(members) = stage {
+                if members.len() == 1 {
+                    let name = cx
+                        .view
+                        .units()
+                        .get(members[0])
+                        .map_or_else(|| cx.view.name().to_owned(), |u| u.name.clone());
+                    out.push(Diagnostic::for_unit(
+                        DiagCode::ShardDegenerate,
+                        name,
+                        si,
+                        0,
+                        "scatter/gather group of one shard: the split adds network \
+                         hops without dividing any work"
+                            .to_owned(),
+                    ));
+                }
+            }
+            for &ui in stage.members() {
+                let Some(unit) = cx.view.units().get(ui) else {
+                    continue;
+                };
+                let s = &cx.summaries[ui];
+
+                if s.mat_pops > 0 {
+                    out.push(Diagnostic::for_unit(
+                        DiagCode::ShardMatrixPop,
+                        unit.name.clone(),
+                        si,
+                        0,
+                        format!(
+                            "program pops {} matrix tile(s) from its NetQ, but the \
+                             serving runtime only scatters vectors — the pop blocks \
+                             forever",
+                            s.mat_pops
+                        ),
+                    ));
+                }
+
+                // Scatter side: what peers push vs what the shard pops.
+                if let Some(dim) = cx.flows[si].input_dim {
+                    let supply = unit.vectors_for(dim);
+                    if s.vec_pops > supply {
+                        out.push(Diagnostic::for_unit(
+                            DiagCode::ShardPopUnmatched,
+                            unit.name.clone(),
+                            si,
+                            0,
+                            format!(
+                                "shard pops {} input vector(s) per request but the \
+                                 scatter of a {dim}-element payload supplies only \
+                                 {supply} — no peer push matches the excess pop and \
+                                 the shard deadlocks",
+                                s.vec_pops
+                            ),
+                        ));
+                    } else if s.vec_pops < supply {
+                        out.push(Diagnostic::for_unit(
+                            DiagCode::ShardPushExcess,
+                            unit.name.clone(),
+                            si,
+                            0,
+                            format!(
+                                "scatter supplies {supply} input vector(s) per request \
+                                 but the shard pops only {} — the residue is consumed \
+                                 by the next request and corrupts it",
+                                s.vec_pops
+                            ),
+                        ));
+                    }
+                }
+
+                // Gather side: what the shard pushes vs what the runtime
+                // collects.
+                if let Some(expected) = unit.options.netq_expected_outputs {
+                    let expected = u128::from(expected);
+                    if s.vec_pushes < expected {
+                        out.push(Diagnostic::for_unit(
+                            DiagCode::ShardPopUnmatched,
+                            unit.name.clone(),
+                            si,
+                            0,
+                            format!(
+                                "gather waits for {expected} output vector(s) but the \
+                                 shard pushes only {} — the gather blocks forever",
+                                s.vec_pushes
+                            ),
+                        ));
+                    } else if s.vec_pushes > expected {
+                        out.push(Diagnostic::for_unit(
+                            DiagCode::ShardPushExcess,
+                            unit.name.clone(),
+                            si,
+                            0,
+                            format!(
+                                "shard pushes {} output vector(s) but the gather \
+                                 collects only {expected} — the residue poisons the \
+                                 next gather",
+                                s.vec_pushes
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// BW112/BW115: inter-stage dimension agreement and ordering-cycle
+/// detection over the solved flows.
+pub struct StageFlowPass;
+
+impl ArtifactPass for StageFlowPass {
+    fn name(&self) -> &'static str {
+        "stage-flow"
+    }
+
+    fn run(&self, cx: &ArtifactContext<'_, '_>, out: &mut Vec<Diagnostic>) {
+        for (si, stage) in cx.view.stages().iter().enumerate() {
+            let anchor = stage
+                .members()
+                .first()
+                .and_then(|&u| cx.view.units().get(u))
+                .map_or_else(|| cx.view.name().to_owned(), |u| u.name.clone());
+            let Some(dim) = cx.flows[si].input_dim else {
+                out.push(Diagnostic::for_unit(
+                    DiagCode::ShardOrderingCycle,
+                    anchor,
+                    si,
+                    0,
+                    "stage input depends (transitively) on the stage's own output \
+                     — the scatter/gather ordering is cyclic and never starts"
+                        .to_owned(),
+                ));
+                continue;
+            };
+            for &ui in stage.members() {
+                let Some(unit) = cx.view.units().get(ui) else {
+                    continue;
+                };
+                if unit.input_dim != dim {
+                    out.push(Diagnostic::for_unit(
+                        DiagCode::ShardDimMismatch,
+                        unit.name.clone(),
+                        si,
+                        0,
+                        format!(
+                            "member consumes {}-element inputs but the upstream stage \
+                             gathers {dim} elements",
+                            unit.input_dim
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// BW120–BW122 at artifact scope: composes per-unit bounds across the
+/// pipeline and compares against the artifact SLA.
+pub struct ArtifactSlaPass;
+
+impl ArtifactPass for ArtifactSlaPass {
+    fn name(&self) -> &'static str {
+        "artifact-sla"
+    }
+
+    fn run(&self, cx: &ArtifactContext<'_, '_>, out: &mut Vec<Diagnostic>) {
+        let Some(sla) = cx.view.sla_cycles else {
+            return;
+        };
+        let name = cx.view.name().to_owned();
+        let Some(bounds) = compose_bounds(cx.view, cx.summaries) else {
+            out.push(Diagnostic::for_unit(
+                DiagCode::SlaViolation,
+                name,
+                0,
+                0,
+                format!(
+                    "no static cycle bound is provable for the artifact, so the \
+                     declared SLA of {sla} cycles cannot be guaranteed"
+                ),
+            ));
+            return;
+        };
+        if bounds.lower > sla {
+            out.push(Diagnostic::for_unit(
+                DiagCode::SlaViolation,
+                name,
+                0,
+                0,
+                format!(
+                    "guaranteed minimum of {} cycles across the pipeline exceeds the \
+                     declared SLA of {sla} cycles — unmeetable on this config",
+                    bounds.lower
+                ),
+            ));
+        } else if bounds.upper > sla {
+            out.push(Diagnostic::for_unit(
+                DiagCode::SlaAtRisk,
+                name,
+                0,
+                0,
+                format!(
+                    "worst-case pipeline bound of {} cycles exceeds the declared SLA \
+                     of {sla} cycles (best case {})",
+                    bounds.upper, bounds.lower
+                ),
+            ));
+        } else {
+            out.push(Diagnostic::for_unit(
+                DiagCode::SlaMet,
+                name,
+                0,
+                0,
+                format!(
+                    "static pipeline bound [{}, {}] cycles meets the declared SLA of \
+                     {sla} cycles",
+                    bounds.lower, bounds.upper
+                ),
+            ));
+        }
+    }
+}
+
+fn compose_bounds(view: &ArtifactView<'_>, summaries: &[UnitSummary]) -> Option<CycleBounds> {
+    let mut total = CycleBounds { lower: 0, upper: 0 };
+    for stage in view.stages() {
+        let mut stage_bounds: Option<CycleBounds> = None;
+        for &ui in stage.members() {
+            let b = summaries.get(ui)?.bounds?;
+            stage_bounds = Some(match stage_bounds {
+                Some(acc) => acc.join_max(&b),
+                None => b,
+            });
+        }
+        total = total.then(&stage_bounds?);
+    }
+    Some(total)
+}
+
+/// Composed static cycle bounds for the whole artifact: sequential stages
+/// add, parallel shards take the max (the gather waits for the slowest).
+/// `None` when any unit has no provable bound.
+#[must_use]
+pub fn artifact_cycle_bounds(view: &ArtifactView<'_>) -> Option<CycleBounds> {
+    compose_bounds(view, &summarize(view))
+}
+
+/// Runs the default artifact passes — [`ShardBalancePass`],
+/// [`StageFlowPass`], [`ArtifactSlaPass`] — over `view` and returns the
+/// deduplicated, deterministically ordered report.
+#[must_use]
+pub fn analyze_artifact(view: &ArtifactView<'_>) -> AnalysisReport {
+    analyze_artifact_with(view, &[&ShardBalancePass, &StageFlowPass, &ArtifactSlaPass])
+}
+
+/// Runs a custom artifact pass list over `view`.
+#[must_use]
+pub fn analyze_artifact_with(
+    view: &ArtifactView<'_>,
+    passes: &[&dyn ArtifactPass],
+) -> AnalysisReport {
+    let summaries = summarize(view);
+    let flows = solve_flows(view);
+    let cx = ArtifactContext {
+        view,
+        summaries: &summaries,
+        flows: &flows,
+    };
+    let mut diagnostics = Vec::new();
+    for pass in passes {
+        pass.run(&cx, &mut diagnostics);
+    }
+    super::finish_report(diagnostics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{MemId, ProgramBuilder};
+    use crate::Severity;
+
+    const ND: u32 = 8;
+
+    fn cfg() -> NpuConfig {
+        NpuConfig::builder()
+            .native_dim(ND)
+            .lanes(4)
+            .tile_engines(2)
+            .mfus(2)
+            .mrf_entries(16)
+            .vrf_entries(64)
+            .build()
+            .unwrap()
+    }
+
+    /// A shard that pops `pops` input vectors and pushes `pushes` outputs.
+    fn shard_program(pops: u32, pushes: u32) -> Program {
+        let mut b = ProgramBuilder::new();
+        for _ in 0..pops {
+            b.set_rows(1);
+            b.v_rd(MemId::NetQ, 0)
+                .v_wr(MemId::InitialVrf, 0)
+                .end_chain()
+                .unwrap();
+        }
+        for _ in 0..pushes {
+            b.set_rows(1);
+            b.v_rd(MemId::InitialVrf, 0)
+                .v_wr(MemId::NetQ, 0)
+                .end_chain()
+                .unwrap();
+        }
+        b.build()
+    }
+
+    fn options(expected_outputs: u64) -> AnalysisOptions {
+        AnalysisOptions::default()
+            .preload(MemId::InitialVrf, 0, 64)
+            .with_input_vectors(1 << 20)
+            .with_expected_outputs(expected_outputs)
+    }
+
+    fn unit<'a>(
+        name: &str,
+        program: &'a Program,
+        config: &'a NpuConfig,
+        input_dim: usize,
+        output_dim: usize,
+        expected_outputs: u64,
+    ) -> ArtifactUnit<'a> {
+        ArtifactUnit {
+            name: name.to_owned(),
+            program,
+            config,
+            options: options(expected_outputs),
+            input_dim,
+            output_dim,
+        }
+    }
+
+    #[test]
+    fn balanced_sharded_artifact_is_clean() {
+        let config = cfg();
+        // Stage 0: two shards each pop the full 2-vector scatter (16
+        // elements) and push one output vector; the gather concatenates
+        // to 16 elements. Stage 1: a single tail consuming the 16.
+        let shard = shard_program(2, 1);
+        let tail = shard_program(2, 2);
+        let mut view = ArtifactView::new("m", 16);
+        let a = view.add_unit(unit("m#g0s0", &shard, &config, 16, 8, 1));
+        let b = view.add_unit(unit("m#g0s1", &shard, &config, 16, 8, 1));
+        let c = view.add_unit(unit("m#seg1", &tail, &config, 16, 16, 2));
+        view.push_sharded(vec![a, b]);
+        view.push_single(c);
+        let report = analyze_artifact(&view);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn unmatched_pop_deadlocks_bw110() {
+        let config = cfg();
+        // Pops 3 vectors but the 16-element scatter supplies 2.
+        let greedy = shard_program(3, 1);
+        let peer = shard_program(2, 1);
+        let mut view = ArtifactView::new("m", 16);
+        let a = view.add_unit(unit("m#g0s0", &greedy, &config, 16, 8, 1));
+        let b = view.add_unit(unit("m#g0s1", &peer, &config, 16, 8, 1));
+        view.push_sharded(vec![a, b]);
+        let report = analyze_artifact(&view);
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == DiagCode::ShardPopUnmatched)
+            .expect("BW110 fires");
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.unit.as_deref(), Some("m#g0s0"));
+    }
+
+    #[test]
+    fn push_residue_and_starved_gather_are_flagged() {
+        let config = cfg();
+        // Pushes 2 vectors, gather collects 1: residue (BW111).
+        let chatty = shard_program(2, 2);
+        let mut view = ArtifactView::new("m", 16);
+        let a = view.add_unit(unit("m#seg0", &chatty, &config, 16, 8, 1));
+        view.push_single(a);
+        let report = analyze_artifact(&view);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::ShardPushExcess));
+
+        // Pushes 1, gather waits for 2: deadlock (BW110).
+        let quiet = shard_program(2, 1);
+        let mut view = ArtifactView::new("m", 16);
+        let a = view.add_unit(unit("m#seg0", &quiet, &config, 16, 16, 2));
+        view.push_single(a);
+        let report = analyze_artifact(&view);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::ShardPopUnmatched));
+    }
+
+    #[test]
+    fn dim_mismatch_matrix_pop_and_degenerate_group() {
+        let config = cfg();
+        // Stage 1 member expects 24-element input but stage 0 gathers 8.
+        let head = shard_program(2, 1);
+        let tail = shard_program(1, 1);
+        let mut view = ArtifactView::new("m", 16);
+        let a = view.add_unit(unit("m#seg0", &head, &config, 16, 8, 1));
+        let b = view.add_unit(unit("m#seg1", &tail, &config, 24, 8, 1));
+        view.push_single(a);
+        view.push_sharded(vec![b]); // degenerate group of one
+        let report = analyze_artifact(&view);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::ShardDimMismatch));
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::ShardDegenerate));
+
+        // A shard popping matrix tiles from the serving NetQ.
+        let mut mb = ProgramBuilder::new();
+        mb.set_rows(1).set_cols(1);
+        mb.m_rd(MemId::NetQ, 0)
+            .m_wr(MemId::MatrixRf, 0)
+            .end_chain()
+            .unwrap();
+        let mat = mb.build();
+        let mut view = ArtifactView::new("m", 8);
+        let u = view.add_unit(ArtifactUnit {
+            name: "m#seg0".into(),
+            program: &mat,
+            config: &config,
+            options: AnalysisOptions::default().with_input_matrices(1),
+            input_dim: 8,
+            output_dim: 8,
+        });
+        view.push_single(u);
+        let report = analyze_artifact(&view);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::ShardMatrixPop));
+    }
+
+    #[test]
+    fn ordering_cycle_is_refused_by_the_fixpoint() {
+        let config = cfg();
+        let p = shard_program(1, 1);
+        let mut view = ArtifactView::new("m", 8);
+        let a = view.add_unit(unit("m#seg0", &p, &config, 8, 8, 1));
+        let b = view.add_unit(unit("m#seg1", &p, &config, 8, 8, 1));
+        let s0 = view.push_single(a);
+        let s1 = view.push_single(b);
+        // s0 consumes s1's output while s1 consumes s0's: a cycle.
+        view.set_stage_input(s0, s1);
+        view.set_stage_input(s1, s0);
+        let report = analyze_artifact(&view);
+        assert_eq!(
+            report
+                .diagnostics
+                .iter()
+                .filter(|d| d.code == DiagCode::ShardOrderingCycle)
+                .count(),
+            2,
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn producer_declared_after_consumer_still_resolves() {
+        let config = cfg();
+        let p = shard_program(1, 1);
+        // s0 is fed by s1, s1 by the artifact input: legal, just written
+        // out of stage order — the worklist must still converge.
+        let mut view = ArtifactView::new("m", 8);
+        let a = view.add_unit(unit("m#seg0", &p, &config, 8, 8, 1));
+        let b = view.add_unit(unit("m#seg1", &p, &config, 8, 8, 1));
+        let s0 = view.push_single(a);
+        let s1 = view.push_single(b);
+        view.set_stage_input(s0, s1);
+        view.set_stage_input_external(s1);
+        let report = analyze_artifact(&view);
+        assert!(report.is_clean(), "{report}");
+
+        // A dangling producer reference never resolves: BW115.
+        let mut view = ArtifactView::new("m", 8);
+        let a = view.add_unit(unit("m#seg0", &p, &config, 8, 8, 1));
+        let s0 = view.push_single(a);
+        view.set_stage_input(s0, 7);
+        let report = analyze_artifact(&view);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::ShardOrderingCycle));
+    }
+
+    #[test]
+    fn artifact_sla_composes_stage_bounds() {
+        let config = cfg();
+        let shard = shard_program(1, 1);
+        let build = |sla: Option<u64>| {
+            let mut view = ArtifactView::new("m", 8);
+            let a = view.add_unit(unit("m#g0s0", &shard, &config, 8, 4, 1));
+            let b = view.add_unit(unit("m#g0s1", &shard, &config, 8, 4, 1));
+            let c = view.add_unit(unit("m#seg1", &shard, &config, 8, 8, 1));
+            view.push_sharded(vec![a, b]);
+            view.push_single(c);
+            match sla {
+                Some(s) => view.with_sla_cycles(s),
+                None => view,
+            }
+        };
+
+        let bounds = artifact_cycle_bounds(&build(None)).expect("provable");
+        assert!(bounds.lower > 0);
+        assert_eq!(bounds.lower, bounds.upper, "default window is exact");
+
+        let met = analyze_artifact(&build(Some(bounds.upper)));
+        assert!(met.diagnostics.iter().any(|d| d.code == DiagCode::SlaMet));
+        assert_eq!(met.error_count(), 0);
+
+        let blown = analyze_artifact(&build(Some(bounds.lower - 1)));
+        assert!(blown
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::SlaViolation && d.severity == Severity::Error));
+
+        // No SLA: silent.
+        let silent = analyze_artifact(&build(None));
+        assert!(!silent
+            .diagnostics
+            .iter()
+            .any(|d| matches!(d.code, DiagCode::SlaMet | DiagCode::SlaAtRisk)));
+    }
+}

@@ -27,12 +27,32 @@
 //! | BW042 | warning  | multicast writes to overlapping destinations |
 //! | BW043 | warning  | `mv_mul` chain reads and writes overlapping ranges |
 //!
+//! The `BW1xx` family is *interprocedural*: those diagnostics come from
+//! whole-artifact analysis over a pipeline of programs (see [`artifact`]
+//! and [`bounds`]) rather than from a single-program walk:
+//!
+//! | code  | severity | meaning |
+//! |-------|----------|---------|
+//! | BW110 | error    | cross-shard NetQ transfer unmatched — scatter/gather deadlock |
+//! | BW111 | error    | cross-shard NetQ transfer residue poisons the next request |
+//! | BW112 | error    | inter-stage dimension mismatch |
+//! | BW113 | error    | shard pops matrix tiles the serving runtime never pushes |
+//! | BW114 | warning  | degenerate scatter/gather group of one shard |
+//! | BW115 | error    | scatter/gather ordering cycle — the pipeline never starts |
+//! | BW120 | error    | static cycle lower bound exceeds the declared SLA |
+//! | BW121 | warning  | static cycle upper bound exceeds the declared SLA |
+//! | BW122 | info     | static cycle bounds meet the declared SLA |
+//!
 //! Severities gate deployment: the toolflow refuses to lower a model onto a
 //! device when the report contains errors (and, optionally, warnings — see
 //! `AnalysisReport::is_clean`). Because VRFs and the MRF are host-visible,
 //! a purely static pass cannot see host preloads (weights, biases, initial
 //! recurrent state); [`AnalysisOptions`] lets the firmware generator declare
 //! those ranges so that legitimate reads do not trip BW010/BW022.
+//!
+//! Reports are deterministic: diagnostics are deduplicated and sorted by
+//! `(code, unit, segment, item, message)`, so serialized output is
+//! byte-stable across runs.
 
 use std::fmt;
 
@@ -41,12 +61,20 @@ use serde::Serialize;
 use crate::config::NpuConfig;
 use crate::isa::{Chain, Item, Program, ScalarReg};
 
+pub mod artifact;
+pub mod bounds;
 pub(crate) mod capacity;
 mod hazards;
 mod liveness;
 mod netq;
 mod shape;
 
+pub use artifact::{
+    analyze_artifact, analyze_artifact_with, artifact_cycle_bounds, ArtifactContext, ArtifactPass,
+    ArtifactSlaPass, ArtifactStage, ArtifactUnit, ArtifactView, ShardBalancePass, StageFlow,
+    StageFlowPass, UnitSummary,
+};
+pub use bounds::{cycle_bounds, CycleBoundPass, CycleBounds};
 pub use capacity::CapacityPass;
 pub use hazards::HazardPass;
 pub use liveness::LivenessPass;
@@ -131,11 +159,36 @@ pub enum DiagCode {
     /// BW043: a chain with an `mv_mul` reads and writes overlapping ranges
     /// of the same VRF at different widths (`cols` in, `rows` out).
     AliasedChainIo,
+    /// BW110: a cross-shard NetQ pop (or gather wait) has no matching peer
+    /// push — the scatter/gather schedule deadlocks.
+    ShardPopUnmatched,
+    /// BW111: a cross-shard NetQ transfer leaves residue in a queue that
+    /// the next request consumes.
+    ShardPushExcess,
+    /// BW112: a stage member's input width disagrees with the upstream
+    /// stage's gathered output width.
+    ShardDimMismatch,
+    /// BW113: a serving shard pops matrix tiles from its NetQ; the runtime
+    /// only scatters vectors.
+    ShardMatrixPop,
+    /// BW114: a scatter/gather group of exactly one shard.
+    ShardDegenerate,
+    /// BW115: the stage graph's transfer ordering is cyclic; no stage's
+    /// input ever becomes available.
+    ShardOrderingCycle,
+    /// BW120: the static cycle lower bound exceeds the declared SLA (or no
+    /// bound is provable at all) — the SLA is unmeetable.
+    SlaViolation,
+    /// BW121: the static cycle upper bound exceeds the declared SLA while
+    /// the lower bound meets it.
+    SlaAtRisk,
+    /// BW122: the static cycle bounds meet the declared SLA.
+    SlaMet,
 }
 
 impl DiagCode {
     /// Every code the analyzer can emit, in numeric order.
-    pub const ALL: [DiagCode; 19] = [
+    pub const ALL: [DiagCode; 28] = [
         DiagCode::ZeroRegister,
         DiagCode::VrfOverflow,
         DiagCode::MrfOverflow,
@@ -155,6 +208,15 @@ impl DiagCode {
         DiagCode::RedundantOp,
         DiagCode::OverlappingMulticast,
         DiagCode::AliasedChainIo,
+        DiagCode::ShardPopUnmatched,
+        DiagCode::ShardPushExcess,
+        DiagCode::ShardDimMismatch,
+        DiagCode::ShardMatrixPop,
+        DiagCode::ShardDegenerate,
+        DiagCode::ShardOrderingCycle,
+        DiagCode::SlaViolation,
+        DiagCode::SlaAtRisk,
+        DiagCode::SlaMet,
     ];
 
     /// The stable `BW0xx` name of this code.
@@ -179,6 +241,15 @@ impl DiagCode {
             DiagCode::RedundantOp => "BW041",
             DiagCode::OverlappingMulticast => "BW042",
             DiagCode::AliasedChainIo => "BW043",
+            DiagCode::ShardPopUnmatched => "BW110",
+            DiagCode::ShardPushExcess => "BW111",
+            DiagCode::ShardDimMismatch => "BW112",
+            DiagCode::ShardMatrixPop => "BW113",
+            DiagCode::ShardDegenerate => "BW114",
+            DiagCode::ShardOrderingCycle => "BW115",
+            DiagCode::SlaViolation => "BW120",
+            DiagCode::SlaAtRisk => "BW121",
+            DiagCode::SlaMet => "BW122",
         }
     }
 
@@ -193,17 +264,26 @@ impl DiagCode {
             | DiagCode::UninitializedRead
             | DiagCode::MrfUninitializedRead
             | DiagCode::NetUnderflow
-            | DiagCode::NetMatrixUnderflow => Severity::Error,
+            | DiagCode::NetMatrixUnderflow
+            | DiagCode::ShardPopUnmatched
+            | DiagCode::ShardPushExcess
+            | DiagCode::ShardDimMismatch
+            | DiagCode::ShardMatrixPop
+            | DiagCode::ShardOrderingCycle
+            | DiagCode::SlaViolation => Severity::Error,
             DiagCode::DeadStore
             | DiagCode::MrfDeadLoad
             | DiagCode::DefaultTiling
             | DiagCode::RedundantOp
             | DiagCode::OverlappingMulticast
-            | DiagCode::AliasedChainIo => Severity::Warning,
+            | DiagCode::AliasedChainIo
+            | DiagCode::ShardDegenerate
+            | DiagCode::SlaAtRisk => Severity::Warning,
             DiagCode::StaleRegister
             | DiagCode::ReadBeforeWrite
             | DiagCode::MrfWriteAfterRead
-            | DiagCode::NetOutputMismatch => Severity::Info,
+            | DiagCode::NetOutputMismatch
+            | DiagCode::SlaMet => Severity::Info,
         }
     }
 
@@ -229,6 +309,15 @@ impl DiagCode {
             DiagCode::RedundantOp => "redundant operation",
             DiagCode::OverlappingMulticast => "overlapping multicast",
             DiagCode::AliasedChainIo => "aliased chain read/write",
+            DiagCode::ShardPopUnmatched => "cross-shard transfer deadlock",
+            DiagCode::ShardPushExcess => "cross-shard transfer residue",
+            DiagCode::ShardDimMismatch => "inter-stage dimension mismatch",
+            DiagCode::ShardMatrixPop => "matrix pop in a serving shard",
+            DiagCode::ShardDegenerate => "degenerate shard group",
+            DiagCode::ShardOrderingCycle => "scatter/gather ordering cycle",
+            DiagCode::SlaViolation => "SLA unmeetable",
+            DiagCode::SlaAtRisk => "SLA at risk",
+            DiagCode::SlaMet => "SLA met",
         }
     }
 }
@@ -240,13 +329,21 @@ impl fmt::Display for DiagCode {
 }
 
 /// One finding, anchored to the segment and item that produced it.
+///
+/// Artifact-level findings additionally carry the `unit` (shard or
+/// pipeline-segment name) they concern; program-level findings leave it
+/// `None` and render exactly as before.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize)]
 pub struct Diagnostic {
     /// Stable code identifying the kind of finding.
     pub code: DiagCode,
     /// Severity (always `code.severity()`; duplicated for serialization).
     pub severity: Severity,
-    /// Index of the segment containing the offending item.
+    /// The artifact unit the finding concerns, for interprocedural
+    /// diagnostics. `None` for single-program findings.
+    pub unit: Option<String>,
+    /// Index of the segment containing the offending item. For artifact
+    /// findings this is the pipeline-stage index.
     pub segment: usize,
     /// Index of the item within the segment.
     pub item: usize,
@@ -260,6 +357,25 @@ impl Diagnostic {
         Diagnostic {
             code,
             severity: code.severity(),
+            unit: None,
+            segment,
+            item,
+            message,
+        }
+    }
+
+    /// Builds an artifact-level diagnostic anchored to `unit`.
+    pub fn for_unit(
+        code: DiagCode,
+        unit: impl Into<String>,
+        segment: usize,
+        item: usize,
+        message: String,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            unit: Some(unit.into()),
             segment,
             item,
             message,
@@ -269,11 +385,18 @@ impl Diagnostic {
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}[{}] segment {}, item {}: {}",
-            self.severity, self.code, self.segment, self.item, self.message
-        )
+        match &self.unit {
+            Some(unit) => write!(
+                f,
+                "{}[{}] unit {}, segment {}, item {}: {}",
+                self.severity, self.code, unit, self.segment, self.item, self.message
+            ),
+            None => write!(
+                f,
+                "{}[{}] segment {}, item {}: {}",
+                self.severity, self.code, self.segment, self.item, self.message
+            ),
+        }
     }
 }
 
@@ -308,6 +431,16 @@ pub struct AnalysisOptions {
     /// Number of output vectors the host expects per run, if known.
     /// `None` disables BW032.
     pub netq_expected_outputs: Option<u64>,
+    /// Declared service-level agreement in cycles, if any. With an SLA
+    /// declared, [`CycleBoundPass`] compares the static cycle bounds
+    /// against it (BW120–BW122); `None` keeps the pass silent.
+    pub sla_cycles: Option<u64>,
+    /// Earliest cycle any NetQ input vector can arrive (relative to the
+    /// run start). The default `0` models host-staged inputs.
+    pub input_arrival_lo: u64,
+    /// Latest cycle any NetQ input vector can arrive. With `lo == hi` the
+    /// static cycle bounds are exact.
+    pub input_arrival_hi: u64,
 }
 
 impl AnalysisOptions {
@@ -338,6 +471,24 @@ impl AnalysisOptions {
         self.netq_expected_outputs = Some(count);
         self
     }
+
+    /// Declares a service-level agreement in cycles, enabling the
+    /// BW120–BW122 verdicts.
+    #[must_use]
+    pub fn with_sla_cycles(mut self, cycles: u64) -> Self {
+        self.sla_cycles = Some(cycles);
+        self
+    }
+
+    /// Declares the NetQ input-arrival window in cycles relative to the
+    /// run start. The static cycle bounds hold for any arrival schedule
+    /// inside `[lo, hi]`.
+    #[must_use]
+    pub fn with_input_arrival(mut self, lo: u64, hi: u64) -> Self {
+        self.input_arrival_lo = lo;
+        self.input_arrival_hi = hi.max(lo);
+        self
+    }
 }
 
 /// Everything a pass needs: the program, the hardware shape, and the
@@ -362,7 +513,8 @@ pub trait AnalysisPass {
 /// The collected findings of an analyzer run.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
 pub struct AnalysisReport {
-    /// All findings, ordered by program location then code.
+    /// All findings, deduplicated and ordered by
+    /// `(code, unit, segment, item, message)`.
     pub diagnostics: Vec<Diagnostic>,
 }
 
@@ -412,10 +564,15 @@ impl AnalysisReport {
             if i > 0 {
                 out.push(',');
             }
+            let unit = match &d.unit {
+                Some(u) => format!("\"unit\":\"{}\",", json_escape(u)),
+                None => String::new(),
+            };
             out.push_str(&format!(
-                "{{\"code\":\"{}\",\"severity\":\"{}\",\"segment\":{},\"item\":{},\"message\":\"{}\"}}",
+                "{{\"code\":\"{}\",\"severity\":\"{}\",{}\"segment\":{},\"item\":{},\"message\":\"{}\"}}",
                 d.code,
                 d.severity,
+                unit,
                 d.segment,
                 d.item,
                 json_escape(&d.message)
@@ -479,6 +636,7 @@ impl Analyzer {
                 Box::new(HazardPass),
                 Box::new(NetQueuePass),
                 Box::new(ChainShapePass),
+                Box::new(CycleBoundPass),
             ],
         }
     }
@@ -494,7 +652,7 @@ impl Analyzer {
     }
 
     /// Runs every pass over `program` and returns the combined report,
-    /// sorted by program location then code.
+    /// deduplicated and deterministically ordered.
     pub fn analyze(&self, program: &Program, config: &NpuConfig) -> AnalysisReport {
         let cx = PassContext {
             program,
@@ -505,9 +663,21 @@ impl Analyzer {
         for pass in &self.passes {
             pass.run(&cx, &mut diagnostics);
         }
-        diagnostics.sort_by_key(|d| (d.segment, d.item, d.code));
-        AnalysisReport { diagnostics }
+        finish_report(diagnostics)
     }
+}
+
+/// Normalizes raw pass output into a deterministic report: sorted by
+/// `(code, unit, segment, item, message)` and deduplicated, so identical
+/// findings from overlapping passes collapse and serialized reports are
+/// byte-stable across runs.
+pub(crate) fn finish_report(mut diagnostics: Vec<Diagnostic>) -> AnalysisReport {
+    diagnostics.sort_by(|a, b| {
+        (a.code, &a.unit, a.segment, a.item, &a.message)
+            .cmp(&(b.code, &b.unit, b.segment, b.item, &b.message))
+    });
+    diagnostics.dedup();
+    AnalysisReport { diagnostics }
 }
 
 /// Analyzes `program` with default options (no preloads, no queue budgets).
@@ -746,6 +916,50 @@ mod tests {
             .with_input_vectors(2);
         let report = analyze_with(&b.build(), &cfg(), options);
         assert!(report.is_clean(), "unexpected findings:\n{report}");
+    }
+
+    #[test]
+    fn unit_diagnostics_render_and_serialize_with_their_anchor() {
+        let d = Diagnostic::for_unit(DiagCode::ShardPopUnmatched, "big#g0s1", 2, 0, "pop".into());
+        assert_eq!(
+            d.to_string(),
+            "error[BW110] unit big#g0s1, segment 2, item 0: pop"
+        );
+        let report = AnalysisReport {
+            diagnostics: vec![d],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"unit\":\"big#g0s1\""));
+        // Program-level findings keep their exact historical shape.
+        let plain = AnalysisReport {
+            diagnostics: vec![Diagnostic::new(DiagCode::VrfOverflow, 0, 1, "x".into())],
+        };
+        assert!(!plain.to_json().contains("\"unit\""));
+    }
+
+    #[test]
+    fn reports_are_deduplicated_and_byte_stable() {
+        // Two passes reporting the same finding, plus out-of-order input:
+        // the report must collapse duplicates and impose the canonical
+        // (code, unit, segment, item, message) order.
+        let twice = vec![
+            Diagnostic::new(DiagCode::DeadStore, 1, 2, "dead".into()),
+            Diagnostic::new(DiagCode::VrfOverflow, 0, 1, "oob".into()),
+            Diagnostic::new(DiagCode::VrfOverflow, 0, 1, "oob".into()),
+            Diagnostic::for_unit(DiagCode::VrfOverflow, "m#seg0", 0, 0, "oob".into()),
+        ];
+        let report = finish_report(twice.clone());
+        assert_eq!(report.diagnostics.len(), 3, "duplicate collapsed");
+        assert_eq!(report.diagnostics[0].code, DiagCode::VrfOverflow);
+        assert!(report.diagnostics[0].unit.is_none(), "None sorts first");
+        assert_eq!(report.diagnostics[1].unit.as_deref(), Some("m#seg0"));
+        assert_eq!(report.diagnostics[2].code, DiagCode::DeadStore);
+
+        // Byte stability: any permutation of the raw findings serializes
+        // identically.
+        let mut reversed = twice;
+        reversed.reverse();
+        assert_eq!(report.to_json(), finish_report(reversed).to_json());
     }
 
     #[test]

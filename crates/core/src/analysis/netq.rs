@@ -24,6 +24,50 @@ struct Traffic {
     vec_pushes: u64,
 }
 
+/// Whole-run network-queue traffic of a program: the closed-form totals
+/// the artifact-level passes compare against peer supply (see
+/// [`super::artifact`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct TrafficTotals {
+    pub(crate) vec_pops: u128,
+    pub(crate) mat_pops: u128,
+    pub(crate) vec_pushes: u128,
+}
+
+/// Totals a program's NetQ traffic across all segments and iterations in
+/// closed form: the first two iterations of each segment are walked
+/// explicitly (register state stabilizes after one pass), the rest are
+/// multiplied out.
+pub(crate) fn program_traffic(program: &crate::isa::Program) -> TrafficTotals {
+    let mut rows = 1u32;
+    let mut cols = 1u32;
+    let mut totals = TrafficTotals::default();
+    for segment in &program.segments {
+        if segment.iterations == 0 {
+            continue;
+        }
+        let explicit = u128::from(segment.iterations.min(2));
+        let mut stable = Traffic::default();
+        for _ in 0..explicit {
+            stable = Traffic::default();
+            for item in &segment.items {
+                let t = item_traffic(item, &mut rows, &mut cols);
+                totals.vec_pops += u128::from(t.vec_pops);
+                totals.mat_pops += u128::from(t.mat_pops);
+                totals.vec_pushes += u128::from(t.vec_pushes);
+                stable.vec_pops += t.vec_pops;
+                stable.mat_pops += t.mat_pops;
+                stable.vec_pushes += t.vec_pushes;
+            }
+        }
+        let rest = u128::from(segment.iterations) - explicit;
+        totals.vec_pops += rest * u128::from(stable.vec_pops);
+        totals.mat_pops += rest * u128::from(stable.mat_pops);
+        totals.vec_pushes += rest * u128::from(stable.vec_pushes);
+    }
+    totals
+}
+
 /// Mirrors the scheduler's register updates while computing an item's
 /// queue traffic: vector reads pop `w_in`, matrix reads pop `rows × cols`
 /// tiles, vector writes push `w_out` — each per NetQ-addressed

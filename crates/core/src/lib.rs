@@ -65,8 +65,10 @@ mod trace_report;
 mod validate;
 
 pub use analysis::{
-    analyze, analyze_with, AnalysisOptions, AnalysisPass, AnalysisReport, Analyzer, DiagCode,
-    Diagnostic, PreloadedRange, Severity,
+    analyze, analyze_artifact, analyze_artifact_with, analyze_with, artifact_cycle_bounds,
+    cycle_bounds, AnalysisOptions, AnalysisPass, AnalysisReport, Analyzer, ArtifactContext,
+    ArtifactPass, ArtifactStage, ArtifactUnit, ArtifactView, CycleBounds, DiagCode, Diagnostic,
+    PreloadedRange, Severity, StageFlow, UnitSummary,
 };
 pub use config::{ConfigError, NpuConfig, NpuConfigBuilder, TimingParams};
 pub use hdd::{DispatchLevel, HddExpansion};

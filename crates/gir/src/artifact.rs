@@ -26,6 +26,14 @@ pub enum ArtifactError {
     Split(crate::split::SplitError),
     /// Lowering or deployment failed.
     Deploy(DeployError),
+    /// Whole-artifact static analysis refused the serving plan (BW11x
+    /// cross-shard dataflow or BW12x SLA diagnostics).
+    Analysis {
+        /// The artifact whose plan was refused.
+        name: String,
+        /// The blocking artifact-level report.
+        report: bw_core::AnalysisReport,
+    },
 }
 
 impl std::fmt::Display for ArtifactError {
@@ -35,6 +43,12 @@ impl std::fmt::Display for ArtifactError {
             ArtifactError::Partition(e) => write!(f, "partition error: {e}"),
             ArtifactError::Split(e) => write!(f, "split error: {e}"),
             ArtifactError::Deploy(e) => write!(f, "deploy error: {e}"),
+            ArtifactError::Analysis { name, report } => write!(
+                f,
+                "artifact analysis refused `{name}`: {} error(s), {} warning(s)",
+                report.error_count(),
+                report.warning_count()
+            ),
         }
     }
 }
@@ -123,6 +137,12 @@ impl ModelArtifact {
     /// Devices one pinned instance occupies.
     pub fn devices_required(&self) -> usize {
         self.deployment.devices_required()
+    }
+
+    /// Guaranteed min/max cycle counts for one inference through this
+    /// artifact's accelerator binaries, when provable.
+    pub fn static_bounds(&self) -> Option<bw_core::CycleBounds> {
+        self.deployment.static_bounds(&self.config)
     }
 
     /// Input dimension one inference consumes.

@@ -9,7 +9,9 @@
 //! the CPU sub-graphs and accelerator sub-graphs".
 
 use bw_core::isa::{MemId, Program, ProgramBuilder};
-use bw_core::{analyze_with, AnalysisOptions, AnalysisReport, Npu, NpuConfig, RunStats, SimError};
+use bw_core::{
+    analyze_with, AnalysisOptions, AnalysisReport, CycleBounds, Npu, NpuConfig, RunStats, SimError,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::ir::{cpu_op_apply, ActFn};
@@ -62,15 +64,49 @@ impl AcceleratorBinary {
     pub fn lint(&self, config: &NpuConfig) -> AnalysisReport {
         analyze_with(&self.program, config, self.analysis_options())
     }
+
+    /// Runs the linter with the [`LowerOptions`] policy applied: a
+    /// declared SLA is converted into a per-binary cycle budget so the
+    /// static cycle-bound pass (BW120–BW122) participates in the gate.
+    pub fn lint_with(&self, config: &NpuConfig, opts: &LowerOptions) -> AnalysisReport {
+        let mut options = self.analysis_options();
+        if let Some(cycles) = opts.sla_cycles(config) {
+            options = options.with_sla_cycles(cycles);
+        }
+        analyze_with(&self.program, config, options)
+    }
+
+    /// Guaranteed min/max cycle counts for one run of this binary, when
+    /// provable.
+    pub fn static_bounds(&self, config: &NpuConfig) -> Option<CycleBounds> {
+        bw_core::cycle_bounds(&self.program, config, &self.analysis_options())
+    }
 }
 
 /// Options controlling how strictly [`Deployment::compile_with`] gates
 /// lowered binaries on the firmware linter.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct LowerOptions {
     /// Reject binaries whose analysis reports contain warnings, not just
     /// errors.
     pub deny_warnings: bool,
+    /// Declared end-to-end service-level agreement in microseconds, if
+    /// any. Compilation refuses models whose static cycle lower bound
+    /// proves the SLA unmeetable on the target config (BW120).
+    pub sla_us: Option<f64>,
+}
+
+impl LowerOptions {
+    /// The SLA converted to cycles on `config`'s clock, if declared.
+    #[must_use]
+    pub fn sla_cycles(&self, config: &NpuConfig) -> Option<u64> {
+        let us = self.sla_us?;
+        if !us.is_finite() || us < 0.0 {
+            return Some(0);
+        }
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        Some((us * 1e-6 * config.clock_hz()).floor() as u64)
+    }
 }
 
 /// Error produced during lowering or federated execution.
@@ -278,7 +314,7 @@ impl Deployment {
                 mrf_entries: mrf_base,
                 bias_entries: bias_base,
             };
-            let report = binary.lint(config);
+            let report = binary.lint_with(config, opts);
             if report.blocks_deployment(opts.deny_warnings) {
                 return Err(DeployError::Rejected {
                     device: *device,
@@ -317,6 +353,18 @@ impl Deployment {
     /// Number of NPUs the deployment requires.
     pub fn devices_required(&self) -> usize {
         self.plan.devices_used
+    }
+
+    /// Guaranteed min/max cycle counts for one inference through every
+    /// accelerator segment of the deployment (binaries run sequentially,
+    /// so per-binary bounds add). `None` when any binary has no provable
+    /// bound. Host CPU stages are not cycle-modeled and excluded.
+    pub fn static_bounds(&self, config: &NpuConfig) -> Option<CycleBounds> {
+        let mut total = CycleBounds { lower: 0, upper: 0 };
+        for binary in &self.binaries {
+            total = total.then(&binary.static_bounds(config)?);
+        }
+        Some(total)
     }
 
     /// Pins every accelerator segment's weights into its NPU.
@@ -640,6 +688,7 @@ mod tests {
         let cfg = config();
         let strict = LowerOptions {
             deny_warnings: true,
+            ..LowerOptions::default()
         };
         let dep = Deployment::compile_with(&p, &plan, &cfg, &strict).unwrap();
         for bin in dep.binaries() {

@@ -14,7 +14,10 @@
 //! product exactly, the distributed execution is bit-identical to a
 //! single device holding the whole model.
 
-use bw_core::NpuConfig;
+use bw_core::{
+    analyze_artifact, artifact_cycle_bounds, AnalysisReport, ArtifactUnit, ArtifactView,
+    CycleBounds, NpuConfig,
+};
 
 use crate::artifact::{ArtifactError, ModelArtifact};
 use crate::ir::GirGraph;
@@ -160,13 +163,58 @@ impl ShardedArtifact {
         }
         flush(&mut run, run_input, &mut segments)?;
 
-        Ok(ShardedArtifact {
+        let artifact = ShardedArtifact {
             name,
             input_dim: split.input_dim,
             output_dim: cursor_dim,
             report,
             segments,
-        })
+        };
+        artifact.gate(opts)?;
+        Ok(artifact)
+    }
+
+    /// Packages an already-compiled serving plan, gated on whole-artifact
+    /// static analysis: the cross-shard NetQ balance, scatter/gather
+    /// deadlock and stage-flow passes must prove the plan live before it
+    /// can exist as a [`ShardedArtifact`].
+    ///
+    /// This is the entry point for hand-assembled plans (tests, external
+    /// toolchains); [`ShardedArtifact::compile`] routes through the same
+    /// gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Analysis`] carrying the blocking report if
+    /// any BW11x/BW12x error fires (warnings too under
+    /// `opts.deny_warnings`).
+    pub fn from_segments(
+        name: impl Into<String>,
+        input_dim: usize,
+        output_dim: usize,
+        segments: Vec<ShardSegment>,
+        opts: &LowerOptions,
+    ) -> Result<ShardedArtifact, ArtifactError> {
+        let artifact = ShardedArtifact {
+            name: name.into(),
+            input_dim,
+            output_dim,
+            report: SplitReport::default(),
+            segments,
+        };
+        artifact.gate(opts)?;
+        Ok(artifact)
+    }
+
+    fn gate(&self, opts: &LowerOptions) -> Result<(), ArtifactError> {
+        let report = self.analyze(opts);
+        if report.blocks_deployment(opts.deny_warnings) {
+            return Err(ArtifactError::Analysis {
+                name: self.name.clone(),
+                report,
+            });
+        }
+        Ok(())
     }
 
     /// The published model name clients address.
@@ -209,6 +257,77 @@ impl ShardedArtifact {
             .map(ShardSegment::width)
             .max()
             .unwrap_or(1)
+    }
+
+    /// The whole-artifact analysis view over the serving plan: one unit
+    /// per accelerator binary, one view stage per pipeline hop, sharded
+    /// segments as scatter/gather groups. Host (CPU) stages are pointwise
+    /// and relay vectors without changing dimension, so consecutive
+    /// binaries chain by the default producer wiring.
+    pub fn analysis_view(&self) -> ArtifactView<'_> {
+        let mut view = ArtifactView::new(&self.name, self.input_dim);
+        for segment in &self.segments {
+            match segment {
+                ShardSegment::Single(a) => {
+                    let binaries = a.deployment().binaries();
+                    for b in binaries {
+                        let unit = view.add_unit(ArtifactUnit {
+                            name: if binaries.len() == 1 {
+                                a.name().to_owned()
+                            } else {
+                                format!("{}#d{}", a.name(), b.device)
+                            },
+                            program: &b.program,
+                            config: a.config(),
+                            options: b.analysis_options(),
+                            input_dim: b.input_dim,
+                            output_dim: b.output_dim,
+                        });
+                        view.push_single(unit);
+                    }
+                }
+                ShardSegment::Sharded(members) => {
+                    let units: Vec<usize> = members
+                        .iter()
+                        .filter_map(|m| {
+                            let b = m.deployment().binaries().first()?;
+                            Some(view.add_unit(ArtifactUnit {
+                                name: m.name().to_owned(),
+                                program: &b.program,
+                                config: m.config(),
+                                options: b.analysis_options(),
+                                input_dim: b.input_dim,
+                                output_dim: b.output_dim,
+                            }))
+                        })
+                        .collect();
+                    view.push_sharded(units);
+                }
+            }
+        }
+        view
+    }
+
+    /// Runs the artifact-level analysis passes (BW11x cross-shard
+    /// dataflow, BW12x SLA when `opts.sla_us` is declared) over the
+    /// serving plan.
+    pub fn analyze(&self, opts: &LowerOptions) -> AnalysisReport {
+        let mut view = self.analysis_view();
+        let config = self
+            .segments
+            .first()
+            .and_then(|s| s.members().first().map(|a| a.config().clone()));
+        if let Some(cycles) = config.and_then(|c| opts.sla_cycles(&c)) {
+            view = view.with_sla_cycles(cycles);
+        }
+        analyze_artifact(&view)
+    }
+
+    /// Guaranteed min/max cycle counts for one inference through the full
+    /// serving plan (stage bounds add; scatter/gather members take the
+    /// max), when provable for every binary.
+    pub fn static_bounds(&self) -> Option<CycleBounds> {
+        artifact_cycle_bounds(&self.analysis_view())
     }
 }
 
@@ -340,5 +459,115 @@ mod tests {
             }
         }
         assert_eq!(value, ref_pin.infer(&x).unwrap(), "bit-identity");
+    }
+
+    #[test]
+    fn compiled_artifacts_expose_provable_cycle_bounds() {
+        let g = mlp(&[16, 64, 8]);
+        let sharded =
+            ShardedArtifact::compile("big", &g, 512, &config(), &LowerOptions::default()).unwrap();
+        let b = sharded.static_bounds().expect("bounds provable");
+        assert!(b.lower > 0 && b.lower <= b.upper);
+        // Per-member bounds compose into the artifact bound: the artifact
+        // lower bound is at least the widest segment's slowest member.
+        for segment in sharded.segments() {
+            for m in segment.members() {
+                assert!(m.static_bounds().expect("member bound").lower <= b.lower);
+            }
+        }
+    }
+
+    #[test]
+    fn unmatched_cross_shard_pop_is_rejected_with_bw110() {
+        // Compile a shard honestly for 16-element scatters (2 native
+        // vectors of pops), then hand-assemble a plan that only scatters
+        // 8 elements (1 vector): the second pop has no matching peer push
+        // and the shard deadlocks. The analysis gate must prove this
+        // statically and refuse the plan.
+        let cfg = config();
+        let g = mlp(&[16, 32, 8]);
+        let member =
+            ModelArtifact::compile("lone#g0s0", &g, 1 << 20, &cfg, &LowerOptions::default())
+                .unwrap();
+        let err = ShardedArtifact::from_segments(
+            "lone",
+            8,
+            8,
+            vec![ShardSegment::Sharded(vec![member.clone(), member])],
+            &LowerOptions::default(),
+        )
+        .unwrap_err();
+        match err {
+            ArtifactError::Analysis { name, report } => {
+                assert_eq!(name, "lone");
+                assert!(report.has_errors());
+                assert!(
+                    report
+                        .diagnostics
+                        .iter()
+                        .any(|d| d.code == bw_core::DiagCode::ShardPopUnmatched),
+                    "expected BW110, got: {report}"
+                );
+            }
+            other => panic!("expected an analysis rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn well_formed_hand_built_plans_pass_the_gate() {
+        let cfg = config();
+        let g = mlp(&[16, 32, 8]);
+        let whole =
+            ModelArtifact::compile("ok#seg0", &g, 1 << 20, &cfg, &LowerOptions::default()).unwrap();
+        let artifact = ShardedArtifact::from_segments(
+            "ok",
+            16,
+            8,
+            vec![ShardSegment::Single(whole)],
+            &LowerOptions::default(),
+        )
+        .unwrap();
+        assert!(artifact.analyze(&LowerOptions::default()).is_clean());
+        assert!(artifact.static_bounds().is_some());
+    }
+
+    #[test]
+    fn unmeetable_sla_is_rejected_at_compile_with_bw120() {
+        // Pick an SLA every binary meets on its own but the composed
+        // pipeline provably cannot: only the artifact-level pass can
+        // refuse it.
+        let cfg = config();
+        let g = mlp(&[16, 64, 8]);
+        let relaxed =
+            ShardedArtifact::compile("tight", &g, 512, &cfg, &LowerOptions::default()).unwrap();
+        let total = relaxed.static_bounds().unwrap();
+        let worst_binary = relaxed
+            .segments()
+            .iter()
+            .flat_map(ShardSegment::members)
+            .map(|m| m.static_bounds().unwrap().lower)
+            .max()
+            .unwrap();
+        assert!(worst_binary < total.lower, "composition must add cycles");
+        let sla_cycles = total.lower - 1;
+        let sla_us = (sla_cycles as f64 + 0.5) / cfg.clock_hz() * 1e6;
+
+        let opts = LowerOptions {
+            sla_us: Some(sla_us),
+            ..LowerOptions::default()
+        };
+        let err = ShardedArtifact::compile("tight", &g, 512, &cfg, &opts).unwrap_err();
+        match err {
+            ArtifactError::Analysis { report, .. } => {
+                assert!(
+                    report
+                        .diagnostics
+                        .iter()
+                        .any(|d| d.code == bw_core::DiagCode::SlaViolation),
+                    "expected BW120, got: {report}"
+                );
+            }
+            other => panic!("expected an SLA rejection, got {other:?}"),
+        }
     }
 }

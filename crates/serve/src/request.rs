@@ -124,6 +124,18 @@ pub enum ServeError {
         /// Failover retries consumed.
         retries: u32,
     },
+    /// The request's deadline budget is provably unmeetable: the model's
+    /// static cycle lower bound already exceeds it, so the request would
+    /// be dead on arrival (rejected before admission; not counted as
+    /// submitted).
+    SlaUnmeetable {
+        /// The model requested.
+        model: String,
+        /// The static lower bound on one inference, in microseconds.
+        bound_us: u64,
+        /// The deadline budget the request allowed, in microseconds.
+        budget_us: u64,
+    },
     /// The server shut down while the request was in flight (counted as
     /// failed).
     Disconnected,
@@ -145,7 +157,9 @@ impl ServeError {
     pub fn was_admitted(&self) -> bool {
         !matches!(
             self,
-            ServeError::UnknownModel(_) | ServeError::BadInput { .. }
+            ServeError::UnknownModel(_)
+                | ServeError::BadInput { .. }
+                | ServeError::SlaUnmeetable { .. }
         )
     }
 }
@@ -173,6 +187,15 @@ impl std::fmt::Display for ServeError {
             } => write!(
                 f,
                 "worker fault on `{model}` after {retries} retries: {message}"
+            ),
+            ServeError::SlaUnmeetable {
+                model,
+                bound_us,
+                budget_us,
+            } => write!(
+                f,
+                "sla unmeetable on `{model}`: static lower bound {bound_us}us \
+                 exceeds the {budget_us}us deadline budget"
             ),
             ServeError::Disconnected => write!(f, "server shut down mid-request"),
             ServeError::Remote(msg) => write!(f, "transport error: {msg}"),

@@ -121,6 +121,17 @@ pub enum SpawnError {
         /// What is wrong.
         String,
     ),
+    /// A declared SLA budget is provably unmeetable: the model's static
+    /// cycle lower bound already exceeds it, so no request could ever
+    /// finish in time. The registry refuses to pin the model.
+    SlaUnmeetable {
+        /// The model whose budget cannot be met.
+        model: String,
+        /// The static lower bound on one inference, in microseconds.
+        bound_us: u64,
+        /// The declared budget, in microseconds.
+        budget_us: u64,
+    },
 }
 
 impl std::fmt::Display for SpawnError {
@@ -130,6 +141,15 @@ impl std::fmt::Display for SpawnError {
             SpawnError::Registry(e) => write!(f, "{e}"),
             SpawnError::Pin { model, error } => write!(f, "pinning `{model}` failed: {error}"),
             SpawnError::BadConfig(msg) => write!(f, "bad config: {msg}"),
+            SpawnError::SlaUnmeetable {
+                model,
+                bound_us,
+                budget_us,
+            } => write!(
+                f,
+                "sla unmeetable: `{model}` has a static lower bound of \
+                 {bound_us}us against a {budget_us}us budget"
+            ),
         }
     }
 }
@@ -142,8 +162,46 @@ impl From<RegistryError> for SpawnError {
     }
 }
 
+/// Pre-admission SLA gate: a request whose deadline budget the model's
+/// static lower bound already exceeds is dead on arrival — reject it
+/// before it is counted as submitted.
+fn check_sla(
+    inner: &ServerInner,
+    model: &str,
+    row: usize,
+    deadline: Duration,
+) -> Result<(), ServeError> {
+    if let Some(bound_us) = inner.bound_us[row] {
+        let budget_us = u64::try_from(deadline.as_micros()).unwrap_or(u64::MAX);
+        if bound_us > budget_us {
+            return Err(ServeError::SlaUnmeetable {
+                model: model.to_owned(),
+                bound_us,
+                budget_us,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Ceil-converts a cycle count into whole microseconds on `clock_hz`.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn cycles_to_us_ceil(cycles: u64, clock_hz: f64) -> u64 {
+    #[allow(clippy::cast_precision_loss)]
+    let us = (cycles as f64) * 1e6 / clock_hz;
+    if !us.is_finite() {
+        return u64::MAX;
+    }
+    us.ceil() as u64
+}
+
 pub(crate) struct ServerInner {
     pub registry: ModelRegistry,
+    /// Static lower bound on one inference in microseconds, per registry
+    /// slot then per shard group (same row layout as `metrics`); `None`
+    /// where no bound is provable. Admission rejects requests whose
+    /// deadline budget the bound already exceeds.
+    pub bound_us: Vec<Option<u64>>,
     pub workers: Vec<WorkerHandle>,
     /// One metrics row per registry model slot, then one per shard group
     /// (group `g`'s row sits at `registry.len() + g`).
@@ -328,6 +386,7 @@ pub struct ServerBuilder {
     registry: ModelRegistry,
     cfg: ServerConfig,
     registry_error: Option<RegistryError>,
+    sla_budgets: Vec<(String, Duration)>,
 }
 
 impl ServerBuilder {
@@ -351,6 +410,15 @@ impl ServerBuilder {
                 self.registry_error = Some(e);
             }
         }
+        self
+    }
+
+    /// Declares a deadline budget the registry must prove `model` (a
+    /// whole model or a shard group) can meet: spawn refuses with
+    /// [`SpawnError::SlaUnmeetable`] if the model's static cycle lower
+    /// bound already exceeds `budget`.
+    pub fn sla_budget(mut self, model: impl Into<String>, budget: Duration) -> Self {
+        self.sla_budgets.push((model.into(), budget));
         self
     }
 
@@ -440,6 +508,60 @@ impl ServerBuilder {
             )));
         }
 
+        // Static admission bounds: one row per registry slot, then one
+        // per shard group (stage bounds add; scatter/gather members take
+        // the max — the gather waits on the slowest shard).
+        let slot_bounds: Vec<Option<u64>> = self
+            .registry
+            .artifacts()
+            .iter()
+            .map(|a| {
+                a.static_bounds()
+                    .map(|b| cycles_to_us_ceil(b.lower, a.config().clock_hz()))
+            })
+            .collect();
+        let mut bound_us = slot_bounds.clone();
+        for group in self.registry.groups() {
+            let total = group.segments.iter().try_fold(0u64, |acc, segment| {
+                let slowest = segment
+                    .members()
+                    .iter()
+                    .map(|&m| slot_bounds[m])
+                    .try_fold(0u64, |mx, b| b.map(|v| mx.max(v)))?;
+                Some(acc.saturating_add(slowest))
+            });
+            bound_us.push(total);
+        }
+
+        // Declared budgets are a registration-time contract: refuse to
+        // pin a model whose bound proves its budget unmeetable.
+        for (model, budget) in &self.sla_budgets {
+            let row = self.registry.index_of(model).or_else(|| {
+                self.registry
+                    .group_index_of(model)
+                    .map(|g| self.registry.len() + g)
+            });
+            let Some(row) = row else {
+                return Err(SpawnError::BadConfig(format!(
+                    "sla budget declared for unregistered model `{model}`"
+                )));
+            };
+            let Some(bound) = bound_us[row] else {
+                return Err(SpawnError::BadConfig(format!(
+                    "sla budget declared for `{model}` but no static cycle \
+                     bound is provable"
+                )));
+            };
+            let budget_us = u64::try_from(budget.as_micros()).unwrap_or(u64::MAX);
+            if bound > budget_us {
+                return Err(SpawnError::SlaUnmeetable {
+                    model: model.clone(),
+                    bound_us: bound,
+                    budget_us,
+                });
+            }
+        }
+
         // Shard ownership: slot -> (shard ordinal, segment width).
         let mut shard_of: Vec<Option<(usize, usize)>> = vec![None; self.registry.len()];
         for group in self.registry.groups() {
@@ -480,6 +602,7 @@ impl ServerBuilder {
             inner: Arc::new(ServerInner {
                 router: Router::new(self.cfg.policy, self.cfg.seed),
                 registry: self.registry,
+                bound_us,
                 workers,
                 metrics,
                 links,
@@ -610,6 +733,7 @@ impl Client {
                 got: input.len(),
             });
         }
+        check_sla(inner, model, model_idx, deadline)?;
 
         let metrics = &inner.metrics[model_idx];
         metrics.submitted.fetch_add(1, Ordering::Relaxed);
@@ -679,6 +803,7 @@ impl Client {
         }
         let name = group.name.clone();
         let metric_idx = inner.registry.len() + group_idx;
+        check_sla(inner, &name, metric_idx, deadline)?;
         inner.metrics[metric_idx]
             .submitted
             .fetch_add(1, Ordering::Relaxed);
@@ -744,6 +869,20 @@ impl Client {
     /// [`Server::prometheus`]).
     pub fn prometheus(&self) -> String {
         self.inner.prometheus()
+    }
+
+    /// The static lower bound on one inference of `model` in
+    /// microseconds, when provable (whole models and shard groups
+    /// alike). This is the bound admission compares deadlines against.
+    pub fn static_bound_us(&self, model: &str) -> Option<u64> {
+        let inner = &self.inner;
+        let row = inner.registry.index_of(model).or_else(|| {
+            inner
+                .registry
+                .group_index_of(model)
+                .map(|g| inner.registry.len() + g)
+        })?;
+        inner.bound_us[row]
     }
 
     /// The input width `model` expects, if registered (whole models and

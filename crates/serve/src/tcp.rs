@@ -118,6 +118,17 @@ fn handle_connection(stream: TcpStream, client: &Client) {
                 let deadline = Duration::from_micros(deadline_us);
                 match client.call(&model, &input, deadline) {
                     Ok(resp) => infer_response(&resp),
+                    // SLA rejections cross the wire typed, so remote
+                    // clients see the same structured error local ones do.
+                    Err(ServeError::SlaUnmeetable {
+                        model,
+                        bound_us,
+                        budget_us,
+                    }) => WireResponse::SlaUnmeetable {
+                        model,
+                        bound_us,
+                        budget_us,
+                    },
                     Err(e) => WireResponse::Error(e.to_string()),
                 }
             }
@@ -225,6 +236,15 @@ impl TcpClient {
                 },
             }),
             WireResponse::Error(msg) => Err(ServeError::Remote(msg)),
+            WireResponse::SlaUnmeetable {
+                model,
+                bound_us,
+                budget_us,
+            } => Err(ServeError::SlaUnmeetable {
+                model,
+                bound_us,
+                budget_us,
+            }),
             _ => Err(ServeError::Remote("unexpected response frame".into())),
         }
     }

@@ -14,6 +14,8 @@
 //!             | u64 resource_stall_cycles | u64 network_us
 //!             | u32 n | f32[n] output
 //! error    := u8 tag=0xEE | u16 msg_len | msg bytes (utf-8)
+//! sla error := u8 tag=0xEF | u16 model_len | model bytes (utf-8)
+//!             | u64 bound_us | u64 budget_us
 //! metrics request  := u8 tag=0x02
 //! metrics response := u8 tag=0x82 | u32 json_len | json bytes (utf-8)
 //! prometheus request  := u8 tag=0x03
@@ -43,6 +45,9 @@ pub const TAG_METRICS_RESPONSE: u8 = 0x82;
 pub const TAG_PROM_RESPONSE: u8 = 0x83;
 /// Error response tag.
 pub const TAG_ERROR: u8 = 0xEE;
+/// Typed SLA-rejection response tag: the request's deadline budget is
+/// below the model's static cycle lower bound.
+pub const TAG_SLA_ERROR: u8 = 0xEF;
 
 /// A decoded client→server message.
 #[derive(Clone, Debug, PartialEq)]
@@ -99,6 +104,19 @@ pub enum WireResponse {
     Prometheus(String),
     /// The request failed; the message is the `ServeError` rendering.
     Error(String),
+    /// The request was refused pre-admission because its deadline budget
+    /// is provably unmeetable: the model's static cycle lower bound
+    /// already exceeds it. Typed (unlike [`WireResponse::Error`]) so
+    /// clients can react — raise the deadline, or route elsewhere —
+    /// without parsing a message string.
+    SlaUnmeetable {
+        /// The model requested.
+        model: String,
+        /// The static lower bound on one inference, in microseconds.
+        bound_us: u64,
+        /// The deadline budget the request allowed, in microseconds.
+        budget_us: u64,
+    },
 }
 
 /// A framing or decoding failure. Terminal for the connection.
@@ -326,6 +344,19 @@ impl WireResponse {
                 buf.extend_from_slice(&msg.as_bytes()[..msg.len().min(u16::MAX as usize)]);
                 buf
             }
+            WireResponse::SlaUnmeetable {
+                model,
+                bound_us,
+                budget_us,
+            } => {
+                let mut buf = Vec::with_capacity(1 + 2 + model.len() + 8 + 8);
+                buf.push(TAG_SLA_ERROR);
+                put_u16(&mut buf, model.len().min(u16::MAX as usize) as u16);
+                buf.extend_from_slice(&model.as_bytes()[..model.len().min(u16::MAX as usize)]);
+                put_u64(&mut buf, *bound_us);
+                put_u64(&mut buf, *budget_us);
+                buf
+            }
         }
     }
 
@@ -384,6 +415,18 @@ impl WireResponse {
                 let msg = c.string(len, "error message")?;
                 c.done("error response")?;
                 Ok(WireResponse::Error(msg))
+            }
+            TAG_SLA_ERROR => {
+                let len = c.u16("model name length")? as usize;
+                let model = c.string(len, "model name")?;
+                let bound_us = c.u64("bound us")?;
+                let budget_us = c.u64("budget us")?;
+                c.done("sla error response")?;
+                Ok(WireResponse::SlaUnmeetable {
+                    model,
+                    bound_us,
+                    budget_us,
+                })
             }
             t => Err(WireError::BadTag(t)),
         }
@@ -478,6 +521,12 @@ mod tests {
         assert_eq!(WireResponse::decode(&resp.encode()).unwrap(), resp);
         let err = WireResponse::Error("model `x` is not registered".into());
         assert_eq!(WireResponse::decode(&err.encode()).unwrap(), err);
+        let sla = WireResponse::SlaUnmeetable {
+            model: "lstm".into(),
+            bound_us: 900,
+            budget_us: 250,
+        };
+        assert_eq!(WireResponse::decode(&sla.encode()).unwrap(), sla);
         let m = WireResponse::Metrics("{\"models\":[]}".into());
         assert_eq!(WireResponse::decode(&m.encode()).unwrap(), m);
         let p = WireResponse::Prometheus("# TYPE bw_worker_alive gauge\n".into());

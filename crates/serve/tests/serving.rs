@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bw_serve::demo::{demo_input, mlp_artifact};
-use bw_serve::{Routing, ServeError, Server};
+use bw_serve::{Routing, ServeError, Server, SpawnError};
 
 const DEADLINE: Duration = Duration::from_secs(10);
 
@@ -127,18 +127,79 @@ fn tight_deadlines_fail_explicitly() {
         .spawn()
         .unwrap();
     let client = server.client();
-    // A zero-ish deadline cannot be met; the error must be explicit and
-    // the request accounted as failed.
+    // A zero-ish deadline is provably unmeetable — the static cycle
+    // lower bound alone exceeds it — so admission rejects it typed,
+    // before it is counted as submitted.
+    let bound = client
+        .static_bound_us("mlp")
+        .expect("mlp has a provable bound");
     let err = client
         .call("mlp", &demo_input(16, 0), Duration::from_nanos(1))
         .unwrap_err();
-    assert!(
-        matches!(err, ServeError::DeadlineExceeded { .. }),
-        "got {err}"
-    );
+    match err {
+        ServeError::SlaUnmeetable {
+            ref model,
+            bound_us,
+            budget_us,
+        } => {
+            assert_eq!(model, "mlp");
+            assert_eq!(bound_us, bound);
+            assert_eq!(budget_us, 0);
+        }
+        other => panic!("expected a typed SLA rejection, got {other}"),
+    }
+    assert!(!err.was_admitted());
     let m = server.metrics();
-    assert_eq!(m.models[0].failed, 1);
+    assert_eq!(m.models[0].submitted, 0, "rejected before admission");
+    assert_eq!(m.models[0].failed, 0);
     assert_eq!(m.models[0].completed, 0);
+}
+
+#[test]
+fn declared_sla_budgets_gate_registration() {
+    // A budget below the model's static lower bound is refused at spawn:
+    // the registry will not pin a model it can prove is always late.
+    let spawn = Server::builder()
+        .model(mlp_artifact("mlp", &[16, 32, 8], 5))
+        .sla_budget("mlp", Duration::from_nanos(1))
+        .replicas(1)
+        .spawn();
+    match spawn {
+        Err(SpawnError::SlaUnmeetable {
+            model,
+            bound_us,
+            budget_us,
+        }) => {
+            assert_eq!(model, "mlp");
+            assert!(bound_us > 0);
+            assert_eq!(budget_us, 0);
+        }
+        Err(other) => panic!("expected an SLA spawn refusal, got {other}"),
+        Ok(_) => panic!("a provably-late model must not spawn"),
+    }
+
+    // A generous budget spawns, and the admitted bound is the one the
+    // gate compared against.
+    let server = Server::builder()
+        .model(mlp_artifact("mlp", &[16, 32, 8], 5))
+        .sla_budget("mlp", Duration::from_secs(1))
+        .replicas(1)
+        .spawn()
+        .unwrap();
+    let bound = server.client().static_bound_us("mlp").unwrap();
+    assert!(bound > 0 && bound <= 1_000_000);
+
+    // Budgets for names nobody registered are a configuration error.
+    let spawn = Server::builder()
+        .model(mlp_artifact("mlp", &[16, 8], 3))
+        .sla_budget("ghost", Duration::from_secs(1))
+        .replicas(1)
+        .spawn();
+    match spawn {
+        Err(SpawnError::BadConfig(_)) => {}
+        Err(other) => panic!("expected a config error, got {other}"),
+        Ok(_) => panic!("a budget for an unregistered model must not spawn"),
+    }
 }
 
 /// The acceptance scenario: one worker killed mid-run with deadlines set.

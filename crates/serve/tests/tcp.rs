@@ -73,3 +73,46 @@ fn concurrent_tcp_clients_are_isolated() {
     let m = server.metrics();
     assert_eq!(m.models[0].completed, 20);
 }
+
+#[test]
+fn sla_rejections_cross_the_wire_typed() {
+    let server = Server::builder()
+        .model(mlp_artifact("mlp", &[16, 32, 8], 7))
+        .replicas(1)
+        .spawn()
+        .unwrap();
+    let bound = server
+        .client()
+        .static_bound_us("mlp")
+        .expect("mlp has a provable bound");
+
+    let frontend = TcpFrontend::bind(&server, "127.0.0.1:0").unwrap();
+    let mut client = TcpClient::connect(frontend.addr()).unwrap();
+
+    // A deadline below the static lower bound comes back as the typed
+    // SLA frame, not a stringly error — remote clients see the same
+    // structured rejection local ones do.
+    let err = client
+        .call("mlp", &demo_input(16, 1), Duration::from_micros(0))
+        .unwrap_err();
+    match err {
+        ServeError::SlaUnmeetable {
+            ref model,
+            bound_us,
+            budget_us,
+        } => {
+            assert_eq!(model, "mlp");
+            assert_eq!(bound_us, bound);
+            assert_eq!(budget_us, 0);
+        }
+        other => panic!("expected a typed SLA rejection over TCP, got {other}"),
+    }
+
+    // The connection survives the rejection and still serves work.
+    let resp = client.call("mlp", &demo_input(16, 1), DEADLINE).unwrap();
+    assert_eq!(resp.output.len(), 8);
+    let m = server.metrics();
+    assert_eq!(m.models[0].submitted, 1, "the rejection was never admitted");
+
+    frontend.shutdown();
+}

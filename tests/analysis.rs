@@ -154,6 +154,7 @@ fn gir_deployment_gate_passes_clean_pipelines_and_blocks_bad_binaries() {
         &cfg(),
         &gir::LowerOptions {
             deny_warnings: true,
+            ..gir::LowerOptions::default()
         },
     )
     .unwrap();

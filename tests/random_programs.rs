@@ -227,3 +227,250 @@ proptest! {
         prop_assert_eq!(Program::parse_asm(&text).unwrap(), program);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Whole-artifact plan fuzzing: scatter/gather pipelines assembled from
+// random shard programs, checked against a reference executor. The
+// cross-shard passes must never panic on mutated or byte-corrupted plans,
+// and must never report an artifact as deadlocking when the reference
+// scatter/gather execution completes cleanly.
+// ---------------------------------------------------------------------------
+
+/// Per-stage plan: one entry per member giving that member's output
+/// vector count. Member input pops are derived from the upstream gather,
+/// so a generated plan is balanced by construction.
+type StagePlan = Vec<u32>;
+
+fn stages_strategy() -> impl Strategy<Value = Vec<StagePlan>> {
+    prop::collection::vec(prop::collection::vec(1u32..4, 1..4), 1..4)
+}
+
+/// A shard program popping `pops` NetQ vectors and pushing `pushes`
+/// output vectors, staging through the InitialVrf halves.
+fn shard_program(pops: u32, pushes: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.set_rows(1).set_cols(1);
+    for i in 0..pops {
+        b.v_rd(MemId::NetQ, 0)
+            .v_wr(MemId::InitialVrf, VRF / 2 + i % (VRF / 2))
+            .end_chain()
+            .expect("pop chain is valid");
+    }
+    for i in 0..pushes {
+        b.v_rd(MemId::InitialVrf, i % (VRF / 2))
+            .v_wr(MemId::NetQ, 0)
+            .end_chain()
+            .expect("push chain is valid");
+    }
+    b.build()
+}
+
+/// The deployment facts a serving runtime declares for one shard.
+fn shard_options(pops: u32, pushes: u32) -> AnalysisOptions {
+    AnalysisOptions::default()
+        .preload(MemId::InitialVrf, 0, VRF)
+        .with_input_vectors(u64::from(pops))
+        .with_expected_outputs(u64::from(pushes))
+}
+
+/// Owned pieces of a generated artifact plan; programs must outlive the
+/// borrowed [`ArtifactView`].
+struct Plan {
+    programs: Vec<Program>,
+    /// `(pops, pushes)` per unit, in stage order.
+    meta: Vec<(u32, u32)>,
+    stages: Vec<StagePlan>,
+    input_vectors: u32,
+}
+
+fn build_plan(input_vectors: u32, stages: &[StagePlan]) -> Plan {
+    let mut programs = Vec::new();
+    let mut meta = Vec::new();
+    let mut vin = input_vectors;
+    for members in stages {
+        for &pushes in members {
+            programs.push(shard_program(vin, pushes));
+            meta.push((vin, pushes));
+        }
+        vin = members.iter().sum();
+    }
+    Plan {
+        programs,
+        meta,
+        stages: stages.to_vec(),
+        input_vectors,
+    }
+}
+
+/// Assembles the artifact view over `programs` (usually the plan's own,
+/// or a mutated copy). `dim_bump` misdeclares one unit's input width.
+fn plan_view<'a>(
+    plan: &Plan,
+    programs: &'a [Program],
+    config: &'a NpuConfig,
+    dim_bump: Option<usize>,
+) -> ArtifactView<'a> {
+    let mut view = ArtifactView::new("fuzz", (plan.input_vectors * ND) as usize);
+    let mut ui = 0;
+    for (si, members) in plan.stages.iter().enumerate() {
+        let mut us = Vec::new();
+        for mi in 0..members.len() {
+            let (pops, pushes) = plan.meta[ui];
+            let mut input_dim = (pops * ND) as usize;
+            if dim_bump == Some(ui) {
+                input_dim += ND as usize;
+            }
+            us.push(view.add_unit(ArtifactUnit {
+                name: format!("fuzz#g{si}s{mi}"),
+                program: &programs[ui],
+                config,
+                options: shard_options(pops, pushes),
+                input_dim,
+                output_dim: (pushes * ND) as usize,
+            }));
+            ui += 1;
+        }
+        if us.len() == 1 {
+            view.push_single(us[0]);
+        } else {
+            view.push_sharded(us);
+        }
+    }
+    view
+}
+
+/// The reference scatter/gather executor for one shard: push the full
+/// scatter payload, run, collect the gathered outputs.
+fn run_shard(program: &Program, payload: &[Vec<f32>]) -> Vec<Vec<f32>> {
+    let mut npu = Npu::new(cfg());
+    for slot in 0..VRF {
+        let v: Vec<f32> = (0..ND)
+            .map(|i| ((slot + i) as f32 * 0.21).cos() * 0.5)
+            .collect();
+        npu.load_vector(MemId::InitialVrf, slot, &v).unwrap();
+    }
+    for v in payload {
+        npu.push_input(v.clone()).expect("scatter push fits");
+    }
+    npu.run(program).expect("a balanced shard runs cleanly");
+    let mut outs = Vec::new();
+    while let Some(v) = npu.pop_output() {
+        outs.push(v);
+    }
+    outs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The differential guarantee: an artifact whose reference
+    /// scatter/gather execution completes cleanly must never be reported
+    /// as deadlocking (no BW110), and its composed bound is provable.
+    #[test]
+    fn clean_artifacts_match_the_reference_scatter_gather_executor(
+        v0 in 1u32..4,
+        stages in stages_strategy(),
+    ) {
+        let plan = build_plan(v0, &stages);
+        let config = cfg();
+        let view = plan_view(&plan, &plan.programs, &config, None);
+
+        // Reference execution: scatter the payload to every member of a
+        // stage, run each on a live NPU, gather the concatenated outputs
+        // into the next stage's payload.
+        let mut payload: Vec<Vec<f32>> = (0..v0)
+            .map(|k| (0..ND).map(|i| ((k * ND + i) as f32 * 0.07).sin()).collect())
+            .collect();
+        let mut ui = 0;
+        for members in &stages {
+            let mut gathered = Vec::new();
+            for &pushes in members {
+                let outs = run_shard(&plan.programs[ui], &payload);
+                prop_assert_eq!(outs.len(), pushes as usize, "gather count");
+                gathered.extend(outs);
+                ui += 1;
+            }
+            payload = gathered;
+        }
+        prop_assert!(payload.iter().all(|v| v.iter().all(|x| x.is_finite())));
+
+        // The static verdict must agree with the clean execution.
+        let report = analyze_artifact(&view);
+        prop_assert!(
+            !report.diagnostics.iter().any(|d| d.code == DiagCode::ShardPopUnmatched),
+            "clean artifact reported as deadlocking:\n{}", report
+        );
+        prop_assert_eq!(report.error_count(), 0, "{}", report);
+        let b = artifact_cycle_bounds(&view).expect("clean artifact has a provable bound");
+        prop_assert!(b.lower > 0 && b.lower <= b.upper);
+    }
+
+    /// Structural mutations of a balanced plan — excess/missing pops or
+    /// pushes, a misdeclared width, a self-referential stage — are each
+    /// flagged as errors, never panics, and the report is deterministic.
+    #[test]
+    fn mutated_artifact_plans_are_flagged_never_panicked(
+        v0 in 1u32..4,
+        stages in stages_strategy(),
+        pick in any::<u16>(),
+        kind in 0u8..6,
+    ) {
+        let plan = build_plan(v0, &stages);
+        let config = cfg();
+        let ui = usize::from(pick) % plan.programs.len();
+        let (pops, pushes) = plan.meta[ui];
+
+        let mut programs = plan.programs.clone();
+        let mut dim_bump = None;
+        match kind {
+            0 => programs[ui] = shard_program(pops + 1, pushes),
+            1 => programs[ui] = shard_program(pops - 1, pushes),
+            2 => programs[ui] = shard_program(pops, pushes + 1),
+            3 => programs[ui] = shard_program(pops, pushes - 1),
+            4 => dim_bump = Some(ui),
+            _ => {}
+        }
+        let mut view = plan_view(&plan, &programs, &config, dim_bump);
+        if kind == 5 {
+            // A stage consuming its own gather: an ordering cycle.
+            let s = usize::from(pick) % stages.len();
+            view.set_stage_input(s, s);
+        }
+
+        let report = analyze_artifact(&view);
+        prop_assert!(
+            report.error_count() > 0,
+            "mutation kind {} on unit {} went unflagged:\n{}", kind, ui, report
+        );
+        // Deterministic: a second run renders the identical report.
+        prop_assert_eq!(report.to_string(), analyze_artifact(&view).to_string());
+        // Bounds may be unprovable on a corrupted plan, but never panic.
+        let _ = artifact_cycle_bounds(&view);
+    }
+
+    /// Bit-level corruption of one shard's firmware: whatever the bytes
+    /// decode to, the artifact passes classify it — they never panic.
+    #[test]
+    fn byte_corrupted_shard_plans_never_panic_the_artifact_passes(
+        v0 in 1u32..4,
+        stages in stages_strategy(),
+        pick in any::<u16>(),
+        byte in any::<u16>(),
+        bit in 0u8..8,
+    ) {
+        let plan = build_plan(v0, &stages);
+        let ui = usize::from(pick) % plan.programs.len();
+        let mut bytes = plan.programs[ui].encode();
+        let i = usize::from(byte) % bytes.len();
+        bytes[i] ^= 1 << bit;
+        if let Ok(corrupt) = Program::decode(&bytes) {
+            let mut programs = plan.programs.clone();
+            programs[ui] = corrupt;
+            let config = cfg();
+            let view = plan_view(&plan, &programs, &config, None);
+            let report = analyze_artifact(&view);
+            let _ = artifact_cycle_bounds(&view);
+            prop_assert_eq!(report.to_string(), analyze_artifact(&view).to_string());
+        }
+    }
+}

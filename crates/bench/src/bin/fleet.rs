@@ -1,0 +1,479 @@
+//! Fleet chaos/elasticity benchmark: a live `bw-serve` pool under a
+//! `bw-fleet` controller, hit with the three faults the controller
+//! exists to absorb — a load step, a worker kill, and a link
+//! degradation — while traffic keeps flowing.
+//!
+//! Each scenario measures the pool in fixed windows (latency percentiles
+//! or shed/replica counts per window) so the fault, the controller's
+//! reaction, and the recovery are all visible in `BENCH_fleet.json`,
+//! and asserts that the controller restored the pool without human
+//! intervention:
+//!
+//! - **load-step** — an open-loop [`LoadSchedule`] steps from under to
+//!   over single-replica capacity; the controller must grow the replica
+//!   set until shedding stops.
+//! - **worker-kill** — one of two pinned replicas dies mid-run; the
+//!   controller must re-pin (paying the weight-preload cost) and tail
+//!   latency must come back.
+//! - **link-degradation** — the sole replica's link slows 25×; the
+//!   controller must repack the model onto a healthy worker.
+//!
+//! Every scenario also checks the accounting identity
+//! `completed + shed + failed == submitted` on the server's own metrics.
+//!
+//! Usage: `cargo run --release -p bw-bench --bin fleet [-- --quick]`
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use bw_fleet::{FleetConfig, FleetController, FleetMetrics};
+use bw_serve::demo::{demo_input, mlp_artifact};
+use bw_serve::{
+    run_loadgen, ArrivalProcess, LoadSchedule, LoadgenConfig, NetworkModel, PreloadModel, Routing,
+    Server,
+};
+
+const MODEL: &str = "fleet-mlp";
+const WIDTHS: &[usize] = &[64, 256, 64];
+const SEED: u64 = 11;
+const DEADLINE: Duration = Duration::from_secs(5);
+
+fn parse_quick() -> bool {
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            other => panic!("unknown flag `{other}`"),
+        }
+    }
+    quick
+}
+
+/// Boots the standard scenario pool: `workers` workers over `net`, the
+/// model pinned on `homes`, least-outstanding routing, and a non-free
+/// preload so controller reactions pay simulated time.
+fn boot(workers: usize, homes: Vec<usize>, net: NetworkModel) -> Arc<Server> {
+    Arc::new(
+        Server::builder()
+            .model(mlp_artifact(MODEL, WIDTHS, SEED))
+            .replicas(workers)
+            .queue_cap(32)
+            .policy(Routing::LeastOutstanding)
+            .network(net)
+            .preload(PreloadModel::free().fill_bandwidth(8e9).setup(200e-6))
+            .pin_on(MODEL, homes)
+            .spawn()
+            .expect("server spawns"),
+    )
+}
+
+/// Warm batch-1 service seconds on a private replica (sizes the offered
+/// rates relative to real pool capacity).
+fn probe_service_s() -> f64 {
+    let artifact = mlp_artifact(MODEL, WIDTHS, SEED);
+    let mut pinned = artifact.pin().expect("demo artifact pins");
+    let input = demo_input(artifact.input_dim(), 0);
+    let _ = pinned.infer(&input).expect("warm-up inference");
+    let t0 = Instant::now();
+    let probes = 40;
+    for _ in 0..probes {
+        let _ = pinned.infer(&input).expect("probe inference");
+    }
+    t0.elapsed().as_secs_f64() / f64::from(probes)
+}
+
+fn percentile_us(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx] * 1e6
+}
+
+fn assert_identity(server: &Server, scenario: &str) {
+    for m in server.metrics().models {
+        assert_eq!(
+            m.completed + m.shed + m.failed,
+            m.submitted,
+            "{scenario}: accounting identity broken for {}",
+            m.model
+        );
+    }
+}
+
+/// One measurement window of a closed-loop scenario.
+struct Window {
+    completed: u64,
+    errors: u64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// Drives `threads` closed-loop callers for `windows` windows of
+/// `window_ms`, invoking `fault` at the start of window `fault_at`, and
+/// returns per-window latency/error stats.
+fn closed_loop(
+    server: &Arc<Server>,
+    threads: usize,
+    windows: usize,
+    window_ms: u64,
+    fault_at: usize,
+    fault: impl FnOnce(&Server),
+) -> Vec<Window> {
+    let epoch = Arc::new(AtomicUsize::new(0));
+    let lats: Arc<Vec<Mutex<Vec<f64>>>> =
+        Arc::new((0..windows).map(|_| Mutex::new(Vec::new())).collect());
+    let errs: Arc<Vec<AtomicU64>> = Arc::new((0..windows).map(|_| AtomicU64::new(0)).collect());
+
+    let callers: Vec<_> = (0..threads)
+        .map(|t| {
+            let server = Arc::clone(server);
+            let epoch = Arc::clone(&epoch);
+            let lats = Arc::clone(&lats);
+            let errs = Arc::clone(&errs);
+            thread::spawn(move || {
+                let client = server.client();
+                let mut i = t as u64;
+                loop {
+                    let w = epoch.load(Ordering::Acquire);
+                    if w >= lats.len() {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    match client.call(MODEL, &demo_input(WIDTHS[0], i % 32), DEADLINE) {
+                        Ok(_) => lats[w].lock().unwrap().push(t0.elapsed().as_secs_f64()),
+                        Err(_) => {
+                            errs[w].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+
+    let mut fault = Some(fault);
+    for w in 0..windows {
+        if w == fault_at {
+            if let Some(f) = fault.take() {
+                f(server);
+            }
+        }
+        thread::sleep(Duration::from_millis(window_ms));
+        epoch.store(w + 1, Ordering::Release);
+    }
+    for c in callers {
+        c.join().expect("caller thread");
+    }
+
+    (0..windows)
+        .map(|w| {
+            let mut l = lats[w].lock().unwrap().clone();
+            l.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            Window {
+                completed: l.len() as u64,
+                errors: errs[w].load(Ordering::Relaxed),
+                p50_us: percentile_us(&l, 0.50),
+                p99_us: percentile_us(&l, 0.99),
+            }
+        })
+        .collect()
+}
+
+/// Pooled p99 over a window range.
+fn pooled_p99_us(windows: &[Window], range: std::ops::Range<usize>) -> f64 {
+    // Windows already hold percentiles; pool by worst window in range —
+    // conservative and monotone under recovery.
+    windows[range].iter().map(|w| w.p99_us).fold(0.0, f64::max)
+}
+
+fn windows_json(windows: &[Window]) -> String {
+    let rows: Vec<String> = windows
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            format!(
+                "{{\"window\": {}, \"completed\": {}, \"errors\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}",
+                i, w.completed, w.errors, w.p50_us, w.p99_us
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(", "))
+}
+
+/// Scenario 1: open-loop load step against one replica of a four-worker
+/// pool; the controller must scale out until shedding stops.
+fn scenario_load_step(quick: bool, service_s: f64) -> String {
+    let server = boot(4, vec![0], NetworkModel::with_hop(5e-6).bandwidth(10e9));
+    let single_capacity = 1.0 / service_s;
+    let (low_s, high_s) = if quick { (0.3, 0.9) } else { (0.6, 1.8) };
+    let schedule = LoadSchedule::constant(0.4 * single_capacity, low_s)
+        .then_step(2.2 * single_capacity, high_s);
+
+    let cfg = FleetConfig {
+        min_replicas: 1,
+        max_replicas: 4,
+        scale_up_depth: 2,
+        scale_down_idle_ticks: u32::MAX,
+        cooldown_ticks: 2,
+        tick: Duration::from_millis(5),
+    };
+    let handle = FleetController::new(Arc::clone(&server), cfg).run();
+
+    let loadgen = {
+        let server = Arc::clone(&server);
+        thread::spawn(move || {
+            run_loadgen(
+                &server.client(),
+                &LoadgenConfig {
+                    model: MODEL.to_owned(),
+                    arrivals: ArrivalProcess::Poisson { rate_per_s: 1.0 },
+                    requests: 0,
+                    deadline: DEADLINE,
+                    seed: 23,
+                    schedule: Some(schedule),
+                },
+            )
+        })
+    };
+
+    // Sample replica count and shed/completed deltas while load flows.
+    let window_ms = if quick { 60 } else { 120 };
+    let mut samples = Vec::new();
+    let (mut last_shed, mut last_done) = (0u64, 0u64);
+    while !loadgen.is_finished() {
+        thread::sleep(Duration::from_millis(window_ms));
+        let m = server.metrics().models.remove(0);
+        samples.push((
+            server.pinned_workers(MODEL).len(),
+            m.shed - last_shed,
+            m.completed - last_done,
+        ));
+        last_shed = m.shed;
+        last_done = m.completed;
+    }
+    let report = loadgen.join().expect("loadgen thread");
+    handle.stop();
+
+    assert_eq!(
+        report.completed + report.shed + report.failed + report.rejected,
+        report.offered as u64,
+        "load-step: loadgen accounting must cover every offered request"
+    );
+    assert_identity(&server, "load-step");
+    let replicas_peak = samples.iter().map(|s| s.0).max().unwrap_or(0);
+    assert!(
+        replicas_peak >= 2,
+        "load-step: controller never scaled out (peak {replicas_peak})"
+    );
+    let tail_shed: u64 = samples.iter().rev().take(2).map(|s| s.1).sum();
+    assert_eq!(
+        tail_shed, 0,
+        "load-step: still shedding after the controller reacted"
+    );
+    eprintln!(
+        "load-step: offered {} completed {} shed {} | replicas 1 -> {replicas_peak}, tail shed {tail_shed}",
+        report.offered, report.completed, report.shed
+    );
+
+    let rows: Vec<String> = samples
+        .iter()
+        .enumerate()
+        .map(|(i, (replicas, shed, done))| {
+            format!(
+                "{{\"window\": {i}, \"replicas\": {replicas}, \"shed\": {shed}, \"completed\": {done}}}"
+            )
+        })
+        .collect();
+    format!(
+        "{{\n    \"name\": \"load-step\",\n    \"single_replica_capacity_rps\": {:.1},\n    \
+         \"replicas_peak\": {},\n    \"tail_shed\": {},\n    \"recovered\": true,\n    \
+         \"loadgen\": {},\n    \"windows\": [{}]\n  }}",
+        single_capacity,
+        replicas_peak,
+        tail_shed,
+        report.to_json(),
+        rows.join(", ")
+    )
+}
+
+/// Scenario 2: kill one of two pinned replicas mid-run; the controller
+/// must re-pin a replacement and the tail must recover.
+fn scenario_worker_kill(quick: bool) -> String {
+    let server = boot(3, vec![0, 1], NetworkModel::with_hop(5e-6).bandwidth(10e9));
+    // Autoscaling is disabled (depth threshold unreachable) so the
+    // scenario isolates repair: only the kill can change the replica set.
+    let cfg = FleetConfig {
+        min_replicas: 2,
+        max_replicas: 3,
+        scale_up_depth: usize::MAX,
+        scale_down_idle_ticks: u32::MAX,
+        cooldown_ticks: 1,
+        tick: Duration::from_millis(5),
+    };
+    let handle = FleetController::new(Arc::clone(&server), cfg).run();
+
+    let windows = 9;
+    let window_ms = if quick { 60 } else { 120 };
+    let stats = closed_loop(&server, 4, windows, window_ms, 3, |s| {
+        assert!(s.kill_worker(0), "worker 0 should die on request");
+    });
+    let metrics = handle.metrics();
+    handle.stop();
+
+    let p99_before = pooled_p99_us(&stats, 0..3);
+    let p99_during = pooled_p99_us(&stats, 3..5);
+    let p99_after = pooled_p99_us(&stats, windows - 3..windows);
+    let errors_after: u64 = stats[windows - 3..].iter().map(|w| w.errors).sum();
+    let repairs = metrics.repairs.load(Ordering::Relaxed);
+
+    assert_identity(&server, "worker-kill");
+    assert!(repairs >= 1, "worker-kill: controller never repaired");
+    assert_eq!(
+        server.pinned_workers(MODEL).len(),
+        2,
+        "worker-kill: replica floor not restored"
+    );
+    assert_eq!(errors_after, 0, "worker-kill: still failing after repair");
+    let recovered = p99_after <= (10.0 * p99_before).max(5000.0);
+    assert!(
+        recovered,
+        "worker-kill: p99 never recovered ({p99_before:.0} us -> {p99_after:.0} us)"
+    );
+    eprintln!(
+        "worker-kill: p99 {p99_before:.0} us -> {p99_during:.0} us (fault) -> {p99_after:.0} us, {repairs} repair(s)"
+    );
+
+    format!(
+        "{{\n    \"name\": \"worker-kill\",\n    \"p99_before_us\": {:.1},\n    \
+         \"p99_during_us\": {:.1},\n    \"p99_after_us\": {:.1},\n    \
+         \"errors_after\": {},\n    \"repairs\": {},\n    \"recovered\": {},\n    \
+         \"windows\": {}\n  }}",
+        p99_before,
+        p99_during,
+        p99_after,
+        errors_after,
+        repairs,
+        recovered,
+        windows_json(&stats)
+    )
+}
+
+/// Scenario 3: the sole replica's link degrades 25×; the controller must
+/// repack the model onto a healthy worker and the tail must recover.
+fn scenario_link_degradation(quick: bool) -> String {
+    let net = NetworkModel::with_hop(20e-6).bandwidth(1e9);
+    let server = boot(3, vec![0], net);
+    // Autoscaling is disabled here too: the scenario isolates the
+    // repack, so the final placement is exactly one healthy worker.
+    let cfg = FleetConfig {
+        min_replicas: 1,
+        max_replicas: 3,
+        scale_up_depth: usize::MAX,
+        scale_down_idle_ticks: u32::MAX,
+        cooldown_ticks: 1,
+        tick: Duration::from_millis(5),
+    };
+    let handle = FleetController::new(Arc::clone(&server), cfg).run();
+
+    let windows = 9;
+    let window_ms = if quick { 60 } else { 120 };
+    let stats = closed_loop(&server, 3, windows, window_ms, 3, move |s| {
+        s.set_network(net.degrade_link(0, 25.0));
+    });
+    let metrics = handle.metrics();
+    handle.stop();
+
+    let p99_before = pooled_p99_us(&stats, 0..3);
+    let p99_during = pooled_p99_us(&stats, 3..5);
+    let p99_after = pooled_p99_us(&stats, windows - 3..windows);
+    let repairs = metrics.repairs.load(Ordering::Relaxed);
+    let pinned = server.pinned_workers(MODEL);
+
+    assert_identity(&server, "link-degradation");
+    assert!(repairs >= 1, "link-degradation: controller never repacked");
+    assert!(
+        pinned.len() == 1 && !pinned.contains(&0),
+        "link-degradation: replica still on the degraded link ({pinned:?})"
+    );
+    let recovered = p99_after <= (10.0 * p99_before).max(5000.0);
+    assert!(
+        recovered,
+        "link-degradation: p99 never recovered ({p99_before:.0} us -> {p99_after:.0} us)"
+    );
+    eprintln!(
+        "link-degradation: p99 {p99_before:.0} us -> {p99_during:.0} us (fault) -> {p99_after:.0} us, repacked to {pinned:?}"
+    );
+
+    format!(
+        "{{\n    \"name\": \"link-degradation\",\n    \"p99_before_us\": {:.1},\n    \
+         \"p99_during_us\": {:.1},\n    \"p99_after_us\": {:.1},\n    \
+         \"repairs\": {},\n    \"final_placement\": {:?},\n    \"recovered\": {},\n    \
+         \"windows\": {}\n  }}",
+        p99_before,
+        p99_during,
+        p99_after,
+        repairs,
+        pinned,
+        recovered,
+        windows_json(&stats)
+    )
+}
+
+fn fleet_counters_json(metrics: &FleetMetrics) -> String {
+    format!(
+        "{{\"scale_ups\": {}, \"scale_downs\": {}, \"repairs\": {}, \"migrations\": {}, \
+         \"apply_failures\": {}, \"preload_ns\": {}}}",
+        metrics.scale_ups.load(Ordering::Relaxed),
+        metrics.scale_downs.load(Ordering::Relaxed),
+        metrics.repairs.load(Ordering::Relaxed),
+        metrics.migrations.load(Ordering::Relaxed),
+        metrics.apply_failures.load(Ordering::Relaxed),
+        metrics.preload_ns.load(Ordering::Relaxed),
+    )
+}
+
+fn main() {
+    let quick = parse_quick();
+    let service_s = probe_service_s();
+    eprintln!("measured service time: {:.1} µs/inference", service_s * 1e6);
+
+    // A standalone migration demonstration rides along: it is the one
+    // fleet operation the chaos scenarios don't trigger on their own.
+    let mig_server = boot(2, vec![0], NetworkModel::with_hop(5e-6).bandwidth(10e9));
+    let fm = FleetMetrics::new();
+    let mig = bw_fleet::migrate(&mig_server, MODEL, 0, 1, &fm).expect("migration succeeds");
+    assert_identity(&mig_server, "migration");
+    eprintln!(
+        "migration: {} moved {} -> {} paying {:.0} µs preload",
+        mig.model,
+        mig.from,
+        mig.to,
+        mig.preload.as_secs_f64() * 1e6
+    );
+
+    let s1 = scenario_load_step(quick, service_s);
+    let s2 = scenario_worker_kill(quick);
+    let s3 = scenario_link_degradation(quick);
+
+    let json = format!(
+        "{{\n  \"bench\": \"fleet\",\n  \"mode\": \"{}\",\n  \"service_time_s\": {:.9},\n  \
+         \"migration\": {{\"from\": {}, \"to\": {}, \"preload_us\": {:.1}, \"wall_us\": {:.1}, \
+         \"counters\": {}}},\n  \"scenarios\": [{},\n  {},\n  {}]\n}}\n",
+        if quick { "quick" } else { "full" },
+        service_s,
+        mig.from,
+        mig.to,
+        mig.preload.as_secs_f64() * 1e6,
+        mig.duration.as_secs_f64() * 1e6,
+        fleet_counters_json(&fm),
+        s1,
+        s2,
+        s3,
+    );
+    std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_fleet.json");
+}

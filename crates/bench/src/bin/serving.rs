@@ -172,6 +172,7 @@ fn main() {
             requests,
             deadline: Duration::from_secs(5),
             seed: 23,
+            schedule: None,
         },
     );
     eprintln!(

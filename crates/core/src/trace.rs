@@ -49,6 +49,12 @@ pub enum SpanKind {
     /// device simulator: `device` is the far end's worker id and the
     /// interval is the modeled transfer time converted to device cycles.
     NetTransfer,
+    /// A fleet-control operation (replica preload, migration phase,
+    /// controller decision). Emitted by the fleet layer, not the device
+    /// simulator: `device` is the worker the operation targets and the
+    /// interval is the operation's simulated duration converted at a
+    /// nominal clock.
+    FleetOp,
 }
 
 impl SpanKind {
@@ -65,6 +71,7 @@ impl SpanKind {
             SpanKind::DepStall => "dep-stall",
             SpanKind::ResourceStall => "resource-stall",
             SpanKind::NetTransfer => "net-transfer",
+            SpanKind::FleetOp => "fleet-op",
         }
     }
 }
@@ -242,6 +249,7 @@ mod tests {
             SpanKind::DepStall,
             SpanKind::ResourceStall,
             SpanKind::NetTransfer,
+            SpanKind::FleetOp,
         ];
         let labels: std::collections::BTreeSet<&str> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());

@@ -1,0 +1,171 @@
+//! Control-loop behavior: scale up under pressure, repair after loss,
+//! repack off sick links, scale down when idle — all observable in the
+//! decision stream, the server's residency, and the fleet exposition.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use bw_fleet::{FleetConfig, FleetController, FleetDecision};
+use bw_serve::demo::{demo_input, mlp_artifact};
+use bw_serve::{NetworkModel, Server};
+
+const DEADLINE: Duration = Duration::from_secs(5);
+
+fn boot(workers: usize, queue_cap: usize, homes: Vec<usize>) -> Arc<Server> {
+    Arc::new(
+        Server::builder()
+            .model(mlp_artifact("ctl", &[16, 32, 8], 17))
+            .replicas(workers)
+            .queue_cap(queue_cap)
+            .pin_on("ctl", homes)
+            .spawn()
+            .unwrap(),
+    )
+}
+
+fn eager() -> FleetConfig {
+    FleetConfig {
+        cooldown_ticks: 0,
+        scale_down_idle_ticks: 2,
+        ..FleetConfig::default()
+    }
+}
+
+#[test]
+fn shedding_triggers_a_scale_up() {
+    let server = boot(3, 1, vec![0]);
+    let client = server.client();
+    // A concurrent burst against a one-deep queue sheds; the controller
+    // must react.
+    let mut shed = 0;
+    let mut pending = Vec::new();
+    for i in 0..64 {
+        match client.submit("ctl", &demo_input(16, i), DEADLINE) {
+            Ok(p) => pending.push(p),
+            Err(_) => shed += 1,
+        }
+    }
+    for p in pending {
+        let _ = p.wait();
+    }
+    assert!(shed > 0, "burst did not shed; tighten the queue");
+
+    let mut ctl = FleetController::new(Arc::clone(&server), eager());
+    let decisions = ctl.step();
+    assert!(
+        decisions
+            .iter()
+            .any(|d| matches!(d, FleetDecision::ScaleUp { model, .. } if model == "ctl")),
+        "expected a scale-up, got {decisions:?}"
+    );
+    assert_eq!(server.pinned_workers("ctl").len(), 2);
+    assert_eq!(ctl.metrics().scale_ups.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn worker_death_triggers_a_repair() {
+    let server = boot(3, 32, vec![0]);
+    let client = server.client();
+    client.call("ctl", &demo_input(16, 0), DEADLINE).unwrap();
+
+    assert!(server.kill_worker(0));
+    assert!(server.pinned_workers("ctl").is_empty());
+
+    let mut ctl = FleetController::new(Arc::clone(&server), eager());
+    let decisions = ctl.step();
+    let repaired = decisions.iter().find_map(|d| match d {
+        FleetDecision::Repair { model, worker, .. } if model == "ctl" => Some(*worker),
+        _ => None,
+    });
+    let worker = repaired.expect("controller must re-pin the lost model");
+    assert!(worker == 1 || worker == 2);
+    assert_eq!(server.pinned_workers("ctl"), vec![worker]);
+    assert_eq!(ctl.metrics().repairs.load(Ordering::Relaxed), 1);
+
+    // The pool serves again without human intervention.
+    let resp = client.call("ctl", &demo_input(16, 1), DEADLINE).unwrap();
+    assert_eq!(resp.output.len(), 8);
+    let m = server.metrics().models.remove(0);
+    assert_eq!(m.completed + m.shed + m.failed, m.submitted);
+}
+
+#[test]
+fn degraded_link_triggers_a_repack() {
+    let server = boot(3, 32, vec![0]);
+    server.set_network(NetworkModel::ideal().degrade_link(0, 10.0));
+
+    let mut ctl = FleetController::new(Arc::clone(&server), eager());
+    let decisions = ctl.step();
+    assert!(
+        decisions
+            .iter()
+            .any(|d| matches!(d, FleetDecision::Repair { .. })),
+        "expected a repack pin, got {decisions:?}"
+    );
+    assert!(
+        decisions
+            .iter()
+            .any(|d| matches!(d, FleetDecision::ScaleDown { worker, .. } if *worker == 0)),
+        "expected the degraded host vacated, got {decisions:?}"
+    );
+    let pinned = server.pinned_workers("ctl");
+    assert_eq!(pinned.len(), 1);
+    assert_ne!(pinned[0], 0, "replica must leave the degraded link");
+}
+
+#[test]
+fn sustained_idle_scales_down_to_the_floor() {
+    let server = boot(3, 32, vec![0, 1, 2]);
+    let mut ctl = FleetController::new(Arc::clone(&server), eager());
+    // Two idle ticks per release, one replica at a time, never below one.
+    for _ in 0..12 {
+        ctl.step();
+    }
+    assert_eq!(server.pinned_workers("ctl").len(), 1);
+    assert_eq!(ctl.metrics().scale_downs.load(Ordering::Relaxed), 2);
+    let more = ctl.step();
+    assert!(more.is_empty(), "floor reached; got {more:?}");
+}
+
+#[test]
+fn background_loop_repairs_and_exposes_metrics() {
+    let server = boot(3, 32, vec![0]);
+    let cfg = FleetConfig {
+        tick: Duration::from_millis(5),
+        scale_down_idle_ticks: u32::MAX,
+        ..eager()
+    };
+    let handle = FleetController::new(Arc::clone(&server), cfg).run();
+
+    assert!(server.kill_worker(0));
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.pinned_workers("ctl").is_empty() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "controller never repaired the model"
+        );
+        thread::sleep(Duration::from_millis(5));
+    }
+    let client = server.client();
+    client.call("ctl", &demo_input(16, 3), DEADLINE).unwrap();
+
+    let metrics = handle.metrics();
+    handle.stop();
+    assert!(metrics.ticks.load(Ordering::Relaxed) > 0);
+    assert_eq!(metrics.repairs.load(Ordering::Relaxed), 1);
+
+    let text = metrics.prometheus();
+    bw_trace::validate_exposition(&text).expect("fleet exposition is valid");
+    assert!(text.contains("bw_fleet_repairs_total 1"));
+    // Composes with the server exposition by concatenation.
+    let combined = format!("{}{}", server.prometheus(), text);
+    bw_trace::validate_exposition(&combined).expect("combined exposition is valid");
+
+    let spans = metrics.take_spans();
+    assert!(!spans.is_empty(), "control ops must leave spans");
+    let events = bw_trace::spans_to_chrome(&spans, bw_fleet::FLEET_SPAN_CLOCK_HZ, 0.0);
+    let json = bw_trace::chrome_trace_json(&events);
+    bw_trace::validate_chrome_trace(&json).expect("fleet spans render to a chrome trace");
+}

@@ -155,6 +155,13 @@ impl ModelArtifact {
         self.deployment.output_dim()
     }
 
+    /// Bytes of matrix-register-file storage this artifact's pinned
+    /// weights occupy — the MRF image a replica spin-up must ship and
+    /// stream, priced by `bw_system::PreloadModel`.
+    pub fn mrf_fill_bytes(&self) -> u64 {
+        self.deployment.mrf_fill_bytes(&self.config)
+    }
+
     /// Stands up a live instance: instantiates the NPUs (fast kernels) and
     /// pins the weights.
     ///

@@ -81,6 +81,18 @@ impl AcceleratorBinary {
     pub fn static_bounds(&self, config: &NpuConfig) -> Option<CycleBounds> {
         bw_core::cycle_bounds(&self.program, config, &self.analysis_options())
     }
+
+    /// Bytes of matrix-register-file storage this binary's pinned
+    /// weights occupy on `config` — the MRF fill image a preload must
+    /// ship and stream (see `bw_system::PreloadModel`).
+    pub fn mrf_fill_bytes(&self, config: &NpuConfig) -> u64 {
+        let entries = u64::from(config.mrf_entries());
+        if entries == 0 {
+            return 0;
+        }
+        let per_entry = config.mrf_bytes() / entries;
+        per_entry * u64::from(self.mrf_entries)
+    }
 }
 
 /// Options controlling how strictly [`Deployment::compile_with`] gates
@@ -353,6 +365,14 @@ impl Deployment {
     /// Number of NPUs the deployment requires.
     pub fn devices_required(&self) -> usize {
         self.plan.devices_used
+    }
+
+    /// Total bytes of matrix-register-file storage the deployment's
+    /// pinned weights occupy on `config`, summed across every
+    /// accelerator binary — the image a fleet controller must ship to
+    /// spin up a replica (see `bw_system::PreloadModel`).
+    pub fn mrf_fill_bytes(&self, config: &NpuConfig) -> u64 {
+        self.binaries.iter().map(|b| b.mrf_fill_bytes(config)).sum()
     }
 
     /// Guaranteed min/max cycle counts for one inference through every

@@ -66,14 +66,16 @@ mod worker;
 
 pub mod loadgen;
 
-pub use metrics::{Histogram, LinkMetrics, MetricsSnapshot, ModelSnapshot};
+pub use metrics::{Histogram, LinkMetrics, MetricsSnapshot, ModelResidency, ModelSnapshot};
 pub use registry::{GroupSegment, ModelRegistry, RegistryError, ShardGroup};
 pub use request::{Attribution, RequestId, RequestTrace, Response, ServeError};
-pub use server::{Client, Pending, Server, ServerBuilder, ServerConfig, SpawnError};
+pub use server::{Client, Pending, PinError, Server, ServerBuilder, ServerConfig, SpawnError};
 pub use tcp::{TcpClient, TcpFrontend};
 pub use wire::{WireError, WireRequest, WireResponse};
 
 pub use bw_gir::{ModelArtifact, PinnedModel, ShardedArtifact};
-pub use bw_system::{ArrivalProcess, LatencySummary, NetworkModel, Routing};
+pub use bw_system::{
+    ArrivalProcess, LatencySummary, LoadPhase, LoadSchedule, NetworkModel, PreloadModel, Routing,
+};
 
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};

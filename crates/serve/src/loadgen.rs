@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bw_system::{ArrivalProcess, LatencySummary};
+use bw_system::{ArrivalProcess, LatencySummary, LoadSchedule};
 use parking_lot::Mutex;
 
 use crate::server::Client;
@@ -30,14 +30,20 @@ use crate::server::Client;
 pub struct LoadgenConfig {
     /// Registered model to drive.
     pub model: String,
-    /// The arrival process replayed on the wall clock.
+    /// The arrival process replayed on the wall clock (used when no
+    /// `schedule` is set).
     pub arrivals: ArrivalProcess,
-    /// Number of requests to issue.
+    /// Number of requests to issue (ignored when a `schedule` is set —
+    /// the schedule's rate profile decides the count).
     pub requests: usize,
     /// Per-request end-to-end deadline.
     pub deadline: Duration,
     /// Seed for arrival-time generation (and input variation).
     pub seed: u64,
+    /// Optional time-varying offered load: when set, arrivals follow
+    /// this piecewise-linear rate profile (steps and ramps) instead of
+    /// the stationary `arrivals`/`requests` pair.
+    pub schedule: Option<LoadSchedule>,
 }
 
 /// What one run measured.
@@ -98,7 +104,11 @@ fn sender_threads() -> usize {
 
 /// Replays `cfg` against `client`, blocking until every request settles.
 pub fn run_loadgen(client: &Client, cfg: &LoadgenConfig) -> LoadgenReport {
-    let offsets = cfg.arrivals.generate(cfg.requests, cfg.seed);
+    let offsets = match &cfg.schedule {
+        Some(schedule) => schedule.generate(cfg.seed),
+        None => cfg.arrivals.generate(cfg.requests, cfg.seed),
+    };
+    let offered = offsets.len();
     // Probe the model's input width once; an unknown model surfaces as
     // `rejected` on every request instead of a panic here.
     let input_dim = client.input_dim_of(&cfg.model).unwrap_or(0);
@@ -108,9 +118,9 @@ pub fn run_loadgen(client: &Client, cfg: &LoadgenConfig) -> LoadgenReport {
     let failed = Arc::new(AtomicU64::new(0));
     let rejected = Arc::new(AtomicU64::new(0));
     let retries = Arc::new(AtomicU64::new(0));
-    let latencies: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::with_capacity(cfg.requests)));
+    let latencies: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::with_capacity(offered)));
 
-    let senders = sender_threads().min(cfg.requests.max(1));
+    let senders = sender_threads().min(offered.max(1));
     let start = Instant::now();
     let mut handles = Vec::with_capacity(senders);
     for stripe in 0..senders {
@@ -171,7 +181,7 @@ pub fn run_loadgen(client: &Client, cfg: &LoadgenConfig) -> LoadgenReport {
     let completed = completed.load(Ordering::Relaxed);
     LoadgenReport {
         model: cfg.model.clone(),
-        offered: cfg.requests,
+        offered,
         completed,
         shed: shed.load(Ordering::Relaxed),
         failed: failed.load(Ordering::Relaxed),

@@ -275,6 +275,16 @@ impl ModelSnapshot {
     }
 }
 
+/// One model pinned on one worker: the residency half of the fleet
+/// control loop's observability.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelResidency {
+    /// The pinned model's name.
+    pub model: String,
+    /// Seconds the pin has been resident on the worker.
+    pub pinned_for_s: f64,
+}
+
 /// A point-in-time reading of the whole server.
 #[derive(Clone, Debug, PartialEq)]
 pub struct MetricsSnapshot {
@@ -287,6 +297,9 @@ pub struct MetricsSnapshot {
     pub workers_alive: Vec<bool>,
     /// Per-worker jobs fully processed, in worker order.
     pub worker_processed: Vec<u64>,
+    /// Per-worker model residency (which models are pinned, and for how
+    /// long), in worker order.
+    pub worker_models: Vec<Vec<ModelResidency>>,
     /// Per-link transfer legs charged, in worker (link) order.
     pub link_transfers: Vec<u64>,
     /// Per-link payload bytes moved, in worker (link) order.
@@ -362,6 +375,24 @@ impl MetricsSnapshot {
                 out.push(',');
             }
             out.push_str(&p.to_string());
+        }
+        out.push_str("],\"worker_models\":[");
+        for (i, models) in self.worker_models.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, r) in models.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"model\":\"{}\",\"pinned_for_s\":{}}}",
+                    json_escape(&r.model),
+                    r.pinned_for_s
+                ));
+            }
+            out.push(']');
         }
         out.push_str("],\"link_transfers\":[");
         for (i, t) in self.link_transfers.iter().enumerate() {
@@ -551,6 +582,34 @@ pub(crate) fn render_prometheus(
             w.processed as f64,
         );
     }
+    e.gauge(
+        "bw_worker_model_pinned",
+        "Model residency (1 = pinned on the worker).",
+    );
+    for w in workers {
+        let id = w.id.to_string();
+        for r in &w.resident {
+            e.sample(
+                "bw_worker_model_pinned",
+                &[("worker", id.as_str()), ("model", r.model.as_str())],
+                1.0,
+            );
+        }
+    }
+    e.gauge(
+        "bw_worker_pin_age_seconds",
+        "Seconds each pinned model has been resident on the worker.",
+    );
+    for w in workers {
+        let id = w.id.to_string();
+        for r in &w.resident {
+            e.sample(
+                "bw_worker_pin_age_seconds",
+                &[("worker", id.as_str()), ("model", r.model.as_str())],
+                r.pinned_for_s,
+            );
+        }
+    }
     e.counter(
         "bw_link_transfers_total",
         "Modeled network transfer legs charged per client-worker link.",
@@ -596,6 +655,7 @@ pub(crate) struct WorkerRow {
     pub queue_depth: usize,
     pub alive: bool,
     pub processed: u64,
+    pub resident: Vec<ModelResidency>,
 }
 
 /// One client↔worker link's counter readings for the Prometheus
@@ -727,12 +787,17 @@ mod tests {
                 queue_depth: 1,
                 alive: true,
                 processed: 2,
+                resident: vec![ModelResidency {
+                    model: "mlp".to_owned(),
+                    pinned_for_s: 12.5,
+                }],
             },
             WorkerRow {
                 id: 1,
                 queue_depth: 0,
                 alive: false,
                 processed: 0,
+                resident: Vec::new(),
             },
         ];
         let links = [
@@ -757,6 +822,8 @@ mod tests {
         assert!(text.contains("bw_request_latency_seconds_count{model=\"mlp\"} 1"));
         assert!(text.contains("bw_request_network_seconds_count{model=\"mlp\"} 1"));
         assert!(text.contains("bw_worker_alive{worker=\"1\"} 0"));
+        assert!(text.contains("bw_worker_model_pinned{worker=\"0\",model=\"mlp\"} 1"));
+        assert!(text.contains("bw_worker_pin_age_seconds{worker=\"0\",model=\"mlp\"} 12.5"));
         assert!(text.contains("bw_link_transfers_total{link=\"0\"} 4"));
         assert!(text.contains("bw_link_bytes_total{link=\"0\"} 1024"));
         assert!(text.contains("bw_link_busy_seconds_total{link=\"1\"} 0"));
@@ -784,6 +851,13 @@ mod tests {
             queue_depths: vec![0, 2],
             workers_alive: vec![true, false],
             worker_processed: vec![5, 0],
+            worker_models: vec![
+                vec![ModelResidency {
+                    model: "mlp \"a\"".to_owned(),
+                    pinned_for_s: 3.25,
+                }],
+                Vec::new(),
+            ],
             link_transfers: vec![3, 0],
             link_bytes: vec![256, 0],
             link_busy_s: vec![1.5e-4, 0.0],
@@ -795,6 +869,8 @@ mod tests {
         assert!(j.contains("\"queue_depths\":[0,2]"));
         assert!(j.contains("\"workers_alive\":[true,false]"));
         assert!(j.contains("\"worker_processed\":[5,0]"));
+        assert!(j.contains("\"pinned_for_s\":3.25"));
+        assert!(j.contains("],[]]"));
         assert!(j.contains("\"link_transfers\":[3,0]"));
         assert!(j.contains("\"link_bytes\":[256,0]"));
         assert!(j.contains("\"link_busy_s\":[0.00015,0]"));

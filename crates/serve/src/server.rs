@@ -42,17 +42,17 @@ use std::time::{Duration, Instant};
 
 use bw_core::{RunStats, SpanKind, SpanRecord};
 use bw_gir::{ModelArtifact, ShardedArtifact};
-use bw_system::{NetworkModel, Routing};
-use parking_lot::Mutex;
+use bw_system::{NetworkModel, PreloadModel, Routing};
+use parking_lot::{Mutex, RwLock};
 
 use crate::metrics::{
     render_prometheus, snapshot_model, LinkMetrics, LinkRow, MetricsSnapshot, ModelMetrics,
-    WorkerRow,
+    ModelResidency, WorkerRow,
 };
 use crate::registry::{GroupSegment, ModelRegistry, RegistryError};
 use crate::request::{Attribution, RequestId, RequestTrace, Response, ServeError};
 use crate::router::Router;
-use crate::worker::{spawn_worker, Completion, DispatchRefused, Job, WorkerHandle};
+use crate::worker::{spawn_worker, Completion, Control, DispatchRefused, Job, WorkerHandle};
 
 /// Sampled request traces retained before the oldest is dropped.
 const TRACE_LOG_CAP: usize = 256;
@@ -85,6 +85,10 @@ pub struct ServerConfig {
     /// default ideal network charges nothing, preserving the
     /// single-machine behavior.
     pub network: NetworkModel,
+    /// The weight-preload cost model: what pinning a replica at runtime
+    /// costs in simulated time ([`Server::pin_model`]). The default free
+    /// model preloads instantly, preserving pre-fleet behavior.
+    pub preload: PreloadModel,
 }
 
 impl Default for ServerConfig {
@@ -98,6 +102,7 @@ impl Default for ServerConfig {
             seed: 0,
             trace_sample: 0,
             network: NetworkModel::ideal(),
+            preload: PreloadModel::free(),
         }
     }
 }
@@ -165,13 +170,8 @@ impl From<RegistryError> for SpawnError {
 /// Pre-admission SLA gate: a request whose deadline budget the model's
 /// static lower bound already exceeds is dead on arrival — reject it
 /// before it is counted as submitted.
-fn check_sla(
-    inner: &ServerInner,
-    model: &str,
-    row: usize,
-    deadline: Duration,
-) -> Result<(), ServeError> {
-    if let Some(bound_us) = inner.bound_us[row] {
+fn check_sla(model: &str, bound: Option<u64>, deadline: Duration) -> Result<(), ServeError> {
+    if let Some(bound_us) = bound {
         let budget_us = u64::try_from(deadline.as_micros()).unwrap_or(u64::MAX);
         if bound_us > budget_us {
             return Err(ServeError::SlaUnmeetable {
@@ -196,20 +196,33 @@ fn cycles_to_us_ceil(cycles: u64, clock_hz: f64) -> u64 {
 }
 
 pub(crate) struct ServerInner {
-    pub registry: ModelRegistry,
-    /// Static lower bound on one inference in microseconds, per registry
-    /// slot then per shard group (same row layout as `metrics`); `None`
-    /// where no bound is provable. Admission rejects requests whose
-    /// deadline budget the bound already exceeds.
-    pub bound_us: Vec<Option<u64>>,
+    /// The model registry. Behind a lock because models can be
+    /// registered at runtime ([`Server::register_model`]); shard groups
+    /// are fixed at spawn.
+    pub registry: RwLock<ModelRegistry>,
+    /// Static lower bound on one inference in microseconds per model
+    /// slot (`None` where no bound is provable); grows in lockstep with
+    /// the registry. Admission rejects requests whose deadline budget
+    /// the bound already exceeds. Lock order: `registry` before
+    /// `slot_bounds` / `model_metrics`.
+    pub slot_bounds: RwLock<Vec<Option<u64>>>,
+    /// Static lower bound per shard group, fixed at spawn.
+    pub group_bounds: Vec<Option<u64>>,
     pub workers: Vec<WorkerHandle>,
-    /// One metrics row per registry model slot, then one per shard group
-    /// (group `g`'s row sits at `registry.len() + g`).
-    pub metrics: Vec<ModelMetrics>,
+    /// One metrics row per registry model slot; grows in lockstep with
+    /// the registry. Rows are `Arc` so the request lifecycle resolves
+    /// its row once at admission and never re-locks.
+    pub model_metrics: RwLock<Vec<Arc<ModelMetrics>>>,
+    /// One metrics row per shard group, fixed at spawn.
+    pub group_metrics: Vec<Arc<ModelMetrics>>,
     /// One client↔worker link per worker, in worker order.
     pub links: Vec<LinkMetrics>,
     pub router: Router,
     pub cfg: ServerConfig,
+    /// The live network model. Replaceable at runtime
+    /// ([`Server::set_network`]) so a fleet controller can inject and
+    /// repair link faults while traffic flows.
+    pub net: RwLock<NetworkModel>,
     next_id: AtomicU64,
     /// Sampled request traces, oldest first, bounded at
     /// [`TRACE_LOG_CAP`].
@@ -221,23 +234,57 @@ impl ServerInner {
         self.next_id.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// A copy of the live network model.
+    fn network(&self) -> NetworkModel {
+        *self.net.read()
+    }
+
+    /// The metrics row for model slot `slot`.
+    fn model_metric(&self, slot: usize) -> Arc<ModelMetrics> {
+        Arc::clone(&self.model_metrics.read()[slot])
+    }
+
     /// `(name, metrics)` rows: registry models first, then shard groups.
-    fn metric_rows(&self) -> Vec<(&str, &ModelMetrics)> {
-        let mut rows: Vec<(&str, &ModelMetrics)> = self
-            .registry
+    fn metric_rows(&self) -> Vec<(String, Arc<ModelMetrics>)> {
+        let registry = self.registry.read();
+        let models = self.model_metrics.read();
+        let mut rows: Vec<(String, Arc<ModelMetrics>)> = registry
             .artifacts()
             .iter()
-            .zip(&self.metrics)
-            .map(|(a, m)| (a.name(), m))
+            .zip(models.iter())
+            .map(|(a, m)| (a.name().to_owned(), Arc::clone(m)))
             .collect();
         rows.extend(
-            self.registry
+            registry
                 .groups()
                 .iter()
-                .zip(&self.metrics[self.registry.len()..])
-                .map(|(g, m)| (g.name.as_str(), m)),
+                .zip(&self.group_metrics)
+                .map(|(g, m)| (g.name.clone(), Arc::clone(m))),
         );
         rows
+    }
+
+    /// Per-worker model residency: `(model name, seconds pinned)` for
+    /// every slot currently pinned on the worker.
+    fn residency(&self) -> Vec<Vec<ModelResidency>> {
+        let names: Vec<String> = {
+            let registry = self.registry.read();
+            registry.names().into_iter().map(str::to_owned).collect()
+        };
+        self.workers
+            .iter()
+            .map(|w| {
+                w.resident_slots()
+                    .into_iter()
+                    .filter_map(|(slot, age)| {
+                        names.get(slot).map(|n| ModelResidency {
+                            model: n.clone(),
+                            pinned_for_s: age.as_secs_f64(),
+                        })
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
     fn snapshot(&self) -> MetricsSnapshot {
@@ -245,7 +292,7 @@ impl ServerInner {
             models: self
                 .metric_rows()
                 .into_iter()
-                .map(|(name, m)| snapshot_model(name, m))
+                .map(|(name, m)| snapshot_model(&name, &m))
                 .collect(),
             queue_depths: self.workers.iter().map(WorkerHandle::queue_depth).collect(),
             workers_alive: self.workers.iter().map(WorkerHandle::is_alive).collect(),
@@ -254,6 +301,7 @@ impl ServerInner {
                 .iter()
                 .map(WorkerHandle::processed_count)
                 .collect(),
+            worker_models: self.residency(),
             link_transfers: self
                 .links
                 .iter()
@@ -281,16 +329,23 @@ impl ServerInner {
     }
 
     fn prometheus(&self) -> String {
-        let models = self.metric_rows();
+        let rows = self.metric_rows();
+        let models: Vec<(&str, &ModelMetrics)> = rows
+            .iter()
+            .map(|(name, m)| (name.as_str(), m.as_ref()))
+            .collect();
+        let residency = self.residency();
         let workers: Vec<WorkerRow> = self
             .workers
             .iter()
+            .zip(residency)
             .enumerate()
-            .map(|(id, w)| WorkerRow {
+            .map(|(id, (w, resident))| WorkerRow {
                 id,
                 queue_depth: w.queue_depth(),
                 alive: w.is_alive(),
                 processed: w.processed_count(),
+                resident,
             })
             .collect();
         let links: Vec<LinkRow> = self
@@ -309,14 +364,15 @@ impl ServerInner {
 
     /// Records one modeled transfer leg of `bytes` over worker `worker`'s
     /// link, returning the leg's modeled seconds (zero on an ideal
-    /// network). The caller decides how to sleep — parallel scatter legs
-    /// overlap, so only the longest leg is slept.
+    /// network). A degraded link multiplies the leg's cost. The caller
+    /// decides how to sleep — parallel scatter legs overlap, so only the
+    /// longest leg is slept.
     fn charge_leg(&self, worker: usize, bytes: usize) -> f64 {
-        let net = &self.cfg.network;
+        let net = self.network();
         if net.is_ideal() {
             return 0.0;
         }
-        let s = net.one_way_s(bytes);
+        let s = net.one_way_on(worker, bytes);
         self.links[worker].record(bytes, s);
         s
     }
@@ -330,8 +386,9 @@ impl ServerInner {
         input: &Arc<Vec<f32>>,
         tried: &[usize],
     ) -> Result<(usize, Receiver<Completion>), DispatchStopped> {
+        let net = self.network();
         let plan = self.router.plan_eligible(&self.workers, tried, |w| {
-            self.workers[w].pins(spec.model) && self.cfg.network.link_up(w)
+            self.workers[w].pins(spec.model) && net.link_up(w)
         });
         if plan.is_empty() {
             return Err(DispatchStopped::NoReplica);
@@ -387,6 +444,7 @@ pub struct ServerBuilder {
     cfg: ServerConfig,
     registry_error: Option<RegistryError>,
     sla_budgets: Vec<(String, Duration)>,
+    placements: Vec<(String, Vec<usize>)>,
 }
 
 impl ServerBuilder {
@@ -425,6 +483,23 @@ impl ServerBuilder {
     /// Sets the client↔worker network model.
     pub fn network(mut self, network: NetworkModel) -> Self {
         self.cfg.network = network;
+        self
+    }
+
+    /// Sets the weight-preload cost model charged by
+    /// [`Server::pin_model`].
+    pub fn preload(mut self, preload: PreloadModel) -> Self {
+        self.cfg.preload = preload;
+        self
+    }
+
+    /// Restricts a whole model's boot-time placement to the given
+    /// workers instead of pinning it everywhere. The fleet layer uses
+    /// this to start a model at a small replica count and let the
+    /// controller grow it. Shard-group members keep their ownership rule
+    /// and cannot be placed.
+    pub fn pin_on(mut self, model: impl Into<String>, workers: impl Into<Vec<usize>>) -> Self {
+        self.placements.push((model.into(), workers.into()));
         self
     }
 
@@ -520,7 +595,7 @@ impl ServerBuilder {
                     .map(|b| cycles_to_us_ceil(b.lower, a.config().clock_hz()))
             })
             .collect();
-        let mut bound_us = slot_bounds.clone();
+        let mut group_bounds = Vec::with_capacity(self.registry.groups().len());
         for group in self.registry.groups() {
             let total = group.segments.iter().try_fold(0u64, |acc, segment| {
                 let slowest = segment
@@ -530,23 +605,23 @@ impl ServerBuilder {
                     .try_fold(0u64, |mx, b| b.map(|v| mx.max(v)))?;
                 Some(acc.saturating_add(slowest))
             });
-            bound_us.push(total);
+            group_bounds.push(total);
         }
 
         // Declared budgets are a registration-time contract: refuse to
         // pin a model whose bound proves its budget unmeetable.
         for (model, budget) in &self.sla_budgets {
-            let row = self.registry.index_of(model).or_else(|| {
-                self.registry
-                    .group_index_of(model)
-                    .map(|g| self.registry.len() + g)
-            });
-            let Some(row) = row else {
+            let bound = self
+                .registry
+                .index_of(model)
+                .map(|s| slot_bounds[s])
+                .or_else(|| self.registry.group_index_of(model).map(|g| group_bounds[g]));
+            let Some(bound) = bound else {
                 return Err(SpawnError::BadConfig(format!(
                     "sla budget declared for unregistered model `{model}`"
                 )));
             };
-            let Some(bound) = bound_us[row] else {
+            let Some(bound) = bound else {
                 return Err(SpawnError::BadConfig(format!(
                     "sla budget declared for `{model}` but no static cycle \
                      bound is provable"
@@ -562,10 +637,16 @@ impl ServerBuilder {
             }
         }
 
-        // Shard ownership: slot -> (shard ordinal, segment width).
+        // Shard ownership: slot -> (shard ordinal, segment width). Group
+        // membership (sharded or single-segment) disqualifies a slot
+        // from explicit placement.
         let mut shard_of: Vec<Option<(usize, usize)>> = vec![None; self.registry.len()];
+        let mut in_group: Vec<bool> = vec![false; self.registry.len()];
         for group in self.registry.groups() {
             for segment in &group.segments {
+                for slot in segment.members() {
+                    in_group[slot] = true;
+                }
                 if let GroupSegment::Sharded(members) = segment {
                     for (k, &slot) in members.iter().enumerate() {
                         shard_of[slot] = Some((k, members.len()));
@@ -574,11 +655,43 @@ impl ServerBuilder {
             }
         }
 
+        // Explicit boot placements: whole models only, on known workers,
+        // at least one replica each.
+        let mut placement_of: Vec<Option<Vec<usize>>> = vec![None; self.registry.len()];
+        for (model, workers) in &self.placements {
+            let Some(slot) = self.registry.index_of(model) else {
+                return Err(SpawnError::BadConfig(format!(
+                    "placement declared for unregistered model `{model}`"
+                )));
+            };
+            if in_group[slot] {
+                return Err(SpawnError::BadConfig(format!(
+                    "placement declared for shard-group member `{model}`"
+                )));
+            }
+            if workers.is_empty() {
+                return Err(SpawnError::BadConfig(format!(
+                    "placement for `{model}` names no workers"
+                )));
+            }
+            if let Some(&bad) = workers.iter().find(|&&w| w >= self.cfg.replicas) {
+                return Err(SpawnError::BadConfig(format!(
+                    "placement for `{model}` names worker {bad} but the pool \
+                     has {} replicas",
+                    self.cfg.replicas
+                )));
+            }
+            placement_of[slot] = Some(workers.clone());
+        }
+
         let mut workers = Vec::with_capacity(self.cfg.replicas);
         for id in 0..self.cfg.replicas {
             let mut pinned = Vec::with_capacity(self.registry.len());
             for (slot, artifact) in self.registry.artifacts().iter().enumerate() {
-                let owns = shard_of[slot].is_none_or(|(k, width)| id % width == k);
+                let owns = shard_of[slot].is_none_or(|(k, width)| id % width == k)
+                    && placement_of[slot]
+                        .as_ref()
+                        .is_none_or(|set| set.contains(&id));
                 if !owns {
                     pinned.push(None);
                     continue;
@@ -592,8 +705,11 @@ impl ServerBuilder {
             workers.push(spawn_worker(id, pinned, self.cfg.queue_cap));
         }
 
-        let metrics = (0..self.registry.len() + self.registry.groups().len())
-            .map(|_| ModelMetrics::default())
+        let model_metrics = (0..self.registry.len())
+            .map(|_| Arc::new(ModelMetrics::default()))
+            .collect();
+        let group_metrics = (0..self.registry.groups().len())
+            .map(|_| Arc::new(ModelMetrics::default()))
             .collect();
         let links = (0..self.cfg.replicas)
             .map(|_| LinkMetrics::default())
@@ -601,11 +717,14 @@ impl ServerBuilder {
         Ok(Server {
             inner: Arc::new(ServerInner {
                 router: Router::new(self.cfg.policy, self.cfg.seed),
-                registry: self.registry,
-                bound_us,
+                registry: RwLock::new(self.registry),
+                slot_bounds: RwLock::new(slot_bounds),
+                group_bounds,
                 workers,
-                metrics,
+                model_metrics: RwLock::new(model_metrics),
+                group_metrics,
                 links,
+                net: RwLock::new(self.cfg.network),
                 cfg: self.cfg,
                 next_id: AtomicU64::new(1),
                 trace_log: Mutex::new(VecDeque::new()),
@@ -613,6 +732,86 @@ impl ServerBuilder {
         })
     }
 }
+
+/// Error produced by the runtime pin/unpin control plane
+/// ([`Server::pin_model`], [`Server::unpin_model`],
+/// [`Server::drain_worker`]).
+#[derive(Debug)]
+pub enum PinError {
+    /// The model name is not registered.
+    UnknownModel(
+        /// The unknown name.
+        String,
+    ),
+    /// The name addresses a shard group; groups have fixed placement.
+    GroupName(
+        /// The group name.
+        String,
+    ),
+    /// The worker id is outside the pool.
+    UnknownWorker(
+        /// The unknown id.
+        usize,
+    ),
+    /// The worker is dead and cannot serve control operations.
+    WorkerDead(
+        /// The dead worker's id.
+        usize,
+    ),
+    /// The model is already pinned on that worker.
+    AlreadyPinned {
+        /// The model.
+        model: String,
+        /// The worker already holding it.
+        worker: usize,
+    },
+    /// The model is not pinned on that worker.
+    NotPinned {
+        /// The model.
+        model: String,
+        /// The worker.
+        worker: usize,
+    },
+    /// Refusing to unpin the last live replica: doing so would strand
+    /// the model with no serving capacity. Pin another replica first
+    /// (that is what migration's dual-pin phase does).
+    LastReplica {
+        /// The model.
+        model: String,
+    },
+    /// Deploying the artifact onto the simulated device failed.
+    Pin {
+        /// The model.
+        model: String,
+        /// The deployment error.
+        error: bw_gir::DeployError,
+    },
+}
+
+impl std::fmt::Display for PinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PinError::UnknownModel(m) => write!(f, "unknown model `{m}`"),
+            PinError::GroupName(m) => {
+                write!(f, "`{m}` is a shard group; groups have fixed placement")
+            }
+            PinError::UnknownWorker(w) => write!(f, "unknown worker {w}"),
+            PinError::WorkerDead(w) => write!(f, "worker {w} is dead"),
+            PinError::AlreadyPinned { model, worker } => {
+                write!(f, "`{model}` is already pinned on worker {worker}")
+            }
+            PinError::NotPinned { model, worker } => {
+                write!(f, "`{model}` is not pinned on worker {worker}")
+            }
+            PinError::LastReplica { model } => {
+                write!(f, "refusing to unpin the last live replica of `{model}`")
+            }
+            PinError::Pin { model, error } => write!(f, "pinning `{model}` failed: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for PinError {}
 
 /// A running serving pool. Dropping the server stops every worker after
 /// the work already queued (injected-fault workers stop immediately).
@@ -667,6 +866,191 @@ impl Server {
         }
     }
 
+    /// Pins `model` onto worker `worker` at runtime, paying the
+    /// configured weight-preload cost: the worker is busy streaming
+    /// weights for the modeled interval (queued work waits behind it)
+    /// and the preload transfer is charged against the worker's link.
+    /// Returns the simulated preload duration. The model becomes
+    /// routable the moment the worker finishes the preload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PinError`] on an unknown model/worker, a shard-group
+    /// name, a dead worker, a double pin, or a deployment failure.
+    pub fn pin_model(&self, model: &str, worker: usize) -> Result<Duration, PinError> {
+        let inner = &self.inner;
+        let Some(handle) = inner.workers.get(worker) else {
+            return Err(PinError::UnknownWorker(worker));
+        };
+        if !handle.is_alive() {
+            return Err(PinError::WorkerDead(worker));
+        }
+        let (slot, artifact) = {
+            let registry = inner.registry.read();
+            if registry.group_index_of(model).is_some() {
+                return Err(PinError::GroupName(model.to_owned()));
+            }
+            let Some(slot) = registry.index_of(model) else {
+                return Err(PinError::UnknownModel(model.to_owned()));
+            };
+            (slot, Arc::clone(registry.get(slot).expect("slot valid")))
+        };
+        if handle.pins(slot) {
+            return Err(PinError::AlreadyPinned {
+                model: model.to_owned(),
+                worker,
+            });
+        }
+        // Deploy on the caller's thread; the worker only sleeps the
+        // modeled preload and installs the finished instance.
+        let pin = artifact.pin().map_err(|error| PinError::Pin {
+            model: model.to_owned(),
+            error,
+        })?;
+        let bytes = usize::try_from(artifact.mrf_fill_bytes()).unwrap_or(usize::MAX);
+        let net = inner.network();
+        let preload_s = inner.cfg.preload.preload_s(bytes, &net, worker);
+        if preload_s > 0.0 && bytes > 0 {
+            inner.links[worker].record(bytes, preload_s);
+        }
+        handle
+            .control(Control::Pin {
+                slot,
+                model: Box::new(pin),
+                preload_s,
+            })
+            .map_err(|_| PinError::WorkerDead(worker))?;
+        Ok(Duration::from_secs_f64(preload_s))
+    }
+
+    /// Unpins `model` from worker `worker`. Routing stops immediately;
+    /// jobs already queued on the worker still drain (the unpin rides
+    /// the same FIFO queue), so in-flight requests are never dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PinError`]; notably [`PinError::LastReplica`] when the
+    /// unpin would leave the model with no live replica.
+    pub fn unpin_model(&self, model: &str, worker: usize) -> Result<(), PinError> {
+        let inner = &self.inner;
+        let Some(handle) = inner.workers.get(worker) else {
+            return Err(PinError::UnknownWorker(worker));
+        };
+        let slot = {
+            let registry = inner.registry.read();
+            if registry.group_index_of(model).is_some() {
+                return Err(PinError::GroupName(model.to_owned()));
+            }
+            let Some(slot) = registry.index_of(model) else {
+                return Err(PinError::UnknownModel(model.to_owned()));
+            };
+            slot
+        };
+        if !handle.pins(slot) {
+            return Err(PinError::NotPinned {
+                model: model.to_owned(),
+                worker,
+            });
+        }
+        let live_replicas = inner
+            .workers
+            .iter()
+            .filter(|w| w.is_alive() && w.pins(slot))
+            .count();
+        if handle.is_alive() && live_replicas <= 1 {
+            return Err(PinError::LastReplica {
+                model: model.to_owned(),
+            });
+        }
+        // Clear the routing flag first so no new work lands, then let
+        // the queued unpin drain behind the work already accepted. A
+        // worker that died in between has already dropped its queue;
+        // the unpin still holds.
+        handle.clear_pin(slot);
+        let _ = handle.control(Control::Unpin { slot });
+        Ok(())
+    }
+
+    /// Blocks until every job worker `worker` had queued when the call
+    /// was made has been served (a FIFO barrier). Returns immediately
+    /// for a dead worker — its queue is already gone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PinError::UnknownWorker`] for an id outside the pool.
+    pub fn drain_worker(&self, worker: usize) -> Result<(), PinError> {
+        let Some(handle) = self.inner.workers.get(worker) else {
+            return Err(PinError::UnknownWorker(worker));
+        };
+        let _ = handle.control(Control::Flush);
+        Ok(())
+    }
+
+    /// Registers a whole model at runtime without pinning it anywhere;
+    /// follow with [`Server::pin_model`] to give it capacity. Returns
+    /// the model's registry slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError`] on a name collision.
+    pub fn register_model(&self, artifact: ModelArtifact) -> Result<usize, RegistryError> {
+        let bound = artifact
+            .static_bounds()
+            .map(|b| cycles_to_us_ceil(b.lower, artifact.config().clock_hz()));
+        let inner = &self.inner;
+        let mut registry = inner.registry.write();
+        let slot = registry.register(artifact)?;
+        // Grown under the registry write lock so readers never observe a
+        // model without its bound and metrics rows.
+        inner.slot_bounds.write().push(bound);
+        inner
+            .model_metrics
+            .write()
+            .push(Arc::new(ModelMetrics::default()));
+        Ok(slot)
+    }
+
+    /// Replaces the live network model (fault injection and repair).
+    /// Routing, transfer charging, and preload costs see the new model
+    /// immediately; requests already sleeping a leg finish at the old
+    /// cost.
+    pub fn set_network(&self, net: NetworkModel) {
+        *self.inner.net.write() = net;
+    }
+
+    /// A copy of the live network model.
+    pub fn network(&self) -> NetworkModel {
+        self.inner.network()
+    }
+
+    /// The live workers currently pinning `model`, in worker order
+    /// (empty for an unknown name).
+    pub fn pinned_workers(&self, model: &str) -> Vec<usize> {
+        let Some(slot) = self.inner.registry.read().index_of(model) else {
+            return Vec::new();
+        };
+        self.inner
+            .workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.is_alive() && w.pins(slot))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// What pinning `model` onto `worker` would cost right now, given
+    /// the live network model (None for an unknown model).
+    pub fn preload_cost(&self, model: &str, worker: usize) -> Option<Duration> {
+        let bytes = {
+            let registry = self.inner.registry.read();
+            usize::try_from(registry.lookup(model)?.mrf_fill_bytes()).unwrap_or(usize::MAX)
+        };
+        let net = self.inner.network();
+        Some(Duration::from_secs_f64(
+            self.inner.cfg.preload.preload_s(bytes, &net, worker),
+        ))
+    }
+
     /// A point-in-time metrics reading.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.inner.snapshot()
@@ -716,26 +1100,27 @@ impl Client {
         deadline: Duration,
     ) -> Result<Pending, ServeError> {
         let inner = &self.inner;
-        if let Some(group_idx) = inner.registry.group_index_of(model) {
-            return self.submit_group(group_idx, input, deadline);
-        }
-        let Some(model_idx) = inner.registry.index_of(model) else {
-            return Err(ServeError::UnknownModel(model.to_owned()));
+        let (model_idx, expected, bound) = {
+            let registry = inner.registry.read();
+            if let Some(group_idx) = registry.group_index_of(model) {
+                drop(registry);
+                return self.submit_group(group_idx, input, deadline);
+            }
+            let Some(model_idx) = registry.index_of(model) else {
+                return Err(ServeError::UnknownModel(model.to_owned()));
+            };
+            let expected = registry.get(model_idx).expect("index valid").input_dim();
+            (model_idx, expected, inner.slot_bounds.read()[model_idx])
         };
-        let expected = inner
-            .registry
-            .get(model_idx)
-            .expect("index valid")
-            .input_dim();
         if input.len() != expected {
             return Err(ServeError::BadInput {
                 expected,
                 got: input.len(),
             });
         }
-        check_sla(inner, model, model_idx, deadline)?;
+        check_sla(model, bound, deadline)?;
 
-        let metrics = &inner.metrics[model_idx];
+        let metrics = inner.model_metric(model_idx);
         metrics.submitted.fetch_add(1, Ordering::Relaxed);
 
         let submitted = Instant::now();
@@ -759,6 +1144,7 @@ impl Client {
                     request_id,
                     model_idx,
                     model: model.to_owned(),
+                    metrics,
                     input,
                     submitted,
                     deadline: deadline_at,
@@ -794,19 +1180,20 @@ impl Client {
         deadline: Duration,
     ) -> Result<Pending, ServeError> {
         let inner = &self.inner;
-        let group = inner.registry.group(group_idx).expect("index valid");
-        if input.len() != group.input_dim {
+        let (name, input_dim) = {
+            let registry = inner.registry.read();
+            let group = registry.group(group_idx).expect("index valid");
+            (group.name.clone(), group.input_dim)
+        };
+        if input.len() != input_dim {
             return Err(ServeError::BadInput {
-                expected: group.input_dim,
+                expected: input_dim,
                 got: input.len(),
             });
         }
-        let name = group.name.clone();
-        let metric_idx = inner.registry.len() + group_idx;
-        check_sla(inner, &name, metric_idx, deadline)?;
-        inner.metrics[metric_idx]
-            .submitted
-            .fetch_add(1, Ordering::Relaxed);
+        check_sla(&name, inner.group_bounds[group_idx], deadline)?;
+        let metrics = Arc::clone(&inner.group_metrics[group_idx]);
+        metrics.submitted.fetch_add(1, Ordering::Relaxed);
 
         let submitted = Instant::now();
         let request_id = inner.next_request_id();
@@ -816,7 +1203,7 @@ impl Client {
             inner: Arc::clone(inner),
             request_id,
             group_idx,
-            metric_idx,
+            metrics,
             name: name.clone(),
             submitted,
             deadline: submitted + deadline,
@@ -876,42 +1263,33 @@ impl Client {
     /// alike). This is the bound admission compares deadlines against.
     pub fn static_bound_us(&self, model: &str) -> Option<u64> {
         let inner = &self.inner;
-        let row = inner.registry.index_of(model).or_else(|| {
-            inner
-                .registry
-                .group_index_of(model)
-                .map(|g| inner.registry.len() + g)
-        })?;
-        inner.bound_us[row]
+        let registry = inner.registry.read();
+        if let Some(slot) = registry.index_of(model) {
+            return inner.slot_bounds.read()[slot];
+        }
+        registry
+            .group_index_of(model)
+            .and_then(|g| inner.group_bounds[g])
     }
 
     /// The input width `model` expects, if registered (whole models and
     /// shard groups alike).
     pub fn input_dim_of(&self, model: &str) -> Option<usize> {
-        self.inner
-            .registry
-            .lookup(model)
-            .map(|a| a.input_dim())
-            .or_else(|| {
-                self.inner
-                    .registry
-                    .group_index_of(model)
-                    .and_then(|g| self.inner.registry.group(g))
-                    .map(|g| g.input_dim)
-            })
+        let registry = self.inner.registry.read();
+        registry.lookup(model).map(|a| a.input_dim()).or_else(|| {
+            registry
+                .group_index_of(model)
+                .and_then(|g| registry.group(g))
+                .map(|g| g.input_dim)
+        })
     }
 
     /// Addressable model names: registry models in index order, then
     /// shard-group names.
     pub fn model_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .inner
-            .registry
-            .names()
-            .into_iter()
-            .map(str::to_owned)
-            .collect();
-        names.extend(self.inner.registry.groups().iter().map(|g| g.name.clone()));
+        let registry = self.inner.registry.read();
+        let mut names: Vec<String> = registry.names().into_iter().map(str::to_owned).collect();
+        names.extend(registry.groups().iter().map(|g| g.name.clone()));
         names
     }
 }
@@ -961,6 +1339,9 @@ struct SinglePending {
     request_id: RequestId,
     model_idx: usize,
     model: String,
+    /// The model's metrics row, resolved at admission (rows are
+    /// append-only, so the Arc stays valid across runtime registration).
+    metrics: Arc<ModelMetrics>,
     input: Arc<Vec<f32>>,
     submitted: Instant,
     deadline: Instant,
@@ -1002,19 +1383,19 @@ impl SinglePending {
                     // Charge the request and response legs over the
                     // winning worker's link, sleeping the modeled time so
                     // measured latency reflects the network.
-                    let network_s = if self.inner.cfg.network.is_ideal() {
-                        0.0
-                    } else {
+                    let network_s = {
                         let s = self.inner.charge_leg(worker, self.input.len() * 4)
                             + self.inner.charge_leg(worker, output.len() * 4);
-                        std::thread::sleep(Duration::from_secs_f64(s));
+                        if s > 0.0 {
+                            std::thread::sleep(Duration::from_secs_f64(s));
+                        }
                         s
                     };
                     let latency = self.submitted.elapsed();
                     self.settled = true;
-                    let metrics = &self.inner.metrics[self.model_idx];
-                    metrics.record_completed(latency.as_secs_f64());
-                    metrics.record_attribution(queue_wait_s, service_s, network_s, &stats);
+                    self.metrics.record_completed(latency.as_secs_f64());
+                    self.metrics
+                        .record_attribution(queue_wait_s, service_s, network_s, &stats);
                     let attribution = Attribution {
                         queue_wait: Duration::from_secs_f64(queue_wait_s),
                         service: Duration::from_secs_f64(service_s),
@@ -1108,9 +1489,7 @@ impl SinglePending {
         }
         self.retries += 1;
         self.attempt += 1;
-        self.inner.metrics[self.model_idx]
-            .retries
-            .fetch_add(1, Ordering::Relaxed);
+        self.metrics.retries.fetch_add(1, Ordering::Relaxed);
         let spec = DispatchSpec {
             attempt: self.attempt,
             model: self.model_idx,
@@ -1146,9 +1525,7 @@ impl SinglePending {
     fn fail(&mut self, err: ServeError) -> ServeError {
         if !self.settled {
             self.settled = true;
-            self.inner.metrics[self.model_idx]
-                .failed
-                .fetch_add(1, Ordering::Relaxed);
+            self.metrics.failed.fetch_add(1, Ordering::Relaxed);
         }
         err
     }
@@ -1160,9 +1537,7 @@ impl Drop for SinglePending {
             // Abandoned without waiting: account it as failed so the
             // metrics identity holds.
             self.settled = true;
-            self.inner.metrics[self.model_idx]
-                .failed
-                .fetch_add(1, Ordering::Relaxed);
+            self.metrics.failed.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -1211,8 +1586,8 @@ struct GroupPending {
     inner: Arc<ServerInner>,
     request_id: RequestId,
     group_idx: usize,
-    /// The group's metrics row (`registry.len() + group_idx`).
-    metric_idx: usize,
+    /// The group's metrics row, resolved at admission.
+    metrics: Arc<ModelMetrics>,
     name: String,
     submitted: Instant,
     deadline: Instant,
@@ -1240,14 +1615,17 @@ impl GroupPending {
     /// terminal accounting.
     fn scatter(&mut self) -> Result<(), DispatchStopped> {
         let inner = Arc::clone(&self.inner);
-        let members = inner
-            .registry
-            .group(self.group_idx)
-            .expect("index valid")
-            .segments[self.seg_idx]
-            .members();
+        let members = {
+            let registry = inner.registry.read();
+            registry
+                .group(self.group_idx)
+                .expect("index valid")
+                .segments[self.seg_idx]
+                .members()
+        };
         for member in members {
-            inner.metrics[member]
+            inner
+                .model_metric(member)
                 .submitted
                 .fetch_add(1, Ordering::Relaxed);
             let spec = DispatchSpec {
@@ -1271,7 +1649,10 @@ impl GroupPending {
                 Err(stop) => {
                     // The member was admitted but never dispatched:
                     // terminal for it.
-                    inner.metrics[member].failed.fetch_add(1, Ordering::Relaxed);
+                    inner
+                        .model_metric(member)
+                        .failed
+                        .fetch_add(1, Ordering::Relaxed);
                     return Err(stop);
                 }
             }
@@ -1282,13 +1663,14 @@ impl GroupPending {
     /// Drives the group request to termination.
     fn wait(mut self) -> Result<Response, ServeError> {
         let cfg = self.inner.cfg;
-        let seg_count = self
-            .inner
-            .registry
-            .group(self.group_idx)
-            .expect("index valid")
-            .segments
-            .len();
+        let seg_count = {
+            let registry = self.inner.registry.read();
+            registry
+                .group(self.group_idx)
+                .expect("index valid")
+                .segments
+                .len()
+        };
         loop {
             // Gather every shard of the in-flight segment.
             for i in 0..self.inflight.len() {
@@ -1349,7 +1731,7 @@ impl GroupPending {
                         spans,
                         worker,
                     });
-                    let member = &self.inner.metrics[shard.member];
+                    let member = self.inner.model_metric(shard.member);
                     member.record_completed(member_latency);
                     // Network legs are attributed at the group level.
                     member.record_attribution(
@@ -1422,13 +1804,12 @@ impl GroupPending {
             let shard = &mut self.inflight[i];
             shard.retries += 1;
             shard.attempt += 1;
-            inner.metrics[shard.member]
+            inner
+                .model_metric(shard.member)
                 .retries
                 .fetch_add(1, Ordering::Relaxed);
         }
-        inner.metrics[self.metric_idx]
-            .retries
-            .fetch_add(1, Ordering::Relaxed);
+        self.metrics.retries.fetch_add(1, Ordering::Relaxed);
         let spec = DispatchSpec {
             attempt: self.inflight[i].attempt,
             model: self.inflight[i].member,
@@ -1492,6 +1873,7 @@ impl GroupPending {
                 if leg_s > 0.0 {
                     let clock_hz = inner
                         .registry
+                        .read()
                         .get(shard.member)
                         .map(|a| a.config().clock_hz())
                         .unwrap_or(0.0);
@@ -1521,9 +1903,8 @@ impl GroupPending {
     fn complete(&mut self) -> Response {
         let latency = self.submitted.elapsed();
         self.settled = true;
-        let metrics = &self.inner.metrics[self.metric_idx];
-        metrics.record_completed(latency.as_secs_f64());
-        metrics.record_attribution(
+        self.metrics.record_completed(latency.as_secs_f64());
+        self.metrics.record_attribution(
             self.queue_wait_s,
             self.service_s,
             self.network_s,
@@ -1564,9 +1945,7 @@ impl GroupPending {
     fn fail(&mut self, err: ServeError) -> ServeError {
         if !self.settled {
             self.settled = true;
-            self.inner.metrics[self.metric_idx]
-                .failed
-                .fetch_add(1, Ordering::Relaxed);
+            self.metrics.failed.fetch_add(1, Ordering::Relaxed);
             self.abandon_inflight();
         }
         err
@@ -1577,9 +1956,7 @@ impl GroupPending {
     fn shed(&mut self) -> ServeError {
         if !self.settled {
             self.settled = true;
-            self.inner.metrics[self.metric_idx]
-                .shed
-                .fetch_add(1, Ordering::Relaxed);
+            self.metrics.shed.fetch_add(1, Ordering::Relaxed);
             self.abandon_inflight();
         }
         ServeError::Shed {
@@ -1592,7 +1969,8 @@ impl GroupPending {
     fn abandon_inflight(&mut self) {
         for shard in self.inflight.drain(..) {
             if shard.done.is_none() {
-                self.inner.metrics[shard.member]
+                self.inner
+                    .model_metric(shard.member)
                     .failed
                     .fetch_add(1, Ordering::Relaxed);
             }
@@ -1606,9 +1984,7 @@ impl Drop for GroupPending {
             // Abandoned without waiting: account the group and its
             // in-flight members as failed so every row's identity holds.
             self.settled = true;
-            self.inner.metrics[self.metric_idx]
-                .failed
-                .fetch_add(1, Ordering::Relaxed);
+            self.metrics.failed.fetch_add(1, Ordering::Relaxed);
             self.abandon_inflight();
         }
     }

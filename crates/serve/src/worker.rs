@@ -15,16 +15,27 @@
 //! admitted to it) and at the next queue pop for the thread, which exits
 //! *without* draining — every queued job is dropped, its reply channel
 //! disconnects, and the request lifecycle fails over to a replica.
+//!
+//! # Control plane
+//!
+//! The pin table is *dynamic*: the server can pin a new model replica
+//! onto a running worker (paying a modeled weight-preload time), unpin
+//! one, or insert a drain barrier — all via [`Control`] messages that
+//! travel the same bounded FIFO queue as jobs. FIFO ordering is the
+//! correctness lever: an `Unpin` enqueued after the routing flag is
+//! cleared drains every job already queued for the slot before the model
+//! is actually dropped, so cutover loses nothing; the ack channel turns
+//! any control message into a barrier.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bw_core::{RunStats, SpanRecord};
 use bw_gir::PinnedModel;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 /// What a worker reports back for one attempt.
 #[derive(Clone, Debug)]
@@ -79,9 +90,35 @@ pub(crate) struct Job {
     pub collect_spans: bool,
 }
 
+/// A control-plane operation on a running worker. Travels the same FIFO
+/// queue as jobs; each carries an ack channel the server can block on.
+pub(crate) enum Control {
+    /// Install a pinned replica into `slot`, first sleeping the modeled
+    /// weight-preload time (network ship + MRF fill + setup).
+    Pin {
+        /// The registry slot to install into.
+        slot: usize,
+        /// The already-pinned model instance.
+        model: Box<PinnedModel>,
+        /// Modeled preload seconds to sleep before the replica serves.
+        preload_s: f64,
+    },
+    /// Drop the replica in `slot`. Jobs already queued ahead of this
+    /// message still execute (FIFO drain); jobs that race in behind it
+    /// fault and fail over.
+    Unpin {
+        /// The registry slot to clear.
+        slot: usize,
+    },
+    /// No-op: the ack alone is the point — a barrier past everything
+    /// queued before it.
+    Flush,
+}
+
 /// A message on the worker queue.
 enum WorkerMsg {
     Work(Box<Job>),
+    Control(Control, Sender<()>),
     Stop,
 }
 
@@ -96,7 +133,12 @@ pub(crate) struct WorkerHandle {
     /// Jobs the worker has fully processed (for tests and metrics).
     pub processed: Arc<AtomicU64>,
     /// Which registry slots this worker pins (`true` = can serve).
-    pins: Vec<bool>,
+    /// Shared with the worker thread: the thread sets a slot after
+    /// applying a `Pin`; the server clears it *before* enqueueing an
+    /// `Unpin` so routing stops first and the queue drains.
+    pins: Arc<RwLock<Vec<bool>>>,
+    /// When each pinned slot became resident (`None` = not pinned).
+    pinned_since: Arc<Mutex<Vec<Option<Instant>>>>,
     join: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -106,6 +148,13 @@ pub(crate) enum DispatchRefused {
     /// The bounded queue is full.
     QueueFull,
     /// The worker is dead.
+    Dead,
+}
+
+/// Why a control operation was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ControlRefused {
+    /// The worker is dead (or died before acking).
     Dead,
 }
 
@@ -145,7 +194,45 @@ impl WorkerHandle {
 
     /// Whether this worker pins registry slot `model`.
     pub fn pins(&self, model: usize) -> bool {
-        self.pins.get(model).copied().unwrap_or(false)
+        self.pins.read().get(model).copied().unwrap_or(false)
+    }
+
+    /// Clears the routing flag for `slot` immediately, so no new work is
+    /// dispatched there while an `Unpin` drains the queue behind it.
+    pub fn clear_pin(&self, slot: usize) {
+        let mut pins = self.pins.write();
+        if let Some(flag) = pins.get_mut(slot) {
+            *flag = false;
+        }
+    }
+
+    /// `(slot, resident_for)` for every model currently pinned here, in
+    /// slot order.
+    pub fn resident_slots(&self) -> Vec<(usize, Duration)> {
+        let now = Instant::now();
+        self.pinned_since
+            .lock()
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, since)| since.map(|t| (slot, now.saturating_duration_since(t))))
+            .collect()
+    }
+
+    /// Sends a control message and blocks until the worker acks it —
+    /// i.e. until everything queued ahead of it has been served. Errors
+    /// if the worker is dead (or dies mid-wait).
+    pub fn control(&self, op: Control) -> Result<(), ControlRefused> {
+        if !self.alive.load(Ordering::Acquire) {
+            return Err(ControlRefused::Dead);
+        }
+        let (ack_tx, ack_rx) = std::sync::mpsc::channel();
+        // A blocking send: control ops may wait behind a full job queue,
+        // which is exactly the drain semantics we want. A dying worker
+        // drops its receiver, erroring the send instead of deadlocking.
+        self.tx
+            .send(WorkerMsg::Control(op, ack_tx))
+            .map_err(|_| ControlRefused::Dead)?;
+        ack_rx.recv().map_err(|_| ControlRefused::Dead)
     }
 
     /// Injects a fault: the worker stops accepting work immediately and
@@ -175,7 +262,16 @@ pub(crate) fn spawn_worker(
 ) -> WorkerHandle {
     let (tx, rx): (SyncSender<WorkerMsg>, Receiver<WorkerMsg>) =
         std::sync::mpsc::sync_channel(queue_cap.max(1));
-    let pins: Vec<bool> = models.iter().map(Option::is_some).collect();
+    let now = Instant::now();
+    let pins = Arc::new(RwLock::new(
+        models.iter().map(Option::is_some).collect::<Vec<bool>>(),
+    ));
+    let pinned_since = Arc::new(Mutex::new(
+        models
+            .iter()
+            .map(|m| m.as_ref().map(|_| now))
+            .collect::<Vec<Option<Instant>>>(),
+    ));
     let outstanding = Arc::new(AtomicUsize::new(0));
     let alive = Arc::new(AtomicBool::new(true));
     let kill = Arc::new(AtomicBool::new(false));
@@ -185,6 +281,8 @@ pub(crate) fn spawn_worker(
     let t_alive = Arc::clone(&alive);
     let t_kill = Arc::clone(&kill);
     let t_processed = Arc::clone(&processed);
+    let t_pins = Arc::clone(&pins);
+    let t_pinned_since = Arc::clone(&pinned_since);
     let join = std::thread::Builder::new()
         .name(format!("bw-serve-worker-{id}"))
         .spawn(move || {
@@ -197,6 +295,51 @@ pub(crate) fn spawn_worker(
                 }
                 let job = match msg {
                     WorkerMsg::Work(job) => job,
+                    WorkerMsg::Control(op, ack) => {
+                        match op {
+                            Control::Pin {
+                                slot,
+                                model,
+                                preload_s,
+                            } => {
+                                // The device is busy streaming weights
+                                // for the modeled preload window.
+                                if preload_s > 0.0 {
+                                    std::thread::sleep(Duration::from_secs_f64(preload_s));
+                                }
+                                if models.len() <= slot {
+                                    models.resize_with(slot + 1, || None);
+                                }
+                                models[slot] = Some(*model);
+                                {
+                                    let mut p = t_pins.write();
+                                    if p.len() <= slot {
+                                        p.resize(slot + 1, false);
+                                    }
+                                    p[slot] = true;
+                                }
+                                let mut since = t_pinned_since.lock();
+                                if since.len() <= slot {
+                                    since.resize(slot + 1, None);
+                                }
+                                since[slot] = Some(Instant::now());
+                            }
+                            Control::Unpin { slot } => {
+                                if let Some(m) = models.get_mut(slot) {
+                                    *m = None;
+                                }
+                                if let Some(flag) = t_pins.write().get_mut(slot) {
+                                    *flag = false;
+                                }
+                                if let Some(s) = t_pinned_since.lock().get_mut(slot) {
+                                    *s = None;
+                                }
+                            }
+                            Control::Flush => {}
+                        }
+                        let _ = ack.send(());
+                        continue;
+                    }
                     WorkerMsg::Stop => break,
                 };
                 let popped = Instant::now();
@@ -257,6 +400,7 @@ pub(crate) fn spawn_worker(
         kill,
         processed,
         pins,
+        pinned_since,
         join: Mutex::new(Some(join)),
     }
 }

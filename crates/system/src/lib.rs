@@ -10,8 +10,13 @@
 //! * [`Microservice`] / [`ServiceModel`] — a pool of devices behind a
 //!   network hop, serving per-request or in formed batches;
 //! * [`NetworkModel`] — the datacenter-network cost model (per-hop
-//!   latency, bandwidth, link fault injection), shared with the live
-//!   scatter/gather runtime in `bw-serve`;
+//!   latency, bandwidth, link fault injection and degradation), shared
+//!   with the live scatter/gather runtime in `bw-serve`;
+//! * [`PreloadModel`] — the weight-preload cost model: what pinning a
+//!   model's MRF image onto a worker costs in simulated time, used by
+//!   the `bw-fleet` controller;
+//! * [`LoadSchedule`] — time-varying (step/ramp) offered-load profiles
+//!   for elasticity experiments;
 //! * [`simulate`] / [`simulate_pipeline`] — event-driven simulation with
 //!   percentile latency and utilization reporting, including linear
 //!   multi-FPGA pipelines for partitioned models;
@@ -43,12 +48,16 @@
 
 mod net;
 mod pool;
+mod preload;
+mod schedule;
 mod sim;
 mod summary;
 mod sweep;
 
 pub use net::NetworkModel;
 pub use pool::{simulate_pool, PoolReport, Routing};
+pub use preload::PreloadModel;
+pub use schedule::{LoadPhase, LoadSchedule};
 pub use sim::{
     simulate, simulate_pipeline, ArrivalProcess, Microservice, ServiceModel, ServingReport,
 };

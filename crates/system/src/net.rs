@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// fault injection. The model is `Copy` on purpose — it rides inside
 /// configuration structs — so the fault set is a 64-bit mask: links 64 and
 /// above are always up.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct NetworkModel {
     /// One-way per-message latency of a hop, in seconds.
     pub hop_latency_s: f64,
@@ -33,6 +33,27 @@ pub struct NetworkModel {
     /// Bitmask of links that are down (bit `i` = link `i`). Normally 0;
     /// set via [`NetworkModel::fail_link`] for fault injection.
     pub down_links: u64,
+    /// Bitmask of links that are up but slow (bit `i` = link `i`).
+    /// Transfers over a degraded link cost
+    /// [`degraded_factor`](NetworkModel::degraded_factor) times the
+    /// healthy price. Set via [`NetworkModel::degrade_link`].
+    pub degraded_links: u64,
+    /// Cost multiplier applied to degraded links (≥ 1.0; default 1.0).
+    pub degraded_factor: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> NetworkModel {
+        NetworkModel {
+            hop_latency_s: 0.0,
+            bandwidth_bytes_per_s: 0.0,
+            down_links: 0,
+            degraded_links: 0,
+            // A factor-of-one slowdown, so a degraded mask without an
+            // explicit factor changes nothing.
+            degraded_factor: 1.0,
+        }
+    }
 }
 
 impl NetworkModel {
@@ -65,9 +86,39 @@ impl NetworkModel {
         self
     }
 
+    /// Restores `link` to full health: clears both the down and the
+    /// degraded bit (builder style).
+    pub fn restore_link(mut self, link: usize) -> NetworkModel {
+        if link < 64 {
+            self.down_links &= !(1 << link);
+            self.degraded_links &= !(1 << link);
+        }
+        self
+    }
+
+    /// Marks `link` degraded — up, but `factor` times as expensive
+    /// (builder style). The factor is shared by every degraded link and
+    /// clamped to at least 1.0. Links ≥ 64 cannot be degraded.
+    pub fn degrade_link(mut self, link: usize, factor: f64) -> NetworkModel {
+        if link < 64 {
+            self.degraded_links |= 1 << link;
+            self.degraded_factor = if factor.is_finite() {
+                factor.max(1.0)
+            } else {
+                1.0
+            };
+        }
+        self
+    }
+
     /// Whether `link` is up. Links ≥ 64 are always up.
     pub fn link_up(&self, link: usize) -> bool {
         link >= 64 || self.down_links & (1 << link) == 0
+    }
+
+    /// Whether `link` is marked degraded. Links ≥ 64 never are.
+    pub fn link_degraded(&self, link: usize) -> bool {
+        link < 64 && self.degraded_links & (1 << link) != 0
     }
 
     /// The one-way cost of moving `payload_bytes` over one hop:
@@ -80,6 +131,19 @@ impl NetworkModel {
             0.0
         };
         self.hop_latency_s + serial
+    }
+
+    /// The one-way cost of moving `payload_bytes` over `link`
+    /// specifically: the healthy [`NetworkModel::one_way_s`] price,
+    /// multiplied by [`degraded_factor`](NetworkModel::degraded_factor)
+    /// if the link is marked degraded.
+    pub fn one_way_on(&self, link: usize, payload_bytes: usize) -> f64 {
+        let base = self.one_way_s(payload_bytes);
+        if self.link_degraded(link) {
+            base * self.degraded_factor.max(1.0)
+        } else {
+            base
+        }
     }
 
     /// The round-trip cost of a request/response pair of the given sizes.
@@ -135,5 +199,37 @@ mod tests {
         let net = net.fail_link(64);
         assert!(net.link_up(64));
         assert!(net.link_up(usize::MAX));
+    }
+
+    #[test]
+    fn degraded_links_multiply_the_cost() {
+        let net = NetworkModel::with_hop(10e-6)
+            .bandwidth(1e9)
+            .degrade_link(3, 4.0);
+        assert!(net.link_up(3), "degraded is not down");
+        assert!(net.link_degraded(3));
+        assert!(!net.link_degraded(0));
+        let healthy = net.one_way_on(0, 4096);
+        let slow = net.one_way_on(3, 4096);
+        assert!((healthy - net.one_way_s(4096)).abs() < 1e-15);
+        assert!((slow - 4.0 * healthy).abs() < 1e-12, "{slow} vs {healthy}");
+    }
+
+    #[test]
+    fn restore_link_clears_both_fault_kinds() {
+        let net = NetworkModel::ideal().fail_link(1).degrade_link(2, 8.0);
+        let net = net.restore_link(1).restore_link(2);
+        assert!(net.link_up(1));
+        assert!(!net.link_degraded(2));
+    }
+
+    #[test]
+    fn degrade_factor_is_clamped_sane() {
+        let net = NetworkModel::with_hop(1e-6).degrade_link(0, 0.25);
+        // Sub-unity factors would make a degraded link *faster*; clamp.
+        assert_eq!(net.degraded_factor, 1.0);
+        assert_eq!(net.one_way_on(0, 0), net.one_way_s(0));
+        let nan = NetworkModel::with_hop(1e-6).degrade_link(0, f64::NAN);
+        assert_eq!(nan.degraded_factor, 1.0);
     }
 }

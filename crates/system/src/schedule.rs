@@ -1,0 +1,220 @@
+//! Time-varying offered-load schedules: step and ramp profiles over the
+//! Poisson arrival process.
+//!
+//! A single fixed rate (see [`ArrivalProcess`](crate::ArrivalProcess))
+//! cannot exercise elasticity: the interesting question for a fleet
+//! controller is what happens to tail latency *while the offered load is
+//! moving*. [`LoadSchedule`] chains [`LoadPhase`]s — each a constant or
+//! linearly ramping rate held for a duration — and generates one arrival
+//! stream for the whole profile via thinning (Lewis–Shedler: draw a
+//! homogeneous Poisson process at the peak rate, accept each point with
+//! probability `rate(t) / peak`), which keeps the stream exact for any
+//! piecewise-linear rate function.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One phase of an offered-load profile: the rate moves linearly from
+/// `start_rps` to `end_rps` over `duration_s` (a constant phase has the
+/// two equal).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LoadPhase {
+    /// Phase length in seconds.
+    pub duration_s: f64,
+    /// Offered rate at the start of the phase (requests per second).
+    pub start_rps: f64,
+    /// Offered rate at the end of the phase.
+    pub end_rps: f64,
+}
+
+/// A piecewise-linear offered-load profile built from chained phases.
+///
+/// ```
+/// use bw_system::LoadSchedule;
+///
+/// // 200 rps for 1 s, step to 800 rps for 1 s, ramp back down over 2 s.
+/// let sched = LoadSchedule::constant(200.0, 1.0)
+///     .then_step(800.0, 1.0)
+///     .then_ramp(200.0, 2.0);
+/// assert_eq!(sched.total_duration_s(), 4.0);
+/// assert_eq!(sched.rate_at(1.5), 800.0);
+/// let arrivals = sched.generate(42);
+/// assert!(arrivals.windows(2).all(|w| w[1] > w[0]));
+/// // ~2000 expected arrivals; Poisson noise stays within a few percent.
+/// let n = arrivals.len() as f64;
+/// assert!((n - sched.expected_requests()).abs() < 0.2 * sched.expected_requests());
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LoadSchedule {
+    /// The phases, played back to back starting at t = 0.
+    pub phases: Vec<LoadPhase>,
+}
+
+impl LoadSchedule {
+    /// A single constant-rate phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is negative, non-finite, or the duration is
+    /// not positive.
+    pub fn constant(rate_per_s: f64, duration_s: f64) -> LoadSchedule {
+        LoadSchedule { phases: Vec::new() }.push_phase(rate_per_s, rate_per_s, duration_s)
+    }
+
+    /// Appends a constant phase at a new rate (a step change).
+    pub fn then_step(self, rate_per_s: f64, duration_s: f64) -> LoadSchedule {
+        self.push_phase(rate_per_s, rate_per_s, duration_s)
+    }
+
+    /// Appends a linear ramp from the current ending rate to
+    /// `rate_per_s`.
+    pub fn then_ramp(self, rate_per_s: f64, duration_s: f64) -> LoadSchedule {
+        let from = self.phases.last().map_or(rate_per_s, |p| p.end_rps);
+        self.push_phase(from, rate_per_s, duration_s)
+    }
+
+    fn push_phase(mut self, start_rps: f64, end_rps: f64, duration_s: f64) -> LoadSchedule {
+        assert!(
+            start_rps >= 0.0 && start_rps.is_finite() && end_rps >= 0.0 && end_rps.is_finite(),
+            "rates must be finite and non-negative"
+        );
+        assert!(
+            duration_s > 0.0 && duration_s.is_finite(),
+            "duration must be positive"
+        );
+        self.phases.push(LoadPhase {
+            duration_s,
+            start_rps,
+            end_rps,
+        });
+        self
+    }
+
+    /// Total profile length in seconds.
+    pub fn total_duration_s(&self) -> f64 {
+        self.phases.iter().map(|p| p.duration_s).sum()
+    }
+
+    /// The offered rate at absolute time `t` (0 outside the profile).
+    pub fn rate_at(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            return 0.0;
+        }
+        let mut t0 = 0.0;
+        for p in &self.phases {
+            if t < t0 + p.duration_s {
+                let frac = (t - t0) / p.duration_s;
+                return p.start_rps + (p.end_rps - p.start_rps) * frac;
+            }
+            t0 += p.duration_s;
+        }
+        0.0
+    }
+
+    /// The peak rate anywhere in the profile.
+    pub fn peak_rps(&self) -> f64 {
+        self.phases
+            .iter()
+            .flat_map(|p| [p.start_rps, p.end_rps])
+            .fold(0.0, f64::max)
+    }
+
+    /// The expected number of arrivals over the whole profile — the
+    /// integral of the rate function (exact for piecewise-linear rates).
+    pub fn expected_requests(&self) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| 0.5 * (p.start_rps + p.end_rps) * p.duration_s)
+            .sum()
+    }
+
+    /// Generates the arrival timestamps (seconds, strictly ascending) of
+    /// one inhomogeneous-Poisson realization of the profile, by
+    /// thinning a homogeneous process at the peak rate. The count is
+    /// itself Poisson around [`LoadSchedule::expected_requests`].
+    pub fn generate(&self, seed: u64) -> Vec<f64> {
+        let peak = self.peak_rps();
+        let horizon = self.total_duration_s();
+        if peak <= 0.0 || horizon <= 0.0 {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(self.expected_requests().ceil() as usize + 16);
+        let mut t = 0.0f64;
+        loop {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / peak;
+            if t >= horizon {
+                break;
+            }
+            let accept: f64 = rng.gen_range(0.0..1.0);
+            if accept * peak < self.rate_at(t) {
+                out.push(t);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_at_follows_steps_and_ramps() {
+        let s = LoadSchedule::constant(100.0, 1.0)
+            .then_step(400.0, 1.0)
+            .then_ramp(0.0, 2.0);
+        assert_eq!(s.rate_at(-1.0), 0.0);
+        assert_eq!(s.rate_at(0.5), 100.0);
+        assert_eq!(s.rate_at(1.5), 400.0);
+        // Midway down the ramp: 400 → 0 over [2, 4), so t = 3 gives 200.
+        assert!((s.rate_at(3.0) - 200.0).abs() < 1e-9);
+        assert_eq!(s.rate_at(4.5), 0.0);
+        assert_eq!(s.peak_rps(), 400.0);
+        // Integral: 100 + 400 + ½·400·2 = 900.
+        assert!((s.expected_requests() - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generated_counts_track_the_profile() {
+        let s = LoadSchedule::constant(200.0, 2.0).then_step(1000.0, 2.0);
+        let a = s.generate(7);
+        assert!(a.windows(2).all(|w| w[1] > w[0]), "strictly ascending");
+        assert!(a.iter().all(|&t| (0.0..4.0).contains(&t)));
+        let low = a.iter().filter(|&&t| t < 2.0).count() as f64;
+        let high = a.len() as f64 - low;
+        // 400 vs 2000 expected; allow generous Poisson noise.
+        assert!((low - 400.0).abs() < 100.0, "low-phase count {low}");
+        assert!((high - 2000.0).abs() < 250.0, "high-phase count {high}");
+    }
+
+    #[test]
+    fn ramp_shifts_mass_toward_the_loaded_end() {
+        let s = LoadSchedule::constant(0.0, 0.5).then_ramp(2000.0, 4.0);
+        let a = s.generate(11);
+        let mid = 0.5 + 2.0;
+        let early = a.iter().filter(|&&t| t < mid).count();
+        let late = a.len() - early;
+        assert!(
+            late > 2 * early,
+            "ramp should back-load arrivals: {early} vs {late}"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let s = LoadSchedule::constant(500.0, 1.0);
+        assert_eq!(s.generate(3), s.generate(3));
+        assert_ne!(s.generate(3), s.generate(4));
+    }
+
+    #[test]
+    fn constant_schedule_matches_arrival_process_rate() {
+        let s = LoadSchedule::constant(1000.0, 10.0);
+        let a = s.generate(42);
+        let rate = a.len() as f64 / 10.0;
+        assert!((rate - 1000.0).abs() < 60.0, "{rate}");
+    }
+}

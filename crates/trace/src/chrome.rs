@@ -51,15 +51,18 @@ fn lane(kind: SpanKind) -> u64 {
         SpanKind::MfuStream => 3,
         SpanKind::DepStall | SpanKind::ResourceStall => 4,
         SpanKind::NetTransfer => 5,
+        SpanKind::FleetOp => 6,
     }
 }
 
-const LANES: [(u64, &str); 5] = [
+const LANES: [(u64, &str); 7] = [
     (0, "run"),
     (1, "chains"),
     (2, "mvm stream"),
     (3, "mfu stream"),
     (4, "stalls"),
+    (5, "network"),
+    (6, "fleet"),
 ];
 
 /// Converts span records into Chrome events. `clock_hz` converts cycles
@@ -243,8 +246,8 @@ mod tests {
         assert_eq!(complete, 4);
         // 250 MHz -> 4 ns/cycle: the run span is 0.4 µs.
         assert!(json.contains("\"dur\":0.400"), "{json}");
-        // Two devices seen -> two sets of 5 lane labels.
-        assert_eq!(events.len(), 4 + 2 * 5);
+        // Two devices seen -> two sets of lane labels.
+        assert_eq!(events.len(), 4 + 2 * LANES.len());
     }
 
     #[test]

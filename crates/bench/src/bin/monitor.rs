@@ -1,0 +1,529 @@
+//! Observability chaos benchmark: a live `bw-serve` pool watched by a
+//! `bw-obs` monitor while three faults are injected, gating that the
+//! alerting pipeline is both *sensitive* (every fault fires its alert
+//! within 10 scrape intervals) and *quiet* (zero transitions before the
+//! fault, every alert cleared after recovery).
+//!
+//! - **load-step** — offered load steps from a gentle paced trickle to
+//!   back-to-back 64-deep submit bursts against an 8-deep queue; the
+//!   overflow sheds and burns the availability budget. The fleet
+//!   controller consumes the monitor's firing alerts as a scale signal
+//!   (`alert_signals` must tick) and grows the replica set.
+//! - **worker-kill** — the sole replica dies; admitted requests fail
+//!   until the controller re-pins, a hard availability burn.
+//! - **link-degradation** — the replica's link slows ~120×, pushing
+//!   every completion past the latency objective; the tail-sampling
+//!   flight recorder must retain a complete span tree for *exactly* the
+//!   requests the client saw breach.
+//!
+//! Results land in `BENCH_obs.json`.
+//!
+//! Usage: `cargo run --release -p bw-bench --bin monitor [-- --quick]`
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use bw_fleet::{FleetConfig, FleetController};
+use bw_obs::{AlertEvent, BurnRule, Monitor, MonitorConfig, SloKind, SloSpec, Transition};
+use bw_serve::demo::{demo_input, mlp_artifact};
+use bw_serve::{FlightOutcome, NetworkModel, PreloadModel, Routing, Server, ServerBuilder};
+
+const MODEL: &str = "obs-mlp";
+const WIDTHS: &[usize] = &[64, 256, 64];
+const SEED: u64 = 29;
+const DEADLINE: Duration = Duration::from_secs(5);
+const SCRAPE: Duration = Duration::from_millis(10);
+/// The headline gate: a fault's first alert must fire within this many
+/// scrape intervals of injection.
+const FIRE_WITHIN: u64 = 10;
+
+fn parse_quick() -> bool {
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            other => panic!("unknown flag `{other}`"),
+        }
+    }
+    quick
+}
+
+fn builder(
+    workers: usize,
+    queue_cap: usize,
+    homes: Vec<usize>,
+    net: NetworkModel,
+) -> ServerBuilder {
+    Server::builder()
+        .model(mlp_artifact(MODEL, WIDTHS, SEED))
+        .replicas(workers)
+        .queue_cap(queue_cap)
+        .policy(Routing::LeastOutstanding)
+        .network(net)
+        .preload(PreloadModel::free().fill_bandwidth(8e9).setup(2e-3))
+        .pin_on(MODEL, homes)
+}
+
+fn probe_service_s() -> f64 {
+    let artifact = mlp_artifact(MODEL, WIDTHS, SEED);
+    let mut pinned = artifact.pin().expect("demo artifact pins");
+    let input = demo_input(artifact.input_dim(), 0);
+    let _ = pinned.infer(&input).expect("warm-up inference");
+    let t0 = Instant::now();
+    let probes = 40;
+    for _ in 0..probes {
+        let _ = pinned.infer(&input).expect("probe inference");
+    }
+    t0.elapsed().as_secs_f64() / f64::from(probes)
+}
+
+fn monitor_config() -> MonitorConfig {
+    MonitorConfig {
+        interval: SCRAPE,
+        rules: BurnRule::default_rules(),
+    }
+}
+
+/// Blocks until the monitor has taken at least `n` scrapes.
+fn wait_scrapes(monitor: &Monitor, n: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while monitor.scrapes() < n {
+        assert!(Instant::now() < deadline, "monitor stopped scraping");
+        thread::sleep(SCRAPE / 2);
+    }
+}
+
+/// Polls until no alert is firing. The slow rule's 60-scrape window
+/// must fully drain after traffic stops, so the budget is generous.
+fn wait_all_clear(monitor: &Monitor, scenario: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !monitor.firing().is_empty() {
+        assert!(
+            Instant::now() < deadline,
+            "{scenario}: alerts never cleared: {:?}",
+            monitor.firing()
+        );
+        thread::sleep(SCRAPE);
+    }
+}
+
+/// The shared gates: quiet before the fault, the expected objective's
+/// alert fired within [`FIRE_WITHIN`] scrapes of it, and everything
+/// cleared afterwards. Returns the first fire scrape.
+fn gate_events(scenario: &str, events: &[AlertEvent], fault_scrape: u64, expected: SloKind) -> u64 {
+    assert!(
+        events.iter().all(|e| e.scrape >= fault_scrape),
+        "{scenario}: steady-state false positive before the fault: {events:?}"
+    );
+    let first_fire = events
+        .iter()
+        .filter(|e| e.transition == Transition::Fire && e.alert.slo == expected)
+        .map(|e| e.scrape)
+        .min()
+        .unwrap_or_else(|| panic!("{scenario}: the fault never fired a {expected:?} alert"));
+    assert!(
+        first_fire <= fault_scrape + FIRE_WITHIN,
+        "{scenario}: alert too slow (fault at scrape {fault_scrape}, fire at {first_fire})"
+    );
+    let fires = events
+        .iter()
+        .filter(|e| e.transition == Transition::Fire)
+        .count();
+    let clears = events
+        .iter()
+        .filter(|e| e.transition == Transition::Clear)
+        .count();
+    assert_eq!(fires, clears, "{scenario}: a fired alert never cleared");
+    first_fire
+}
+
+fn assert_identity(server: &Server, scenario: &str) {
+    for m in server.metrics().models {
+        assert_eq!(
+            m.completed + m.shed + m.failed,
+            m.submitted,
+            "{scenario}: accounting identity broken for {}",
+            m.model
+        );
+    }
+}
+
+fn events_json(events: &[AlertEvent]) -> String {
+    let rows: Vec<String> = events
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"scrape\": {}, \"slo\": \"{}\", \"window\": \"{}\", \"transition\": \"{}\", \"burn\": {:.3}}}",
+                e.scrape,
+                e.alert.slo.label(),
+                e.alert.speed.label(),
+                e.transition.label(),
+                e.burn
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(", "))
+}
+
+/// A closed-loop caller pool driving the model until told to stop.
+struct Callers {
+    stop: Arc<AtomicBool>,
+    joins: Vec<thread::JoinHandle<()>>,
+}
+
+fn spawn_callers(server: &Arc<Server>, threads: usize, pace: Duration) -> Callers {
+    let stop = Arc::new(AtomicBool::new(false));
+    let joins = (0..threads)
+        .map(|t| {
+            let server = Arc::clone(server);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let client = server.client();
+                let mut i = t as u64;
+                while !stop.load(Ordering::Acquire) {
+                    let _ = client.call(MODEL, &demo_input(WIDTHS[0], i % 32), DEADLINE);
+                    i += 1;
+                    if !pace.is_zero() {
+                        thread::sleep(pace);
+                    }
+                }
+            })
+        })
+        .collect();
+    Callers { stop, joins }
+}
+
+impl Callers {
+    fn stop(self) {
+        self.stop.store(true, Ordering::Release);
+        for j in self.joins {
+            j.join().expect("caller thread");
+        }
+    }
+}
+
+/// Scenario 1: load step. Shedding burns availability; the controller,
+/// fed by the monitor's alert source, must scale out.
+///
+/// The step is a run of back-to-back 64-deep submit bursts: even after
+/// the controller scales to all 4 workers (4 × 9 in-flight slots), a
+/// burst overflows the queues, so shedding is deterministic rather than
+/// a race between arrival rate and a contended single-core scheduler.
+fn scenario_load_step(quick: bool) -> String {
+    let server = Arc::new(
+        builder(4, 8, vec![0], NetworkModel::with_hop(5e-6).bandwidth(10e9))
+            .spawn()
+            .expect("server spawns"),
+    );
+    let monitor = Monitor::new(
+        &server,
+        vec![SloSpec::new(MODEL, 0.99, Duration::from_secs(1), 0.95)],
+        monitor_config(),
+    );
+    let mon_handle = monitor.run();
+
+    // Depth pressure is deliberately inert (`usize::MAX`): the step must
+    // actually overflow the queue and shed, so the only scale drivers
+    // are shed deltas and the monitor's firing alert. With a finite
+    // depth threshold the controller pre-empts the overflow and the
+    // availability burn never happens.
+    let cfg = FleetConfig {
+        min_replicas: 1,
+        max_replicas: 4,
+        scale_up_depth: usize::MAX,
+        scale_down_idle_ticks: u32::MAX,
+        cooldown_ticks: 2,
+        tick: SCRAPE,
+    };
+    let ctl =
+        FleetController::new(Arc::clone(&server), cfg).with_alert_source(monitor.alert_source());
+    let fleet_metrics = ctl.metrics();
+    let fleet_handle = ctl.run();
+
+    // Clean phase: two paced callers hold at most 2 requests in flight
+    // against an 8-deep queue, so shedding is structurally impossible —
+    // any pre-fault transition is a genuine false positive. The callers
+    // keep running through the whole scenario so the burn windows slide
+    // over fresh clean traffic during recovery.
+    let callers = spawn_callers(&server, 2, Duration::from_millis(1));
+    wait_scrapes(&monitor, 8);
+    let fault_scrape = monitor.scrapes();
+
+    // The step: bursts of 64 back-to-back submits overflow the queue on
+    // every round, whatever the replica count.
+    let step_scrapes = if quick { 15 } else { 25 };
+    let client = server.client();
+    let (mut offered, mut shed) = (0u64, 0u64);
+    while monitor.scrapes() < fault_scrape + step_scrapes {
+        let mut pending = Vec::with_capacity(64);
+        for i in 0..64u64 {
+            offered += 1;
+            match client.submit(MODEL, &demo_input(WIDTHS[0], i % 32), DEADLINE) {
+                Ok(p) => pending.push(p),
+                Err(e) if e.is_shed() => shed += 1,
+                Err(e) => panic!("load-step: unexpected submit error: {e}"),
+            }
+        }
+        for p in pending {
+            let _ = p.wait();
+        }
+    }
+    assert!(shed > 0, "load-step: the step never shed");
+
+    // The step is over; the paced trickle drains the burn windows and
+    // every alert must clear.
+    wait_all_clear(&monitor, "load-step");
+    callers.stop();
+    fleet_handle.stop();
+    mon_handle.stop();
+    assert_identity(&server, "load-step");
+
+    let events = monitor.events();
+    let first_fire = gate_events("load-step", &events, fault_scrape, SloKind::Availability);
+    let alert_signals = fleet_metrics.alert_signals.load(Ordering::Relaxed);
+    let replicas = server.pinned_workers(MODEL).len();
+    assert!(
+        alert_signals >= 1,
+        "load-step: the controller never consumed a firing alert"
+    );
+    assert!(
+        replicas >= 2,
+        "load-step: controller never scaled out (replicas {replicas})"
+    );
+    eprintln!(
+        "load-step: fault@{fault_scrape} fire@{first_fire} (+{}), {} events, {} alert signals, replicas 1 -> {replicas}",
+        first_fire - fault_scrape,
+        events.len(),
+        alert_signals
+    );
+
+    format!(
+        "{{\n    \"name\": \"load-step\",\n    \"fault_scrape\": {fault_scrape},\n    \
+         \"first_fire_scrape\": {first_fire},\n    \"fire_within_scrapes\": {},\n    \
+         \"alert_signals\": {alert_signals},\n    \"replicas_final\": {replicas},\n    \
+         \"step_offered\": {offered}, \"step_shed\": {shed},\n    \
+         \"false_positives_before_fault\": 0,\n    \"all_cleared\": true,\n    \
+         \"events\": {}\n  }}",
+        first_fire - fault_scrape,
+        events_json(&events)
+    )
+}
+
+/// Scenario 2: the sole replica dies. Admitted requests fail until the
+/// controller re-pins; a hard availability burn that must page fast.
+fn scenario_worker_kill(quick: bool) -> String {
+    let server = Arc::new(
+        builder(3, 64, vec![0], NetworkModel::with_hop(5e-6).bandwidth(10e9))
+            .preload(PreloadModel::free().fill_bandwidth(8e9).setup(5e-3))
+            .spawn()
+            .expect("server spawns"),
+    );
+    let monitor = Monitor::new(
+        &server,
+        vec![SloSpec::new(MODEL, 0.99, Duration::from_secs(1), 0.95)],
+        monitor_config(),
+    );
+    let mon_handle = monitor.run();
+
+    let cfg = FleetConfig {
+        min_replicas: 1,
+        max_replicas: 3,
+        scale_up_depth: usize::MAX,
+        scale_down_idle_ticks: u32::MAX,
+        cooldown_ticks: 1,
+        tick: SCRAPE,
+    };
+    let fleet_handle = FleetController::new(Arc::clone(&server), cfg).run();
+
+    let callers = spawn_callers(&server, 2, Duration::from_millis(1));
+    wait_scrapes(&monitor, 8);
+    let fault_scrape = monitor.scrapes();
+    assert!(server.kill_worker(0), "worker 0 should die on request");
+
+    // Let the failure burst, the repair, and the recovery all happen
+    // under traffic.
+    let recover = if quick { 20 } else { 40 };
+    wait_scrapes(&monitor, fault_scrape + recover);
+    callers.stop();
+    wait_all_clear(&monitor, "worker-kill");
+    fleet_handle.stop();
+    mon_handle.stop();
+    assert_identity(&server, "worker-kill");
+
+    let m = server.metrics().models.remove(0);
+    assert!(m.failed > 0, "worker-kill: the kill never failed a request");
+    let events = monitor.events();
+    let first_fire = gate_events("worker-kill", &events, fault_scrape, SloKind::Availability);
+    let repaired = server.pinned_workers(MODEL);
+    assert!(
+        !repaired.is_empty() && !repaired.contains(&0),
+        "worker-kill: replica not re-pinned off the dead worker ({repaired:?})"
+    );
+    eprintln!(
+        "worker-kill: fault@{fault_scrape} fire@{first_fire} (+{}), {} failed, re-pinned to {repaired:?}",
+        first_fire - fault_scrape,
+        m.failed
+    );
+
+    format!(
+        "{{\n    \"name\": \"worker-kill\",\n    \"fault_scrape\": {fault_scrape},\n    \
+         \"first_fire_scrape\": {first_fire},\n    \"fire_within_scrapes\": {},\n    \
+         \"failed\": {},\n    \"repinned_to\": {:?},\n    \
+         \"false_positives_before_fault\": 0,\n    \"all_cleared\": true,\n    \
+         \"events\": {}\n  }}",
+        first_fire - fault_scrape,
+        m.failed,
+        repaired,
+        events_json(&events)
+    )
+}
+
+/// Scenario 3: the replica's link slows ~120×, so every completion
+/// breaches the latency objective. The latency alert must fire, and the
+/// flight recorder must hold a complete span tree for exactly the
+/// requests the client saw breach.
+fn scenario_link_degradation(quick: bool, service_s: f64) -> String {
+    let net = NetworkModel::with_hop(20e-6).bandwidth(10e9);
+    let objective = Duration::from_secs_f64((10.0 * service_s).max(2e-3));
+    let server = Arc::new(
+        builder(3, 64, vec![0], net)
+            .flight_recorder(objective, 4096)
+            .spawn()
+            .expect("server spawns"),
+    );
+    let monitor = Monitor::new(
+        &server,
+        vec![SloSpec::new(MODEL, 0.99, objective, 0.95)],
+        monitor_config(),
+    );
+    let mon_handle = monitor.run();
+
+    // One paced caller counting the breaches it observes first-hand
+    // (the server's own latency, the same quantity the recorder gates
+    // on).
+    let stop = Arc::new(AtomicBool::new(false));
+    let breaches = Arc::new(AtomicU64::new(0));
+    let caller = {
+        let server = Arc::clone(&server);
+        let stop = Arc::clone(&stop);
+        let breaches = Arc::clone(&breaches);
+        thread::spawn(move || {
+            let client = server.client();
+            let mut i = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                if let Ok(resp) = client.call(MODEL, &demo_input(WIDTHS[0], i % 32), DEADLINE) {
+                    if resp.latency > objective {
+                        breaches.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                i += 1;
+                thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+
+    wait_scrapes(&monitor, 8);
+    let fault_scrape = monitor.scrapes();
+    server.set_network(net.degrade_link(0, 120.0));
+
+    // Hold the fault across several fast windows, then heal the link.
+    let fault_scrapes = if quick { 20 } else { 35 };
+    wait_scrapes(&monitor, fault_scrape + fault_scrapes);
+    server.set_network(net);
+    let heal_scrape = monitor.scrapes();
+    wait_scrapes(&monitor, heal_scrape + 10);
+
+    stop.store(true, Ordering::Release);
+    caller.join().expect("caller thread");
+    wait_all_clear(&monitor, "link-degradation");
+    mon_handle.stop();
+    assert_identity(&server, "link-degradation");
+
+    let events = monitor.events();
+    let first_fire = gate_events("link-degradation", &events, fault_scrape, SloKind::Latency);
+    let breaches = breaches.load(Ordering::Relaxed);
+    assert!(
+        breaches > 0,
+        "link-degradation: the client never saw a breach"
+    );
+
+    // Flight-recorder completeness: one LatencyBreach record per
+    // client-observed breach, each carrying the full span tree.
+    let records = server.take_flight_records();
+    let breach_records: Vec<_> = records
+        .iter()
+        .filter(|r| matches!(r.outcome, FlightOutcome::LatencyBreach { .. }))
+        .collect();
+    assert_eq!(
+        breach_records.len() as u64,
+        breaches,
+        "link-degradation: recorder retained a different set than the client saw breach"
+    );
+    for r in &breach_records {
+        assert!(
+            !r.trace.spans.is_empty(),
+            "link-degradation: breach retained without its span tree"
+        );
+        assert!(
+            r.trace
+                .spans
+                .iter()
+                .any(|s| s.kind == bw_core::SpanKind::Run),
+            "link-degradation: span tree missing its run envelope"
+        );
+        assert!(
+            r.trace
+                .spans
+                .iter()
+                .all(|s| s.trace_id == r.trace.request_id),
+            "link-degradation: span tree crossed requests"
+        );
+    }
+    eprintln!(
+        "link-degradation: fault@{fault_scrape} fire@{first_fire} (+{}), {} breaches, {} flight records",
+        first_fire - fault_scrape,
+        breaches,
+        breach_records.len()
+    );
+
+    format!(
+        "{{\n    \"name\": \"link-degradation\",\n    \"fault_scrape\": {fault_scrape},\n    \
+         \"first_fire_scrape\": {first_fire},\n    \"fire_within_scrapes\": {},\n    \
+         \"latency_objective_us\": {:.1},\n    \"client_breaches\": {breaches},\n    \
+         \"flight_records\": {},\n    \"flight_complete\": true,\n    \
+         \"false_positives_before_fault\": 0,\n    \"all_cleared\": true,\n    \
+         \"events\": {}\n  }}",
+        first_fire - fault_scrape,
+        objective.as_secs_f64() * 1e6,
+        breach_records.len(),
+        events_json(&events)
+    )
+}
+
+fn main() {
+    let quick = parse_quick();
+    let service_s = probe_service_s();
+    eprintln!("measured service time: {:.1} µs/inference", service_s * 1e6);
+
+    let s1 = scenario_load_step(quick);
+    let s2 = scenario_worker_kill(quick);
+    let s3 = scenario_link_degradation(quick, service_s);
+
+    let json = format!(
+        "{{\n  \"bench\": \"obs\",\n  \"mode\": \"{}\",\n  \"scrape_interval_ms\": {},\n  \
+         \"fire_within_scrapes_gate\": {},\n  \"service_time_s\": {:.9},\n  \
+         \"scenarios\": [{},\n  {},\n  {}]\n}}\n",
+        if quick { "quick" } else { "full" },
+        SCRAPE.as_millis(),
+        FIRE_WITHIN,
+        service_s,
+        s1,
+        s2,
+        s3,
+    );
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_obs.json");
+}

@@ -55,6 +55,11 @@ pub enum SpanKind {
     /// interval is the operation's simulated duration converted at a
     /// nominal clock.
     FleetOp,
+    /// An SLO alert's firing interval, fire to clear. Emitted by the
+    /// observability layer, not the device simulator: `device` is the
+    /// ordinal of the SLO spec the alert belongs to and the interval is
+    /// wall time converted at a nominal clock.
+    SloAlert,
 }
 
 impl SpanKind {
@@ -72,6 +77,27 @@ impl SpanKind {
             SpanKind::ResourceStall => "resource-stall",
             SpanKind::NetTransfer => "net-transfer",
             SpanKind::FleetOp => "fleet-op",
+            SpanKind::SloAlert => "slo-alert",
+        }
+    }
+
+    /// The chrome-trace display lane ("thread" row) a span of this kind
+    /// renders into. The assignment is the single source of truth for
+    /// every exporter: both kinds of stall share the dedicated stall
+    /// lane, and each higher layer (network, fleet, SLO) owns one lane
+    /// so its spans never interleave with device activity. New span
+    /// kinds must extend this match — it is exhaustive by construction,
+    /// and `tests::lanes_cover_every_kind` pins the mapping.
+    pub fn lane(self) -> u64 {
+        match self {
+            SpanKind::Run => 0,
+            SpanKind::Chain(_) => 1,
+            SpanKind::MvmStream => 2,
+            SpanKind::MfuStream => 3,
+            SpanKind::DepStall | SpanKind::ResourceStall => 4,
+            SpanKind::NetTransfer => 5,
+            SpanKind::FleetOp => 6,
+            SpanKind::SloAlert => 7,
         }
     }
 }
@@ -236,9 +262,10 @@ mod tests {
         assert_eq!(drained[1].kind, SpanKind::MvmStream);
     }
 
-    #[test]
-    fn labels_are_stable_and_distinct() {
-        let kinds = [
+    /// Every kind instance: one per enum variant, one per `ChainKind`.
+    /// New variants must be added here or the label/lane pins go stale.
+    fn all_kinds() -> [SpanKind; 12] {
+        [
             SpanKind::Run,
             SpanKind::Chain(ChainKind::Mvm),
             SpanKind::Chain(ChainKind::Mfu),
@@ -250,9 +277,41 @@ mod tests {
             SpanKind::ResourceStall,
             SpanKind::NetTransfer,
             SpanKind::FleetOp,
-        ];
+            SpanKind::SloAlert,
+        ]
+    }
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        let kinds = all_kinds();
         let labels: std::collections::BTreeSet<&str> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn lanes_cover_every_kind() {
+        // Pin the full mapping: the two stall kinds share lane 4, every
+        // other kind owns its lane, and lanes are dense in 0..=7 so
+        // exporters can size their lane tables from the maximum.
+        let expected: [(SpanKind, u64); 12] = [
+            (SpanKind::Run, 0),
+            (SpanKind::Chain(ChainKind::Mvm), 1),
+            (SpanKind::Chain(ChainKind::Mfu), 1),
+            (SpanKind::Chain(ChainKind::Move), 1),
+            (SpanKind::Chain(ChainKind::MatrixMove), 1),
+            (SpanKind::MvmStream, 2),
+            (SpanKind::MfuStream, 3),
+            (SpanKind::DepStall, 4),
+            (SpanKind::ResourceStall, 4),
+            (SpanKind::NetTransfer, 5),
+            (SpanKind::FleetOp, 6),
+            (SpanKind::SloAlert, 7),
+        ];
+        for (kind, lane) in expected {
+            assert_eq!(kind.lane(), lane, "lane drifted for {kind:?}");
+        }
+        let lanes: std::collections::BTreeSet<u64> = all_kinds().iter().map(|k| k.lane()).collect();
+        assert_eq!(lanes, (0..=7).collect());
     }
 
     #[test]

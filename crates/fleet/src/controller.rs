@@ -8,8 +8,10 @@
 //! - **repair** — a model whose healthy replica count fell below
 //!   `min_replicas` (worker death, link down) gets re-pinned on the best
 //!   available worker, paying the weight-preload cost;
-//! - **scale up** — shedding since the last tick, or a mean outstanding
-//!   depth at or above `scale_up_depth`, grows the replica set by one;
+//! - **scale up** — shedding since the last tick, a mean outstanding
+//!   depth at or above `scale_up_depth`, or a firing SLO alert from an
+//!   installed [alert source](FleetController::set_alert_source) grows
+//!   the replica set by one;
 //! - **repack** — a replica sitting on a degraded link moves to a
 //!   healthy worker (pin the new home first, then unpin the old — the
 //!   model never loses capacity);
@@ -26,6 +28,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use bw_obs::Alert;
 use bw_serve::{MetricsSnapshot, NetworkModel, Server};
 
 use crate::metrics::FleetMetrics;
@@ -109,6 +112,7 @@ pub struct FleetController {
     policy: Box<dyn PlacementPolicy>,
     metrics: Arc<FleetMetrics>,
     state: HashMap<String, ModelState>,
+    alert_source: Option<Box<dyn Fn() -> Vec<Alert> + Send>>,
 }
 
 impl FleetController {
@@ -129,7 +133,26 @@ impl FleetController {
             policy,
             metrics: Arc::new(FleetMetrics::new()),
             state: HashMap::new(),
+            alert_source: None,
         }
+    }
+
+    /// Installs a source of firing SLO alerts (typically
+    /// `Monitor::alert_source` from `bw-obs`). A model with any alert
+    /// firing counts as pressured on every tick the alert stays up, so
+    /// burn-rate alerts drive scale-up even before queue depth or
+    /// shedding show it.
+    pub fn set_alert_source(&mut self, source: impl Fn() -> Vec<Alert> + Send + 'static) {
+        self.alert_source = Some(Box::new(source));
+    }
+
+    /// Builder-style [`set_alert_source`](Self::set_alert_source).
+    pub fn with_alert_source(
+        mut self,
+        source: impl Fn() -> Vec<Alert> + Send + 'static,
+    ) -> FleetController {
+        self.set_alert_source(source);
+        self
     }
 
     /// The controller's metrics block (shared with [`FleetHandle`]).
@@ -207,6 +230,7 @@ impl FleetController {
         self.metrics.ticks.fetch_add(1, Ordering::Relaxed);
         let snap = self.server.metrics();
         let net = self.server.network();
+        let firing: Vec<Alert> = self.alert_source.as_ref().map_or_else(Vec::new, |f| f());
         let mut decisions = Vec::new();
 
         for model in self.managed_models() {
@@ -286,8 +310,14 @@ impl FleetController {
                     }
                 }
 
-                // Scale up under pressure.
-                let pressured = shed_delta > 0 || mean_depth >= self.cfg.scale_up_depth.max(1);
+                // Scale up under pressure: raw deltas (shedding, queue
+                // depth) or a firing burn-rate alert for this model.
+                let alerted = firing.iter().any(|a| a.model == model);
+                if alerted {
+                    self.metrics.alert_signals.fetch_add(1, Ordering::Relaxed);
+                }
+                let pressured =
+                    shed_delta > 0 || mean_depth >= self.cfg.scale_up_depth.max(1) || alerted;
                 if pressured && replicas < self.cfg.max_replicas {
                     let cands = self.candidates(&snap, &net, &hosts);
                     if let Some(worker) = self.policy.choose(&model, &cands) {

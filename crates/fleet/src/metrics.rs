@@ -34,6 +34,9 @@ pub struct FleetMetrics {
     /// Decisions that failed to apply (for example the chosen worker
     /// died between observation and action).
     pub apply_failures: AtomicU64,
+    /// Ticks on which a firing SLO alert (from an installed alert
+    /// source) contributed scale-up pressure.
+    pub alert_signals: AtomicU64,
     /// When this controller was born: span timestamps are nanoseconds
     /// since this instant.
     born: Instant,
@@ -51,6 +54,7 @@ impl Default for FleetMetrics {
             migrations: AtomicU64::new(0),
             preload_ns: AtomicU64::new(0),
             apply_failures: AtomicU64::new(0),
+            alert_signals: AtomicU64::new(0),
             born: Instant::now(),
             spans: Mutex::new(Vec::new()),
             next_op: AtomicU64::new(1),
@@ -99,7 +103,7 @@ impl FleetMetrics {
     /// [`Server::prometheus`](bw_serve::Server::prometheus) output.
     pub fn prometheus(&self) -> String {
         let mut e = bw_trace::Exposition::new();
-        let counters: [(&str, &str, u64); 7] = [
+        let counters: [(&str, &str, u64); 8] = [
             (
                 "bw_fleet_ticks_total",
                 "Control-loop ticks executed.",
@@ -135,6 +139,11 @@ impl FleetMetrics {
                 "Simulated weight-preload time paid across all pins.",
                 self.preload_ns.load(Ordering::Relaxed),
             ),
+            (
+                "bw_fleet_alert_signals_total",
+                "Ticks on which a firing SLO alert contributed scale-up pressure.",
+                self.alert_signals.load(Ordering::Relaxed),
+            ),
         ];
         for (name, help, value) in counters {
             e.counter(name, help);
@@ -156,7 +165,7 @@ mod tests {
         m.add_preload(1.5e-3);
         let text = m.prometheus();
         let n = bw_trace::validate_exposition(&text).expect("valid exposition");
-        assert_eq!(n, 7);
+        assert_eq!(n, 8);
         assert!(text.contains("bw_fleet_ticks_total 3"));
         assert!(text.contains("bw_fleet_scale_up_total 1"));
         assert!(text.contains("bw_fleet_preload_nanoseconds_total 1500000"));

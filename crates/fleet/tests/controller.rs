@@ -130,6 +130,44 @@ fn sustained_idle_scales_down_to_the_floor() {
 }
 
 #[test]
+fn a_firing_alert_scales_up_without_queue_pressure() {
+    use bw_obs::{Alert, AlertSpeed, SloKind};
+
+    // No traffic at all: no shedding, empty queues — only the alert
+    // source says anything is wrong.
+    let server = boot(3, 32, vec![0]);
+    let mut ctl = FleetController::new(Arc::clone(&server), eager()).with_alert_source(|| {
+        vec![Alert {
+            model: "ctl".into(),
+            slo: SloKind::Latency,
+            speed: AlertSpeed::Fast,
+        }]
+    });
+    let decisions = ctl.step();
+    assert!(
+        decisions
+            .iter()
+            .any(|d| matches!(d, FleetDecision::ScaleUp { model, .. } if model == "ctl")),
+        "a firing alert alone must scale up, got {decisions:?}"
+    );
+    assert_eq!(server.pinned_workers("ctl").len(), 2);
+    assert!(ctl.metrics().alert_signals.load(Ordering::Relaxed) >= 1);
+
+    // An alert for a model this controller does not manage is inert.
+    let server = boot(3, 32, vec![0]);
+    let mut ctl = FleetController::new(Arc::clone(&server), eager()).with_alert_source(|| {
+        vec![Alert {
+            model: "someone-else".into(),
+            slo: SloKind::Availability,
+            speed: AlertSpeed::Slow,
+        }]
+    });
+    assert!(ctl.step().is_empty());
+    assert_eq!(server.pinned_workers("ctl").len(), 1);
+    assert_eq!(ctl.metrics().alert_signals.load(Ordering::Relaxed), 0);
+}
+
+#[test]
 fn background_loop_repairs_and_exposes_metrics() {
     let server = boot(3, 32, vec![0]);
     let cfg = FleetConfig {

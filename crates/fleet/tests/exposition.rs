@@ -1,0 +1,84 @@
+//! One scrape target for the whole stack: the server's existing wire
+//! Prometheus endpoint must serve serving (`bw_requests_*`), fleet
+//! (`bw_fleet_*`), and SLO (`bw_slo_*` / `bw_alert_*`) families in a
+//! single valid exposition once the extra sources are installed.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bw_fleet::{FleetConfig, FleetController};
+use bw_obs::{Monitor, MonitorConfig, SloSpec};
+use bw_serve::demo::{demo_input, mlp_artifact};
+use bw_serve::{Server, TcpClient, TcpFrontend};
+
+#[test]
+fn one_wire_scrape_serves_serve_fleet_and_slo_series() {
+    let server = Arc::new(
+        Server::builder()
+            .model(mlp_artifact("uni", &[16, 32, 8], 5))
+            .replicas(2)
+            .queue_cap(32)
+            .pin_on("uni", vec![0])
+            .spawn()
+            .unwrap(),
+    );
+
+    // Fleet: fold its counters into the server's endpoint.
+    let mut ctl = FleetController::new(Arc::clone(&server), FleetConfig::default());
+    let fleet_metrics = ctl.metrics();
+    {
+        let fleet_metrics = Arc::clone(&fleet_metrics);
+        server.add_prometheus_source(move || fleet_metrics.prometheus());
+    }
+
+    // SLO monitor: same endpoint, weak registration.
+    let monitor = Monitor::new(
+        &server,
+        vec![SloSpec::new("uni", 0.99, Duration::from_millis(50), 0.95)],
+        MonitorConfig::default(),
+    );
+    monitor.install_exposition(&server);
+
+    // Generate a little of everything: traffic, a fleet tick, scrapes.
+    let client = server.client();
+    for i in 0..4 {
+        client
+            .call("uni", &demo_input(16, i), Duration::from_secs(5))
+            .unwrap();
+    }
+    ctl.step();
+    for _ in 0..3 {
+        monitor.scrape();
+    }
+
+    // Scrape once over the wire and check every family is present and
+    // the whole document still validates.
+    let frontend = TcpFrontend::bind(&server, "127.0.0.1:0").unwrap();
+    let mut wire = TcpClient::connect(frontend.addr()).unwrap();
+    let text = wire.prometheus().unwrap();
+    frontend.shutdown();
+
+    bw_trace::validate_exposition(&text).expect("unified exposition is valid");
+    for family in [
+        "bw_requests_submitted_total",
+        "bw_fleet_ticks_total",
+        "bw_fleet_alert_signals_total",
+        "bw_obs_scrapes_total",
+        "bw_slo_error_budget_remaining",
+        "bw_alert_firing",
+    ] {
+        assert!(text.contains(family), "missing family {family} in:\n{text}");
+    }
+    assert!(
+        text.contains("bw_slo_latency_objective_seconds{model=\"uni\"} 0.05"),
+        "objective gauge missing:\n{text}"
+    );
+
+    // Dropping the monitor empties its weak-registered source without
+    // breaking the endpoint.
+    drop(monitor);
+    let text = server.prometheus();
+    bw_trace::validate_exposition(&text).expect("exposition survives monitor drop");
+    assert!(!text.contains("bw_slo_"), "stale SLO series after drop");
+    assert!(text.contains("bw_fleet_ticks_total"));
+}

@@ -1,0 +1,130 @@
+//! Declarative SLOs and the multi-window burn-rate rules that police
+//! them.
+//!
+//! The alerting model is the standard error-budget one: an SLO grants a
+//! budget of bad events (`1 - objective` as a fraction of traffic), and
+//! the *burn rate* is how many times faster than budget-neutral the
+//! service is consuming it — burn 1.0 exhausts the budget exactly at
+//! the SLO period's end, burn 10 exhausts it in a tenth of the period.
+//! Each SLO is policed by two windows: a **fast** rule (short window,
+//! high threshold) that pages within a few scrapes of a hard outage,
+//! and a **slow** rule (long window, low threshold) that catches the
+//! sustained low-grade burn the fast rule's threshold ignores. The
+//! pairing keeps steady-state false positives near zero: a blip that
+//! trips neither a high short-window burn nor a sustained long-window
+//! one is, by definition, within budget.
+
+use std::time::Duration;
+
+use crate::alert::AlertSpeed;
+
+/// A model's service-level objective: availability plus a latency
+/// objective at a quantile.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloSpec {
+    /// The model (metrics row) the objective applies to.
+    pub model: String,
+    /// Availability objective in (0, 1): the fraction of admitted
+    /// requests that must terminate successfully. Shed and failed
+    /// requests both burn it.
+    pub availability: f64,
+    /// Latency objective: completed requests slower than this are "bad"
+    /// for the latency SLO.
+    pub latency_objective: Duration,
+    /// The quantile the latency objective is stated at, in (0, 1) —
+    /// e.g. `0.99` means "99% of completions within the objective", so
+    /// the latency error budget is the slowest 1%.
+    pub latency_quantile: f64,
+}
+
+impl SloSpec {
+    /// A spec with the given objectives. Panics on out-of-range
+    /// objectives — a spec is configuration, and a bad one should fail
+    /// loudly at construction, not silently never alert.
+    pub fn new(
+        model: impl Into<String>,
+        availability: f64,
+        latency_objective: Duration,
+        latency_quantile: f64,
+    ) -> SloSpec {
+        assert!(
+            availability > 0.0 && availability < 1.0,
+            "availability objective must be in (0, 1), got {availability}"
+        );
+        assert!(
+            latency_quantile > 0.0 && latency_quantile < 1.0,
+            "latency quantile must be in (0, 1), got {latency_quantile}"
+        );
+        SloSpec {
+            model: model.into(),
+            availability,
+            latency_objective,
+            latency_quantile,
+        }
+    }
+}
+
+/// One burn-rate alert rule: fire when the burn rate measured over
+/// `window` scrapes reaches `threshold`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurnRule {
+    /// The rule's speed class (labels alerts and exposition series).
+    pub speed: AlertSpeed,
+    /// Scrapes the burn rate is measured over. The rule is not
+    /// evaluated until a full window of scrapes exists.
+    pub window: usize,
+    /// Burn rate at or above which the rule fires.
+    pub threshold: f64,
+}
+
+impl BurnRule {
+    /// The default multi-window pair: fast = 5 scrapes at burn ≥ 8
+    /// (a hard outage pages within a few scrape intervals), slow = 60
+    /// scrapes at burn ≥ 2 (a sustained burn that would exhaust the
+    /// budget well before the period ends).
+    pub fn default_rules() -> Vec<BurnRule> {
+        vec![
+            BurnRule {
+                speed: AlertSpeed::Fast,
+                window: 5,
+                threshold: 8.0,
+            },
+            BurnRule {
+                speed: AlertSpeed::Slow,
+                window: 60,
+                threshold: 2.0,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_rules_are_the_documented_pair() {
+        let rules = BurnRule::default_rules();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(
+            (rules[0].speed, rules[0].window, rules[0].threshold),
+            (AlertSpeed::Fast, 5, 8.0)
+        );
+        assert_eq!(
+            (rules[1].speed, rules[1].window, rules[1].threshold),
+            (AlertSpeed::Slow, 60, 2.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "availability objective")]
+    fn specs_reject_impossible_availability() {
+        let _ = SloSpec::new("m", 1.0, Duration::from_millis(1), 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency quantile")]
+    fn specs_reject_impossible_quantile() {
+        let _ = SloSpec::new("m", 0.999, Duration::from_millis(1), 0.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Golden alert-engine scenarios: handcrafted cumulative series with
+//! the fire/clear scrape indices worked out by hand. The engine is
+//! clock-free, so these assert *exact* scrape ordinals — any change to
+//! the window math, the insufficient-data guard, or the burn formula
+//! shows up here as an off-by-one.
+//!
+//! All scenarios use the default rule pair: fast = 5 scrapes at burn
+//! ≥ 8, slow = 60 scrapes at burn ≥ 2, against a 99% availability /
+//! p95-within-10ms objective (error budget 1% each).
+
+use std::time::Duration;
+
+use bw_obs::{AlertSpeed, BurnRule, ModelObservation, SloEngine, SloKind, Transition};
+use bw_serve::Histogram;
+
+fn engine() -> SloEngine {
+    SloEngine::new(
+        vec![bw_obs::SloSpec::new(
+            "m",
+            0.99,
+            Duration::from_millis(10),
+            0.95,
+        )],
+        BurnRule::default_rules(),
+    )
+}
+
+fn obs(submitted: u64, bad: u64, latency: &Histogram) -> ModelObservation {
+    ModelObservation {
+        model: "m".into(),
+        submitted,
+        completed: submitted - bad,
+        shed: bad,
+        failed: 0,
+        latency: latency.clone(),
+    }
+}
+
+/// (scrape, kind, speed, transition) — the whole audit trail of a run.
+fn trail(events: &[bw_obs::AlertEvent]) -> Vec<(u64, SloKind, AlertSpeed, Transition)> {
+    events
+        .iter()
+        .map(|e| (e.scrape, e.alert.slo, e.alert.speed, e.transition))
+        .collect()
+}
+
+#[test]
+fn clean_traffic_never_alerts() {
+    let mut e = engine();
+    let mut hist = Histogram::default();
+    let mut events = Vec::new();
+    for s in 0..100u64 {
+        for _ in 0..100 {
+            hist.record(0.001);
+        }
+        events.extend(e.observe(&[obs(100 * (s + 1), 0, &hist)]));
+    }
+    assert!(
+        events.is_empty(),
+        "steady-state false positives: {events:?}"
+    );
+    assert!(e.firing_alerts().is_empty());
+    let spec = e.specs()[0].clone();
+    assert_eq!(
+        e.error_budget_remaining(&spec, SloKind::Availability),
+        Some(1.0)
+    );
+    assert_eq!(e.error_budget_remaining(&spec, SloKind::Latency), Some(1.0));
+}
+
+#[test]
+fn a_hard_outage_walks_the_fast_then_slow_windows() {
+    // 100 requests per scrape throughout. Scrapes 0–19 clean; scrapes
+    // 20–24 lose every request (500 bad total); clean again from 25.
+    //
+    // Fast (w=5, t=8): at scrape 20 the window holds 100 bad of 500
+    // (burn 20) → FIRE@20. The last scrape whose window still holds bad
+    // traffic is 28 (bad[28]−bad[23] = 100, burn 20); at 29 the window
+    // is clean → CLEAR@29.
+    //
+    // Slow (w=60, t=2): first evaluable at scrape 60, where the window
+    // still contains all 500 bad of 6000 (burn 8.33) → FIRE@60. The
+    // outage ages out one scrape at a time: at 82 the window holds 200
+    // bad (burn 3.33), at 83 only 100 (burn 1.67 < 2) → CLEAR@83.
+    let mut e = engine();
+    let hist = Histogram::default();
+    let mut events = Vec::new();
+    for s in 0..90u64 {
+        let bad = match s {
+            0..=19 => 0,
+            20..=24 => 100 * (s - 19),
+            _ => 500,
+        };
+        events.extend(e.observe(&[obs(100 * (s + 1), bad, &hist)]));
+    }
+    assert_eq!(
+        trail(&events),
+        vec![
+            (
+                20,
+                SloKind::Availability,
+                AlertSpeed::Fast,
+                Transition::Fire
+            ),
+            (
+                29,
+                SloKind::Availability,
+                AlertSpeed::Fast,
+                Transition::Clear
+            ),
+            (
+                60,
+                SloKind::Availability,
+                AlertSpeed::Slow,
+                Transition::Fire
+            ),
+            (
+                83,
+                SloKind::Availability,
+                AlertSpeed::Slow,
+                Transition::Clear
+            ),
+        ]
+    );
+    assert!(e.firing_alerts().is_empty());
+    // The fire-scrape burns are the hand-computed ones.
+    assert!((events[0].burn - 20.0).abs() < 1e-9);
+    assert!((events[2].burn - 500.0 / 6000.0 / 0.01).abs() < 1e-9);
+}
+
+#[test]
+fn a_slow_burn_waits_for_the_slow_window() {
+    // 3% of traffic bad on every scrape: burn 3 everywhere. The fast
+    // rule (threshold 8) must never fire; the slow rule fires at the
+    // first scrape its window is complete — exactly scrape 60, the
+    // insufficient-data guard's edge — and never clears.
+    let mut e = engine();
+    let hist = Histogram::default();
+    let mut events = Vec::new();
+    for s in 0..120u64 {
+        events.extend(e.observe(&[obs(100 * (s + 1), 3 * (s + 1), &hist)]));
+    }
+    assert_eq!(
+        trail(&events),
+        vec![(
+            60,
+            SloKind::Availability,
+            AlertSpeed::Slow,
+            Transition::Fire
+        )]
+    );
+    assert!((events[0].burn - 3.0).abs() < 1e-9);
+    assert_eq!(e.firing_alerts().len(), 1);
+    assert_eq!(e.firing_alerts()[0].speed, AlertSpeed::Slow);
+}
+
+#[test]
+fn flapping_fires_and_clears_on_every_cycle() {
+    // A one-scrape total outage every 10 scrapes (at 10, 20, 30). Each
+    // burst fires the fast rule the scrape it lands and clears exactly
+    // 5 scrapes later when it ages out of the window.
+    let mut e = engine();
+    let hist = Histogram::default();
+    let mut events = Vec::new();
+    let mut bad = 0;
+    for s in 0..40u64 {
+        if s > 0 && s % 10 == 0 {
+            bad += 100;
+        }
+        events.extend(e.observe(&[obs(100 * (s + 1), bad, &hist)]));
+    }
+    assert_eq!(
+        trail(&events),
+        vec![
+            (
+                10,
+                SloKind::Availability,
+                AlertSpeed::Fast,
+                Transition::Fire
+            ),
+            (
+                15,
+                SloKind::Availability,
+                AlertSpeed::Fast,
+                Transition::Clear
+            ),
+            (
+                20,
+                SloKind::Availability,
+                AlertSpeed::Fast,
+                Transition::Fire
+            ),
+            (
+                25,
+                SloKind::Availability,
+                AlertSpeed::Fast,
+                Transition::Clear
+            ),
+            (
+                30,
+                SloKind::Availability,
+                AlertSpeed::Fast,
+                Transition::Fire
+            ),
+            (
+                35,
+                SloKind::Availability,
+                AlertSpeed::Fast,
+                Transition::Clear
+            ),
+        ]
+    );
+}
+
+#[test]
+fn latency_regressions_fire_from_the_window_distribution() {
+    // A p98-within-10ms objective (error budget 2%) so every burn in
+    // the scenario sits far from the threshold — golden indices must
+    // not hinge on float rounding at the boundary. 100 completions per
+    // scrape at 1 ms, except scrapes 10–12 which complete at 50 ms.
+    // Fast latency burn = (window fraction over objective) / 0.02:
+    //   scrape 10: 100/500 over → burn 10 ≥ 8 → FIRE@10
+    //   scrape 16: 100/500 over → burn 10     (still firing)
+    //   scrape 17:   0/500 over → burn  0 < 8 → CLEAR@17
+    let mut e = SloEngine::new(
+        vec![bw_obs::SloSpec::new(
+            "m",
+            0.99,
+            Duration::from_millis(10),
+            0.98,
+        )],
+        BurnRule::default_rules(),
+    );
+    let mut hist = Histogram::default();
+    let mut events = Vec::new();
+    let mut q_during_regression = 0.0;
+    for s in 0..20u64 {
+        let lat = if (10..=12).contains(&s) { 0.050 } else { 0.001 };
+        for _ in 0..100 {
+            hist.record(lat);
+        }
+        events.extend(e.observe(&[obs(100 * (s + 1), 0, &hist)]));
+        if s == 12 {
+            q_during_regression = e.windowed_quantile("m", 5, 0.95).unwrap();
+        }
+    }
+    assert_eq!(
+        trail(&events),
+        vec![
+            (10, SloKind::Latency, AlertSpeed::Fast, Transition::Fire),
+            (17, SloKind::Latency, AlertSpeed::Fast, Transition::Clear),
+        ]
+    );
+    // The windowed p95 during the regression sits in the 50 ms bucket
+    // (within the histogram's documented ≤12% bucket resolution); after
+    // recovery the window's p95 drops back to the fast bucket.
+    assert!(
+        (0.040..=0.060).contains(&q_during_regression),
+        "windowed p95 = {q_during_regression}"
+    );
+    let q_after = e.windowed_quantile("m", 5, 0.95).unwrap();
+    assert!(q_after < 0.002, "recovered windowed p95 = {q_after}");
+}

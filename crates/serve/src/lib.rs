@@ -28,6 +28,12 @@
 //!   histograms (p50/p99/p99.9) with the accounting identity
 //!   `completed + shed + failed == submitted`, plus per-link network
 //!   counters;
+//! - a tail-sampling flight recorder
+//!   ([`ServerBuilder::flight_recorder`]) — a bounded ring of full
+//!   [`RequestTrace`] span trees retained only for requests that
+//!   breached the latency objective or failed, so a p99.9 outlier can
+//!   be diagnosed after the fact without head-sampling every request
+//!   into the trace log;
 //! - a TCP front end ([`TcpFrontend`] / [`TcpClient`]) speaking a
 //!   length-prefixed binary protocol ([`WireRequest`] / [`WireResponse`]);
 //! - an open-loop load generator ([`run_loadgen`]) replaying
@@ -68,8 +74,13 @@ pub mod loadgen;
 
 pub use metrics::{Histogram, LinkMetrics, MetricsSnapshot, ModelResidency, ModelSnapshot};
 pub use registry::{GroupSegment, ModelRegistry, RegistryError, ShardGroup};
-pub use request::{Attribution, RequestId, RequestTrace, Response, ServeError};
-pub use server::{Client, Pending, PinError, Server, ServerBuilder, ServerConfig, SpawnError};
+pub use request::{
+    Attribution, FlightOutcome, FlightRecord, RequestId, RequestTrace, Response, ServeError,
+};
+pub use server::{
+    Client, FlightRecorderConfig, Pending, PinError, Server, ServerBuilder, ServerConfig,
+    SpawnError,
+};
 pub use tcp::{TcpClient, TcpFrontend};
 pub use wire::{WireError, WireRequest, WireResponse};
 

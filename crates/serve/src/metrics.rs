@@ -18,7 +18,14 @@ const BUCKETS: usize = 96;
 /// A log-bucketed latency histogram. Records are seconds; quantiles come
 /// back as the geometric midpoint of the owning bucket, so resolution is
 /// bounded by the bucket growth factor, not sample count.
-#[derive(Debug)]
+///
+/// Histograms are also the unit of *snapshot-delta* math: two cumulative
+/// readings of the same live histogram can be subtracted with
+/// [`Histogram::diff`] to recover the distribution of just the samples
+/// recorded between them, and per-window snapshots can be re-aggregated
+/// with [`Histogram::merge`]. Both operate on the shared bucket layout,
+/// so windowed quantiles inherit the same ≤ 12% resolution bound.
+#[derive(Clone, Debug, PartialEq)]
 pub struct Histogram {
     counts: Vec<u64>,
     count: u64,
@@ -46,6 +53,14 @@ impl Histogram {
         }
         let idx = (latency_s / BUCKET_FLOOR_S).ln() / BUCKET_GROWTH.ln();
         (idx as usize).min(BUCKETS - 1)
+    }
+
+    /// The geometric midpoint of bucket `i` — the value quantiles resolve
+    /// to, and the representative a reconstructed (diffed) histogram
+    /// assigns to samples whose exact values are no longer known.
+    fn bucket_mid(i: usize) -> f64 {
+        let lo = BUCKET_FLOOR_S * BUCKET_GROWTH.powi(i as i32);
+        (lo * (lo * BUCKET_GROWTH)).sqrt()
     }
 
     /// Records one latency sample (seconds).
@@ -122,12 +137,64 @@ impl Histogram {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if c > 0 && seen > rank {
-                let lo = BUCKET_FLOOR_S * BUCKET_GROWTH.powi(i as i32);
-                let hi = lo * BUCKET_GROWTH;
-                return (lo * hi).sqrt().clamp(self.min_s, self.max_s);
+                return Self::bucket_mid(i).clamp(self.min_s, self.max_s);
             }
         }
         self.max_s
+    }
+
+    /// Folds another histogram's samples into this one. Counts and sums
+    /// add per bucket; min/max take the extremes of both operands. An
+    /// empty `other` is a no-op.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_s += other.sum_s;
+        if other.count > 0 {
+            self.min_s = self.min_s.min(other.min_s);
+            self.max_s = self.max_s.max(other.max_s);
+        }
+    }
+
+    /// Reconstructs the distribution of the samples recorded between two
+    /// cumulative snapshots of the same histogram: per-bucket saturating
+    /// subtraction of `before` from `after`.
+    ///
+    /// The window's exact min/max are unknowable from cumulative
+    /// snapshots, so the result substitutes the geometric midpoints of
+    /// its extreme occupied buckets — within the documented ≤ 12% bucket
+    /// resolution, like every quantile. The sum is clamped at zero.
+    /// Identical snapshots (and `after` lagging `before`, which cannot
+    /// happen for snapshots taken in order) diff to an empty histogram.
+    pub fn diff(after: &Histogram, before: &Histogram) -> Histogram {
+        let mut out = Histogram::default();
+        for (i, o) in out.counts.iter_mut().enumerate() {
+            *o = after.counts[i].saturating_sub(before.counts[i]);
+        }
+        out.count = out.counts.iter().sum();
+        if out.count > 0 {
+            out.sum_s = (after.sum_s - before.sum_s).max(0.0);
+            let first = out.counts.iter().position(|&c| c > 0).unwrap_or(0);
+            let last = out.counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+            out.min_s = Self::bucket_mid(first);
+            out.max_s = Self::bucket_mid(last);
+        }
+        out
+    }
+
+    /// Samples whose owning bucket's representative (geometric midpoint)
+    /// exceeds `threshold_s` — the "slow request" numerator of a latency
+    /// SLO. Like quantiles, the answer is exact up to bucket resolution:
+    /// samples within ≤ 12% of the threshold may fall on either side.
+    pub fn count_over(&self, threshold_s: f64) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| Self::bucket_mid(i) > threshold_s)
+            .map(|(_, &c)| c)
+            .sum()
     }
 
     /// Summarizes the histogram in the shared `bw-system` vocabulary.
@@ -251,6 +318,12 @@ pub struct ModelSnapshot {
     pub retries: u64,
     /// Latency distribution of completed requests.
     pub latency: LatencySummary,
+    /// The raw cumulative latency histogram behind [`Self::latency`].
+    /// Carried so snapshot consumers can do window math —
+    /// [`Histogram::diff`] between two snapshots recovers the
+    /// distribution of just the requests completed between them. Not
+    /// serialized by [`MetricsSnapshot::to_json`].
+    pub latency_hist: Histogram,
     /// NPU cycles attributed to completed requests.
     pub npu_cycles: u64,
     /// MVM multiply-accumulates attributed to completed requests.
@@ -422,6 +495,12 @@ impl MetricsSnapshot {
 
 /// Snapshots one model's live metrics.
 pub(crate) fn snapshot_model(name: &str, m: &ModelMetrics) -> ModelSnapshot {
+    // One lock acquisition for both the summary and the raw histogram so
+    // the two views of latency agree sample-for-sample.
+    let (latency, latency_hist) = {
+        let h = m.latency.lock();
+        (h.summary(), h.clone())
+    };
     ModelSnapshot {
         model: name.to_owned(),
         submitted: m.submitted.load(Ordering::Relaxed),
@@ -429,7 +508,8 @@ pub(crate) fn snapshot_model(name: &str, m: &ModelMetrics) -> ModelSnapshot {
         shed: m.shed.load(Ordering::Relaxed),
         failed: m.failed.load(Ordering::Relaxed),
         retries: m.retries.load(Ordering::Relaxed),
-        latency: m.latency.lock().summary(),
+        latency,
+        latency_hist,
         npu_cycles: m.npu_cycles.load(Ordering::Relaxed),
         npu_macs: m.npu_macs.load(Ordering::Relaxed),
         npu_dep_stall_cycles: m.npu_dep_stall_cycles.load(Ordering::Relaxed),
@@ -827,6 +907,96 @@ mod tests {
         assert!(text.contains("bw_link_transfers_total{link=\"0\"} 4"));
         assert!(text.contains("bw_link_bytes_total{link=\"0\"} 1024"));
         assert!(text.contains("bw_link_busy_seconds_total{link=\"1\"} 0"));
+    }
+
+    #[test]
+    fn diff_recovers_the_window_distribution() {
+        // Record a "before" epoch, snapshot, record a second epoch with a
+        // very different shape, snapshot again: the diff must describe
+        // only the second epoch.
+        let mut live = Histogram::default();
+        for _ in 0..100 {
+            live.record(1e-3);
+        }
+        let before = live.clone();
+        for _ in 0..50 {
+            live.record(20e-3);
+        }
+        let window = Histogram::diff(&live, &before);
+        assert_eq!(window.count(), 50);
+        // Every window sample was 20 ms; the p50 must resolve there
+        // (within bucket resolution), unpolluted by the 1 ms epoch.
+        let p50 = window.quantile(0.5);
+        assert!((15e-3..=25e-3).contains(&p50), "p50 {p50}");
+        assert!((window.sum_s() - 50.0 * 20e-3).abs() < 1e-6);
+        assert_eq!(window.count_over(10e-3), 50);
+        assert_eq!(window.count_over(30e-3), 0);
+    }
+
+    #[test]
+    fn diff_and_merge_edge_cases() {
+        let mut a = Histogram::default();
+        a.record(2e-3);
+        a.record(8e-3);
+        // Identical snapshots diff to an empty histogram with the
+        // documented empty sentinels.
+        let empty = Histogram::diff(&a, &a);
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.quantile(0.99), 0.0);
+        assert_eq!(
+            (empty.min_s(), empty.max_s(), empty.sum_s()),
+            (0.0, 0.0, 0.0)
+        );
+        // Diff against a fresh histogram is the identity on counts.
+        let same = Histogram::diff(&a, &Histogram::default());
+        assert_eq!(same.count(), 2);
+        assert_eq!(same.cumulative_buckets(), a.cumulative_buckets());
+        // Merge with empty is a no-op in both directions.
+        let mut b = a.clone();
+        b.merge(&Histogram::default());
+        assert_eq!(b, a);
+        let mut e = Histogram::default();
+        e.merge(&a);
+        assert_eq!(e.count(), 2);
+        assert_eq!((e.min_s(), e.max_s()), (a.min_s(), a.max_s()));
+        // Merging two windows is equivalent to recording both streams.
+        let mut w1 = Histogram::default();
+        let mut w2 = Histogram::default();
+        let mut all = Histogram::default();
+        for s in [1e-4, 5e-4, 2e-3] {
+            w1.record(s);
+            all.record(s);
+        }
+        for s in [7e-3, 9e-2] {
+            w2.record(s);
+            all.record(s);
+        }
+        w1.merge(&w2);
+        // Sums can differ by an ulp from addition order; everything else
+        // must match exactly.
+        assert!((w1.sum_s() - all.sum_s()).abs() < 1e-12);
+        assert_eq!(w1.cumulative_buckets(), all.cumulative_buckets());
+        assert_eq!(
+            (w1.count(), w1.min_s(), w1.max_s()),
+            (all.count(), all.min_s(), all.max_s())
+        );
+    }
+
+    #[test]
+    fn count_over_respects_bucket_resolution() {
+        let mut h = Histogram::default();
+        for _ in 0..10 {
+            h.record(1e-3);
+        }
+        for _ in 0..3 {
+            h.record(100e-3);
+        }
+        // Thresholds far from any bucket edge are exact.
+        assert_eq!(h.count_over(10e-3), 3);
+        assert_eq!(h.count_over(500e-3), 0);
+        assert_eq!(h.count_over(1e-7), 13);
+        // An empty histogram has nothing over any threshold.
+        assert_eq!(Histogram::default().count_over(0.0), 0);
     }
 
     #[test]

@@ -74,6 +74,41 @@ pub struct RequestTrace {
     pub spans: Vec<SpanRecord>,
 }
 
+/// Why the tail-sampling flight recorder retained a request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FlightOutcome {
+    /// The request completed, but slower than the configured latency
+    /// objective.
+    LatencyBreach {
+        /// The measured end-to-end latency.
+        latency: Duration,
+        /// The objective it breached.
+        objective: Duration,
+    },
+    /// The request terminated in a [`ServeError`] after admission.
+    Failed {
+        /// The rendered terminal error.
+        error: String,
+    },
+}
+
+/// One retained flight-recorder entry: the full trace of a request that
+/// breached the latency objective or failed. This is *tail* sampling —
+/// the decision to keep the trace is made at termination, once the
+/// outcome is known, so the bounded ring holds only the requests worth
+/// diagnosing (the p99.9 outliers), not a head-sampled cross-section.
+/// Drained via `Server::take_flight_records`.
+#[derive(Clone, Debug)]
+pub struct FlightRecord {
+    /// The retained trace. For a completed-but-slow request this carries
+    /// the full NPU span tree; for a failed request the spans are
+    /// whatever the failed attempts produced (often empty — the request
+    /// never completed an inference).
+    pub trace: RequestTrace,
+    /// Why the recorder kept it.
+    pub outcome: FlightOutcome,
+}
+
 /// Why a request did not complete. Every in-flight request terminates in
 /// exactly one of [`Response`] or one of these — there are no silent
 /// drops, and the metrics account for each (`completed + shed + failed ==

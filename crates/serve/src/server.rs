@@ -50,12 +50,25 @@ use crate::metrics::{
     ModelResidency, WorkerRow,
 };
 use crate::registry::{GroupSegment, ModelRegistry, RegistryError};
-use crate::request::{Attribution, RequestId, RequestTrace, Response, ServeError};
+use crate::request::{
+    Attribution, FlightOutcome, FlightRecord, RequestId, RequestTrace, Response, ServeError,
+};
 use crate::router::Router;
 use crate::worker::{spawn_worker, Completion, Control, DispatchRefused, Job, WorkerHandle};
 
 /// Sampled request traces retained before the oldest is dropped.
 const TRACE_LOG_CAP: usize = 256;
+
+/// Tail-sampling flight-recorder settings ([`ServerConfig::flight_recorder`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlightRecorderConfig {
+    /// Completed requests slower than this are retained with their full
+    /// span tree.
+    pub latency_objective: Duration,
+    /// Bounded ring capacity: once full, the oldest record is dropped
+    /// for each new one.
+    pub capacity: usize,
+}
 
 /// Tunables of one server pool.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -89,6 +102,14 @@ pub struct ServerConfig {
     /// costs in simulated time ([`Server::pin_model`]). The default free
     /// model preloads instantly, preserving pre-fleet behavior.
     pub preload: PreloadModel,
+    /// Tail-sampling flight recorder: when set, every request is traced
+    /// and the full span tree of each request that breached the latency
+    /// objective or failed is retained in a bounded ring
+    /// ([`Server::take_flight_records`]). Unlike `trace_sample` (head
+    /// sampling, decided at admission), retention is decided at
+    /// termination when the outcome is known. `None` (the default)
+    /// disables the recorder.
+    pub flight_recorder: Option<FlightRecorderConfig>,
 }
 
 impl Default for ServerConfig {
@@ -103,6 +124,7 @@ impl Default for ServerConfig {
             trace_sample: 0,
             network: NetworkModel::ideal(),
             preload: PreloadModel::free(),
+            flight_recorder: None,
         }
     }
 }
@@ -184,6 +206,12 @@ fn check_sla(model: &str, bound: Option<u64>, deadline: Duration) -> Result<(), 
     Ok(())
 }
 
+/// Whether `trace_sample` head sampling selects this request for the
+/// trace log.
+fn head_sampled(cfg: &ServerConfig, request_id: RequestId) -> bool {
+    cfg.trace_sample > 0 && request_id.is_multiple_of(cfg.trace_sample)
+}
+
 /// Ceil-converts a cycle count into whole microseconds on `clock_hz`.
 #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 fn cycles_to_us_ceil(cycles: u64, clock_hz: f64) -> u64 {
@@ -227,6 +255,16 @@ pub(crate) struct ServerInner {
     /// Sampled request traces, oldest first, bounded at
     /// [`TRACE_LOG_CAP`].
     trace_log: Mutex<VecDeque<RequestTrace>>,
+    /// Tail-sampled flight records, oldest first, bounded at
+    /// `cfg.flight_recorder.capacity`. Empty unless the recorder is
+    /// configured.
+    flight_log: Mutex<VecDeque<FlightRecord>>,
+    /// Extra Prometheus renderers appended to the server's own
+    /// exposition — how higher layers (fleet counters, SLO/alert gauges)
+    /// publish through the one TAG_PROM scrape target. Each must render
+    /// a complete, valid text exposition with family names disjoint from
+    /// every other contributor's.
+    extra_prom: RwLock<Vec<Arc<dyn Fn() -> String + Send + Sync>>>,
 }
 
 impl ServerInner {
@@ -328,7 +366,41 @@ impl ServerInner {
         log.push_back(trace);
     }
 
+    /// Retains one flight record, bounded at the configured capacity
+    /// (oldest dropped first). No-op when the recorder is off.
+    fn push_flight(&self, record: FlightRecord) {
+        let Some(fr) = self.cfg.flight_recorder else {
+            return;
+        };
+        if fr.capacity == 0 {
+            return;
+        }
+        let mut log = self.flight_log.lock();
+        if log.len() >= fr.capacity {
+            log.pop_front();
+        }
+        log.push_back(record);
+    }
+
+    /// Whether the flight recorder wants a failure record for a
+    /// terminal error (shed requests never got capacity — they are an
+    /// admission outcome, not a serving failure worth a span tree).
+    fn flight_wants_failure(&self, err: &ServeError) -> bool {
+        self.cfg.flight_recorder.is_some() && !err.is_shed()
+    }
+
     fn prometheus(&self) -> String {
+        let mut text = self.prometheus_base();
+        for render in self.extra_prom.read().iter() {
+            let extra = render();
+            if !extra.is_empty() {
+                text.push_str(&extra);
+            }
+        }
+        text
+    }
+
+    fn prometheus_base(&self) -> String {
         let rows = self.metric_rows();
         let models: Vec<(&str, &ModelMetrics)> = rows
             .iter()
@@ -546,6 +618,18 @@ impl ServerBuilder {
         self
     }
 
+    /// Arms the tail-sampling flight recorder: completed requests slower
+    /// than `latency_objective` (and failed requests) are retained with
+    /// their full span trees in a ring of `capacity` records, drained
+    /// via [`Server::take_flight_records`].
+    pub fn flight_recorder(mut self, latency_objective: Duration, capacity: usize) -> Self {
+        self.cfg.flight_recorder = Some(FlightRecorderConfig {
+            latency_objective,
+            capacity,
+        });
+        self
+    }
+
     /// Spawns the pool: every worker pins every whole model; shard
     /// members pin only on their owner set (worker `w` owns shard `k` of
     /// a `K`-wide segment iff `w % K == k`, so owner sets are disjoint
@@ -728,6 +812,8 @@ impl ServerBuilder {
                 cfg: self.cfg,
                 next_id: AtomicU64::new(1),
                 trace_log: Mutex::new(VecDeque::new()),
+                flight_log: Mutex::new(VecDeque::new()),
+                extra_prom: RwLock::new(Vec::new()),
             }),
         })
     }
@@ -1067,6 +1153,28 @@ impl Server {
     pub fn take_traces(&self) -> Vec<RequestTrace> {
         self.inner.trace_log.lock().drain(..).collect()
     }
+
+    /// Drains the tail-sampled flight records collected so far (oldest
+    /// first): the full span tree of every request that breached the
+    /// configured latency objective or failed, bounded at the
+    /// recorder's capacity. Empty unless
+    /// [`ServerBuilder::flight_recorder`] armed the recorder.
+    pub fn take_flight_records(&self) -> Vec<FlightRecord> {
+        self.inner.flight_log.lock().drain(..).collect()
+    }
+
+    /// Registers an extra Prometheus renderer whose output is appended
+    /// to this server's exposition — every scrape of
+    /// [`Server::prometheus`] (and the TCP `TAG_PROM` endpoint) then
+    /// serves the combined document, so one scrape target carries
+    /// serve, fleet, and SLO series together. `render` must produce a
+    /// complete, valid text exposition whose family names are disjoint
+    /// from the server's own (`bw_requests_*`, `bw_request_*`,
+    /// `bw_npu_*`, `bw_worker_*`, `bw_link_*`) and from every other
+    /// registered source.
+    pub fn add_prometheus_source(&self, render: impl Fn() -> String + Send + Sync + 'static) {
+        self.inner.extra_prom.write().push(Arc::new(render));
+    }
 }
 
 impl Drop for Server {
@@ -1127,8 +1235,12 @@ impl Client {
         let deadline_at = submitted + deadline;
         let request_id = inner.next_request_id();
         let input = Arc::new(input.to_vec());
+        // The flight recorder decides retention at termination, but
+        // workers only emit spans when asked at dispatch — so an armed
+        // recorder traces every request and discards the uninteresting
+        // ones, while head sampling keeps feeding the trace log.
         let collect_spans =
-            inner.cfg.trace_sample > 0 && request_id.is_multiple_of(inner.cfg.trace_sample);
+            head_sampled(&inner.cfg, request_id) || inner.cfg.flight_recorder.is_some();
         let spec = DispatchSpec {
             attempt: 0,
             model: model_idx,
@@ -1164,9 +1276,13 @@ impl Client {
             }
             Err(DispatchStopped::NoReplica) => {
                 metrics.failed.fetch_add(1, Ordering::Relaxed);
-                Err(ServeError::NoReplica {
+                let err = ServeError::NoReplica {
                     model: model.to_owned(),
-                })
+                };
+                if inner.flight_wants_failure(&err) {
+                    inner.push_flight(flight_failure(request_id, model, &err.to_string()));
+                }
+                Err(err)
             }
         }
     }
@@ -1198,7 +1314,7 @@ impl Client {
         let submitted = Instant::now();
         let request_id = inner.next_request_id();
         let collect_spans =
-            inner.cfg.trace_sample > 0 && request_id.is_multiple_of(inner.cfg.trace_sample);
+            head_sampled(&inner.cfg, request_id) || inner.cfg.flight_recorder.is_some();
         let mut pending = GroupPending {
             inner: Arc::clone(inner),
             request_id,
@@ -1405,7 +1521,29 @@ impl SinglePending {
                         dep_stall_cycles: stats.dep_stall_cycles,
                         resource_stall_cycles: stats.resource_stall_cycles,
                     };
-                    if self.collect_spans && !spans.is_empty() {
+                    // Tail sampling: now that the outcome is known, keep
+                    // the full span tree iff the latency objective was
+                    // breached.
+                    if let Some(fr) = self.inner.cfg.flight_recorder {
+                        if latency > fr.latency_objective {
+                            self.inner.push_flight(FlightRecord {
+                                trace: RequestTrace {
+                                    request_id: self.request_id,
+                                    trace_id: self.request_id,
+                                    model: self.model.clone(),
+                                    worker,
+                                    attribution,
+                                    stats: stats.clone(),
+                                    spans: spans.clone(),
+                                },
+                                outcome: FlightOutcome::LatencyBreach {
+                                    latency,
+                                    objective: fr.latency_objective,
+                                },
+                            });
+                        }
+                    }
+                    if head_sampled(&cfg, self.request_id) && !spans.is_empty() {
                         self.inner.push_trace(RequestTrace {
                             request_id: self.request_id,
                             trace_id: self.request_id,
@@ -1526,6 +1664,13 @@ impl SinglePending {
         if !self.settled {
             self.settled = true;
             self.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            if self.inner.flight_wants_failure(&err) {
+                self.inner.push_flight(flight_failure(
+                    self.request_id,
+                    &self.model,
+                    &err.to_string(),
+                ));
+            }
         }
         err
     }
@@ -1538,7 +1683,31 @@ impl Drop for SinglePending {
             // metrics identity holds.
             self.settled = true;
             self.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            if self.inner.cfg.flight_recorder.is_some() {
+                self.inner
+                    .push_flight(flight_failure(self.request_id, &self.model, "abandoned"));
+            }
         }
+    }
+}
+
+/// A failure flight record: no completed inference means no span tree —
+/// the record carries the identity and the terminal error. `worker` is
+/// `usize::MAX` because no worker produced an accepted attempt.
+fn flight_failure(request_id: RequestId, model: &str, error: &str) -> FlightRecord {
+    FlightRecord {
+        trace: RequestTrace {
+            request_id,
+            trace_id: request_id,
+            model: model.to_owned(),
+            worker: usize::MAX,
+            attribution: Attribution::default(),
+            stats: RunStats::default(),
+            spans: Vec::new(),
+        },
+        outcome: FlightOutcome::Failed {
+            error: error.to_owned(),
+        },
     }
 }
 
@@ -1919,7 +2088,26 @@ impl GroupPending {
             dep_stall_cycles: self.stats.dep_stall_cycles,
             resource_stall_cycles: self.stats.resource_stall_cycles,
         };
-        if self.collect_spans && !self.spans.is_empty() {
+        if let Some(fr) = self.inner.cfg.flight_recorder {
+            if latency > fr.latency_objective {
+                self.inner.push_flight(FlightRecord {
+                    trace: RequestTrace {
+                        request_id: self.request_id,
+                        trace_id: self.request_id,
+                        model: self.name.clone(),
+                        worker: self.last_worker,
+                        attribution,
+                        stats: self.stats.clone(),
+                        spans: self.spans.clone(),
+                    },
+                    outcome: FlightOutcome::LatencyBreach {
+                        latency,
+                        objective: fr.latency_objective,
+                    },
+                });
+            }
+        }
+        if head_sampled(&self.inner.cfg, self.request_id) && !self.spans.is_empty() {
             self.inner.push_trace(RequestTrace {
                 request_id: self.request_id,
                 trace_id: self.request_id,
@@ -1947,6 +2135,13 @@ impl GroupPending {
             self.settled = true;
             self.metrics.failed.fetch_add(1, Ordering::Relaxed);
             self.abandon_inflight();
+            if self.inner.flight_wants_failure(&err) {
+                self.inner.push_flight(flight_failure(
+                    self.request_id,
+                    &self.name,
+                    &err.to_string(),
+                ));
+            }
         }
         err
     }
@@ -1986,6 +2181,10 @@ impl Drop for GroupPending {
             self.settled = true;
             self.metrics.failed.fetch_add(1, Ordering::Relaxed);
             self.abandon_inflight();
+            if self.inner.cfg.flight_recorder.is_some() {
+                self.inner
+                    .push_flight(flight_failure(self.request_id, &self.name, "abandoned"));
+            }
         }
     }
 }

@@ -1,0 +1,169 @@
+//! Tail-sampling flight recorder: full span trees are retained for
+//! exactly the requests that breached the latency objective or failed,
+//! within a bounded ring — and head sampling (`trace_sample`) keeps its
+//! own semantics untouched.
+
+use std::time::Duration;
+
+use bw_core::SpanKind;
+use bw_serve::demo::{demo_input, mlp_artifact};
+use bw_serve::{FlightOutcome, Server};
+
+const DEADLINE: Duration = Duration::from_secs(5);
+
+fn boot(objective: Duration, capacity: usize, queue_cap: usize) -> Server {
+    Server::builder()
+        .model(mlp_artifact("fr", &[16, 32, 8], 9))
+        .replicas(2)
+        .queue_cap(queue_cap)
+        .flight_recorder(objective, capacity)
+        .spawn()
+        .unwrap()
+}
+
+#[test]
+fn every_breaching_request_keeps_its_full_span_tree() {
+    // A zero latency objective: every completion breaches.
+    let server = boot(Duration::ZERO, 64, 32);
+    let client = server.client();
+    let mut latencies = Vec::new();
+    for i in 0..10 {
+        let resp = client.call("fr", &demo_input(16, i), DEADLINE).unwrap();
+        latencies.push(resp.latency);
+    }
+
+    let records = server.take_flight_records();
+    assert_eq!(records.len(), 10, "every breach must be retained");
+    for record in &records {
+        match &record.outcome {
+            FlightOutcome::LatencyBreach { latency, objective } => {
+                assert!(*latency > *objective);
+                assert_eq!(*objective, Duration::ZERO);
+            }
+            other => panic!("expected a latency breach, got {other:?}"),
+        }
+        // The span tree is complete: a run envelope plus chain spans,
+        // all stamped with the request's own trace id.
+        assert!(!record.trace.spans.is_empty(), "empty span tree retained");
+        assert!(record.trace.spans.iter().any(|s| s.kind == SpanKind::Run));
+        assert!(record
+            .trace
+            .spans
+            .iter()
+            .all(|s| s.trace_id == record.trace.request_id));
+    }
+    assert!(
+        server.take_flight_records().is_empty(),
+        "records drain once"
+    );
+}
+
+#[test]
+fn requests_within_the_objective_are_not_retained() {
+    let server = boot(Duration::from_secs(100), 64, 32);
+    let client = server.client();
+    for i in 0..10 {
+        client.call("fr", &demo_input(16, i), DEADLINE).unwrap();
+    }
+    assert!(
+        server.take_flight_records().is_empty(),
+        "healthy requests must not be recorded"
+    );
+}
+
+#[test]
+fn the_ring_is_bounded_and_keeps_the_most_recent() {
+    let server = boot(Duration::ZERO, 4, 32);
+    let client = server.client();
+    let mut last_ids = Vec::new();
+    for i in 0..12 {
+        let p = client.submit("fr", &demo_input(16, i), DEADLINE).unwrap();
+        let id = p.request_id();
+        p.wait().unwrap();
+        if i >= 8 {
+            last_ids.push(id);
+        }
+    }
+    let records = server.take_flight_records();
+    assert_eq!(records.len(), 4, "capacity must bound the ring");
+    let kept: Vec<_> = records.iter().map(|r| r.trace.request_id).collect();
+    assert_eq!(kept, last_ids, "oldest records must be evicted first");
+}
+
+#[test]
+fn failures_are_recorded_but_shed_is_not() {
+    // Kill every worker: admitted requests fail with NoReplica.
+    let server = boot(Duration::from_secs(100), 64, 32);
+    let client = server.client();
+    for w in 0..server.worker_count() {
+        server.kill_worker(w);
+    }
+    let err = client.call("fr", &demo_input(16, 0), DEADLINE).unwrap_err();
+    let records = server.take_flight_records();
+    assert_eq!(records.len(), 1, "a failed request must be retained");
+    match &records[0].outcome {
+        FlightOutcome::Failed { error } => {
+            assert_eq!(error, &err.to_string());
+        }
+        other => panic!("expected a failure record, got {other:?}"),
+    }
+
+    // Shed requests never entered the system: admission control is an
+    // outcome, not a serving failure, so they leave no record.
+    let server = boot(Duration::from_secs(100), 64, 1);
+    let client = server.client();
+    let mut pending = Vec::new();
+    let mut shed = 0;
+    for i in 0..64 {
+        match client.submit("fr", &demo_input(16, i), DEADLINE) {
+            Ok(p) => pending.push(p),
+            Err(_) => shed += 1,
+        }
+    }
+    for p in pending {
+        let _ = p.wait();
+    }
+    assert!(shed > 0, "burst did not shed; tighten the queue");
+    assert!(
+        server
+            .take_flight_records()
+            .iter()
+            .all(|r| matches!(r.outcome, FlightOutcome::LatencyBreach { .. })),
+        "shed requests must not leave failure records"
+    );
+}
+
+#[test]
+fn head_sampling_semantics_are_unchanged() {
+    // Recorder armed, head sampling off: flight records exist but the
+    // trace log stays empty.
+    let server = boot(Duration::ZERO, 64, 32);
+    let client = server.client();
+    for i in 0..6 {
+        client.call("fr", &demo_input(16, i), DEADLINE).unwrap();
+    }
+    assert!(
+        server.take_traces().is_empty(),
+        "trace_sample=0 logs nothing"
+    );
+    assert_eq!(server.take_flight_records().len(), 6);
+
+    // Head sampling on alongside the recorder: the trace log sees only
+    // the sampled subset while the recorder sees every breach.
+    let server = Server::builder()
+        .model(mlp_artifact("fr", &[16, 32, 8], 9))
+        .replicas(2)
+        .queue_cap(32)
+        .trace_sample(2)
+        .flight_recorder(Duration::ZERO, 64)
+        .spawn()
+        .unwrap();
+    let client = server.client();
+    for i in 0..6 {
+        client.call("fr", &demo_input(16, i), DEADLINE).unwrap();
+    }
+    let traces = server.take_traces();
+    assert_eq!(traces.len(), 3, "every second request is head-sampled");
+    assert!(traces.iter().all(|t| t.request_id % 2 == 0));
+    assert_eq!(server.take_flight_records().len(), 6);
+}

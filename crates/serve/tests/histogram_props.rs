@@ -1,0 +1,119 @@
+//! Properties of [`Histogram`] snapshot-delta arithmetic: `diff` of two
+//! cumulative snapshots recovers the window's distribution, quantiles of
+//! the diff track the true window values within the documented ≤12%
+//! bucket resolution, and `merge` is the inverse of `diff`.
+
+use bw_serve::Histogram;
+use proptest::prelude::*;
+
+/// Log-uniform latencies spanning 10 µs – 10 s, well inside the
+/// histogram's bucket range.
+fn latency() -> impl Strategy<Value = f64> {
+    (-5.0f64..1.0).prop_map(|e| 10f64.powf(e))
+}
+
+fn record_all(hist: &mut Histogram, samples: &[f64]) {
+    for &s in samples {
+        hist.record(s);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantiles of `diff(after, before)` stay within the ≤12% bucket
+    /// resolution of the true quantiles of just the window's samples,
+    /// no matter what the `before` snapshot already held.
+    #[test]
+    fn diff_quantiles_bracket_the_true_window_values(
+        before in prop::collection::vec(latency(), 0..200),
+        window in prop::collection::vec(latency(), 1..200),
+    ) {
+        let mut snap_before = Histogram::default();
+        record_all(&mut snap_before, &before);
+        let mut snap_after = snap_before.clone();
+        record_all(&mut snap_after, &window);
+
+        let diff = Histogram::diff(&snap_after, &snap_before);
+        prop_assert_eq!(diff.count(), window.len() as u64);
+
+        let mut sorted = window.clone();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            // The histogram's nearest-rank rule, applied to the exact
+            // samples.
+            let rank = ((sorted.len() - 1) as f64 * q) as usize;
+            let truth = sorted[rank];
+            let got = diff.quantile(q);
+            prop_assert!(
+                (got / truth - 1.0).abs() <= 0.12,
+                "q={} true={} diff={} (off by {:.1}%)",
+                q, truth, got, (got / truth - 1.0).abs() * 100.0
+            );
+        }
+    }
+
+    /// Merging the diff back onto the `before` snapshot reconstructs
+    /// `after` exactly, bucket for bucket.
+    #[test]
+    fn merge_is_the_inverse_of_diff(
+        before in prop::collection::vec(latency(), 0..200),
+        window in prop::collection::vec(latency(), 0..200),
+    ) {
+        let mut snap_before = Histogram::default();
+        record_all(&mut snap_before, &before);
+        let mut snap_after = snap_before.clone();
+        record_all(&mut snap_after, &window);
+
+        let diff = Histogram::diff(&snap_after, &snap_before);
+        let mut rebuilt = snap_before.clone();
+        rebuilt.merge(&diff);
+
+        prop_assert_eq!(rebuilt.count(), snap_after.count());
+        prop_assert_eq!(rebuilt.cumulative_buckets(), snap_after.cumulative_buckets());
+        // Sums travel through subtraction and re-addition of floats:
+        // equal up to rounding, not bitwise.
+        prop_assert!((rebuilt.sum_s() - snap_after.sum_s()).abs() <= 1e-9 * (1.0 + snap_after.sum_s()));
+    }
+
+    /// Merge is commutative on everything observable: counts, buckets,
+    /// extremes, and quantiles.
+    #[test]
+    fn merge_commutes(
+        xs in prop::collection::vec(latency(), 0..200),
+        ys in prop::collection::vec(latency(), 0..200),
+    ) {
+        let mut hx = Histogram::default();
+        record_all(&mut hx, &xs);
+        let mut hy = Histogram::default();
+        record_all(&mut hy, &ys);
+
+        let mut xy = hx.clone();
+        xy.merge(&hy);
+        let mut yx = hy.clone();
+        yx.merge(&hx);
+
+        prop_assert_eq!(xy.count(), yx.count());
+        prop_assert_eq!(xy.cumulative_buckets(), yx.cumulative_buckets());
+        prop_assert_eq!(xy.min_s(), yx.min_s());
+        prop_assert_eq!(xy.max_s(), yx.max_s());
+        for q in [0.1, 0.5, 0.9] {
+            prop_assert_eq!(xy.quantile(q), yx.quantile(q));
+        }
+    }
+
+    /// A snapshot diffed against itself is empty, and `count_over` of
+    /// any diff never exceeds its count.
+    #[test]
+    fn self_diff_is_empty_and_count_over_is_bounded(
+        xs in prop::collection::vec(latency(), 0..200),
+        threshold in latency(),
+    ) {
+        let mut h = Histogram::default();
+        record_all(&mut h, &xs);
+        let empty = Histogram::diff(&h, &h);
+        prop_assert_eq!(empty.count(), 0);
+        prop_assert_eq!(empty.quantile(0.5), 0.0, "empty sentinel");
+        prop_assert!(h.count_over(threshold) <= h.count());
+    }
+}

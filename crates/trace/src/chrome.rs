@@ -9,7 +9,7 @@
 //! resource activity and exposed stalls. Thread-name metadata events
 //! label the lanes.
 
-use bw_core::{SpanKind, SpanRecord};
+use bw_core::SpanRecord;
 
 /// One Chrome trace event (the subset of the format this crate emits).
 #[derive(Clone, Debug, PartialEq)]
@@ -42,20 +42,10 @@ pub enum ArgValue {
     Str(String),
 }
 
-/// The lane (`tid`) a span kind renders on.
-fn lane(kind: SpanKind) -> u64 {
-    match kind {
-        SpanKind::Run => 0,
-        SpanKind::Chain(_) => 1,
-        SpanKind::MvmStream => 2,
-        SpanKind::MfuStream => 3,
-        SpanKind::DepStall | SpanKind::ResourceStall => 4,
-        SpanKind::NetTransfer => 5,
-        SpanKind::FleetOp => 6,
-    }
-}
-
-const LANES: [(u64, &str); 7] = [
+/// Display names for the lanes assigned by [`SpanKind::lane`] — the
+/// mapping itself lives in `bw-core` so every exporter and emitter
+/// shares one source of truth.
+const LANES: [(u64, &str); 8] = [
     (0, "run"),
     (1, "chains"),
     (2, "mvm stream"),
@@ -63,6 +53,7 @@ const LANES: [(u64, &str); 7] = [
     (4, "stalls"),
     (5, "network"),
     (6, "fleet"),
+    (7, "slo"),
 ];
 
 /// Converts span records into Chrome events. `clock_hz` converts cycles
@@ -85,7 +76,7 @@ pub fn spans_to_chrome(spans: &[SpanRecord], clock_hz: f64, base_ts_us: f64) -> 
             ts_us: base_ts_us + s.start_cycle as f64 * us_per_cycle,
             dur_us: Some(s.cycles() as f64 * us_per_cycle),
             pid,
-            tid: lane(s.kind),
+            tid: s.kind.lane(),
             args: vec![
                 ("trace_id".to_owned(), ArgValue::Int(s.trace_id)),
                 ("chain".to_owned(), ArgValue::Int(s.chain)),
@@ -219,7 +210,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bw_core::ChainKind;
+    use bw_core::{ChainKind, SpanKind};
 
     fn span(kind: SpanKind, device: u32, start: u64, end: u64) -> SpanRecord {
         SpanRecord {
@@ -258,6 +249,29 @@ mod tests {
         let no_dur = r#"{"traceEvents":[{"name":"x","cat":"c","ph":"X","ts":1,"pid":0,"tid":0}]}"#;
         assert!(validate_chrome_trace(no_dur).is_err());
         assert_eq!(validate_chrome_trace("{\"traceEvents\":[]}"), Ok(0));
+    }
+
+    #[test]
+    fn lane_labels_cover_every_assigned_lane() {
+        // The label table must name exactly the lanes `SpanKind::lane`
+        // can assign; a new span kind that grows the lane space without
+        // a label here would render on an anonymous track.
+        let assigned: std::collections::BTreeSet<u64> = [
+            SpanKind::Run,
+            SpanKind::Chain(ChainKind::Mvm),
+            SpanKind::MvmStream,
+            SpanKind::MfuStream,
+            SpanKind::DepStall,
+            SpanKind::ResourceStall,
+            SpanKind::NetTransfer,
+            SpanKind::FleetOp,
+            SpanKind::SloAlert,
+        ]
+        .iter()
+        .map(|k| k.lane())
+        .collect();
+        let labeled: std::collections::BTreeSet<u64> = LANES.iter().map(|&(tid, _)| tid).collect();
+        assert_eq!(assigned, labeled);
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //! | [`baselines`] | `bw-baselines` | Titan Xp / P40 published datasets + GPU batch model |
 //! | [`system`] | `bw-system` | datacenter serving simulation |
 //! | [`serve`] | `bw-serve` | hardware-microservices serving runtime over live NPUs |
+//! | [`fleet`] | `bw-fleet` | autoscaling, placement, and live-migration control loop |
+//! | [`obs`] | `bw-obs` | SLO burn-rate monitoring over the serving pool |
 //! | [`trace`] | `bw-trace` | Perfetto trace-event + Prometheus exposition exporters |
 //!
 //! ## Quickstart
@@ -54,9 +56,11 @@ pub use bw_baselines as baselines;
 pub use bw_bfp as bfp;
 pub use bw_core as core;
 pub use bw_dataflow as dataflow;
+pub use bw_fleet as fleet;
 pub use bw_fpga as fpga;
 pub use bw_gir as gir;
 pub use bw_models as models;
+pub use bw_obs as obs;
 pub use bw_serve as serve;
 pub use bw_system as system;
 pub use bw_trace as trace;

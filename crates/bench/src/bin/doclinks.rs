@@ -1,0 +1,121 @@
+//! Documentation link checker: every relative link in the repo's
+//! markdown files must resolve to a real file or directory.
+//!
+//! Walks the tree from the current directory (skipping `target/`,
+//! `vendor/`, and `.git/`), extracts inline markdown links
+//! (`[text](destination)`) from every `*.md`, and verifies each
+//! relative destination — minus any `#fragment` — exists on disk,
+//! resolved against the linking file's directory. Absolute URLs
+//! (`http:`, `https:`, `mailto:`) are skipped. Exits nonzero listing
+//! every broken link.
+//!
+//! Usage: `cargo run --release -p bw-bench --bin doclinks`
+
+use std::path::{Path, PathBuf};
+
+fn collect_markdown(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name == ".git" || name == "node_modules" {
+                continue;
+            }
+            collect_markdown(&path, out);
+        } else if name.ends_with(".md") {
+            out.push(path);
+        }
+    }
+}
+
+/// Extracts inline link destinations: for every `](dest)` occurrence,
+/// the text between the marker and its closing parenthesis. Fenced code
+/// blocks are skipped — they quote link syntax without asserting the
+/// target exists.
+fn link_destinations(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i + 1 < bytes.len() {
+            if bytes[i] == b']' && bytes[i + 1] == b'(' {
+                if let Some(close) = line[i + 2..].find(')') {
+                    out.push(line[i + 2..i + 2 + close].to_owned());
+                    i += 2 + close;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+fn is_external(dest: &str) -> bool {
+    dest.starts_with("http://")
+        || dest.starts_with("https://")
+        || dest.starts_with("mailto:")
+        || dest.starts_with('#')
+}
+
+fn main() {
+    let mut files = Vec::new();
+    collect_markdown(Path::new("."), &mut files);
+    files.sort();
+    assert!(
+        !files.is_empty(),
+        "no markdown files found — run from the repo root"
+    );
+
+    let mut checked = 0usize;
+    let mut broken: Vec<String> = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file)
+            .unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+        let dir = file.parent().unwrap_or(Path::new("."));
+        for dest in link_destinations(&text) {
+            if is_external(&dest) || dest.is_empty() {
+                continue;
+            }
+            let path_part = dest.split('#').next().unwrap_or("");
+            if path_part.is_empty() {
+                continue;
+            }
+            checked += 1;
+            let target = dir.join(path_part);
+            if !target.exists() {
+                broken.push(format!(
+                    "{}: [{}] does not resolve ({})",
+                    file.display(),
+                    dest,
+                    target.display()
+                ));
+            }
+        }
+    }
+
+    eprintln!(
+        "doclinks: {} markdown files, {} relative links checked, {} broken",
+        files.len(),
+        checked,
+        broken.len()
+    );
+    if !broken.is_empty() {
+        for b in &broken {
+            eprintln!("BROKEN {b}");
+        }
+        std::process::exit(1);
+    }
+}

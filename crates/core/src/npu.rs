@@ -620,6 +620,29 @@ impl Npu {
     ///
     /// Returns the first [`SimError`] raised by validation or execution.
     pub fn run(&mut self, program: &Program) -> Result<RunStats, SimError> {
+        self.run_batch(program, 1)
+    }
+
+    /// Runs a program `batch` times inside one run envelope — the
+    /// multi-column entry point the serving batcher dispatches through.
+    ///
+    /// Column 0 streams from the Nios exactly as [`Npu::run`] does;
+    /// every later column replays the already-buffered instructions at
+    /// one cycle each, which is where coalescing a micro-batch wins its
+    /// throughput: the matrix stays resident in the MRF and the
+    /// dispatch cost is paid once. Functional execution is independent
+    /// of timing state, so the per-column outputs are bit-identical to
+    /// `batch` sequential [`Npu::run`] calls over the same inputs.
+    ///
+    /// Statistics accumulate across columns into one [`RunStats`]; with
+    /// `batch > 1` a [`SpanKind::BatchColumn`] span is emitted per
+    /// column (chain ordinal = column + 1) inside the usual run
+    /// envelope. `batch == 0` is an empty run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] raised by validation or execution.
+    pub fn run_batch(&mut self, program: &Program, batch: usize) -> Result<RunStats, SimError> {
         self.nios_cursor = 0;
         self.mvm_free_at = 0;
         self.mfu_free_at = 0;
@@ -640,27 +663,55 @@ impl Npu {
         };
 
         let interval = u64::from(self.config.timing().dispatch_interval);
-        for segment in &program.segments {
-            for iteration in 0..segment.iterations {
-                // First pass streams from the Nios at the dispatch
-                // interval; replays come from the scheduler's instruction
-                // buffer at one cycle per instruction.
-                self.dispatch_cost = if iteration == 0 { interval } else { 1 };
-                for item in &segment.items {
-                    match item {
-                        Item::SetReg { reg, value } => self.exec_set_reg(*reg, *value)?,
-                        Item::Chain(chain) => self.exec_chain(chain)?,
+        for column in 0..batch {
+            let column_start = self.high_water();
+            for segment in &program.segments {
+                for iteration in 0..segment.iterations {
+                    // First pass streams from the Nios at the dispatch
+                    // interval; replays — later iterations and every
+                    // batch column after the first — come from the
+                    // scheduler's instruction buffer at one cycle per
+                    // instruction.
+                    self.dispatch_cost = if column == 0 && iteration == 0 {
+                        interval
+                    } else {
+                        1
+                    };
+                    for item in &segment.items {
+                        match item {
+                            Item::SetReg { reg, value } => self.exec_set_reg(*reg, *value)?,
+                            Item::Chain(chain) => self.exec_chain(chain)?,
+                        }
                     }
                 }
+            }
+            if batch > 1 {
+                let column_end = self.high_water();
+                self.emit_span(
+                    SpanKind::BatchColumn,
+                    column as u64 + 1,
+                    column_start,
+                    column_end,
+                );
             }
         }
         // The run ends when the last effect lands. Every published ready
         // time is bounded by a chain completion already folded into
         // `stats.cycles`, so only the resource frontiers can extend it.
-        let end = self.mvm_free_at.max(self.mfu_free_at).max(self.mem_free_at);
-        self.stats.cycles = self.stats.cycles.max(end);
+        self.stats.cycles = self.high_water();
         self.emit_span(SpanKind::Run, 0, 0, self.stats.cycles);
         Ok(self.stats.clone())
+    }
+
+    /// The latest architecturally visible effect so far in this run:
+    /// completed chains folded into `stats.cycles`, extended by any
+    /// still-draining resource frontier.
+    fn high_water(&self) -> u64 {
+        self.stats
+            .cycles
+            .max(self.mvm_free_at)
+            .max(self.mfu_free_at)
+            .max(self.mem_free_at)
     }
 
     fn exec_set_reg(&mut self, reg: ScalarReg, value: u32) -> Result<(), SimError> {

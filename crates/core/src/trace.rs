@@ -60,6 +60,12 @@ pub enum SpanKind {
     /// ordinal of the SLO spec the alert belongs to and the interval is
     /// wall time converted at a nominal clock.
     SloAlert,
+    /// One column of a multi-column batched run
+    /// ([`Npu::run_batch`](crate::Npu::run_batch)): the interval this
+    /// column's replay occupied inside the run envelope. `chain` is the
+    /// column ordinal (1-based). Only emitted when the batch holds more
+    /// than one column.
+    BatchColumn,
 }
 
 impl SpanKind {
@@ -78,6 +84,7 @@ impl SpanKind {
             SpanKind::NetTransfer => "net-transfer",
             SpanKind::FleetOp => "fleet-op",
             SpanKind::SloAlert => "slo-alert",
+            SpanKind::BatchColumn => "batch-column",
         }
     }
 
@@ -98,6 +105,7 @@ impl SpanKind {
             SpanKind::NetTransfer => 5,
             SpanKind::FleetOp => 6,
             SpanKind::SloAlert => 7,
+            SpanKind::BatchColumn => 8,
         }
     }
 }
@@ -264,7 +272,7 @@ mod tests {
 
     /// Every kind instance: one per enum variant, one per `ChainKind`.
     /// New variants must be added here or the label/lane pins go stale.
-    fn all_kinds() -> [SpanKind; 12] {
+    fn all_kinds() -> [SpanKind; 13] {
         [
             SpanKind::Run,
             SpanKind::Chain(ChainKind::Mvm),
@@ -278,6 +286,7 @@ mod tests {
             SpanKind::NetTransfer,
             SpanKind::FleetOp,
             SpanKind::SloAlert,
+            SpanKind::BatchColumn,
         ]
     }
 
@@ -291,9 +300,9 @@ mod tests {
     #[test]
     fn lanes_cover_every_kind() {
         // Pin the full mapping: the two stall kinds share lane 4, every
-        // other kind owns its lane, and lanes are dense in 0..=7 so
+        // other kind owns its lane, and lanes are dense in 0..=8 so
         // exporters can size their lane tables from the maximum.
-        let expected: [(SpanKind, u64); 12] = [
+        let expected: [(SpanKind, u64); 13] = [
             (SpanKind::Run, 0),
             (SpanKind::Chain(ChainKind::Mvm), 1),
             (SpanKind::Chain(ChainKind::Mfu), 1),
@@ -306,12 +315,13 @@ mod tests {
             (SpanKind::NetTransfer, 5),
             (SpanKind::FleetOp, 6),
             (SpanKind::SloAlert, 7),
+            (SpanKind::BatchColumn, 8),
         ];
         for (kind, lane) in expected {
             assert_eq!(kind.lane(), lane, "lane drifted for {kind:?}");
         }
         let lanes: std::collections::BTreeSet<u64> = all_kinds().iter().map(|k| k.lane()).collect();
-        assert_eq!(lanes, (0..=7).collect());
+        assert_eq!(lanes, (0..=8).collect());
     }
 
     #[test]

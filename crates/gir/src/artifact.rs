@@ -254,6 +254,51 @@ impl PinnedModel {
         Ok((output, stats, collector.drain()))
     }
 
+    /// Runs a coalesced micro-batch through the pinned devices: one
+    /// multi-column dispatch per accelerator segment
+    /// ([`Deployment::execute_batch`]), returning per-column outputs in
+    /// input order plus the accumulated statistics for the whole batch.
+    /// Outputs are bit-identical to calling
+    /// [`PinnedModel::infer_with_stats`] once per input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] on simulator failures.
+    pub fn infer_batch(
+        &mut self,
+        inputs: &[Vec<f32>],
+    ) -> Result<(Vec<Vec<f32>>, RunStats), DeployError> {
+        self.deployment.execute_batch(&mut self.npus, inputs)
+    }
+
+    /// [`PinnedModel::infer_batch`] with span tracing, stamping every
+    /// span — including the per-column
+    /// [`SpanKind::BatchColumn`](bw_core::SpanKind) records — with
+    /// `trace_id`. Tracing state does not persist across calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] on simulator failures.
+    #[allow(clippy::type_complexity)]
+    pub fn infer_batch_traced(
+        &mut self,
+        inputs: &[Vec<f32>],
+        trace_id: TraceId,
+    ) -> Result<(Vec<Vec<f32>>, RunStats, Vec<SpanRecord>), DeployError> {
+        let collector = SpanCollector::new();
+        for (d, npu) in self.npus.iter_mut().enumerate() {
+            npu.set_trace_sink(Some(collector.handle()));
+            npu.set_trace_context(trace_id, d as u32);
+        }
+        let result = self.deployment.execute_batch(&mut self.npus, inputs);
+        for npu in &mut self.npus {
+            npu.set_trace_sink(None);
+            npu.set_trace_context(0, 0);
+        }
+        let (outputs, stats) = result?;
+        Ok((outputs, stats, collector.drain()))
+    }
+
     /// Input dimension one inference consumes.
     pub fn input_dim(&self) -> usize {
         self.deployment.input_dim()

@@ -447,12 +447,37 @@ impl Deployment {
         npus: &mut [Npu],
         input: &[f32],
     ) -> Result<(Vec<f32>, RunStats), DeployError> {
+        let (mut outputs, stats) =
+            self.execute_batch(npus, std::slice::from_ref(&input.to_vec()))?;
+        Ok((outputs.pop().expect("batch of one"), stats))
+    }
+
+    /// Executes a coalesced micro-batch in one pass: each accelerator
+    /// segment receives every column's input up front and runs its
+    /// program once per column inside a single
+    /// [`Npu::run_batch`](bw_core::Npu::run_batch) envelope, so the
+    /// per-segment dispatch/streaming cost is paid once for the whole
+    /// batch. Outputs come back in column order and are bit-identical
+    /// to running [`Deployment::execute`] per input sequentially (the
+    /// simulator's functional path is timing-independent). The returned
+    /// [`RunStats`] accumulates every column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] on device shortfall, unknown CPU ops, or
+    /// simulator failures.
+    pub fn execute_batch(
+        &self,
+        npus: &mut [Npu],
+        inputs: &[Vec<f32>],
+    ) -> Result<(Vec<Vec<f32>>, RunStats), DeployError> {
         if npus.len() < self.plan.devices_used {
             return Err(DeployError::NotEnoughDevices {
                 required: self.plan.devices_used,
                 supplied: npus.len(),
             });
         }
+        let batch = inputs.len();
         // Map each shard stage to its group, so consecutive shard segments
         // scatter one input and gather (concatenate) their outputs.
         let mut group_of: std::collections::HashMap<usize, usize> =
@@ -471,7 +496,12 @@ impl Deployment {
             }
         };
 
-        let mut value = input.to_vec();
+        // One carried value per batch column. Each accelerator segment
+        // pushes every column's input before running, and the simulator's
+        // FIFO input/output queues keep the columns separated: column b
+        // pops the vectors pushed for column b and its outputs drain in
+        // the same order.
+        let mut values: Vec<Vec<f32>> = inputs.to_vec();
         let mut stats = RunStats::default();
         let mut bin_iter = self.binaries.iter();
         let mut seg_idx = 0usize;
@@ -482,53 +512,63 @@ impl Deployment {
                     if let Some(group) = segment_group(segment) {
                         // Scatter/gather across every consecutive segment of
                         // this shard group.
-                        let scatter = value.clone();
-                        let mut gathered = Vec::new();
+                        let scatter = values.clone();
+                        let mut gathered: Vec<Vec<f32>> = vec![Vec::new(); batch];
                         while seg_idx < self.plan.segments.len()
                             && segment_group(&self.plan.segments[seg_idx]) == Some(group)
                         {
                             let bin = bin_iter.next().ok_or(DeployError::BadPlan)?;
                             let npu = &mut npus[bin.device];
-                            npu.push_input_padded(&scatter);
-                            let run = npu.run(&bin.program)?;
+                            for column in &scatter {
+                                npu.push_input_padded(column);
+                            }
+                            let run = npu.run_batch(&bin.program, batch)?;
                             stats.accumulate(&run);
-                            let shard_out = npu
-                                .pop_output_concat(bin.output_grid as usize, bin.output_dim)
-                                .ok_or(DeployError::Sim(SimError::NetQueueEmpty {
-                                    requested: bin.output_grid,
-                                    available: 0,
-                                }))?;
-                            gathered.extend(shard_out);
+                            for gathered_column in gathered.iter_mut() {
+                                let shard_out = npu
+                                    .pop_output_concat(bin.output_grid as usize, bin.output_dim)
+                                    .ok_or(DeployError::Sim(SimError::NetQueueEmpty {
+                                        requested: bin.output_grid,
+                                        available: 0,
+                                    }))?;
+                                gathered_column.extend(shard_out);
+                            }
                             seg_idx += 1;
                         }
-                        value = gathered;
+                        values = gathered;
                         continue;
                     }
                     let bin = bin_iter.next().ok_or(DeployError::BadPlan)?;
                     let npu = &mut npus[bin.device];
-                    npu.push_input_padded(&value);
-                    let run = npu.run(&bin.program)?;
+                    for column in &values {
+                        npu.push_input_padded(column);
+                    }
+                    let run = npu.run_batch(&bin.program, batch)?;
                     stats.accumulate(&run);
-                    value = npu
-                        .pop_output_concat(bin.output_grid as usize, bin.output_dim)
-                        .ok_or(DeployError::Sim(SimError::NetQueueEmpty {
-                            requested: bin.output_grid,
-                            available: 0,
-                        }))?;
+                    for value in values.iter_mut() {
+                        *value = npu
+                            .pop_output_concat(bin.output_grid as usize, bin.output_dim)
+                            .ok_or(DeployError::Sim(SimError::NetQueueEmpty {
+                                requested: bin.output_grid,
+                                available: 0,
+                            }))?;
+                    }
                 }
                 Placement::Cpu { stages } => {
                     for &si in stages {
                         let Stage::Cpu { name, .. } = &self.pipeline.stages[si] else {
                             return Err(DeployError::BadPlan);
                         };
-                        value = cpu_op_apply(name, &value)
-                            .ok_or_else(|| DeployError::UnknownCpuOp(name.clone()))?;
+                        for value in values.iter_mut() {
+                            *value = cpu_op_apply(name, value)
+                                .ok_or_else(|| DeployError::UnknownCpuOp(name.clone()))?;
+                        }
                     }
                 }
             }
             seg_idx += 1;
         }
-        Ok((value, stats))
+        Ok((values, stats))
     }
 }
 

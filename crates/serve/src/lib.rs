@@ -60,6 +60,7 @@
 //! assert_eq!(m.models[0].completed, 1);
 //! ```
 
+mod batch;
 pub mod demo;
 mod metrics;
 mod registry;
@@ -72,17 +73,18 @@ mod worker;
 
 pub mod loadgen;
 
+pub use batch::{BatchConfig, Batcher};
 pub use metrics::{Histogram, LinkMetrics, MetricsSnapshot, ModelResidency, ModelSnapshot};
 pub use registry::{GroupSegment, ModelRegistry, RegistryError, ShardGroup};
 pub use request::{
     Attribution, FlightOutcome, FlightRecord, RequestId, RequestTrace, Response, ServeError,
 };
 pub use server::{
-    Client, FlightRecorderConfig, Pending, PinError, Server, ServerBuilder, ServerConfig,
-    SpawnError,
+    BatchItem, Client, FlightRecorderConfig, Pending, PinError, Server, ServerBuilder,
+    ServerConfig, SpawnError,
 };
-pub use tcp::{TcpClient, TcpFrontend};
-pub use wire::{WireError, WireRequest, WireResponse};
+pub use tcp::{TcpClient, TcpFrontend, TcpFrontendConfig};
+pub use wire::{read_frame, try_extract_frame, write_frame, WireError, WireRequest, WireResponse};
 
 pub use bw_gir::{ModelArtifact, PinnedModel, ShardedArtifact};
 pub use bw_system::{

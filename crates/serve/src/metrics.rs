@@ -229,6 +229,11 @@ pub struct ModelMetrics {
     pub failed: AtomicU64,
     /// Failover retries dispatched (attempts beyond each first).
     pub retries: AtomicU64,
+    /// Coalesced multi-column dispatches issued (each packs ≥ 1
+    /// requests; batch-1 requests that bypass the batcher don't count).
+    pub batches: AtomicU64,
+    /// Requests that travelled inside a coalesced dispatch.
+    pub batched_requests: AtomicU64,
     /// End-to-end latency of completed requests.
     pub latency: Mutex<Histogram>,
     /// NPU cycles attributed to completed requests.
@@ -316,6 +321,10 @@ pub struct ModelSnapshot {
     pub failed: u64,
     /// Failover retries dispatched.
     pub retries: u64,
+    /// Coalesced multi-column dispatches issued.
+    pub batches: u64,
+    /// Requests that travelled inside a coalesced dispatch.
+    pub batched_requests: u64,
     /// Latency distribution of completed requests.
     pub latency: LatencySummary,
     /// The raw cumulative latency histogram behind [`Self::latency`].
@@ -408,7 +417,8 @@ impl MetricsSnapshot {
             }
             out.push_str(&format!(
                 "{{\"model\":\"{}\",\"submitted\":{},\"completed\":{},\"shed\":{},\
-                 \"failed\":{},\"retries\":{},\"latency\":{},\"npu_cycles\":{},\
+                 \"failed\":{},\"retries\":{},\"batches\":{},\"batched_requests\":{},\
+                 \"latency\":{},\"npu_cycles\":{},\
                  \"npu_macs\":{},\"npu_dep_stall_cycles\":{},\
                  \"npu_resource_stall_cycles\":{},\"queue_wait\":{},\"service\":{},\
                  \"network\":{}}}",
@@ -418,6 +428,8 @@ impl MetricsSnapshot {
                 m.shed,
                 m.failed,
                 m.retries,
+                m.batches,
+                m.batched_requests,
                 m.latency.to_json(),
                 m.npu_cycles,
                 m.npu_macs,
@@ -508,6 +520,8 @@ pub(crate) fn snapshot_model(name: &str, m: &ModelMetrics) -> ModelSnapshot {
         shed: m.shed.load(Ordering::Relaxed),
         failed: m.failed.load(Ordering::Relaxed),
         retries: m.retries.load(Ordering::Relaxed),
+        batches: m.batches.load(Ordering::Relaxed),
+        batched_requests: m.batched_requests.load(Ordering::Relaxed),
         latency,
         latency_hist,
         npu_cycles: m.npu_cycles.load(Ordering::Relaxed),
@@ -537,7 +551,7 @@ pub(crate) fn render_prometheus(
 ) -> String {
     use bw_trace::Exposition;
     let mut e = Exposition::new();
-    let counters: [CounterCol; 9] = [
+    let counters: [CounterCol; 11] = [
         ("bw_requests_submitted_total", "Requests admitted.", |m| {
             m.submitted.load(Ordering::Relaxed)
         }),
@@ -560,6 +574,16 @@ pub(crate) fn render_prometheus(
             "bw_requests_retries_total",
             "Failover retries dispatched.",
             |m| m.retries.load(Ordering::Relaxed),
+        ),
+        (
+            "bw_batches_total",
+            "Coalesced multi-column dispatches issued.",
+            |m| m.batches.load(Ordering::Relaxed),
+        ),
+        (
+            "bw_batched_requests_total",
+            "Requests served inside a coalesced dispatch.",
+            |m| m.batched_requests.load(Ordering::Relaxed),
         ),
         (
             "bw_npu_cycles_total",
@@ -898,6 +922,8 @@ mod tests {
         let n = bw_trace::validate_exposition(&text).expect("valid exposition");
         assert!(n >= 9 + 6, "sample lines: {n}");
         assert!(text.contains("bw_requests_submitted_total{model=\"mlp\"} 2"));
+        assert!(text.contains("bw_batches_total{model=\"mlp\"} 0"));
+        assert!(text.contains("bw_batched_requests_total{model=\"mlp\"} 0"));
         assert!(text.contains("# TYPE bw_request_latency_seconds histogram"));
         assert!(text.contains("bw_request_latency_seconds_count{model=\"mlp\"} 1"));
         assert!(text.contains("bw_request_network_seconds_count{model=\"mlp\"} 1"));
@@ -1035,6 +1061,8 @@ mod tests {
         assert_eq!(snap.models[0].accounted(), 3);
         let j = snap.to_json();
         assert!(j.contains("\"submitted\":3"));
+        assert!(j.contains("\"batches\":0"));
+        assert!(j.contains("\"batched_requests\":0"));
         assert!(j.contains("\\\"a\\\""));
         assert!(j.contains("\"queue_depths\":[0,2]"));
         assert!(j.contains("\"workers_alive\":[true,false]"));

@@ -54,7 +54,9 @@ use crate::request::{
     Attribution, FlightOutcome, FlightRecord, RequestId, RequestTrace, Response, ServeError,
 };
 use crate::router::Router;
-use crate::worker::{spawn_worker, Completion, Control, DispatchRefused, Job, WorkerHandle};
+use crate::worker::{
+    spawn_worker, Completion, Control, DispatchRefused, Job, Payload, WorkerHandle,
+};
 
 /// Sampled request traces retained before the oldest is dropped.
 const TRACE_LOG_CAP: usize = 256;
@@ -458,6 +460,19 @@ impl ServerInner {
         input: &Arc<Vec<f32>>,
         tried: &[usize],
     ) -> Result<(usize, Receiver<Completion>), DispatchStopped> {
+        self.dispatch_payload(spec, &Payload::Single(Arc::clone(input)), tried)
+    }
+
+    /// [`ServerInner::dispatch`] generalized over the payload shape: the
+    /// batcher dispatches a whole coalesced [`Payload::Batch`] through
+    /// the same routing, liveness, and bounded-queue admission as a
+    /// single request.
+    fn dispatch_payload(
+        &self,
+        spec: &DispatchSpec,
+        payload: &Payload,
+        tried: &[usize],
+    ) -> Result<(usize, Receiver<Completion>), DispatchStopped> {
         let net = self.network();
         let plan = self.router.plan_eligible(&self.workers, tried, |w| {
             self.workers[w].pins(spec.model) && net.link_up(w)
@@ -471,7 +486,7 @@ impl ServerInner {
             let job = Job {
                 attempt: spec.attempt,
                 model: spec.model,
-                input: Arc::clone(input),
+                payload: payload.clone(),
                 deadline: spec.deadline,
                 reply: tx,
                 trace_id: spec.trace_id,
@@ -1363,6 +1378,442 @@ impl Client {
         self.submit(model, input, deadline)?.wait()
     }
 
+    /// Serves a coalesced micro-batch of same-model requests as **one**
+    /// multi-column dispatch, splitting the result back into one
+    /// [`Response`] (or [`ServeError`]) per member, in input order.
+    ///
+    /// The admission ledger treats every member as its own request:
+    /// each gets a request id, counts toward `submitted` when admitted,
+    /// and terminates exactly once as completed, shed, or failed — the
+    /// accounting identity holds under coalescing, including mid-batch
+    /// worker kill (the whole batch fails over together; members whose
+    /// deadlines lapse fail individually). Members that fail validation
+    /// ([`ServeError::BadInput`], [`ServeError::SlaUnmeetable`]) are
+    /// rejected without admission and without blocking the rest.
+    ///
+    /// Latency is measured from each member's [`BatchItem::arrived_at`],
+    /// so time spent coalescing in a batcher window is charged to the
+    /// request that waited. Shard-group models don't coalesce; they fall
+    /// back to per-member [`Client::call`].
+    pub fn call_batch(
+        &self,
+        model: &str,
+        items: &[BatchItem],
+    ) -> Vec<Result<Response, ServeError>> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let inner = &self.inner;
+        let (model_idx, expected, bound) = {
+            let registry = inner.registry.read();
+            if registry.group_index_of(model).is_some() {
+                drop(registry);
+                return items
+                    .iter()
+                    .map(|item| {
+                        let budget = item.deadline_at.saturating_duration_since(Instant::now());
+                        self.call(model, &item.input, budget)
+                    })
+                    .collect();
+            }
+            let Some(model_idx) = registry.index_of(model) else {
+                return items
+                    .iter()
+                    .map(|_| Err(ServeError::UnknownModel(model.to_owned())))
+                    .collect();
+            };
+            let expected = registry.get(model_idx).expect("index valid").input_dim();
+            (model_idx, expected, inner.slot_bounds.read()[model_idx])
+        };
+
+        // Per-member validation: rejected members never count as
+        // submitted and don't hold up the coalesced dispatch.
+        let now = Instant::now();
+        let mut results: Vec<Option<Result<Response, ServeError>>> =
+            items.iter().map(|_| None).collect();
+        let mut admitted: Vec<usize> = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            if item.input.len() != expected {
+                results[i] = Some(Err(ServeError::BadInput {
+                    expected,
+                    got: item.input.len(),
+                }));
+            } else if let Err(e) = check_sla(
+                model,
+                bound,
+                item.deadline_at.saturating_duration_since(now),
+            ) {
+                results[i] = Some(Err(e));
+            } else {
+                admitted.push(i);
+            }
+        }
+        if !admitted.is_empty() {
+            let member_results = self.drive_batch(model, model_idx, items, &admitted);
+            for (i, r) in admitted.into_iter().zip(member_results) {
+                results[i] = Some(r);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every member settled"))
+            .collect()
+    }
+
+    /// Admits and drives the already-validated members of a batch to
+    /// termination: one coalesced dispatch, whole-batch failover, one
+    /// result per member in `admitted` order.
+    fn drive_batch(
+        &self,
+        model: &str,
+        model_idx: usize,
+        items: &[BatchItem],
+        admitted: &[usize],
+    ) -> Vec<Result<Response, ServeError>> {
+        let inner = &self.inner;
+        let cfg = inner.cfg;
+        let k = admitted.len();
+        let metrics = inner.model_metric(model_idx);
+        metrics.submitted.fetch_add(k as u64, Ordering::Relaxed);
+        metrics.batches.fetch_add(1, Ordering::Relaxed);
+        metrics
+            .batched_requests
+            .fetch_add(k as u64, Ordering::Relaxed);
+
+        let request_ids: Vec<RequestId> =
+            admitted.iter().map(|_| inner.next_request_id()).collect();
+        // The batch deadline (worker expiry + overall wait budget) is the
+        // latest member deadline; earlier members are checked
+        // individually at completion.
+        let batch_deadline = admitted
+            .iter()
+            .map(|&i| items[i].deadline_at)
+            .max()
+            .expect("non-empty batch");
+        let trace_id = request_ids[0];
+        let collect_spans =
+            request_ids.iter().any(|&id| head_sampled(&cfg, id)) || cfg.flight_recorder.is_some();
+        let payload = Payload::Batch(Arc::new(
+            admitted.iter().map(|&i| items[i].input.clone()).collect(),
+        ));
+
+        // Terminal outcome of the whole batch, before per-member
+        // splitting.
+        enum BatchOutcome {
+            Served {
+                worker: usize,
+                outputs: Vec<Vec<f32>>,
+                queue_wait_s: f64,
+                service_s: f64,
+                stats: RunStats,
+                spans: Vec<SpanRecord>,
+            },
+            Deadline,
+            Fault(String),
+            NoReplica,
+        }
+
+        let mut attempt: u32 = 0;
+        let mut retries: u32 = 0;
+        let mut tried: Vec<usize> = Vec::new();
+        let spec = DispatchSpec {
+            attempt,
+            model: model_idx,
+            deadline: batch_deadline,
+            trace_id,
+            collect_spans,
+        };
+        let mut rx = match inner.dispatch_payload(&spec, &payload, &tried) {
+            Ok((worker, rx)) => {
+                tried.push(worker);
+                rx
+            }
+            Err(DispatchStopped::AllFull) => {
+                metrics.shed.fetch_add(k as u64, Ordering::Relaxed);
+                return admitted
+                    .iter()
+                    .map(|_| {
+                        Err(ServeError::Shed {
+                            model: model.to_owned(),
+                        })
+                    })
+                    .collect();
+            }
+            Err(DispatchStopped::NoReplica) => {
+                metrics.failed.fetch_add(k as u64, Ordering::Relaxed);
+                return request_ids
+                    .iter()
+                    .map(|&id| {
+                        let err = ServeError::NoReplica {
+                            model: model.to_owned(),
+                        };
+                        if inner.flight_wants_failure(&err) {
+                            inner.push_flight(flight_failure(id, model, &err.to_string()));
+                        }
+                        Err(err)
+                    })
+                    .collect();
+            }
+        };
+
+        let outcome = loop {
+            let now = Instant::now();
+            if now >= batch_deadline {
+                break BatchOutcome::Deadline;
+            }
+            let budget = batch_deadline - now;
+            let slice = cfg.attempt_timeout.map_or(budget, |t| t.min(budget));
+            // Whole-batch failover: retries and re-dispatch cover every
+            // member at once, mirroring the single-request lifecycle.
+            // (The Err side only ever carries the small variants; Served
+            // is built at the loop break.)
+            #[allow(clippy::result_large_err)]
+            let failover = |fault: Option<String>,
+                            attempt: &mut u32,
+                            retries: &mut u32,
+                            tried: &mut Vec<usize>|
+             -> Result<Receiver<Completion>, BatchOutcome> {
+                if *retries >= cfg.max_retries {
+                    return Err(match fault {
+                        Some(message) => BatchOutcome::Fault(message),
+                        None => BatchOutcome::Deadline,
+                    });
+                }
+                *retries += 1;
+                *attempt += 1;
+                metrics.retries.fetch_add(k as u64, Ordering::Relaxed);
+                let spec = DispatchSpec {
+                    attempt: *attempt,
+                    model: model_idx,
+                    deadline: batch_deadline,
+                    trace_id,
+                    collect_spans,
+                };
+                match inner.dispatch_payload(&spec, &payload, tried) {
+                    Ok((worker, rx)) => {
+                        tried.push(worker);
+                        Ok(rx)
+                    }
+                    Err(_) => Err(match fault {
+                        Some(message) => BatchOutcome::Fault(message),
+                        None => BatchOutcome::NoReplica,
+                    }),
+                }
+            };
+            match rx.recv_timeout(slice) {
+                Ok(Completion::BatchDone {
+                    attempt: a,
+                    worker,
+                    outputs,
+                    queue_wait_s,
+                    service_s,
+                    stats,
+                    spans,
+                }) => {
+                    if a != attempt {
+                        continue; // stale attempt; keep waiting
+                    }
+                    break BatchOutcome::Served {
+                        worker,
+                        outputs,
+                        queue_wait_s,
+                        service_s,
+                        stats,
+                        spans,
+                    };
+                }
+                // Batch attempts never carry single payloads.
+                Ok(Completion::Done { .. }) => continue,
+                Ok(Completion::Fault {
+                    attempt: a,
+                    worker,
+                    message,
+                }) => {
+                    if a != attempt {
+                        continue;
+                    }
+                    match failover(
+                        Some(format!("worker {worker}: {message}")),
+                        &mut attempt,
+                        &mut retries,
+                        &mut tried,
+                    ) {
+                        Ok(new_rx) => rx = new_rx,
+                        Err(outcome) => break outcome,
+                    }
+                }
+                Ok(Completion::Expired { attempt: a }) => {
+                    if a != attempt {
+                        continue;
+                    }
+                    break BatchOutcome::Deadline;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if Instant::now() >= batch_deadline {
+                        break BatchOutcome::Deadline;
+                    }
+                    match failover(None, &mut attempt, &mut retries, &mut tried) {
+                        Ok(new_rx) => rx = new_rx,
+                        Err(outcome) => break outcome,
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // The worker died with the whole batch queued or
+                    // executing (mid-batch kill): fail over together.
+                    match failover(None, &mut attempt, &mut retries, &mut tried) {
+                        Ok(new_rx) => rx = new_rx,
+                        Err(outcome) => break outcome,
+                    }
+                }
+            }
+        };
+
+        match outcome {
+            BatchOutcome::Served {
+                worker,
+                outputs,
+                queue_wait_s,
+                service_s,
+                stats,
+                spans,
+            } => {
+                // A coalesced batch crosses the worker's link as ONE
+                // request message (all columns' inputs) and ONE response
+                // message: the per-message hop latency is paid once per
+                // direction and amortized over the members — the
+                // front-end batching win — while the serialization term
+                // still covers every member's bytes. Sleep the modeled
+                // pair once, attribute each member an equal share.
+                let input_bytes: usize = admitted.iter().map(|&i| items[i].input.len() * 4).sum();
+                let output_bytes: usize = outputs.iter().map(|o| o.len() * 4).sum();
+                let total_network =
+                    inner.charge_leg(worker, input_bytes) + inner.charge_leg(worker, output_bytes);
+                if total_network > 0.0 {
+                    std::thread::sleep(Duration::from_secs_f64(total_network));
+                }
+                let network_share = total_network / k as f64;
+                let completed_at = Instant::now();
+                let k64 = k as u64;
+                admitted
+                    .iter()
+                    .enumerate()
+                    .zip(outputs)
+                    .map(|((p, &i), output)| {
+                        let id = request_ids[p];
+                        // A member whose own deadline lapsed while the
+                        // batch executed fails individually — coalescing
+                        // must never convert a breach into a completion.
+                        if completed_at >= items[i].deadline_at {
+                            let err = ServeError::DeadlineExceeded {
+                                model: model.to_owned(),
+                                retries,
+                            };
+                            metrics.failed.fetch_add(1, Ordering::Relaxed);
+                            if inner.flight_wants_failure(&err) {
+                                inner.push_flight(flight_failure(id, model, &err.to_string()));
+                            }
+                            return Err(err);
+                        }
+                        let latency = completed_at.saturating_duration_since(items[i].arrived_at);
+                        // Split the accelerator counters exactly: each
+                        // member gets its integer share, remainders to
+                        // the earliest members, so the per-model totals
+                        // equal the batch totals.
+                        let share = |total: u64| total / k64 + u64::from((p as u64) < total % k64);
+                        let member_stats = RunStats {
+                            cycles: share(stats.cycles),
+                            mvm_macs: share(stats.mvm_macs),
+                            dep_stall_cycles: share(stats.dep_stall_cycles),
+                            resource_stall_cycles: share(stats.resource_stall_cycles),
+                            ..stats.clone()
+                        };
+                        metrics.record_completed(latency.as_secs_f64());
+                        metrics.record_attribution(
+                            queue_wait_s,
+                            service_s / k as f64,
+                            network_share,
+                            &member_stats,
+                        );
+                        let attribution = Attribution {
+                            queue_wait: Duration::from_secs_f64(queue_wait_s),
+                            service: Duration::from_secs_f64(service_s / k as f64),
+                            network: Duration::from_secs_f64(network_share),
+                            npu_cycles: member_stats.cycles,
+                            npu_macs: member_stats.mvm_macs,
+                            dep_stall_cycles: member_stats.dep_stall_cycles,
+                            resource_stall_cycles: member_stats.resource_stall_cycles,
+                        };
+                        if let Some(fr) = cfg.flight_recorder {
+                            if latency > fr.latency_objective {
+                                inner.push_flight(FlightRecord {
+                                    trace: RequestTrace {
+                                        request_id: id,
+                                        trace_id,
+                                        model: model.to_owned(),
+                                        worker,
+                                        attribution,
+                                        stats: member_stats.clone(),
+                                        spans: spans.clone(),
+                                    },
+                                    outcome: FlightOutcome::LatencyBreach {
+                                        latency,
+                                        objective: fr.latency_objective,
+                                    },
+                                });
+                            }
+                        }
+                        if head_sampled(&cfg, id) && !spans.is_empty() {
+                            inner.push_trace(RequestTrace {
+                                request_id: id,
+                                trace_id,
+                                model: model.to_owned(),
+                                worker,
+                                attribution,
+                                stats: member_stats,
+                                spans: spans.clone(),
+                            });
+                        }
+                        Ok(Response {
+                            request_id: id,
+                            output,
+                            latency,
+                            worker,
+                            retries,
+                            attribution,
+                        })
+                    })
+                    .collect()
+            }
+            terminal => {
+                metrics.failed.fetch_add(k as u64, Ordering::Relaxed);
+                request_ids
+                    .iter()
+                    .map(|&id| {
+                        let err = match &terminal {
+                            BatchOutcome::Served { .. } => unreachable!("handled above"),
+                            BatchOutcome::Deadline => ServeError::DeadlineExceeded {
+                                model: model.to_owned(),
+                                retries,
+                            },
+                            BatchOutcome::Fault(message) => ServeError::WorkerFault {
+                                model: model.to_owned(),
+                                message: message.clone(),
+                                retries,
+                            },
+                            BatchOutcome::NoReplica => ServeError::NoReplica {
+                                model: model.to_owned(),
+                            },
+                        };
+                        if inner.flight_wants_failure(&err) {
+                            inner.push_flight(flight_failure(id, model, &err.to_string()));
+                        }
+                        Err(err)
+                    })
+                    .collect()
+            }
+        }
+    }
+
     /// A point-in-time metrics reading (same as [`Server::metrics`]).
     pub fn metrics(&self) -> MetricsSnapshot {
         self.inner.snapshot()
@@ -1407,6 +1858,38 @@ impl Client {
         let mut names: Vec<String> = registry.names().into_iter().map(str::to_owned).collect();
         names.extend(registry.groups().iter().map(|g| g.name.clone()));
         names
+    }
+}
+
+/// One member of a coalesced micro-batch handed to
+/// [`Client::call_batch`]. Deadlines are absolute so a batcher can hold
+/// a request without eroding its budget bookkeeping, and `arrived_at`
+/// anchors the member's reported latency to when it actually entered
+/// the system (not when the batch flushed).
+#[derive(Clone, Debug)]
+pub struct BatchItem {
+    /// The member's input vector.
+    pub input: Vec<f32>,
+    /// Absolute deadline for this member.
+    pub deadline_at: Instant,
+    /// When the member entered the system (latency epoch).
+    pub arrived_at: Instant,
+}
+
+impl BatchItem {
+    /// A member arriving now with a relative deadline budget.
+    pub fn new(input: Vec<f32>, deadline: Duration) -> BatchItem {
+        let now = Instant::now();
+        BatchItem {
+            input,
+            deadline_at: now + deadline,
+            arrived_at: now,
+        }
+    }
+
+    /// The member's remaining deadline slack from `now`.
+    pub fn slack(&self, now: Instant) -> Duration {
+        self.deadline_at.saturating_duration_since(now)
     }
 }
 
@@ -1585,6 +2068,9 @@ impl SinglePending {
                         retries: self.retries,
                     }));
                 }
+                // Single requests never dispatch batch payloads; a
+                // batched completion on this channel is impossible.
+                Ok(Completion::BatchDone { .. }) => continue,
                 Err(RecvTimeoutError::Timeout) => {
                     if Instant::now() >= self.deadline {
                         return Err(self.fail(ServeError::DeadlineExceeded {
@@ -1931,6 +2417,9 @@ impl GroupPending {
                     };
                     return Err(self.fail(err));
                 }
+                // Shard attempts always carry single payloads; a batched
+                // completion on this channel is impossible.
+                Ok(Completion::BatchDone { .. }) => continue,
                 Err(RecvTimeoutError::Timeout) => {
                     if Instant::now() >= self.deadline {
                         let err = ServeError::DeadlineExceeded {

@@ -1,58 +1,132 @@
 //! The TCP front end: exposes a [`Server`] over the [`wire`] protocol.
 //!
-//! One OS thread accepts connections (non-blocking accept + shutdown
-//! flag, so the front end stops promptly); each connection gets its own
-//! handler thread that reads frames, drives the in-process [`Client`],
-//! and writes responses back in request order. Errors inside a request
-//! become `Error` frames; framing errors terminate the connection.
+//! This is a hand-rolled nonblocking readiness loop, not a
+//! thread-per-connection design: a small fixed pool of event-loop
+//! threads ([`TcpFrontendConfig::event_loops`]) shares one nonblocking
+//! listener and multiplexes thousands of connections each, so ten
+//! thousand idle connections cost ten thousand file descriptors and a
+//! handful of threads — not ten thousand stacks. Each connection keeps
+//!
+//! - a read buffer fed by nonblocking reads, from which complete frames
+//!   are peeled incrementally ([`try_extract_frame`]);
+//! - a write buffer flushed opportunistically — a partial write or
+//!   `WouldBlock` leaves the residue buffered until the socket reports
+//!   writable again, so a slow reader exerts backpressure instead of
+//!   wedging the loop or dropping bytes;
+//! - a FIFO of pending response tickets, so responses go out in request
+//!   order even though inference completes asynchronously.
+//!
+//! Inference requests are routed through a [`Batcher`], which coalesces
+//! compatible same-model requests inside a deadline-slack-derived hold
+//! window into one multi-column NPU dispatch (`max_batch: 1` restores
+//! strict batch-1 semantics). Metrics and Prometheus requests are
+//! answered inline. Errors inside a request become `Error` frames;
+//! framing errors poison the connection: it stops reading, drains the
+//! responses it still owes, sends one final `Error` frame, and closes.
+//!
+//! Readiness itself comes from `poll(2)` issued as a raw syscall on
+//! x86-64 Linux (the workspace vendors no libc binding); other targets
+//! fall back to a short-sleep scan that treats every socket as ready and
+//! relies on the nonblocking reads to sort out who actually was.
 //!
 //! [`wire`]: crate::wire
 
-use std::io::{BufReader, BufWriter};
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, TryRecvError};
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use crate::batch::{BatchConfig, Batcher};
 use crate::request::{Attribution, Response, ServeError};
 use crate::server::{Client, Server};
-use crate::wire::{read_frame, write_frame, WireRequest, WireResponse};
+use crate::wire::{read_frame, try_extract_frame, write_frame, WireRequest, WireResponse};
 
-/// A running TCP front end. Dropping it stops the accept loop and waits
-/// for it; connection handlers finish their in-flight request and exit
-/// when their sockets close.
+/// Tuning for one [`TcpFrontend`].
+#[derive(Clone, Copy, Debug)]
+pub struct TcpFrontendConfig {
+    /// Event-loop threads sharing the listener. Each owns the
+    /// connections it accepted for their whole lifetime.
+    pub event_loops: usize,
+    /// The admission-batching window applied to inference requests.
+    /// `max_batch: 1` disables coalescing (strict batch-1 serving).
+    pub batch: BatchConfig,
+}
+
+impl Default for TcpFrontendConfig {
+    fn default() -> Self {
+        TcpFrontendConfig {
+            event_loops: 2,
+            batch: BatchConfig::default(),
+        }
+    }
+}
+
+/// A running TCP front end. Dropping it stops the event loops and waits
+/// for them; open connections are closed on shutdown.
 pub struct TcpFrontend {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    loops: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    // Held so the coalescing window outlives every event loop; the last
+    // Arc drop (after the joins) flushes and joins the batcher's own
+    // threads.
+    _batcher: Arc<Batcher>,
 }
 
 impl TcpFrontend {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
-    /// `server`'s models over it.
+    /// `server`'s models over it with the default configuration.
     ///
     /// # Errors
     ///
     /// Propagates bind errors.
     pub fn bind(server: &Server, addr: &str) -> std::io::Result<TcpFrontend> {
-        let listener = TcpListener::bind(addr)?;
+        TcpFrontend::bind_with(server, addr, TcpFrontendConfig::default())
+    }
+
+    /// [`TcpFrontend::bind`] with explicit event-loop and batching
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn bind_with(
+        server: &Server,
+        addr: &str,
+        cfg: TcpFrontendConfig,
+    ) -> std::io::Result<TcpFrontend> {
+        let listener = Arc::new(TcpListener::bind(addr)?);
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let batcher = Arc::new(Batcher::new(server.client(), cfg.batch));
 
-        let t_stop = Arc::clone(&stop);
-        let client = server.client();
-        let accept_thread = std::thread::Builder::new()
-            .name("bw-serve-accept".into())
-            .spawn(move || accept_loop(&listener, &client, &t_stop))
-            .expect("accept thread spawns");
+        let loops = (0..cfg.event_loops.max(1))
+            .map(|i| {
+                let mut event_loop = EventLoop {
+                    listener: Arc::clone(&listener),
+                    client: server.client(),
+                    batcher: Arc::clone(&batcher),
+                    stop: Arc::clone(&stop),
+                    conns: Vec::new(),
+                };
+                std::thread::Builder::new()
+                    .name(format!("bw-serve-loop-{i}"))
+                    .spawn(move || event_loop.run())
+                    .expect("event loop thread spawns")
+            })
+            .collect();
 
         Ok(TcpFrontend {
             addr: local,
             stop,
-            accept_thread: Mutex::new(Some(accept_thread)),
+            loops: Mutex::new(loops),
+            _batcher: batcher,
         })
     }
 
@@ -61,10 +135,10 @@ impl TcpFrontend {
         self.addr
     }
 
-    /// Stops the accept loop and joins it.
+    /// Stops the event loops and joins them.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::Release);
-        if let Some(handle) = self.accept_thread.lock().take() {
+        for handle in self.loops.lock().drain(..) {
             let _ = handle.join();
         }
     }
@@ -76,74 +150,367 @@ impl Drop for TcpFrontend {
     }
 }
 
-fn accept_loop(listener: &TcpListener, client: &Client, stop: &AtomicBool) {
-    let mut conn_id: u64 = 0;
-    while !stop.load(Ordering::Acquire) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                conn_id += 1;
-                let client = client.clone();
-                // Handlers are detached: they exit when the peer closes
-                // or on the first framing error.
-                let _ = std::thread::Builder::new()
-                    .name(format!("bw-serve-conn-{conn_id}"))
-                    .spawn(move || handle_connection(stream, &client));
+/// `poll(2)` readiness, issued as a raw syscall: the workspace carries no
+/// libc binding, and spinning a scan over ten thousand idle sockets is
+/// exactly what the readiness loop exists to avoid.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod readiness {
+    /// Matches the kernel's `struct pollfd` layout.
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+
+    /// `poll(fds, nfds, timeout_ms)`; returns the syscall's raw result
+    /// (ready count, 0 on timeout, negative errno on failure — callers
+    /// treat failures like timeouts and retry).
+    pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> isize {
+        const SYS_POLL: isize = 7;
+        let ret: isize;
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") SYS_POLL => ret,
+                in("rdi") fds.as_mut_ptr(),
+                in("rsi") fds.len(),
+                in("rdx") timeout_ms as isize,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+}
+
+/// Portable fallback: report every registered interest as ready after a
+/// short sleep. The nonblocking reads and writes behind it turn the
+/// over-report into cheap `WouldBlock`s; correctness is identical, only
+/// idle efficiency degrades.
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod readiness {
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+
+    pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> isize {
+        std::thread::sleep(std::time::Duration::from_millis(
+            u64::try_from(timeout_ms.clamp(0, 5)).unwrap_or(0),
+        ));
+        for f in fds.iter_mut() {
+            f.revents = f.events;
+        }
+        fds.len() as isize
+    }
+}
+
+#[cfg(unix)]
+fn raw_fd<T: std::os::unix::io::AsRawFd>(s: &T) -> i32 {
+    s.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn raw_fd<T>(_s: &T) -> i32 {
+    -1
+}
+
+/// A response owed to the peer, in request order.
+enum PendingReply {
+    /// Already computed (metrics, Prometheus): the encoded payload.
+    Ready(Vec<u8>),
+    /// An inference in flight behind the coalescing window.
+    Infer(Receiver<Result<Response, ServeError>>),
+}
+
+/// One multiplexed connection.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes received but not yet framed. Bounded: `try_extract_frame`
+    /// rejects oversized prefixes before the body accumulates.
+    rbuf: Vec<u8>,
+    /// Bytes framed but not yet accepted by the socket.
+    wbuf: Vec<u8>,
+    /// How much of `wbuf` the socket has taken (partial-write cursor).
+    wpos: usize,
+    /// Responses owed, oldest first.
+    pending: VecDeque<PendingReply>,
+    /// A framing error was seen: reading stops, and once `pending`
+    /// drains this final `Error` frame goes out before the close.
+    poison: Option<Vec<u8>>,
+    poisoned: bool,
+    closed: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            pending: VecDeque::new(),
+            poison: None,
+            poisoned: false,
+            closed: false,
+        }
+    }
+
+    fn wants_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+
+    /// Appends one length-prefixed frame to the write buffer.
+    fn queue_frame(&mut self, payload: &[u8]) {
+        self.wbuf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.wbuf.extend_from_slice(payload);
+    }
+
+    /// Drains the socket into `rbuf` until `WouldBlock`.
+    fn read_ready(&mut self) {
+        let mut tmp = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut tmp) {
+                Ok(0) => {
+                    self.closed = true;
+                    return;
+                }
+                Ok(n) => self.rbuf.extend_from_slice(&tmp[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.closed = true;
+                    return;
+                }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Flushes as much of `wbuf` as the socket accepts. A partial write
+    /// or `WouldBlock` leaves the cursor where it stopped — the loop
+    /// retries when the socket polls writable, so slow readers stall
+    /// their own connection and nothing else.
+    fn flush(&mut self) {
+        while self.wants_write() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    self.closed = true;
+                    return;
+                }
+                Ok(n) => {
+                    self.wpos += n;
+                    if self.wpos == self.wbuf.len() {
+                        self.wbuf.clear();
+                        self.wpos = 0;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.closed = true;
+                    return;
+                }
             }
-            Err(_) => break,
         }
     }
 }
 
-fn handle_connection(stream: TcpStream, client: &Client) {
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(stream);
-    let mut writer = BufWriter::new(write_half);
+/// One event-loop thread: shares the listener, owns its connections.
+struct EventLoop {
+    listener: Arc<TcpListener>,
+    client: Client,
+    batcher: Arc<Batcher>,
+    stop: Arc<AtomicBool>,
+    conns: Vec<Conn>,
+}
 
-    loop {
-        let payload = match read_frame(&mut reader) {
+impl EventLoop {
+    fn run(&mut self) {
+        use readiness::{PollFd, POLLERR, POLLHUP, POLLIN, POLLOUT};
+
+        while !self.stop.load(Ordering::Acquire) {
+            // Responses can complete without any socket event, so poll
+            // with a short timeout while replies are in flight and a
+            // long one when fully idle.
+            let waiting = self.conns.iter().any(|c| !c.pending.is_empty());
+            let timeout_ms = if waiting { 1 } else { 25 };
+
+            let mut fds = Vec::with_capacity(self.conns.len() + 1);
+            fds.push(PollFd {
+                fd: raw_fd(&*self.listener),
+                events: POLLIN,
+                revents: 0,
+            });
+            for conn in &self.conns {
+                let mut events = 0;
+                if !conn.poisoned {
+                    events |= POLLIN;
+                }
+                if conn.wants_write() {
+                    events |= POLLOUT;
+                }
+                fds.push(PollFd {
+                    fd: raw_fd(&conn.stream),
+                    events,
+                    revents: 0,
+                });
+            }
+            readiness::poll(&mut fds, timeout_ms);
+
+            if fds[0].revents & POLLIN != 0 {
+                self.accept_ready();
+            }
+
+            for (conn, fd) in self.conns.iter_mut().zip(&fds[1..]) {
+                if fd.revents & (POLLERR | POLLHUP) != 0 {
+                    // Let the read path observe the close/error so owed
+                    // responses are not silently dropped on a half-close.
+                    conn.read_ready();
+                }
+                if fd.revents & POLLIN != 0 && !conn.poisoned && !conn.closed {
+                    conn.read_ready();
+                    parse_frames(conn, &self.client, &self.batcher);
+                }
+            }
+
+            for conn in &mut self.conns {
+                if conn.closed {
+                    continue;
+                }
+                drain_pending(conn);
+                conn.flush();
+                // A poisoned connection closes once its goodbye frame is
+                // fully on the wire.
+                if conn.poisoned
+                    && conn.pending.is_empty()
+                    && conn.poison.is_none()
+                    && !conn.wants_write()
+                {
+                    conn.closed = true;
+                }
+            }
+            self.conns.retain(|c| !c.closed);
+        }
+    }
+
+    /// Accepts until the listener would block. Other loops polling the
+    /// same listener simply lose the race and see `WouldBlock`.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    self.conns.push(Conn::new(stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+/// Peels complete frames off `conn.rbuf` and turns each into a pending
+/// reply ticket. A framing or decode error poisons the connection.
+fn parse_frames(conn: &mut Conn, client: &Client, batcher: &Batcher) {
+    while !conn.poisoned {
+        let payload = match try_extract_frame(&mut conn.rbuf) {
             Ok(Some(p)) => p,
-            Ok(None) | Err(_) => return, // clean close or broken stream
+            Ok(None) => return,
+            Err(e) => {
+                poison(conn, &e.to_string());
+                return;
+            }
         };
-        let response = match WireRequest::decode(&payload) {
+        match WireRequest::decode(&payload) {
             Ok(WireRequest::Infer {
                 model,
                 deadline_us,
                 input,
             }) => {
-                let deadline = Duration::from_micros(deadline_us);
-                match client.call(&model, &input, deadline) {
-                    Ok(resp) => infer_response(&resp),
-                    // SLA rejections cross the wire typed, so remote
-                    // clients see the same structured error local ones do.
-                    Err(ServeError::SlaUnmeetable {
-                        model,
-                        bound_us,
-                        budget_us,
-                    }) => WireResponse::SlaUnmeetable {
-                        model,
-                        bound_us,
-                        budget_us,
-                    },
-                    Err(e) => WireResponse::Error(e.to_string()),
-                }
+                let rx = batcher.submit(&model, input, Duration::from_micros(deadline_us));
+                conn.pending.push_back(PendingReply::Infer(rx));
             }
-            Ok(WireRequest::Metrics) => WireResponse::Metrics(client.metrics().to_json()),
-            Ok(WireRequest::Prometheus) => WireResponse::Prometheus(client.prometheus()),
-            Err(e) => {
-                // Tell the peer why, then drop the connection: framing is
-                // unrecoverable.
-                let _ = write_frame(&mut writer, &WireResponse::Error(e.to_string()).encode());
-                return;
+            Ok(WireRequest::Metrics) => {
+                conn.pending.push_back(PendingReply::Ready(
+                    WireResponse::Metrics(client.metrics().to_json()).encode(),
+                ));
             }
-        };
-        if write_frame(&mut writer, &response.encode()).is_err() {
-            return;
+            Ok(WireRequest::Prometheus) => {
+                conn.pending.push_back(PendingReply::Ready(
+                    WireResponse::Prometheus(client.prometheus()).encode(),
+                ));
+            }
+            Err(e) => poison(conn, &e.to_string()),
         }
+    }
+}
+
+/// Marks the connection as framing-broken: tell the peer why, then stop
+/// reading. Responses already owed still drain first, in order.
+fn poison(conn: &mut Conn, msg: &str) {
+    conn.poisoned = true;
+    conn.poison = Some(WireResponse::Error(msg.to_owned()).encode());
+}
+
+/// Moves every resolved head-of-line reply into the write buffer,
+/// preserving request order; stops at the first still-in-flight one.
+fn drain_pending(conn: &mut Conn) {
+    while let Some(front) = conn.pending.front_mut() {
+        let payload = match front {
+            PendingReply::Ready(p) => std::mem::take(p),
+            PendingReply::Infer(rx) => match rx.try_recv() {
+                Ok(result) => encode_outcome(result),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    WireResponse::Error(ServeError::Disconnected.to_string()).encode()
+                }
+            },
+        };
+        conn.pending.pop_front();
+        conn.queue_frame(&payload);
+    }
+    if conn.pending.is_empty() {
+        if let Some(goodbye) = conn.poison.take() {
+            conn.queue_frame(&goodbye);
+        }
+    }
+}
+
+fn encode_outcome(result: Result<Response, ServeError>) -> Vec<u8> {
+    match result {
+        Ok(resp) => infer_response(&resp).encode(),
+        // SLA rejections cross the wire typed, so remote clients see the
+        // same structured error local ones do.
+        Err(ServeError::SlaUnmeetable {
+            model,
+            bound_us,
+            budget_us,
+        }) => WireResponse::SlaUnmeetable {
+            model,
+            bound_us,
+            budget_us,
+        }
+        .encode(),
+        Err(e) => WireResponse::Error(e.to_string()).encode(),
     }
 }
 

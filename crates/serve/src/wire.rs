@@ -480,6 +480,32 @@ pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<Vec<u8>>> {
     Ok(Some(payload))
 }
 
+/// Tries to split one complete length-prefixed frame off the front of an
+/// accumulation buffer, for nonblocking readers that receive bytes in
+/// arbitrary chunks. Returns `Ok(None)` when the buffer does not yet hold
+/// a full frame; the caller appends more bytes and retries.
+///
+/// # Errors
+///
+/// Returns [`WireError::FrameTooLarge`] when the length prefix exceeds
+/// [`MAX_FRAME`] — the connection must be closed, since the byte stream
+/// can no longer be re-synchronised.
+pub fn try_extract_frame(buf: &mut Vec<u8>) -> Result<Option<Vec<u8>>, WireError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::FrameTooLarge(len));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    let payload = buf[4..4 + len].to_vec();
+    buf.drain(..4 + len);
+    Ok(Some(payload))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -570,5 +596,34 @@ mod tests {
         buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
         let mut r = &buf[..];
         assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn incremental_extraction_handles_arbitrary_chunking() {
+        let mut framed = Vec::new();
+        write_frame(&mut framed, b"alpha").unwrap();
+        write_frame(&mut framed, b"").unwrap();
+        write_frame(&mut framed, b"omega").unwrap();
+        // Feed one byte at a time; frames must pop out exactly at their
+        // boundaries and never early.
+        let mut acc = Vec::new();
+        let mut out = Vec::new();
+        for &b in &framed {
+            acc.push(b);
+            while let Some(p) = try_extract_frame(&mut acc).unwrap() {
+                out.push(p);
+            }
+        }
+        assert_eq!(out, vec![b"alpha".to_vec(), Vec::new(), b"omega".to_vec()]);
+        assert!(acc.is_empty());
+    }
+
+    #[test]
+    fn incremental_extraction_refuses_oversized_prefix() {
+        let mut acc = (MAX_FRAME as u32 + 1).to_le_bytes().to_vec();
+        assert_eq!(
+            try_extract_frame(&mut acc),
+            Err(WireError::FrameTooLarge(MAX_FRAME + 1))
+        );
     }
 }

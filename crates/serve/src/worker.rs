@@ -58,6 +58,25 @@ pub(crate) enum Completion {
         /// otherwise).
         spans: Vec<SpanRecord>,
     },
+    /// A coalesced batch attempt produced one output per column.
+    BatchDone {
+        /// Attempt number (monotone per batch).
+        attempt: u32,
+        /// Worker that served it.
+        worker: usize,
+        /// Per-column model outputs, in input order.
+        outputs: Vec<Vec<f32>>,
+        /// Time the batch waited in the queue before this worker popped
+        /// it.
+        queue_wait_s: f64,
+        /// Wall time the whole multi-column inference spent executing.
+        service_s: f64,
+        /// Accelerator statistics accumulated over every column.
+        stats: RunStats,
+        /// NPU spans, when the job asked for span collection (empty
+        /// otherwise).
+        spans: Vec<SpanRecord>,
+    },
     /// The attempt failed in the simulator.
     Fault {
         /// Attempt number.
@@ -74,12 +93,24 @@ pub(crate) enum Completion {
     },
 }
 
+/// What one queued attempt carries: a single request's input, or a
+/// coalesced micro-batch of same-model inputs that the worker dispatches
+/// as one multi-column run.
+#[derive(Clone)]
+pub(crate) enum Payload {
+    /// One request (batch-1, the BW default).
+    Single(Arc<Vec<f32>>),
+    /// A coalesced batch, one column per member request, in admission
+    /// order.
+    Batch(Arc<Vec<Vec<f32>>>),
+}
+
 /// One queued attempt.
 pub(crate) struct Job {
     pub attempt: u32,
     /// Dense registry index of the model.
     pub model: usize,
-    pub input: Arc<Vec<f32>>,
+    pub payload: Payload,
     pub deadline: Instant,
     pub reply: Sender<Completion>,
     /// Trace id stamped on emitted spans (the request id).
@@ -358,30 +389,7 @@ pub(crate) fn spawn_worker(
                 } else {
                     let queue_wait_s = (popped - job.enqueued_at).as_secs_f64();
                     let model = models[job.model].as_mut().expect("pinned slot");
-                    let result = if job.collect_spans {
-                        model.infer_traced(&job.input, job.trace_id)
-                    } else {
-                        model
-                            .infer_with_stats(&job.input)
-                            .map(|(output, stats)| (output, stats, Vec::new()))
-                    };
-                    let service_s = popped.elapsed().as_secs_f64();
-                    match result {
-                        Ok((output, stats, spans)) => Completion::Done {
-                            attempt: job.attempt,
-                            worker: id,
-                            output,
-                            queue_wait_s,
-                            service_s,
-                            stats,
-                            spans,
-                        },
-                        Err(e) => Completion::Fault {
-                            attempt: job.attempt,
-                            worker: id,
-                            message: e.to_string(),
-                        },
-                    }
+                    serve_payload(model, &job, id, queue_wait_s, popped)
                 };
                 t_outstanding.fetch_sub(1, Ordering::AcqRel);
                 t_processed.fetch_add(1, Ordering::Relaxed);
@@ -405,6 +413,72 @@ pub(crate) fn spawn_worker(
     }
 }
 
+/// Runs one popped job's payload on its pinned model: a single-column
+/// inference for [`Payload::Single`], one multi-column dispatch for
+/// [`Payload::Batch`].
+fn serve_payload(
+    model: &mut PinnedModel,
+    job: &Job,
+    worker: usize,
+    queue_wait_s: f64,
+    popped: Instant,
+) -> Completion {
+    match &job.payload {
+        Payload::Single(input) => {
+            let result = if job.collect_spans {
+                model.infer_traced(input, job.trace_id)
+            } else {
+                model
+                    .infer_with_stats(input)
+                    .map(|(output, stats)| (output, stats, Vec::new()))
+            };
+            let service_s = popped.elapsed().as_secs_f64();
+            match result {
+                Ok((output, stats, spans)) => Completion::Done {
+                    attempt: job.attempt,
+                    worker,
+                    output,
+                    queue_wait_s,
+                    service_s,
+                    stats,
+                    spans,
+                },
+                Err(e) => Completion::Fault {
+                    attempt: job.attempt,
+                    worker,
+                    message: e.to_string(),
+                },
+            }
+        }
+        Payload::Batch(inputs) => {
+            let result = if job.collect_spans {
+                model.infer_batch_traced(inputs, job.trace_id)
+            } else {
+                model
+                    .infer_batch(inputs)
+                    .map(|(outputs, stats)| (outputs, stats, Vec::new()))
+            };
+            let service_s = popped.elapsed().as_secs_f64();
+            match result {
+                Ok((outputs, stats, spans)) => Completion::BatchDone {
+                    attempt: job.attempt,
+                    worker,
+                    outputs,
+                    queue_wait_s,
+                    service_s,
+                    stats,
+                    spans,
+                },
+                Err(e) => Completion::Fault {
+                    attempt: job.attempt,
+                    worker,
+                    message: e.to_string(),
+                },
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -420,7 +494,7 @@ mod tests {
         Job {
             attempt,
             model: 0,
-            input: Arc::new(demo_input(16, 0)),
+            payload: Payload::Single(Arc::new(demo_input(16, 0))),
             deadline: Instant::now() + Duration::from_secs(5),
             reply,
             trace_id: 7,

@@ -1,0 +1,213 @@
+//! Scale and backpressure properties of the readiness-loop front end:
+//! thousands of idle connections must not cost threads, and a slow
+//! reader must stall only its own connection — partial writes leave the
+//! residue buffered, never dropped, never reordered.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use bw_serve::demo::{demo_input, mlp_artifact};
+use bw_serve::{
+    read_frame, write_frame, Server, TcpClient, TcpFrontend, TcpFrontendConfig, WireRequest,
+    WireResponse,
+};
+
+const DEADLINE: Duration = Duration::from_secs(10);
+
+#[cfg(target_os = "linux")]
+fn threads_now() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .unwrap()
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap()
+}
+
+#[cfg(target_os = "linux")]
+fn fd_soft_limit() -> usize {
+    std::fs::read_to_string("/proc/self/limits")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Max open files"))
+                .and_then(|l| l.split_whitespace().nth(3)?.parse().ok())
+        })
+        .unwrap_or(1024)
+}
+
+/// Thousands of concurrent idle connections, zero additional threads:
+/// the readiness loop multiplexes them all, and the front end stays
+/// live for real traffic underneath the idle mass. Both endpoints of
+/// every connection live in this process, so the connection count is
+/// clamped to half the fd limit; at the default CI limit that is ~10k
+/// sockets held open at once.
+#[cfg(target_os = "linux")]
+#[test]
+fn idle_connection_mass_needs_no_per_connection_threads() {
+    let server = Server::builder()
+        .model(mlp_artifact("mlp", &[16, 8], 2))
+        .spawn()
+        .unwrap();
+    let frontend = TcpFrontend::bind(&server, "127.0.0.1:0").unwrap();
+
+    // Each in-process connection consumes two fds (client end + server
+    // end); leave slack for the server's own descriptors.
+    let conns = ((fd_soft_limit().saturating_sub(200)) / 2).min(10_000);
+    assert!(
+        conns >= 2_000,
+        "fd limit too low to make this test meaningful: {conns}"
+    );
+
+    let baseline = threads_now();
+    let mut idle = Vec::with_capacity(conns);
+    for i in 0..conns {
+        idle.push(TcpStream::connect(frontend.addr()).unwrap());
+        // Pace the connect storm below the accept drain rate so the
+        // listener backlog never overflows into SYN retransmits.
+        if i % 256 == 255 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    // Give the loops a tick to register the last accepts.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let after = threads_now();
+    assert!(
+        after <= baseline + 2,
+        "idle connections must not spawn threads: {baseline} -> {after} with {conns} conns"
+    );
+
+    // The front end still serves under the idle mass.
+    let mut client = TcpClient::connect(frontend.addr()).unwrap();
+    let resp = client.call("mlp", &demo_input(16, 1), DEADLINE).unwrap();
+    assert_eq!(resp.output.len(), 8);
+
+    drop(idle);
+    frontend.shutdown();
+}
+
+/// A client that pipelines hundreds of requests and reads nothing forces
+/// the kernel buffers full: the front end's write path must absorb the
+/// partial writes and `WouldBlock`s, keep the residue buffered, and
+/// deliver every response — in request order, bit-identical — once the
+/// reader finally drains.
+#[test]
+fn slow_reader_sees_backpressure_not_lost_or_reordered_frames() {
+    let server = Server::builder()
+        .model(mlp_artifact("wide", &[16, 512], 4))
+        .spawn()
+        .unwrap();
+    // A single event loop so one stalled connection demonstrably cannot
+    // wedge the loop it lives on.
+    let frontend = TcpFrontend::bind_with(
+        &server,
+        "127.0.0.1:0",
+        TcpFrontendConfig {
+            event_loops: 1,
+            ..TcpFrontendConfig::default()
+        },
+    )
+    .unwrap();
+
+    let reference: Vec<Vec<f32>> = (0..512u64)
+        .map(|i| {
+            server
+                .client()
+                .call("wide", &demo_input(16, i), DEADLINE)
+                .unwrap()
+                .output
+        })
+        .collect();
+
+    // Pipeline 512 requests (~2 KiB of response each, ~1 MiB total)
+    // without reading a byte back.
+    let mut stream = TcpStream::connect(frontend.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    for i in 0..512u64 {
+        let req = WireRequest::Infer {
+            model: "wide".into(),
+            deadline_us: DEADLINE.as_micros() as u64,
+            input: demo_input(16, i),
+        };
+        write_frame(&mut stream, &req.encode()).unwrap();
+    }
+    stream.flush().unwrap();
+
+    // Let responses pile up against the unread socket: the kernel
+    // buffers fill and the front end's wbuf takes the overflow.
+    std::thread::sleep(Duration::from_millis(300));
+
+    // While this connection is stalled, a second client on the same
+    // (single) event loop must still get served.
+    let mut other = TcpClient::connect(frontend.addr()).unwrap();
+    let resp = other.call("wide", &demo_input(16, 0), DEADLINE).unwrap();
+    assert_eq!(resp.output, reference[0]);
+
+    // Now drain slowly; every response arrives, in order, intact.
+    for (i, expected) in reference.iter().enumerate() {
+        let payload = read_frame(&mut stream)
+            .unwrap()
+            .unwrap_or_else(|| panic!("connection closed early at response {i}"));
+        match WireResponse::decode(&payload).unwrap() {
+            WireResponse::Infer { output, .. } => {
+                assert_eq!(&output, expected, "response {i} corrupted or reordered");
+            }
+            other => panic!("response {i}: unexpected frame {other:?}"),
+        }
+        if i % 64 == 0 {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    let m = server.metrics();
+    assert_eq!(m.models[0].completed, 512 + 512 + 1);
+    frontend.shutdown();
+}
+
+/// A framing error terminates the connection with one final `Error`
+/// frame — but only after the responses already owed have been
+/// delivered in order.
+#[test]
+fn framing_error_drains_owed_responses_before_the_goodbye_frame() {
+    let server = Server::builder()
+        .model(mlp_artifact("mlp", &[16, 8], 6))
+        .spawn()
+        .unwrap();
+    let frontend = TcpFrontend::bind(&server, "127.0.0.1:0").unwrap();
+
+    let mut stream = TcpStream::connect(frontend.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    // Two valid requests, then garbage with an honest length prefix.
+    for i in 0..2u64 {
+        let req = WireRequest::Infer {
+            model: "mlp".into(),
+            deadline_us: DEADLINE.as_micros() as u64,
+            input: demo_input(16, i),
+        };
+        write_frame(&mut stream, &req.encode()).unwrap();
+    }
+    write_frame(&mut stream, &[0x7F, 1, 2, 3]).unwrap();
+
+    for i in 0..2 {
+        let payload = read_frame(&mut stream).unwrap().unwrap();
+        assert!(
+            matches!(
+                WireResponse::decode(&payload).unwrap(),
+                WireResponse::Infer { .. }
+            ),
+            "owed response {i} must arrive before the error frame"
+        );
+    }
+    let payload = read_frame(&mut stream).unwrap().unwrap();
+    assert!(matches!(
+        WireResponse::decode(&payload).unwrap(),
+        WireResponse::Error(_)
+    ));
+    // Then the server closes.
+    assert!(read_frame(&mut stream).unwrap().is_none());
+    frontend.shutdown();
+}

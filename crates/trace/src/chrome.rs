@@ -45,7 +45,7 @@ pub enum ArgValue {
 /// Display names for the lanes assigned by [`SpanKind::lane`] — the
 /// mapping itself lives in `bw-core` so every exporter and emitter
 /// shares one source of truth.
-const LANES: [(u64, &str); 8] = [
+const LANES: [(u64, &str); 9] = [
     (0, "run"),
     (1, "chains"),
     (2, "mvm stream"),
@@ -54,6 +54,7 @@ const LANES: [(u64, &str); 8] = [
     (5, "network"),
     (6, "fleet"),
     (7, "slo"),
+    (8, "batch"),
 ];
 
 /// Converts span records into Chrome events. `clock_hz` converts cycles
@@ -266,6 +267,7 @@ mod tests {
             SpanKind::NetTransfer,
             SpanKind::FleetOp,
             SpanKind::SloAlert,
+            SpanKind::BatchColumn,
         ]
         .iter()
         .map(|k| k.lane())
